@@ -1,0 +1,138 @@
+//! Evict+Time — the third classic attacker of §2.1.
+//!
+//! The coarsest of the three: the attacker measures the victim's **total
+//! execution time** twice — once undisturbed, once after evicting one
+//! cache set — and infers from the slowdown whether the victim uses that
+//! set. No shared memory and no fine probing needed; only end-to-end
+//! timing.
+//!
+//! Constant-time victims defeat it trivially at the *pattern* level (they
+//! touch every set of the DS regardless of the secret), which this module's
+//! tests verify: the eviction-induced slowdown profile is
+//! secret-independent.
+
+use ctbia_core::ctmem::Width;
+use ctbia_machine::{Machine, MachineError};
+use ctbia_sim::addr::{PhysAddr, LINE_BYTES};
+use ctbia_sim::hierarchy::Level;
+
+/// An Evict+Time attacker targeting one cache level.
+#[derive(Debug, Clone)]
+pub struct EvictTime {
+    region: PhysAddr,
+    num_sets: usize,
+    assoc: usize,
+}
+
+impl EvictTime {
+    /// Prepares an eviction buffer covering the `level` cache of `m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::Ram`] if the buffer does not fit.
+    pub fn new(m: &mut Machine, level: Level) -> Result<Self, MachineError> {
+        let cfg = m.hierarchy().cache(level).config().clone();
+        let num_sets = (cfg.size_bytes / (cfg.associativity as u64 * LINE_BYTES)) as usize;
+        let region = m.alloc(cfg.size_bytes, num_sets as u64 * LINE_BYTES)?;
+        Ok(EvictTime {
+            region,
+            num_sets,
+            assoc: cfg.associativity as usize,
+        })
+    }
+
+    /// Number of sets in the target cache.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Evicts everything the victim may have in `set` by filling it with
+    /// attacker lines.
+    pub fn evict_set(&self, m: &mut Machine, set: usize) {
+        for way in 0..self.assoc {
+            let addr = self
+                .region
+                .offset(((way * self.num_sets + set) as u64) * LINE_BYTES);
+            let _ = m.timed_load(addr, Width::U8);
+        }
+    }
+
+    /// Times one victim run (in simulated cycles).
+    pub fn time<V: FnOnce(&mut Machine)>(m: &mut Machine, victim: V) -> u64 {
+        let before = m.cycles();
+        victim(m);
+        m.cycles() - before
+    }
+
+    /// The full attack: for each set, evict it and time the victim; the
+    /// sets whose eviction slows the victim are the sets it uses.
+    /// `victim` runs `num_sets + 1` times (one baseline).
+    pub fn slowdown_profile<V: FnMut(&mut Machine)>(
+        &self,
+        m: &mut Machine,
+        mut victim: V,
+    ) -> Vec<i64> {
+        // Warm baseline.
+        victim(m);
+        let baseline = Self::time(m, &mut victim);
+        (0..self.num_sets)
+            .map(|set| {
+                self.evict_set(m, set);
+                Self::time(m, &mut victim) as i64 - baseline as i64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctbia_core::ctmem::CtMemoryExt;
+    use ctbia_core::ds::DataflowSet;
+    use ctbia_machine::BiaPlacement;
+    use ctbia_workloads::Strategy;
+
+    #[test]
+    fn eviction_slows_only_the_victims_set() {
+        let mut m = Machine::insecure();
+        let table = m.alloc(4096, 4096).unwrap();
+        let secret = 37u64;
+        let victim_set = m
+            .hierarchy()
+            .cache(Level::L1d)
+            .set_index(table.offset(secret * 4).line());
+        let et = EvictTime::new(&mut m, Level::L1d).unwrap();
+        let profile = et.slowdown_profile(&mut m, |m| {
+            let _ = m.load_u32(table.offset(secret * 4));
+        });
+        let max = *profile.iter().max().unwrap();
+        assert!(max > 0, "eviction must cost the victim something");
+        let hottest = profile.iter().position(|&d| d == max).unwrap();
+        assert_eq!(hottest, victim_set, "slowdown pinpoints the victim's set");
+    }
+
+    #[test]
+    fn protected_victim_has_secret_independent_slowdown() {
+        let profile_for = |secret: u64| {
+            let mut m = Machine::with_bia(BiaPlacement::L1d);
+            let table = m.alloc(4096, 4096).unwrap();
+            let ds = DataflowSet::contiguous(table, 4096);
+            let et = EvictTime::new(&mut m, Level::L1d).unwrap();
+            et.slowdown_profile(&mut m, |m| {
+                let _ = Strategy::bia().load(m, &ds, table.offset(secret * 4), Width::U32);
+            })
+        };
+        assert_eq!(profile_for(0), profile_for(1000));
+    }
+
+    #[test]
+    fn timing_helper_counts_victim_cycles_only() {
+        let mut m = Machine::insecure();
+        let a = m.alloc(64, 64).unwrap();
+        m.load_u64(a);
+        let t = EvictTime::time(&mut m, |m| {
+            let _ = m.load_u64(a);
+        });
+        assert_eq!(t, 3, "a warm load: 1 issue + 2-cycle L1 hit");
+    }
+}

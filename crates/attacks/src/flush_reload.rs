@@ -1,0 +1,155 @@
+//! Flush+Reload — the second classic attacker of §2.1.
+//!
+//! Requires memory *shared* between attacker and victim (read-only sharing
+//! — e.g. a crypto library's tables in a shared mapping — is allowed by
+//! the threat model, which only excludes shared *writable* lines, §2.4):
+//!
+//! 1. **Flush** — evict every monitored shared line from the hierarchy
+//!    (`clflush`).
+//! 2. **Victim access** — the victim runs.
+//! 3. **Reload** — time a load of each monitored line: a fast reload means
+//!    the victim brought the line back in.
+//!
+//! Finer-grained than Prime+Probe (line- rather than set-resolution),
+//! which is why linearization must touch *every* DS line — a protected
+//! victim reloads them all.
+
+use ctbia_core::ctmem::Width;
+use ctbia_machine::Machine;
+use ctbia_sim::addr::PhysAddr;
+
+/// A Flush+Reload attacker monitoring a set of shared lines.
+#[derive(Debug, Clone)]
+pub struct FlushReload {
+    targets: Vec<PhysAddr>,
+}
+
+impl FlushReload {
+    /// Monitors the lines covering `[base, base + bytes)` (the shared
+    /// region, e.g. a lookup table).
+    pub fn new(base: PhysAddr, bytes: u64) -> Self {
+        let first = base.line().raw();
+        let last = base.offset(bytes.max(1) - 1).line().raw();
+        FlushReload {
+            targets: (first..=last)
+                .map(|l| ctbia_sim::addr::LineAddr::new(l).base())
+                .collect(),
+        }
+    }
+
+    /// Number of monitored lines.
+    pub fn num_lines(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The flush phase.
+    pub fn flush(&self, m: &mut Machine) {
+        for &t in &self.targets {
+            m.flush_line(t);
+        }
+    }
+
+    /// The reload phase: per-line load latency.
+    pub fn reload(&self, m: &mut Machine) -> Vec<u64> {
+        self.targets
+            .iter()
+            .map(|&t| m.timed_load(t, Width::U8).1)
+            .collect()
+    }
+
+    /// One full round; returns, per monitored line, whether the victim
+    /// (re)loaded it — reload latency at L1-hit speed.
+    pub fn round<V: FnOnce(&mut Machine)>(&self, m: &mut Machine, victim: V) -> Vec<bool> {
+        self.flush(m);
+        victim(m);
+        let hit_threshold = 1 + m
+            .hierarchy()
+            .cache(ctbia_sim::hierarchy::Level::L1d)
+            .hit_latency();
+        self.reload(m)
+            .into_iter()
+            .map(|l| l <= hit_threshold)
+            .collect()
+    }
+
+    /// Indices of the lines the victim touched in a round result.
+    pub fn touched_lines(hits: &[bool]) -> Vec<usize> {
+        hits.iter()
+            .enumerate()
+            .filter(|&(_, &h)| h)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctbia_core::ctmem::CtMemoryExt;
+    use ctbia_core::ds::DataflowSet;
+    use ctbia_machine::BiaPlacement;
+    use ctbia_workloads::Strategy;
+
+    fn setup(m: &mut Machine, elements: u64) -> (PhysAddr, DataflowSet) {
+        let base = m.alloc_u32_array(elements).unwrap();
+        for i in 0..elements {
+            m.poke_u32(base.offset(i * 4), i as u32);
+        }
+        (base, DataflowSet::contiguous(base, elements * 4))
+    }
+
+    #[test]
+    fn recovers_the_exact_line_of_an_insecure_access() {
+        let mut m = Machine::insecure();
+        let (table, _) = setup(&mut m, 1024); // 64 lines
+        let fr = FlushReload::new(table, 1024 * 4);
+        assert_eq!(fr.num_lines(), 64);
+        for secret in [0u64, 300, 1023] {
+            let hits = fr.round(&mut m, |m| {
+                let _ = m.load_u32(table.offset(secret * 4));
+            });
+            let touched = FlushReload::touched_lines(&hits);
+            assert_eq!(touched, vec![(secret * 4 / 64) as usize], "secret {secret}");
+        }
+    }
+
+    #[test]
+    fn protected_victims_reload_every_line() {
+        for (strategy, bia) in [
+            (Strategy::software_ct(), None),
+            (Strategy::bia(), Some(BiaPlacement::L1d)),
+        ] {
+            let mut m = match bia {
+                Some(p) => Machine::with_bia(p),
+                None => Machine::insecure(),
+            };
+            let (table, ds) = setup(&mut m, 1024);
+            let fr = FlushReload::new(table, 1024 * 4);
+            let hits_a = fr.round(&mut m, |m| {
+                let _ = strategy.load(m, &ds, table.offset(3 * 4), Width::U32);
+            });
+            let hits_b = fr.round(&mut m, |m| {
+                let _ = strategy.load(m, &ds, table.offset(1000 * 4), Width::U32);
+            });
+            assert_eq!(hits_a, hits_b, "{strategy}: secret-independent");
+            assert!(
+                hits_a.iter().all(|&h| h),
+                "{strategy}: all DS lines reloaded"
+            );
+        }
+    }
+
+    #[test]
+    fn flush_actually_evicts() {
+        let mut m = Machine::insecure();
+        let (table, _) = setup(&mut m, 64);
+        let fr = FlushReload::new(table, 64 * 4);
+        let _ = m.load_u32(table);
+        fr.flush(&mut m);
+        use ctbia_sim::hierarchy::Level;
+        assert!(!m.hierarchy().cache(Level::L1d).is_resident(table.line()));
+        assert!(!m.hierarchy().cache(Level::Llc).is_resident(table.line()));
+        let lat = fr.reload(&mut m);
+        assert!(lat[0] > 200, "flushed line reloads from DRAM");
+    }
+}

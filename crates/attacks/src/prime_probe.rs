@@ -1,0 +1,218 @@
+//! The Prime+Probe attacker — the paper's Algorithm 1 / Figure 1.
+//!
+//! The attacker owns a buffer exactly covering the target cache (one line
+//! per (set, way)). A round is:
+//!
+//! 1. **Prime** — load the whole buffer, filling every set with attacker
+//!    lines.
+//! 2. **Victim access** — the victim runs.
+//! 3. **Probe** — re-load the buffer set by set, timing each set. A set
+//!    the victim touched evicted an attacker line there, so its probe time
+//!    is elevated.
+//!
+//! The attacker and victim share a [`Machine`] (same cache hierarchy),
+//! matching the paper's threat model of co-resident processes sharing a
+//! cache (§2.4); timings come from [`Machine::timed_load`], the simulated
+//! `rdtsc`.
+
+use ctbia_core::ctmem::Width;
+use ctbia_machine::{Machine, MachineError};
+use ctbia_sim::addr::{PhysAddr, LINE_BYTES};
+use ctbia_sim::hierarchy::Level;
+
+/// A Prime+Probe attacker targeting one cache level.
+#[derive(Debug, Clone)]
+pub struct PrimeProbe {
+    region: PhysAddr,
+    num_sets: usize,
+    assoc: usize,
+}
+
+impl PrimeProbe {
+    /// Prepares an attacker buffer covering the `level` cache of `m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::Ram`] if the buffer does not fit in
+    /// simulated RAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is `Level::Dram`.
+    pub fn new(m: &mut Machine, level: Level) -> Result<Self, MachineError> {
+        let cfg = m.hierarchy().cache(level).config().clone();
+        let num_sets = (cfg.size_bytes / (cfg.associativity as u64 * LINE_BYTES)) as usize;
+        // Aligning the buffer to one "way span" (sets x line) makes line i
+        // of the buffer map to set i % num_sets, covering each set exactly
+        // `associativity` times.
+        let region = m.alloc(cfg.size_bytes, num_sets as u64 * LINE_BYTES)?;
+        Ok(PrimeProbe {
+            region,
+            num_sets,
+            assoc: cfg.associativity as usize,
+        })
+    }
+
+    /// Number of sets in the target cache.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// The address of the attacker line for (`set`, `way`).
+    fn line_addr(&self, set: usize, way: usize) -> PhysAddr {
+        self.region
+            .offset(((way * self.num_sets + set) as u64) * LINE_BYTES)
+    }
+
+    /// The prime phase: fill every set with attacker lines.
+    pub fn prime(&self, m: &mut Machine) {
+        for way in 0..self.assoc {
+            for set in 0..self.num_sets {
+                let _ = m.timed_load(self.line_addr(set, way), Width::U8);
+            }
+        }
+    }
+
+    /// The probe phase: per-set total access latency, in cycles.
+    pub fn probe(&self, m: &mut Machine) -> Vec<u64> {
+        (0..self.num_sets)
+            .map(|set| {
+                (0..self.assoc)
+                    .map(|way| m.timed_load(self.line_addr(set, way), Width::U8).1)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// One full round: prime, run the victim, probe. Returns the per-set
+    /// probe latencies.
+    pub fn round<V: FnOnce(&mut Machine)>(&self, m: &mut Machine, victim: V) -> Vec<u64> {
+        self.prime(m);
+        victim(m);
+        self.probe(m)
+    }
+
+    /// Repeats [`PrimeProbe::round`] `n` times against fresh invocations of
+    /// the victim, returning each round's per-set latencies. Real attacks
+    /// average many rounds to beat noise; in this deterministic simulator
+    /// repeated rounds expose *stateful* victims whose access pattern
+    /// evolves (e.g. streaming ciphers).
+    pub fn rounds<V: FnMut(&mut Machine)>(
+        &self,
+        m: &mut Machine,
+        n: usize,
+        mut victim: V,
+    ) -> Vec<Vec<u64>> {
+        (0..n).map(|_| self.round(m, &mut victim)).collect()
+    }
+
+    /// Per-set mean latency over a set of rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is empty or ragged.
+    pub fn mean_profile(rounds: &[Vec<u64>]) -> Vec<f64> {
+        assert!(!rounds.is_empty(), "need at least one round");
+        let len = rounds[0].len();
+        let mut out = vec![0.0; len];
+        for r in rounds {
+            assert_eq!(r.len(), len, "ragged rounds");
+            for (o, &v) in out.iter_mut().zip(r) {
+                *o += v as f64;
+            }
+        }
+        for o in &mut out {
+            *o /= rounds.len() as f64;
+        }
+        out
+    }
+
+    /// The set with the highest probe latency — the attacker's guess at
+    /// where the victim's access landed.
+    pub fn hottest_set(latencies: &[u64]) -> usize {
+        let mut best = 0;
+        let mut best_latency = 0;
+        for (i, &l) in latencies.iter().enumerate() {
+            if l > best_latency {
+                best_latency = l;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctbia_core::ctmem::CtMemoryExt;
+
+    #[test]
+    fn buffer_covers_every_set_exactly_assoc_times() {
+        let mut m = Machine::insecure();
+        let pp = PrimeProbe::new(&mut m, Level::L1d).unwrap();
+        let cache = m.hierarchy().cache(Level::L1d);
+        let mut per_set = vec![0u32; pp.num_sets()];
+        for way in 0..pp.assoc {
+            for set in 0..pp.num_sets {
+                per_set[cache.set_index(pp.line_addr(set, way).line())] += 1;
+            }
+        }
+        assert!(per_set.iter().all(|&c| c == 8), "L1d is 8-way");
+    }
+
+    #[test]
+    fn probe_after_prime_is_all_hits() {
+        let mut m = Machine::insecure();
+        let pp = PrimeProbe::new(&mut m, Level::L1d).unwrap();
+        pp.prime(&mut m);
+        let lat = pp.probe(&mut m);
+        let hit = lat[0];
+        assert!(lat.iter().all(|&l| l == hit), "uniform all-hit probe");
+        assert_eq!(hit, 8 * 3, "8 ways x (issue + L1 hit)");
+    }
+
+    #[test]
+    fn single_victim_access_lights_up_its_set() {
+        let mut m = Machine::insecure();
+        let pp = PrimeProbe::new(&mut m, Level::L1d).unwrap();
+        let victim_addr = m.alloc(64, 64).unwrap();
+        let victim_set = m
+            .hierarchy()
+            .cache(Level::L1d)
+            .set_index(victim_addr.line());
+        let lat = pp.round(&mut m, |m| {
+            let _ = m.load_u64(victim_addr);
+        });
+        assert_eq!(PrimeProbe::hottest_set(&lat), victim_set);
+        // Exactly one set is elevated.
+        let min = *lat.iter().min().unwrap();
+        assert_eq!(lat.iter().filter(|&&l| l > min).count(), 1);
+    }
+
+    #[test]
+    fn rounds_and_mean_profile() {
+        let mut m = Machine::insecure();
+        let pp = PrimeProbe::new(&mut m, Level::L1d).unwrap();
+        let victim_addr = m.alloc(64, 64).unwrap();
+        let rounds = pp.rounds(&mut m, 3, |m| {
+            let _ = m.load_u64(victim_addr);
+        });
+        assert_eq!(rounds.len(), 3);
+        let mean = PrimeProbe::mean_profile(&rounds);
+        assert_eq!(mean.len(), pp.num_sets());
+        let victim_set = m
+            .hierarchy()
+            .cache(Level::L1d)
+            .set_index(victim_addr.line());
+        let max = mean.iter().cloned().fold(f64::MIN, f64::max);
+        assert_eq!(mean[victim_set], max, "victim set is hottest on average");
+    }
+
+    #[test]
+    fn hottest_set_of_uniform_profile_is_first() {
+        assert_eq!(PrimeProbe::hottest_set(&[5, 5, 5]), 0);
+        assert_eq!(PrimeProbe::hottest_set(&[1, 9, 5]), 1);
+        assert_eq!(PrimeProbe::hottest_set(&[]), 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Ablation benches for the design choices DESIGN.md calls out, measured
+//! in **simulated cycles** (printed via criterion's custom-value support is
+//! overkill here, so each bench runs the scenario and criterion tracks the
+//! host time; the simulated-cycle ablations are asserted as relations).
+//!
+//! Covered:
+//!
+//! * BIA capacity (number of entries) — small BIAs thrash on wide DSes;
+//! * BIA placement (L1d vs L2) under an over-L1 DS (the dij_128 effect);
+//! * the §6.5 DRAM-bypass threshold on an over-capacity DS;
+//! * cache replacement policy under an over-capacity DS (§3.2's remark).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctbia_core::bia::BiaConfig;
+use ctbia_core::ctmem::Width;
+use ctbia_core::ds::DataflowSet;
+use ctbia_core::linearize::{ct_load_bia, BiaOptions};
+use ctbia_machine::{BiaPlacement, Machine, MachineConfig};
+use ctbia_sim::replacement::ReplacementKind;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn machine_with_bia_entries(entries: u32) -> Machine {
+    let mut cfg = MachineConfig::with_bia(BiaPlacement::L1d);
+    cfg.bia = Some((
+        BiaPlacement::L1d,
+        BiaConfig {
+            entries,
+            associativity: entries.min(4),
+            ..BiaConfig::paper_table1()
+        },
+    ));
+    Machine::new(cfg).unwrap()
+}
+
+fn secure_sweep(m: &mut Machine, elements: u64, opts: BiaOptions) -> u64 {
+    let base = m.alloc_u32_array(elements).unwrap();
+    let ds = DataflowSet::contiguous(base, elements * 4);
+    let (_, c) = m.measure(|m| {
+        for i in (0..elements).step_by(61) {
+            black_box(ct_load_bia(m, &ds, base.offset(i * 4), Width::U32, opts));
+        }
+    });
+    c.cycles
+}
+
+fn bia_capacity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/bia_entries");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    // 16 pages of DS; a 4-entry BIA must thrash, 64 entries must not.
+    for entries in [4u32, 16, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, &e| {
+            b.iter(|| {
+                let mut m = machine_with_bia_entries(e);
+                black_box(secure_sweep(&mut m, 16 * 1024, BiaOptions::default()))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bia_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/placement_over_l1_ds");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    // 96 KiB DS exceeds the 64 KiB L1d: L2 placement should win (dij_128).
+    for placement in [BiaPlacement::L1d, BiaPlacement::L2] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(placement),
+            &placement,
+            |b, &p| {
+                b.iter(|| {
+                    let mut m = Machine::with_bia(p);
+                    black_box(secure_sweep(&mut m, 24 * 1024, BiaOptions::default()))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn dram_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/dram_threshold");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    // 1 MiB DS — far over L1d; §6.5 says bypass should help.
+    for (label, opts) in [
+        ("off", BiaOptions::default()),
+        ("t16", BiaOptions::with_dram_threshold(16)),
+        ("t48", BiaOptions::with_dram_threshold(48)),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let mut m = Machine::with_bia(BiaPlacement::L1d);
+                black_box(secure_sweep(&mut m, 256 * 1024, opts))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn replacement_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/replacement");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for kind in [
+        ReplacementKind::Lru,
+        ReplacementKind::Fifo,
+        ReplacementKind::Random,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &k| {
+            b.iter(|| {
+                let mut cfg = MachineConfig::with_bia(BiaPlacement::L1d);
+                cfg.hierarchy.l1d.replacement = k;
+                let mut m = Machine::new(cfg).unwrap();
+                black_box(secure_sweep(&mut m, 32 * 1024, BiaOptions::default()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bia_capacity,
+    bia_placement,
+    dram_threshold,
+    replacement_policy
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion microbenches of the BIA structure itself: lookup/install
+//! throughput and event-application cost. These measure the *simulator's*
+//! speed (host nanoseconds), complementing the figure binaries which
+//! measure *simulated* cycles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctbia_core::bia::{Bia, BiaConfig};
+use ctbia_sim::addr::PageIdx;
+use ctbia_sim::hierarchy::{CacheEvent, CacheEventKind};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bia/access");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for pages in [1u64, 16, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(pages), &pages, |b, &pages| {
+            let mut bia = Bia::new(BiaConfig::paper_table1());
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 1) % pages;
+                black_box(bia.access(PageIdx::new(i)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_events(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bia/on_event");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("tracked_page", |b| {
+        let mut bia = Bia::new(BiaConfig::paper_table1());
+        let page = PageIdx::new(5);
+        bia.access(page);
+        let ev = CacheEvent {
+            line: page.line(7),
+            kind: CacheEventKind::Fill { dirty: false },
+        };
+        b.iter(|| bia.on_event(black_box(&ev)));
+    });
+    group.bench_function("untracked_page", |b| {
+        let mut bia = Bia::new(BiaConfig::paper_table1());
+        let ev = CacheEvent {
+            line: PageIdx::new(999).line(7),
+            kind: CacheEventKind::Fill { dirty: false },
+        };
+        b.iter(|| bia.on_event(black_box(&ev)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_access, bench_events);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion microbenches of the cache-hierarchy substrate: hit path,
+//! miss path, probe path, and instruction fetch (host-time throughput of
+//! the simulator).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctbia_sim::addr::LineAddr;
+use ctbia_sim::config::HierarchyConfig;
+use ctbia_sim::hierarchy::{AccessFlags, Hierarchy, MonitorLevel};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+
+    group.bench_function("l1_hit", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::paper_table1()).unwrap();
+        let line = LineAddr::new(42);
+        h.access(line, AccessFlags::read());
+        b.iter(|| black_box(h.access(line, AccessFlags::read())));
+    });
+
+    group.bench_function("dram_miss_stream", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::paper_table1()).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            // A stride larger than the LLC keeps every access missing.
+            i = i.wrapping_add(1);
+            black_box(h.access(LineAddr::new(i * 40_000_000 / 64), AccessFlags::read()))
+        });
+    });
+
+    group.bench_function("ct_probe", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::paper_table1()).unwrap();
+        h.set_monitor(Some(MonitorLevel::L1d));
+        let line = LineAddr::new(42);
+        h.access(line, AccessFlags::read());
+        h.drain_events();
+        b.iter(|| black_box(h.ct_probe(line, MonitorLevel::L1d)));
+    });
+
+    group.bench_function("fetch_inst_hit", |b| {
+        let mut h = Hierarchy::new(HierarchyConfig::paper_table1()).unwrap();
+        let line = LineAddr::new(7);
+        h.fetch_inst(line);
+        b.iter(|| black_box(h.fetch_inst(line)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_paths);
+criterion_main!(benches);

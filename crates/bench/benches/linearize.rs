@@ -1,0 +1,118 @@
+//! Criterion benches of the linearization algorithms across DS sizes —
+//! the microbench view of the paper's headline comparison (how one
+//! secret-dependent load/store costs scale under software CT vs the BIA).
+//!
+//! Reported numbers are host time per simulated secure access on a warm
+//! cache; the *simulated-cycle* comparison lives in the figure binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ctbia_core::ctmem::Width;
+use ctbia_core::ds::DataflowSet;
+use ctbia_core::linearize::{
+    ct_load_bia, ct_load_sw, ct_store_bia, ct_store_sw, BiaOptions, SwProfile,
+};
+use ctbia_machine::{BiaPlacement, Machine};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Elements (u32) per DS size bucket.
+const SIZES: [u64; 4] = [256, 1024, 4096, 8192];
+
+fn setup(bia: bool, elements: u64) -> (Machine, ctbia_sim::addr::PhysAddr, DataflowSet) {
+    let mut m = if bia {
+        Machine::with_bia(BiaPlacement::L1d)
+    } else {
+        Machine::insecure()
+    };
+    let base = m.alloc_u32_array(elements).unwrap();
+    for i in 0..elements {
+        m.poke_u32(base.offset(i * 4), i as u32);
+    }
+    let ds = DataflowSet::contiguous(base, elements * 4);
+    (m, base, ds)
+}
+
+fn bench_loads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linearize/load");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for elements in SIZES {
+        group.throughput(Throughput::Elements(elements / 16)); // lines touched by SW
+        group.bench_with_input(BenchmarkId::new("sw", elements), &elements, |b, &n| {
+            let (mut m, base, ds) = setup(false, n);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 97) % n;
+                black_box(ct_load_sw(
+                    &mut m,
+                    &ds,
+                    base.offset(i * 4),
+                    Width::U32,
+                    SwProfile::scalar(),
+                ))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("bia", elements), &elements, |b, &n| {
+            let (mut m, base, ds) = setup(true, n);
+            // Warm pass so existence bits are populated.
+            ct_load_bia(&mut m, &ds, base, Width::U32, BiaOptions::default());
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 97) % n;
+                black_box(ct_load_bia(
+                    &mut m,
+                    &ds,
+                    base.offset(i * 4),
+                    Width::U32,
+                    BiaOptions::default(),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_stores(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linearize/store");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for elements in [1024u64, 8192] {
+        group.bench_with_input(BenchmarkId::new("sw", elements), &elements, |b, &n| {
+            let (mut m, base, ds) = setup(false, n);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 97) % n;
+                ct_store_sw(
+                    &mut m,
+                    &ds,
+                    base.offset(i * 4),
+                    Width::U32,
+                    i,
+                    SwProfile::scalar(),
+                );
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("bia", elements), &elements, |b, &n| {
+            let (mut m, base, ds) = setup(true, n);
+            ct_store_bia(&mut m, &ds, base, Width::U32, 1, BiaOptions::default());
+            let mut i = 0u64;
+            b.iter(|| {
+                i = (i + 97) % n;
+                ct_store_bia(
+                    &mut m,
+                    &ds,
+                    base.offset(i * 4),
+                    Width::U32,
+                    i,
+                    BiaOptions::default(),
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_loads, bench_stores);
+criterion_main!(benches);

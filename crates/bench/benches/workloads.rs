@@ -1,0 +1,68 @@
+//! Criterion benches running one full (small) instance of every workload
+//! under each strategy — a smoke-level performance regression net for the
+//! whole stack.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctbia_machine::{BiaPlacement, Machine};
+use ctbia_workloads::crypto::all_kernels;
+use ctbia_workloads::{
+    BinarySearch, Dijkstra, HeapPop, Histogram, Permutation, Strategy, Workload,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn ghostrider(c: &mut Criterion) {
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(Dijkstra::new(16)),
+        Box::new(Histogram::new(500)),
+        Box::new(Permutation::new(500)),
+        Box::new(BinarySearch::new(500)),
+        Box::new(HeapPop {
+            size: 500,
+            pops: 8,
+            seed: 1,
+        }),
+    ];
+    let mut group = c.benchmark_group("workloads");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for wl in &workloads {
+        for (label, strategy, bia) in [
+            ("insecure", Strategy::Insecure, false),
+            ("ct", Strategy::software_ct(), false),
+            ("bia", Strategy::bia(), true),
+        ] {
+            group.bench_function(BenchmarkId::new(wl.name(), label), |b| {
+                b.iter(|| {
+                    let mut m = if bia {
+                        Machine::with_bia(BiaPlacement::L1d)
+                    } else {
+                        Machine::insecure()
+                    };
+                    black_box(wl.run(&mut m, strategy))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for wl in all_kernels() {
+        group.bench_function(BenchmarkId::new(wl.name(), "bia"), |b| {
+            b.iter(|| {
+                let mut m = Machine::with_bia(BiaPlacement::L1d);
+                black_box(wl.run(&mut m, Strategy::bia()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ghostrider, crypto);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates **Figure 2** — software constant-time programming overhead
+//! on Histogram as the dataflow linearization set grows, including the
+//! AVX2-optimized variant.
+//!
+//! ```text
+//! cargo run -p ctbia-bench --release --bin fig02_motivation
+//! ```
+
+use ctbia_bench::{overhead, run_ct_avx2, run_ct_scalar, run_insecure};
+use ctbia_workloads::{Histogram, Workload};
+
+fn main() {
+    println!("Figure 2: Histogram CT overhead vs input size (x baseline cycles)");
+    println!("{:<10} {:>12} {:>12}", "size", "secure", "secure+avx2");
+    for size in [1000, 2000, 4000, 6000, 8000, 10_000] {
+        let wl = Histogram::new(size);
+        let base = run_insecure(&wl);
+        let ct = run_ct_scalar(&wl);
+        let avx = run_ct_avx2(&wl);
+        println!(
+            "{:<10} {:>12.2} {:>12.2}",
+            wl.name(),
+            overhead(&ct, &base),
+            overhead(&avx, &base),
+        );
+    }
+    println!("\nThe overhead grows with the DS size — the paper's 'large dataflow");
+    println!("linearization set' problem (§3.1).");
+}

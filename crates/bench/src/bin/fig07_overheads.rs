@@ -1,0 +1,102 @@
+//! Regenerates **Figure 7 (a–e)** — execution-time overhead of L1d-BIA,
+//! L2-BIA, and software CT relative to the insecure baseline, for the five
+//! Ghostrider workloads across the paper's size sweeps.
+//!
+//! ```text
+//! cargo run -p ctbia-bench --release --bin fig07_overheads            # all five
+//! cargo run -p ctbia-bench --release --bin fig07_overheads -- dijkstra
+//! cargo run -p ctbia-bench --release --bin fig07_overheads -- --quick # small sizes
+//! ```
+
+use ctbia_bench::{figure7_row, print_overhead_table, OverheadRow};
+use ctbia_workloads::{BinarySearch, Dijkstra, HeapPop, Histogram, Permutation, Workload};
+
+fn rows(workloads: &[Box<dyn Workload>]) -> Vec<OverheadRow> {
+    workloads
+        .iter()
+        .map(|wl| figure7_row(wl.as_ref()))
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let dij_sizes: &[usize] = if quick { &[16, 32] } else { &[32, 64, 96, 128] };
+    let hist_sizes: &[usize] = if quick {
+        &[500, 1000]
+    } else {
+        &[1000, 2000, 4000, 6000, 8000]
+    };
+    let perm_sizes: &[usize] = if quick {
+        &[500, 1000]
+    } else {
+        &[1000, 2000, 4000, 6000, 8000]
+    };
+    let bin_sizes: &[usize] = if quick {
+        &[1000, 2000]
+    } else {
+        &[2000, 4000, 6000, 8000, 10_000]
+    };
+    let heap_sizes: &[usize] = if quick {
+        &[1000, 2000]
+    } else {
+        &[2000, 4000, 6000, 8000, 10_000]
+    };
+
+    if which == "all" || which == "dijkstra" {
+        let wls: Vec<Box<dyn Workload>> = dij_sizes
+            .iter()
+            .map(|&n| Box::new(Dijkstra::new(n)) as Box<dyn Workload>)
+            .collect();
+        print_overhead_table(
+            "Figure 7(a): dijkstra — exec. time overhead vs insecure",
+            &rows(&wls),
+        );
+    }
+    if which == "all" || which == "histogram" {
+        let wls: Vec<Box<dyn Workload>> = hist_sizes
+            .iter()
+            .map(|&n| Box::new(Histogram::new(n)) as Box<dyn Workload>)
+            .collect();
+        print_overhead_table(
+            "Figure 7(b): histogram — exec. time overhead vs insecure",
+            &rows(&wls),
+        );
+    }
+    if which == "all" || which == "permutation" {
+        let wls: Vec<Box<dyn Workload>> = perm_sizes
+            .iter()
+            .map(|&n| Box::new(Permutation::new(n)) as Box<dyn Workload>)
+            .collect();
+        print_overhead_table(
+            "Figure 7(c): permutation — exec. time overhead vs insecure",
+            &rows(&wls),
+        );
+    }
+    if which == "all" || which == "binary-search" {
+        let wls: Vec<Box<dyn Workload>> = bin_sizes
+            .iter()
+            .map(|&n| Box::new(BinarySearch::new(n)) as Box<dyn Workload>)
+            .collect();
+        print_overhead_table(
+            "Figure 7(d): binary search — exec. time overhead vs insecure",
+            &rows(&wls),
+        );
+    }
+    if which == "all" || which == "heappop" {
+        let wls: Vec<Box<dyn Workload>> = heap_sizes
+            .iter()
+            .map(|&n| Box::new(HeapPop::new(n)) as Box<dyn Workload>)
+            .collect();
+        print_overhead_table(
+            "Figure 7(e): heap pop — exec. time overhead vs insecure",
+            &rows(&wls),
+        );
+    }
+}

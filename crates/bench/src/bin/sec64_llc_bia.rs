@@ -1,0 +1,71 @@
+//! Regenerates the **§6.4 analysis** — LLC-resident BIA feasibility and
+//! performance under slice hashing.
+//!
+//! The paper has no figure for §6.4; this binary tabulates its three cases
+//! (`LS_Hash >= 12`, `6 < LS_Hash < 12`, `LS_Hash = 6`) and measures a
+//! histogram workload under each feasible configuration, alongside the
+//! L1d/L2 placements for context.
+//!
+//! ```text
+//! cargo run -p ctbia-bench --release --bin sec64_llc_bia
+//! ```
+
+use ctbia_bench::{overhead, run_insecure};
+use ctbia_core::bia::BiaConfig;
+use ctbia_machine::{BiaPlacement, CostModel, Machine, MachineConfig};
+use ctbia_sim::config::HierarchyConfig;
+use ctbia_workloads::{Histogram, Strategy, Workload};
+
+fn llc_machine(
+    slices: u32,
+    ls_hash: u32,
+    m_log2: u32,
+) -> Result<Machine, ctbia_machine::MachineError> {
+    let mut cfg = MachineConfig::insecure();
+    cfg.hierarchy = HierarchyConfig::sliced_llc(slices, ls_hash);
+    cfg.bia = Some((BiaPlacement::Llc, BiaConfig::with_granularity(m_log2)));
+    cfg.cost = CostModel::o3_approx();
+    Machine::new(cfg)
+}
+
+fn main() {
+    println!("Section 6.4: LLC-resident BIA under slice hashing\n");
+    println!("Feasibility (8 slices):");
+    for (ls_hash, m, label) in [
+        (14u32, 12u32, "LS_Hash=14 (Skylake-X-like), M=12"),
+        (12, 12, "LS_Hash=12, M=12"),
+        (9, 12, "LS_Hash=9,  M=12 (group would span slices)"),
+        (9, 9, "LS_Hash=9,  M=9  (granularity shrunk to LS_Hash)"),
+        (6, 7, "LS_Hash=6  (Xeon-E5-like)"),
+    ] {
+        match llc_machine(8, ls_hash, m) {
+            Ok(_) => println!("  {label:<48} feasible"),
+            Err(e) => {
+                let msg = e.to_string();
+                let short = msg.split(" — ").next().unwrap_or(&msg);
+                println!("  {label:<48} REJECTED ({short})");
+            }
+        }
+    }
+
+    println!("\nPerformance (hist_2k, overhead vs insecure):");
+    let wl = Histogram::new(2000);
+    let base = run_insecure(&wl);
+    for (label, run) in [
+        ("L1d BIA", ctbia_bench::run_bia_l1d(&wl)),
+        ("L2 BIA", ctbia_bench::run_bia_l2(&wl)),
+        ("LLC BIA (LS_Hash=12, M=12)", {
+            let mut m = llc_machine(8, 12, 12).unwrap();
+            wl.run(&mut m, Strategy::bia())
+        }),
+        ("LLC BIA (LS_Hash=9,  M=9)", {
+            let mut m = llc_machine(8, 9, 9).unwrap();
+            wl.run(&mut m, Strategy::bia())
+        }),
+    ] {
+        println!("  {label:<30} {:>6.2}x", overhead(&run, &base));
+    }
+    println!("\nFiner granularity means more CT operations per dataflow set (more");
+    println!("groups), and LLC probes are slow — the deeper the BIA, the higher the");
+    println!("overhead, exactly the latency/capacity trade-off of §4.2/§6.4.");
+}

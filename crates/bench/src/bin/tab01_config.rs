@@ -1,0 +1,46 @@
+//! Regenerates **Table 1** — the simulated system configuration.
+//!
+//! ```text
+//! cargo run -p ctbia-bench --release --bin tab01_config
+//! ```
+
+use ctbia_core::bia::BiaConfig;
+use ctbia_sim::config::HierarchyConfig;
+
+fn main() {
+    let cfg = HierarchyConfig::paper_table1();
+    let bia = BiaConfig::paper_table1();
+    println!("Table 1: simulated system configuration (paper: gem5)");
+    println!("{:<18} Parameter", "Configuration");
+    println!(
+        "{:<18} in-order cost model (see ctbia-machine::cost)",
+        "CPU"
+    );
+    for (name, c) in [
+        ("L1d cache", &cfg.l1d),
+        ("L2 cache", &cfg.l2),
+        ("Last Level cache", &cfg.llc),
+    ] {
+        println!(
+            "{:<18} {} KB, {} cycles latency, {}-way {}, {} sets",
+            name,
+            c.size_bytes / 1024,
+            c.hit_latency,
+            c.associativity,
+            c.replacement,
+            c.num_sets(),
+        );
+    }
+    println!(
+        "{:<18} in L1d/L2 cache, {} KB ({} entries, {}-way), {} cycle latency",
+        "BIA",
+        bia.size_bytes() / 1024,
+        bia.entries,
+        bia.associativity,
+        bia.latency,
+    );
+    println!(
+        "{:<18} {} cycles latency (closed-row)",
+        "DRAM", cfg.dram.latency
+    );
+}

@@ -1,0 +1,17 @@
+//! Regenerates **Table 2** — the Ghostrider benchmark descriptions.
+//!
+//! ```text
+//! cargo run -p ctbia-bench --release --bin tab02_benchmarks
+//! ```
+
+use ctbia_workloads::TABLE2;
+
+fn main() {
+    println!("Table 2: programs with partially predictable or data-dependent");
+    println!("memory access patterns (Ghostrider benchmarks) and their leakage\n");
+    for b in TABLE2 {
+        println!("{}", b.program);
+        println!("  leakage: {}", b.leakage);
+        println!("  size of DS: {}\n", b.ds_size);
+    }
+}

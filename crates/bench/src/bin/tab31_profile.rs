@@ -1,0 +1,39 @@
+//! Regenerates the **§3.1 profile table** — cachegrind-style statistics of
+//! Histogram under the original, secure (scalar CT), and secure-with-AVX
+//! versions: L1d references, L1i references, LLC misses.
+//!
+//! ```text
+//! cargo run -p ctbia-bench --release --bin tab31_profile [-- SIZE]
+//! ```
+//!
+//! Defaults to the paper's input size of 10,000.
+
+use ctbia_bench::{run_ct_avx2, run_ct_scalar, run_insecure};
+use ctbia_workloads::Histogram;
+
+fn main() {
+    let size = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    let wl = Histogram::new(size);
+    println!("Section 3.1 profile: Histogram, input size {size}");
+    println!(
+        "{:<16} {:>14} {:>14} {:>10}",
+        "version", "L1d ref", "L1i ref", "LL misses"
+    );
+    for (name, run) in [
+        ("origin", run_insecure(&wl)),
+        ("secure", run_ct_scalar(&wl)),
+        ("secure with avx", run_ct_avx2(&wl)),
+    ] {
+        let c = run.counters;
+        println!(
+            "{:<16} {:>14} {:>14} {:>10}",
+            name,
+            c.l1d_refs(),
+            c.l1i_refs(),
+            c.llc_misses()
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! Control-flow linearization — the first rule of constant-time
+//! programming (§2.3: *no branch on secrets*).
+//!
+//! The paper's transformation keeps a *taken* predicate per branch region,
+//! executes **both** the `if` and `else` paths, and merges the results:
+//!
+//! ```c
+//! if (secret) { A; } else { B; }
+//! // becomes
+//! taken = secret; A; B; Merge(secret, A, B);
+//! ```
+//!
+//! [`CtCond`] is that taken predicate as a full-width mask, and
+//! [`linearize_branch`] / [`bounded_loop`] are the region combinators. Arm
+//! closures must restrict their side effects to *predicated* operations —
+//! returning values merged by the combinator, or stores through
+//! [`predicated_store`] — because both arms always execute.
+
+use crate::ctmem::{CtMemory, Width};
+use crate::predicate::{ct_eq, mask_from_bool, select};
+use ctbia_sim::addr::PhysAddr;
+
+/// A secret branch condition held as a full-width mask (the paper's
+/// `taken` predicate). All combinators are branchless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtCond(u64);
+
+impl CtCond {
+    /// From a mask produced by the [`crate::predicate`] functions
+    /// (`0` or `u64::MAX`).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on a partial mask, which would silently mix
+    /// operand bits in every later select.
+    #[inline]
+    pub fn from_mask(mask: u64) -> Self {
+        debug_assert!(mask == 0 || mask == u64::MAX, "partial mask {mask:#x}");
+        CtCond(mask)
+    }
+
+    /// From a boolean that is itself derived from secret data.
+    #[inline]
+    pub fn from_bool(b: bool) -> Self {
+        CtCond(mask_from_bool(b))
+    }
+
+    /// A condition that is true iff `a == b`.
+    #[inline]
+    pub fn eq(a: u64, b: u64) -> Self {
+        CtCond(ct_eq(a, b))
+    }
+
+    /// The raw mask.
+    #[inline]
+    pub fn mask(self) -> u64 {
+        self.0
+    }
+
+    /// Whether the condition is true. **Only for merging at the end of a
+    /// linearized region** — branching on this re-introduces the leak.
+    #[inline]
+    pub fn to_bool(self) -> bool {
+        self.0 != 0
+    }
+
+    /// Logical and.
+    #[inline]
+    pub fn and(self, other: CtCond) -> CtCond {
+        CtCond(self.0 & other.0)
+    }
+
+    /// Logical or.
+    #[inline]
+    pub fn or(self, other: CtCond) -> CtCond {
+        CtCond(self.0 | other.0)
+    }
+
+    /// Logical negation.
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> CtCond {
+        CtCond(!self.0)
+    }
+
+    /// Branchless select: `a` if the condition holds, else `b`.
+    #[inline]
+    pub fn select(self, a: u64, b: u64) -> u64 {
+        select(self.0, a, b)
+    }
+}
+
+/// Executes **both** arms of a secret-dependent branch and merges their
+/// results under `cond` — the paper's `taken`/`Merge` pattern. Each arm
+/// receives the machine and its own activity predicate so nested
+/// predicated stores compose.
+///
+/// Arms must confine their side effects to predicated operations; plain
+/// stores inside an arm execute unconditionally.
+pub fn linearize_branch<M: CtMemory + ?Sized>(
+    m: &mut M,
+    cond: CtCond,
+    then_arm: impl FnOnce(&mut M, CtCond) -> u64,
+    else_arm: impl FnOnce(&mut M, CtCond) -> u64,
+) -> u64 {
+    // Merge bookkeeping: predicate save + final select.
+    let a = then_arm(m, cond);
+    let b = else_arm(m, cond.not());
+    m.exec(2);
+    cond.select(a, b)
+}
+
+/// A loop whose trip count must not leak: always runs `max_iters`
+/// iterations, handing each iteration an *active* predicate that turns
+/// false once `still_active` reported done. The body's results while
+/// inactive are discarded via the accumulator.
+///
+/// Returns the final accumulator.
+pub fn bounded_loop<M: CtMemory + ?Sized>(
+    m: &mut M,
+    max_iters: u64,
+    mut acc: u64,
+    mut body: impl FnMut(&mut M, u64, u64, CtCond) -> (u64, CtCond),
+) -> u64 {
+    let mut active = CtCond::from_bool(true);
+    for i in 0..max_iters {
+        let (next, still_active) = body(m, i, acc, active);
+        acc = active.select(next, acc);
+        active = active.and(still_active);
+        m.exec(3);
+    }
+    acc
+}
+
+/// A *predicated store* to a **public** address: reads the old value and
+/// writes `cond.select(value, old)`, so the store's footprint is identical
+/// whether or not the condition holds. (For secret *addresses* use the
+/// dataflow-linearized [`crate::linearize`] stores instead.)
+pub fn predicated_store<M: CtMemory + ?Sized>(
+    m: &mut M,
+    cond: CtCond,
+    addr: PhysAddr,
+    width: Width,
+    value: u64,
+) {
+    let old = m.load(addr, width);
+    m.exec(2);
+    m.store(addr, width, cond.select(value, old));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctmem::CtMemoryExt;
+    use crate::predicate::ct_lt;
+    use crate::testutil::{TestMachine, TraceOp};
+    use ctbia_sim::addr::PhysAddr;
+
+    #[test]
+    fn cond_algebra() {
+        let t = CtCond::from_bool(true);
+        let f = CtCond::from_bool(false);
+        assert!(t.to_bool() && !f.to_bool());
+        assert_eq!(t.and(f), f);
+        assert_eq!(t.or(f), t);
+        assert_eq!(f.not(), t);
+        assert_eq!(t.select(1, 2), 1);
+        assert_eq!(f.select(1, 2), 2);
+        assert_eq!(CtCond::eq(5, 5), t);
+        assert_eq!(CtCond::from_mask(u64::MAX), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "partial mask")]
+    fn partial_masks_rejected_in_debug() {
+        let _ = CtCond::from_mask(0xff);
+    }
+
+    #[test]
+    fn branch_merges_correct_arm() {
+        let mut m = TestMachine::new();
+        for secret in [0u64, 1] {
+            let cond = CtCond::eq(secret, 1);
+            let r = linearize_branch(&mut m, cond, |_, _| 100, |_, _| 200);
+            assert_eq!(r, if secret == 1 { 100 } else { 200 });
+        }
+    }
+
+    #[test]
+    fn both_arms_always_execute() {
+        let mut m = TestMachine::new();
+        let a = PhysAddr::new(0x1_0000);
+        let b = PhysAddr::new(0x2_0000);
+        let trace_for = |m: &mut TestMachine, secret: u64| {
+            m.trace.clear();
+            linearize_branch(
+                m,
+                CtCond::eq(secret, 0),
+                |m, _| m.load_u32(a) as u64,
+                |m, _| m.load_u32(b) as u64,
+            );
+            m.trace.clone()
+        };
+        let t0 = trace_for(&mut m, 0);
+        let t1 = trace_for(&mut m, 1);
+        assert_eq!(
+            t0, t1,
+            "both arms' accesses appear regardless of the secret"
+        );
+        assert_eq!(t0.iter().filter(|(op, _)| *op == TraceOp::Load).count(), 2);
+    }
+
+    #[test]
+    fn predicated_store_footprint_is_condition_independent() {
+        let mut m = TestMachine::new();
+        let addr = PhysAddr::new(0x3_0000);
+        m.poke_u32(addr, 5);
+        let trace_for = |m: &mut TestMachine, secret: u64| {
+            m.trace.clear();
+            predicated_store(m, CtCond::eq(secret, 7), addr, Width::U32, 99);
+            m.trace.clone()
+        };
+        let taken = trace_for(&mut m, 7);
+        assert_eq!(m.peek_u32(addr), 99, "taken store lands");
+        m.poke_u32(addr, 5);
+        let skipped = trace_for(&mut m, 8);
+        assert_eq!(m.peek_u32(addr), 5, "skipped store preserves the value");
+        assert_eq!(taken, skipped, "identical footprint either way");
+    }
+
+    #[test]
+    fn bounded_loop_hides_trip_count() {
+        // "Find the first index >= limit" with a secret-dependent natural
+        // exit, linearized to a fixed 16 iterations.
+        let mut m = TestMachine::new();
+        let run = |m: &mut TestMachine, limit: u64| {
+            bounded_loop(m, 16, u64::MAX, |_, i, acc, active| {
+                let found = ct_lt(limit, i * 10 + 1); // i*10 >= limit
+                let first = CtCond::from_mask(found)
+                    .and(CtCond::eq(acc, u64::MAX))
+                    .and(active);
+                (first.select(i, acc), CtCond::from_bool(true))
+            })
+        };
+        assert_eq!(run(&mut m, 0), 0);
+        assert_eq!(run(&mut m, 25), 3);
+        assert_eq!(run(&mut m, 150), 15);
+    }
+
+    #[test]
+    fn bounded_loop_inactive_iterations_do_not_update() {
+        let mut m = TestMachine::new();
+        // Sum i until i == 3, then go inactive; remaining iterations must
+        // not change the accumulator.
+        let total = bounded_loop(&mut m, 10, 0, |_, i, acc, _active| {
+            (acc + i, CtCond::eq(i, 3).not())
+        });
+        assert_eq!(total, 1 + 2 + 3);
+    }
+
+    #[test]
+    fn nested_branches_compose() {
+        let mut m = TestMachine::new();
+        let classify = |m: &mut TestMachine, v: u64| {
+            // if v < 10 { if v < 5 { 0 } else { 1 } } else { 2 }
+            linearize_branch(
+                m,
+                CtCond::from_mask(ct_lt(v, 10)),
+                |m, _| linearize_branch(m, CtCond::from_mask(ct_lt(v, 5)), |_, _| 0, |_, _| 1),
+                |_, _| 2,
+            )
+        };
+        assert_eq!(classify(&mut m, 3), 0);
+        assert_eq!(classify(&mut m, 7), 1);
+        assert_eq!(classify(&mut m, 50), 2);
+    }
+}

@@ -1,0 +1,419 @@
+//! Dataflow linearization sets (§2.3) and their page-grouped bitmasks (§5.1).
+//!
+//! A *dataflow linearization set* (DS) is the set of **all** addresses a
+//! secret-dependent memory access could touch, at cache-line stride (the
+//! attacker cannot distinguish accesses within one line, §2.4). A mitigated
+//! program must make its footprint cover the DS identically on every
+//! execution.
+//!
+//! The paper's Algorithms 2 and 3 process a DS page by page: for each page
+//! they need the *Bitmask* — a 64-bit map of which of the page's 64 lines
+//! belong to the DS. Constantine computes DSes at compile time; here they
+//! are computed once at [`DataflowSet`] construction, which plays the same
+//! role (the construction cost is not charged to the simulated program).
+
+use ctbia_sim::addr::{LineAddr, PageIdx, PhysAddr, LINE_BYTES};
+use std::fmt;
+
+/// A 64-bit map of which lines of one page belong to a dataflow set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Bitmask(u64);
+
+impl Bitmask {
+    /// Creates a bitmask from its raw bits (bit *i* = line *i* of the page).
+    #[inline]
+    pub const fn new(bits: u64) -> Self {
+        Bitmask(bits)
+    }
+
+    /// The raw bits.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Whether line `i` (0..64) of the page is in the set.
+    #[inline]
+    pub const fn contains(self, i: u32) -> bool {
+        self.0 >> (i & 63) & 1 == 1
+    }
+
+    /// Number of DS lines in the page.
+    #[inline]
+    pub const fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+}
+
+impl fmt::Display for Bitmask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:064b}", self.0)
+    }
+}
+
+/// One page of a dataflow set: the page index plus the bitmask of DS lines
+/// within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DsPage {
+    /// The page.
+    pub page: PageIdx,
+    /// Which of its 64 lines belong to the DS.
+    pub bitmask: Bitmask,
+}
+
+/// One *management group* of a dataflow set at granularity `M`
+/// (`group = addr >> M`): the generalization of [`DsPage`] used by the
+/// LLC-resident BIA, whose granularity must not exceed the slice-hash
+/// boundary (paper §6.4). At `M = 12` a group is exactly a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DsGroup {
+    /// The group index (`addr >> m_log2`).
+    pub index: u64,
+    /// Which of the group's `2^(m_log2 - 6)` lines belong to the DS
+    /// (bit *i* = line *i* of the group; upper bits unused for `M < 12`).
+    pub bitmask: Bitmask,
+}
+
+impl DsGroup {
+    /// First byte address of the group.
+    #[inline]
+    pub fn base(&self, m_log2: u32) -> PhysAddr {
+        PhysAddr::new(self.index << m_log2)
+    }
+
+    /// The `i`-th line of the group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the group.
+    #[inline]
+    pub fn line(&self, m_log2: u32, i: u32) -> LineAddr {
+        assert!(i < 1 << (m_log2 - 6), "line index {i} exceeds group");
+        LineAddr::new((self.index << (m_log2 - 6)) | i as u64)
+    }
+
+    /// Splices `offset` (`addr[m_log2-1:0]`) onto the group index — the
+    /// generalized `page_i | ld_addr[M-1:0]` of Algorithms 2 and 3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` exceeds the group size.
+    #[inline]
+    pub fn join(&self, m_log2: u32, offset: u64) -> PhysAddr {
+        assert!(offset < 1 << m_log2, "offset {offset} exceeds group size");
+        PhysAddr::new((self.index << m_log2) | offset)
+    }
+
+    /// Whether `addr` falls inside this group.
+    #[inline]
+    pub fn contains(&self, m_log2: u32, addr: PhysAddr) -> bool {
+        addr.raw() >> m_log2 == self.index
+    }
+}
+
+/// A dataflow linearization set: a sorted, deduplicated set of cache lines,
+/// pre-grouped by page.
+///
+/// # Examples
+///
+/// ```
+/// use ctbia_core::ds::DataflowSet;
+/// use ctbia_sim::addr::PhysAddr;
+///
+/// // The DS of `out[t]` where `out` is 1000 4-byte bins at 0x1_0000:
+/// let ds = DataflowSet::contiguous(PhysAddr::new(0x1_0000), 4000);
+/// assert_eq!(ds.num_lines(), 63);          // ceil(4000 / 64)
+/// assert_eq!(ds.pages().len(), 1);         // fits one page, 63 of 64 lines...
+/// assert_eq!(ds.pages()[0].bitmask.count(), 63);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataflowSet {
+    lines: Vec<LineAddr>,
+    pages: Vec<DsPage>,
+    groups12: Vec<DsGroup>,
+}
+
+impl DataflowSet {
+    /// Builds a DS from an arbitrary collection of lines (deduplicated and
+    /// sorted).
+    pub fn from_lines<I: IntoIterator<Item = LineAddr>>(lines: I) -> Self {
+        let mut lines: Vec<LineAddr> = lines.into_iter().collect();
+        lines.sort_unstable();
+        lines.dedup();
+        let mut pages: Vec<DsPage> = Vec::new();
+        for &line in &lines {
+            let bit = 1u64 << line.index_in_page();
+            match pages.last_mut() {
+                Some(p) if p.page == line.page() => p.bitmask.0 |= bit,
+                _ => pages.push(DsPage {
+                    page: line.page(),
+                    bitmask: Bitmask(bit),
+                }),
+            }
+        }
+        let groups12 = pages
+            .iter()
+            .map(|p| DsGroup {
+                index: p.page.raw(),
+                bitmask: p.bitmask,
+            })
+            .collect();
+        DataflowSet {
+            lines,
+            pages,
+            groups12,
+        }
+    }
+
+    /// The DS of an access anywhere in the contiguous byte range
+    /// `[base, base + bytes)` — the common case of an indexed array access
+    /// (paper §2.3: "addresses in dataflow linearization set are often
+    /// continuous").
+    pub fn contiguous(base: PhysAddr, bytes: u64) -> Self {
+        if bytes == 0 {
+            return DataflowSet {
+                lines: Vec::new(),
+                pages: Vec::new(),
+                groups12: Vec::new(),
+            };
+        }
+        let first = base.line().raw();
+        let last = base.offset(bytes - 1).line().raw();
+        Self::from_lines((first..=last).map(LineAddr::new))
+    }
+
+    /// The DS of an access to any of `count` elements of `elem_bytes` bytes
+    /// placed `stride_bytes` apart starting at `base` — e.g. a column of a
+    /// row-major matrix (the dijkstra workload's `adj[u][j]` access with
+    /// secret `u` and public `j`).
+    pub fn strided(base: PhysAddr, count: u64, stride_bytes: u64, elem_bytes: u64) -> Self {
+        let mut lines = Vec::new();
+        for i in 0..count {
+            let start = base.offset(i * stride_bytes);
+            let end = start.offset(elem_bytes.saturating_sub(1));
+            for l in start.line().raw()..=end.line().raw() {
+                lines.push(LineAddr::new(l));
+            }
+        }
+        Self::from_lines(lines)
+    }
+
+    /// The DS lines, sorted ascending.
+    pub fn lines(&self) -> &[LineAddr] {
+        &self.lines
+    }
+
+    /// The DS grouped by page with per-page bitmasks.
+    pub fn pages(&self) -> &[DsPage] {
+        &self.pages
+    }
+
+    /// The DS grouped at management granularity `m_log2` (the paper's `M`,
+    /// with `6 < M <= 12`). `M = 12` reuses the page grouping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m_log2` is outside `7..=12`.
+    pub fn groups(&self, m_log2: u32) -> std::borrow::Cow<'_, [DsGroup]> {
+        assert!(
+            (7..=12).contains(&m_log2),
+            "granularity must be in 7..=12, got {m_log2}"
+        );
+        if m_log2 == 12 {
+            return std::borrow::Cow::Borrowed(&self.groups12);
+        }
+        let lines_shift = m_log2 - 6;
+        let line_mask = (1u64 << lines_shift) - 1;
+        let mut out: Vec<DsGroup> = Vec::new();
+        for &line in &self.lines {
+            let index = line.raw() >> lines_shift;
+            let bit = 1u64 << (line.raw() & line_mask);
+            match out.last_mut() {
+                Some(g) if g.index == index => g.bitmask = Bitmask::new(g.bitmask.bits() | bit),
+                _ => out.push(DsGroup {
+                    index,
+                    bitmask: Bitmask::new(bit),
+                }),
+            }
+        }
+        std::borrow::Cow::Owned(out)
+    }
+
+    /// Number of lines in the DS.
+    pub fn num_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True if the DS is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Total bytes spanned at line granularity (`num_lines * 64`).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.lines.len() as u64 * LINE_BYTES
+    }
+
+    /// Whether `addr`'s line belongs to the DS.
+    pub fn contains_addr(&self, addr: PhysAddr) -> bool {
+        self.lines.binary_search(&addr.line()).is_ok()
+    }
+}
+
+impl FromIterator<LineAddr> for DataflowSet {
+    fn from_iter<I: IntoIterator<Item = LineAddr>>(iter: I) -> Self {
+        Self::from_lines(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure3_ds() {
+        // DS = {0x1008, 0x1048, 0x1088, 0x10c8, 0x1108}: five consecutive
+        // lines at offset 8.
+        let ds: DataflowSet = [0x1008u64, 0x1048, 0x1088, 0x10c8, 0x1108]
+            .into_iter()
+            .map(|a| PhysAddr::new(a).line())
+            .collect();
+        assert_eq!(ds.num_lines(), 5);
+        assert_eq!(ds.pages().len(), 1);
+        let p = ds.pages()[0];
+        assert_eq!(p.page, PageIdx::new(1));
+        assert_eq!(p.bitmask.bits(), 0b11111);
+        assert!(ds.contains_addr(PhysAddr::new(0x1048)));
+        assert!(!ds.contains_addr(PhysAddr::new(0x1148)));
+    }
+
+    #[test]
+    fn paper_bitmask_example() {
+        // §5.1: DS = {0x1080, 0x10c0, ..., 0x1f80, 0x1fc0} — page 1 minus
+        // its first two lines -> Bitmask = 1...1100 (62 ones).
+        let ds = DataflowSet::contiguous(PhysAddr::new(0x1080), 0x1000 - 0x80);
+        assert_eq!(ds.pages().len(), 1);
+        let bm = ds.pages()[0].bitmask;
+        assert_eq!(bm.bits(), !0b11);
+        assert_eq!(bm.count(), 62);
+        assert!(!bm.contains(0));
+        assert!(!bm.contains(1));
+        assert!(bm.contains(2));
+        assert!(bm.contains(63));
+    }
+
+    #[test]
+    fn contiguous_line_count() {
+        // 4000 bytes starting line-aligned: ceil(4000/64) = 63 lines.
+        let ds = DataflowSet::contiguous(PhysAddr::new(0x4000), 4000);
+        assert_eq!(ds.num_lines(), 63);
+        assert_eq!(ds.footprint_bytes(), 63 * 64);
+        // Unaligned start adds a line.
+        let ds = DataflowSet::contiguous(PhysAddr::new(0x4020), 4000);
+        assert_eq!(ds.num_lines(), 63);
+        let ds = DataflowSet::contiguous(PhysAddr::new(0x4038), 4096);
+        assert_eq!(ds.num_lines(), 65);
+    }
+
+    #[test]
+    fn contiguous_spans_pages() {
+        let ds = DataflowSet::contiguous(PhysAddr::new(0x1000), 3 * 4096);
+        assert_eq!(ds.pages().len(), 3);
+        for p in ds.pages() {
+            assert_eq!(p.bitmask.count(), 64);
+        }
+        assert_eq!(ds.num_lines(), 192);
+    }
+
+    #[test]
+    fn strided_column_ds() {
+        // A column of a 128x128 i32 row-major matrix: 128 elements with a
+        // 512-byte stride; each element in its own line.
+        let ds = DataflowSet::strided(PhysAddr::new(0x10000), 128, 512, 4);
+        assert_eq!(ds.num_lines(), 128);
+        assert_eq!(ds.pages().len(), 16);
+        // A column element crossing no line boundary contributes one line.
+        let ds = DataflowSet::strided(PhysAddr::new(0x10000), 4, 64, 4);
+        assert_eq!(ds.num_lines(), 4);
+    }
+
+    #[test]
+    fn strided_element_spanning_lines() {
+        // An 8-byte element at offset 60 spans two lines.
+        let ds = DataflowSet::strided(PhysAddr::new(0x103c), 1, 0, 8);
+        assert_eq!(ds.num_lines(), 2);
+    }
+
+    #[test]
+    fn dedup_and_sort() {
+        let ds = DataflowSet::from_lines([LineAddr::new(5), LineAddr::new(1), LineAddr::new(5)]);
+        assert_eq!(ds.lines(), &[LineAddr::new(1), LineAddr::new(5)]);
+    }
+
+    #[test]
+    fn empty_ds() {
+        let ds = DataflowSet::contiguous(PhysAddr::new(0x1000), 0);
+        assert!(ds.is_empty());
+        assert_eq!(ds.num_lines(), 0);
+        assert!(ds.pages().is_empty());
+    }
+
+    #[test]
+    fn groups_at_page_granularity_match_pages() {
+        let ds = DataflowSet::contiguous(PhysAddr::new(0x3000), 3 * 4096);
+        let groups = ds.groups(12);
+        assert_eq!(groups.len(), ds.pages().len());
+        for (g, p) in groups.iter().zip(ds.pages()) {
+            assert_eq!(g.index, p.page.raw());
+            assert_eq!(g.bitmask, p.bitmask);
+        }
+    }
+
+    #[test]
+    fn finer_groups_partition_the_lines() {
+        let ds = DataflowSet::contiguous(PhysAddr::new(0x1040), 5000);
+        for m in 7..=12u32 {
+            let groups = ds.groups(m);
+            let total: u32 = groups.iter().map(|g| g.bitmask.count()).sum();
+            assert_eq!(total as usize, ds.num_lines(), "M={m}");
+            let lines_per_group = 1u32 << (m - 6);
+            for g in groups.iter() {
+                assert!(g.bitmask.count() <= lines_per_group, "M={m}");
+                if lines_per_group < 64 {
+                    assert_eq!(g.bitmask.bits() >> lines_per_group, 0, "M={m}: stray bits");
+                }
+            }
+            // Sorted and unique.
+            for w in groups.windows(2) {
+                assert!(w[0].index < w[1].index, "M={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn group_address_helpers() {
+        let g = DsGroup {
+            index: 5,
+            bitmask: Bitmask::new(0b11),
+        };
+        assert_eq!(g.base(9).raw(), 5 << 9);
+        assert_eq!(g.line(9, 3).raw(), (5 << 3) | 3);
+        assert_eq!(g.join(9, 0x1ff).raw(), (5 << 9) | 0x1ff);
+        assert!(g.contains(9, PhysAddr::new(5 << 9)));
+        assert!(!g.contains(9, PhysAddr::new(6 << 9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity must be in 7..=12")]
+    fn groups_rejects_line_granularity() {
+        let ds = DataflowSet::contiguous(PhysAddr::new(0), 128);
+        let _ = ds.groups(6);
+    }
+
+    #[test]
+    fn bitmask_display_is_binary() {
+        let s = Bitmask::new(0b101).to_string();
+        assert_eq!(s.len(), 64);
+        assert!(s.ends_with("101"));
+    }
+}

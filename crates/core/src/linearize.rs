@@ -1,0 +1,570 @@
+//! Dataflow linearization: the software baseline and the BIA-assisted
+//! algorithms (paper Algorithms 2 and 3).
+//!
+//! Four entry points, all operating on a [`DataflowSet`]:
+//!
+//! * [`ct_load_sw`] / [`ct_store_sw`] — the state-of-the-art software
+//!   scheme (Constantine): touch **every** line of the DS with a
+//!   branchless select, so the footprint is identical for every secret.
+//! * [`ct_load_bia`] / [`ct_store_bia`] — the paper's contribution: one
+//!   `CTLoad`/`CTStore` per DS page obtains the existence/dirtiness bitmap
+//!   and the target data in a single step, and only the lines *not* already
+//!   resident (loads) or *not* already dirty (stores) are touched.
+//!
+//! # Security argument (paper §5.3)
+//!
+//! Every address issued by these functions is a deterministic function of
+//! (a) the DS — public, (b) the low bits of the target address — exposed
+//! identically to every page, and (c) the BIA bitmaps — which, by the
+//! paper's induction, are secret-independent. The *demand* access trace is
+//! therefore identical for all secrets; `CTLoad`/`CTStore` probes change no
+//! cache state and are invisible to an access-driven attacker. The
+//! workspace's property tests check trace equality exactly.
+//!
+//! # Cost accounting
+//!
+//! Memory operations charge one instruction each inside the machine; the
+//! surrounding bookkeeping is charged via [`CtMemory::exec`] using the
+//! constants below, calibrated in `ctbia-machine`'s documentation against
+//! the paper's §3.1 cachegrind profile (≈7 instruction references per
+//! linearized access for the scalar baseline, ≈0.6× that with AVX2).
+
+use crate::ctmem::{extract_word, merge_word, CtMemory, Width};
+use crate::ds::DataflowSet;
+use crate::predicate::{ct_eq, select};
+use ctbia_sim::addr::PhysAddr;
+
+/// Instruction cost profile of one software-linearized line touch,
+/// *excluding* the memory instructions themselves.
+///
+/// The defaults are calibrated against the paper's §3.1 profile of
+/// Constantine-transformed Histogram: 138.4 M L1i refs over ≈19 M data
+/// accesses ⇒ ≈7 instructions per touched line for the scalar version, and
+/// 83.2 M ⇒ ≈4.4 with AVX2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwProfile {
+    /// Bookkeeping instructions per line on the load path (address
+    /// generation, compare, select, loop control). The line's load itself
+    /// adds one more.
+    pub extra_insts_load: u64,
+    /// Bookkeeping instructions per line on the store path. The line's
+    /// read-modify-write adds two more.
+    pub extra_insts_store: u64,
+}
+
+impl SwProfile {
+    /// Scalar Constantine-style code: 7 instructions per linearized load
+    /// (1 load + 6 bookkeeping), 10 per linearized store.
+    pub const fn scalar() -> Self {
+        SwProfile {
+            extra_insts_load: 6,
+            extra_insts_store: 8,
+        }
+    }
+
+    /// AVX2-vectorized linearization (the paper's `secure with avx`):
+    /// same data references, ≈0.6× the instruction count.
+    pub const fn avx2() -> Self {
+        SwProfile {
+            extra_insts_load: 3,
+            extra_insts_store: 5,
+        }
+    }
+}
+
+impl Default for SwProfile {
+    fn default() -> Self {
+        SwProfile::scalar()
+    }
+}
+
+/// Options for the BIA-assisted algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BiaOptions {
+    /// The §6.5 granularity optimization: if a page's fetchset exceeds this
+    /// many lines, its accesses bypass the caches and go straight to DRAM,
+    /// avoiding the thrash of streaming an over-capacity DS through the
+    /// cache. `None` disables the optimization (the paper's default).
+    pub dram_threshold: Option<u32>,
+}
+
+impl BiaOptions {
+    /// Enables the §6.5 DRAM bypass above `threshold` fetchset lines.
+    pub const fn with_dram_threshold(threshold: u32) -> Self {
+        BiaOptions {
+            dram_threshold: Some(threshold),
+        }
+    }
+}
+
+/// Per-page bookkeeping instructions of Algorithm 2/3 besides the memory
+/// and CT operations: splice `addr_to_read` (1), fetch the page's Bitmask
+/// (2), compute `tofetch = Bitmask & !existence` (2), final result select
+/// (1).
+const BIA_PAGE_INSTS: u64 = 6;
+/// Extra per-page instructions on the store path: the branchless merge of
+/// `st_data` into the loaded window (2).
+const BIA_STORE_PAGE_INSTS: u64 = 2;
+/// Per-fetchset-line bookkeeping on the load path: `generateAddrs`'s
+/// shift/or address formula (3) plus the data select (1).
+const BIA_FETCH_INSTS: u64 = 4;
+/// Per-fetchset-line bookkeeping on the store path: address formula (3),
+/// merge (2), select (1).
+const BIA_STORE_FETCH_INSTS: u64 = 6;
+
+fn check_target(ds: &DataflowSet, addr: PhysAddr, width: Width) {
+    assert!(
+        addr.is_aligned(width.bytes()),
+        "secret-dependent access at {addr} must be naturally aligned"
+    );
+    assert!(
+        ds.contains_addr(addr),
+        "target {addr} is not covered by its dataflow linearization set"
+    );
+}
+
+/// Software dataflow-linearized load (the Constantine baseline): touches
+/// every DS line at the target's line offset and keeps the matching value
+/// with a branchless select.
+///
+/// Returns the `width`-sized value at `ld_addr`, zero-extended.
+///
+/// # Panics
+///
+/// Panics if `ld_addr` is not naturally aligned or not covered by `ds`.
+///
+/// # Examples
+///
+/// See the crate-level example; requires a [`CtMemory`] machine.
+pub fn ct_load_sw<M: CtMemory + ?Sized>(
+    m: &mut M,
+    ds: &DataflowSet,
+    ld_addr: PhysAddr,
+    width: Width,
+    profile: SwProfile,
+) -> u64 {
+    check_target(ds, ld_addr, width);
+    let offset = ld_addr.line_offset() & !(width.bytes() - 1);
+    let mut ret = 0u64;
+    for &line in ds.lines() {
+        let addr = line.with_offset(offset);
+        let v = m.ds_load(addr, width);
+        ret = select(ct_eq(addr.raw(), ld_addr.raw()), v, ret);
+        m.exec(profile.extra_insts_load);
+    }
+    ret
+}
+
+/// Software dataflow-linearized store: read-modify-writes every DS line
+/// (§2.3: "each write requires first reading the data out and then writing
+/// it back"), merging `value` only where the address matches.
+///
+/// # Panics
+///
+/// Panics if `st_addr` is not naturally aligned or not covered by `ds`.
+pub fn ct_store_sw<M: CtMemory + ?Sized>(
+    m: &mut M,
+    ds: &DataflowSet,
+    st_addr: PhysAddr,
+    width: Width,
+    value: u64,
+    profile: SwProfile,
+) {
+    check_target(ds, st_addr, width);
+    let offset = st_addr.line_offset() & !(width.bytes() - 1);
+    for &line in ds.lines() {
+        let addr = line.with_offset(offset);
+        let old = m.ds_load(addr, width);
+        let new = select(ct_eq(addr.raw(), st_addr.raw()), value & width.mask(), old);
+        m.ds_store(addr, width, new);
+        m.exec(profile.extra_insts_store);
+    }
+}
+
+/// BIA-assisted load — the paper's **Algorithm 2**.
+///
+/// For each page of the DS: issue one `CTLoad` at the page joined with the
+/// target's page offset, obtaining the 8-byte window (valid if the line was
+/// resident) and the page's existence bitmap; compute
+/// `tofetch = Bitmask & !existence`; demand-load exactly the `tofetch`
+/// lines (which also installs them, keeping the next iteration cheap);
+/// keep the target's value with branchless selects throughout.
+///
+/// Returns the `width`-sized value at `ld_addr`.
+///
+/// # Panics
+///
+/// Panics if `ld_addr` is misaligned or outside `ds`, or if the machine has
+/// no BIA configured.
+pub fn ct_load_bia<M: CtMemory + ?Sized>(
+    m: &mut M,
+    ds: &DataflowSet,
+    ld_addr: PhysAddr,
+    width: Width,
+    opts: BiaOptions,
+) -> u64 {
+    check_target(ds, ld_addr, width);
+    let m_log2 = m.bia_granularity_log2();
+    let group_mask = (1u64 << m_log2) - 1;
+    let offset = ld_addr.line_offset() & !(width.bytes() - 1);
+    let aligned = ld_addr.align_down_u64();
+    let mut ret_window = 0u64;
+    for dg in ds.groups(m_log2).iter() {
+        m.exec(BIA_PAGE_INSTS);
+        let addr_to_read = dg.join(m_log2, aligned.raw() & group_mask);
+        let got = m.ct_load(addr_to_read);
+        let tofetch = dg.bitmask.bits() & !got.existence;
+        let dram = opts
+            .dram_threshold
+            .is_some_and(|t| tofetch.count_ones() > t);
+        let mut window = got.data;
+        let mut bits = tofetch;
+        while bits != 0 {
+            let i = bits.trailing_zeros();
+            bits &= bits - 1;
+            // generateAddrs: group | (i << 6) | target's in-line offset.
+            let addr = dg.line(m_log2, i).with_offset(offset);
+            let a8 = addr.align_down_u64();
+            let tmp = if dram {
+                m.dram_load(a8, Width::U64)
+            } else {
+                m.ds_load(a8, Width::U64)
+            };
+            window = select(ct_eq(a8.raw(), addr_to_read.raw()), tmp, window);
+            m.exec(BIA_FETCH_INSTS);
+        }
+        ret_window = select(ct_eq(dg.index, ld_addr.raw() >> m_log2), window, ret_window);
+    }
+    extract_word(ret_window, aligned.offset(ld_addr.raw() & 7), width)
+}
+
+/// BIA-assisted store — the paper's **Algorithm 3**.
+///
+/// For each page: `CTLoad` the window at the spliced address (so an
+/// already-dirty line's true contents are in hand), merge `value` in
+/// branchlessly when this is the target page, and `CTStore` the window back
+/// — the store takes effect **only if the line is dirty**, which is exactly
+/// when the loaded window was genuine, so fake data can never be written
+/// (paper Figure 6). Lines that are not dirty are then covered by an
+/// ordinary read-modify-write of `tofetch = Bitmask & !dirtiness`.
+///
+/// # Panics
+///
+/// Panics if `st_addr` is misaligned or outside `ds`, or if the machine has
+/// no BIA configured.
+pub fn ct_store_bia<M: CtMemory + ?Sized>(
+    m: &mut M,
+    ds: &DataflowSet,
+    st_addr: PhysAddr,
+    width: Width,
+    value: u64,
+    opts: BiaOptions,
+) {
+    check_target(ds, st_addr, width);
+    let m_log2 = m.bia_granularity_log2();
+    let group_mask = (1u64 << m_log2) - 1;
+    let offset = st_addr.line_offset() & !(width.bytes() - 1);
+    let aligned = st_addr.align_down_u64();
+    let target_mask_addr = aligned.offset(st_addr.raw() & 7);
+    for dg in ds.groups(m_log2).iter() {
+        m.exec(BIA_PAGE_INSTS + BIA_STORE_PAGE_INSTS);
+        let addr_to_write = dg.join(m_log2, aligned.raw() & group_mask);
+        let got = m.ct_load(addr_to_write);
+        // st_data_tmp = (st_addr in group_i) ? merge(st_data) : ld_data
+        let in_group = ct_eq(dg.index, st_addr.raw() >> m_log2);
+        let merged = merge_word(got.data, target_mask_addr, width, value);
+        let st_data_tmp = select(in_group, merged, got.data);
+        let stored = m.ct_store(addr_to_write, st_data_tmp);
+        let tofetch = dg.bitmask.bits() & !stored.dirtiness;
+        let dram = opts
+            .dram_threshold
+            .is_some_and(|t| tofetch.count_ones() > t);
+        let mut bits = tofetch;
+        while bits != 0 {
+            let i = bits.trailing_zeros();
+            bits &= bits - 1;
+            let addr = dg.line(m_log2, i).with_offset(offset);
+            let a8 = addr.align_down_u64();
+            let old = if dram {
+                m.dram_load(a8, Width::U64)
+            } else {
+                m.ds_load(a8, Width::U64)
+            };
+            let merged = merge_word(old, target_mask_addr, width, value);
+            let new = select(ct_eq(a8.raw(), addr_to_write.raw()) & in_group, merged, old);
+            if dram {
+                m.dram_store(a8, Width::U64, new);
+            } else {
+                m.ds_store(a8, Width::U64, new);
+            }
+            m.exec(BIA_STORE_FETCH_INSTS);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TestMachine;
+
+    use ctbia_sim::addr::PhysAddr;
+
+    const BASE: u64 = 0x1_0000;
+
+    /// A DS covering `count` u32 elements starting at BASE.
+    fn array_ds(count: u64) -> DataflowSet {
+        DataflowSet::contiguous(PhysAddr::new(BASE), count * 4)
+    }
+
+    fn elem(i: u64) -> PhysAddr {
+        PhysAddr::new(BASE + i * 4)
+    }
+
+    fn init_array(m: &mut TestMachine, count: u64) {
+        for i in 0..count {
+            m.poke_u32(elem(i), (i * 3 + 7) as u32);
+        }
+    }
+
+    #[test]
+    fn sw_load_returns_target() {
+        let mut m = TestMachine::new();
+        init_array(&mut m, 200);
+        let ds = array_ds(200);
+        for i in [0u64, 1, 17, 63, 64, 199] {
+            let v = ct_load_sw(&mut m, &ds, elem(i), Width::U32, SwProfile::scalar());
+            assert_eq!(v, (i * 3 + 7), "element {i}");
+        }
+    }
+
+    #[test]
+    fn sw_store_writes_only_target() {
+        let mut m = TestMachine::new();
+        init_array(&mut m, 100);
+        let ds = array_ds(100);
+        ct_store_sw(
+            &mut m,
+            &ds,
+            elem(42),
+            Width::U32,
+            0xdead,
+            SwProfile::scalar(),
+        );
+        for i in 0..100 {
+            let expect = if i == 42 { 0xdead } else { i * 3 + 7 };
+            assert_eq!(m.peek_u32(elem(i)) as u64, expect, "element {i}");
+        }
+    }
+
+    #[test]
+    fn bia_load_cold_and_warm() {
+        let mut m = TestMachine::new();
+        init_array(&mut m, 300); // spans pages
+        let ds = array_ds(300);
+        // Cold: everything fetched through tofetch.
+        for i in [0u64, 150, 299] {
+            let v = ct_load_bia(&mut m, &ds, elem(i), Width::U32, BiaOptions::default());
+            assert_eq!(v, i * 3 + 7, "cold element {i}");
+        }
+        // Warm: existence bits now populated; CTLoad supplies the data.
+        let before = m.ds_loads;
+        for i in [0u64, 150, 299] {
+            let v = ct_load_bia(&mut m, &ds, elem(i), Width::U32, BiaOptions::default());
+            assert_eq!(v, i * 3 + 7, "warm element {i}");
+        }
+        assert_eq!(m.ds_loads, before, "warm pass must issue no fetchset loads");
+    }
+
+    #[test]
+    fn bia_store_functional_on_all_dirtiness_states() {
+        let mut m = TestMachine::new();
+        init_array(&mut m, 120);
+        let ds = array_ds(120);
+        // Cold store: nothing dirty, plain RMW path.
+        ct_store_bia(&mut m, &ds, elem(5), Width::U32, 111, BiaOptions::default());
+        assert_eq!(m.peek_u32(elem(5)), 111);
+        // Now every DS line is dirty; a second store must use the CTStore
+        // fast path and still be correct.
+        let before = m.ds_stores;
+        ct_store_bia(&mut m, &ds, elem(6), Width::U32, 222, BiaOptions::default());
+        assert_eq!(
+            m.ds_stores, before,
+            "warm store must issue no fetchset stores"
+        );
+        assert_eq!(m.peek_u32(elem(6)), 222);
+        assert_eq!(m.peek_u32(elem(5)), 111, "neighbour untouched");
+        for i in 0..120 {
+            if i != 5 && i != 6 {
+                assert_eq!(m.peek_u32(elem(i)) as u64, i * 3 + 7, "element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bia_store_after_clean_load_is_correct() {
+        let mut m = TestMachine::new();
+        init_array(&mut m, 64);
+        let ds = array_ds(64);
+        // Warm the cache with clean lines (loads).
+        ct_load_bia(&mut m, &ds, elem(0), Width::U32, BiaOptions::default());
+        // Lines exist but are clean: CTStore must refuse and the RMW path
+        // must both write the target and dirty the lines.
+        ct_store_bia(&mut m, &ds, elem(9), Width::U32, 77, BiaOptions::default());
+        assert_eq!(m.peek_u32(elem(9)), 77);
+        assert_eq!(m.peek_u32(elem(8)) as u64, 8 * 3 + 7);
+    }
+
+    #[test]
+    fn bia_load_u64_and_u8_widths() {
+        let mut m = TestMachine::new();
+        m.poke_u64(PhysAddr::new(BASE), 0x1122_3344_5566_7788);
+        let ds = DataflowSet::contiguous(PhysAddr::new(BASE), 64);
+        let v = ct_load_bia(
+            &mut m,
+            &ds,
+            PhysAddr::new(BASE),
+            Width::U64,
+            BiaOptions::default(),
+        );
+        assert_eq!(v, 0x1122_3344_5566_7788);
+        let v = ct_load_bia(
+            &mut m,
+            &ds,
+            PhysAddr::new(BASE + 1),
+            Width::U8,
+            BiaOptions::default(),
+        );
+        assert_eq!(v, 0x77);
+        let v = ct_load_sw(
+            &mut m,
+            &ds,
+            PhysAddr::new(BASE + 6),
+            Width::U16,
+            SwProfile::scalar(),
+        );
+        assert_eq!(v, 0x1122);
+    }
+
+    #[test]
+    fn dram_threshold_routes_fetchset_to_dram() {
+        let mut m = TestMachine::new();
+        init_array(&mut m, 128);
+        let ds = array_ds(128);
+        let opts = BiaOptions::with_dram_threshold(0); // always bypass
+        let v = ct_load_bia(&mut m, &ds, elem(100), Width::U32, opts);
+        assert_eq!(v, 100 * 3 + 7);
+        assert!(m.dram_loads > 0, "bypass path must be used");
+        assert_eq!(m.ds_loads, 0, "no cached fetchset loads under threshold 0");
+        // Store through DRAM as well.
+        ct_store_bia(&mut m, &ds, elem(100), Width::U32, 5, opts);
+        assert!(m.dram_stores > 0);
+        assert_eq!(m.peek_u32(elem(100)), 5);
+    }
+
+    #[test]
+    fn demand_trace_is_secret_independent() {
+        // The §5.3 theorem, checked literally: run the same access sequence
+        // with two different secret indices and compare full demand traces.
+        let trace_for = |secret: u64| {
+            let mut m = TestMachine::new();
+            init_array(&mut m, 256);
+            let ds = array_ds(256);
+            m.trace.clear();
+            ct_load_bia(&mut m, &ds, elem(secret), Width::U32, BiaOptions::default());
+            ct_store_bia(
+                &mut m,
+                &ds,
+                elem(secret),
+                Width::U32,
+                1,
+                BiaOptions::default(),
+            );
+            ct_load_bia(
+                &mut m,
+                &ds,
+                elem((secret * 7) % 256),
+                Width::U32,
+                BiaOptions::default(),
+            );
+            m.trace.clone()
+        };
+        let t1 = trace_for(3);
+        let t2 = trace_for(251);
+        assert_eq!(t1, t2, "demand traces must not depend on the secret");
+        assert!(!t1.is_empty());
+    }
+
+    #[test]
+    fn sw_trace_is_secret_independent() {
+        let trace_for = |secret: u64| {
+            let mut m = TestMachine::new();
+            init_array(&mut m, 100);
+            let ds = array_ds(100);
+            m.trace.clear();
+            ct_load_sw(&mut m, &ds, elem(secret), Width::U32, SwProfile::scalar());
+            ct_store_sw(
+                &mut m,
+                &ds,
+                elem(secret),
+                Width::U32,
+                9,
+                SwProfile::scalar(),
+            );
+            m.trace.clone()
+        };
+        assert_eq!(trace_for(0), trace_for(99));
+    }
+
+    #[test]
+    fn bia_cheaper_than_sw_when_warm() {
+        let mut m = TestMachine::new();
+        init_array(&mut m, 1024);
+        let ds = array_ds(1024); // 64 lines x 4 pages... 4096 bytes/page -> 1 page
+                                 // Warm up.
+        ct_load_bia(&mut m, &ds, elem(0), Width::U32, BiaOptions::default());
+        let sw_start = m.insts;
+        ct_load_sw(&mut m, &ds, elem(5), Width::U32, SwProfile::scalar());
+        let sw_cost = m.insts - sw_start;
+        let bia_start = m.insts;
+        ct_load_bia(&mut m, &ds, elem(5), Width::U32, BiaOptions::default());
+        let bia_cost = m.insts - bia_start;
+        assert!(
+            bia_cost * 5 < sw_cost,
+            "warm BIA load ({bia_cost} insts) should be >5x cheaper than SW ({sw_cost} insts)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not covered")]
+    fn load_outside_ds_panics() {
+        let mut m = TestMachine::new();
+        let ds = array_ds(4);
+        ct_load_sw(
+            &mut m,
+            &ds,
+            PhysAddr::new(BASE + 0x9000),
+            Width::U32,
+            SwProfile::scalar(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn misaligned_target_panics() {
+        let mut m = TestMachine::new();
+        let ds = array_ds(4);
+        ct_load_bia(
+            &mut m,
+            &ds,
+            PhysAddr::new(BASE + 2),
+            Width::U32,
+            BiaOptions::default(),
+        );
+    }
+
+    #[test]
+    fn profiles_expose_expected_costs() {
+        assert_eq!(SwProfile::default(), SwProfile::scalar());
+        assert!(SwProfile::avx2().extra_insts_load < SwProfile::scalar().extra_insts_load);
+    }
+}

@@ -1,0 +1,200 @@
+//! Branchless (constant-time) primitives.
+//!
+//! Constant-time programming forbids branching on secrets (§2.3's first
+//! rule). The workloads and the linearization algorithms therefore compute
+//! with masks and selects: every helper here compiles to straight-line code
+//! with no secret-dependent control flow, mirroring the predicated-merge
+//! style a constant-time compiler such as Constantine emits.
+//!
+//! All predicates return a full-width mask (`0` or `u64::MAX`) rather than a
+//! `bool`, so results can feed [`select`] directly.
+
+/// Full-width mask from a boolean: `true` → `u64::MAX`, `false` → `0`.
+///
+/// # Examples
+///
+/// ```
+/// use ctbia_core::predicate::mask_from_bool;
+///
+/// assert_eq!(mask_from_bool(true), u64::MAX);
+/// assert_eq!(mask_from_bool(false), 0);
+/// ```
+#[inline]
+pub fn mask_from_bool(b: bool) -> u64 {
+    // (b as u64) is 0 or 1; negation gives 0 or all-ones without a branch.
+    (b as u64).wrapping_neg()
+}
+
+/// Mask that is all-ones iff `a == b`.
+#[inline]
+pub fn ct_eq(a: u64, b: u64) -> u64 {
+    let diff = a ^ b;
+    // diff == 0 ⇔ (diff | -diff) has its top bit clear.
+    let non_zero = (diff | diff.wrapping_neg()) >> 63;
+    non_zero.wrapping_sub(1)
+}
+
+/// Mask that is all-ones iff `a != b`.
+#[inline]
+pub fn ct_ne(a: u64, b: u64) -> u64 {
+    !ct_eq(a, b)
+}
+
+/// Mask that is all-ones iff `a < b` (unsigned).
+#[inline]
+pub fn ct_lt(a: u64, b: u64) -> u64 {
+    // Hacker's Delight 2-23: carry-out of a - b.
+    let borrow = (!a & b) | ((!a | b) & a.wrapping_sub(b));
+    mask_from_bool(borrow >> 63 == 1)
+}
+
+/// Mask that is all-ones iff `a <= b` (unsigned).
+#[inline]
+pub fn ct_le(a: u64, b: u64) -> u64 {
+    !ct_lt(b, a)
+}
+
+/// Mask that is all-ones iff `a > b` (unsigned).
+#[inline]
+pub fn ct_gt(a: u64, b: u64) -> u64 {
+    ct_lt(b, a)
+}
+
+/// Mask that is all-ones iff `a >= b` (unsigned).
+#[inline]
+pub fn ct_ge(a: u64, b: u64) -> u64 {
+    !ct_lt(a, b)
+}
+
+/// Mask that is all-ones iff `a < b` as signed values.
+#[inline]
+pub fn ct_lt_signed(a: i64, b: i64) -> u64 {
+    // Flip the sign bit to reduce signed comparison to unsigned.
+    ct_lt((a as u64) ^ (1 << 63), (b as u64) ^ (1 << 63))
+}
+
+/// Branchless select: `a` where `mask` is all-ones, `b` where it is zero.
+///
+/// The mask must be `0` or `u64::MAX` (as produced by the `ct_*`
+/// predicates); any other value mixes bits of both operands.
+///
+/// # Examples
+///
+/// ```
+/// use ctbia_core::predicate::{ct_eq, select};
+///
+/// let x = select(ct_eq(1, 1), 10, 20);
+/// assert_eq!(x, 10);
+/// let y = select(ct_eq(1, 2), 10, 20);
+/// assert_eq!(y, 20);
+/// ```
+#[inline]
+pub fn select(mask: u64, a: u64, b: u64) -> u64 {
+    b ^ (mask & (a ^ b))
+}
+
+/// Branchless select on booleans: `if cond { a } else { b }` without a
+/// branch.
+#[inline]
+pub fn select_bool(cond: bool, a: u64, b: u64) -> u64 {
+    select(mask_from_bool(cond), a, b)
+}
+
+/// Branchless unsigned minimum.
+#[inline]
+pub fn ct_min(a: u64, b: u64) -> u64 {
+    select(ct_lt(a, b), a, b)
+}
+
+/// Branchless unsigned maximum.
+#[inline]
+pub fn ct_max(a: u64, b: u64) -> u64 {
+    select(ct_lt(a, b), b, a)
+}
+
+/// Branchless absolute value of a 64-bit signed integer.
+///
+/// Matches `i64::wrapping_abs` (so `i64::MIN` maps to itself).
+#[inline]
+pub fn ct_abs(a: i64) -> i64 {
+    let m = a >> 63; // arithmetic shift: 0 or -1
+    (a ^ m).wrapping_sub(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_are_full_width() {
+        assert_eq!(ct_eq(42, 42), u64::MAX);
+        assert_eq!(ct_eq(42, 43), 0);
+        assert_eq!(ct_ne(42, 43), u64::MAX);
+        assert_eq!(ct_ne(0, 0), 0);
+    }
+
+    #[test]
+    fn unsigned_orderings() {
+        let cases = [
+            (0u64, 0u64),
+            (0, 1),
+            (1, 0),
+            (5, 5),
+            (u64::MAX, 0),
+            (0, u64::MAX),
+            (u64::MAX, u64::MAX),
+        ];
+        for (a, b) in cases {
+            assert_eq!(ct_lt(a, b), mask_from_bool(a < b), "lt {a} {b}");
+            assert_eq!(ct_le(a, b), mask_from_bool(a <= b), "le {a} {b}");
+            assert_eq!(ct_gt(a, b), mask_from_bool(a > b), "gt {a} {b}");
+            assert_eq!(ct_ge(a, b), mask_from_bool(a >= b), "ge {a} {b}");
+        }
+    }
+
+    #[test]
+    fn signed_ordering() {
+        let cases = [
+            (-5i64, 3i64),
+            (3, -5),
+            (-5, -5),
+            (i64::MIN, i64::MAX),
+            (i64::MAX, i64::MIN),
+            (0, 0),
+        ];
+        for (a, b) in cases {
+            assert_eq!(ct_lt_signed(a, b), mask_from_bool(a < b), "slt {a} {b}");
+        }
+    }
+
+    #[test]
+    fn select_behaviour() {
+        assert_eq!(select(u64::MAX, 0xAAAA, 0x5555), 0xAAAA);
+        assert_eq!(select(0, 0xAAAA, 0x5555), 0x5555);
+        assert_eq!(select_bool(true, 1, 2), 1);
+        assert_eq!(select_bool(false, 1, 2), 2);
+    }
+
+    #[test]
+    fn min_max_abs() {
+        assert_eq!(ct_min(3, 9), 3);
+        assert_eq!(ct_max(3, 9), 9);
+        assert_eq!(ct_min(u64::MAX, 0), 0);
+        assert_eq!(ct_abs(-7), 7);
+        assert_eq!(ct_abs(7), 7);
+        assert_eq!(ct_abs(0), 0);
+        assert_eq!(ct_abs(i64::MIN), i64::MIN.wrapping_abs());
+    }
+
+    #[test]
+    fn exhaustive_small_range() {
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                assert_eq!(ct_eq(a, b) == u64::MAX, a == b);
+                assert_eq!(ct_lt(a, b) == u64::MAX, a < b);
+                assert_eq!(ct_min(a, b), a.min(b));
+                assert_eq!(ct_max(a, b), a.max(b));
+            }
+        }
+    }
+}

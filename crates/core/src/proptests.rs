@@ -1,0 +1,226 @@
+//! Property tests over the crate's invariants, run against the reference
+//! machine in [`crate::testutil`]:
+//!
+//! * branchless predicates agree with native operators;
+//! * dataflow sets cover exactly the lines they should;
+//! * the linearized load/store algorithms are functionally equivalent to a
+//!   flat memory under arbitrary interleavings (§5.2);
+//! * the attacker-visible demand trace is identical for any two secrets
+//!   (§5.3);
+//! * the BIA bitmaps remain subsets of the cache's ground truth.
+
+use crate::ctflow::{bounded_loop, linearize_branch, CtCond};
+use crate::ctmem::Width;
+use crate::ds::DataflowSet;
+use crate::linearize::{ct_load_bia, ct_load_sw, ct_store_bia, ct_store_sw, BiaOptions, SwProfile};
+use crate::predicate;
+use crate::testutil::TestMachine;
+use ctbia_sim::addr::PhysAddr;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const BASE: u64 = 0x4_0000;
+
+#[derive(Debug, Clone)]
+enum SecOp {
+    LoadSw(u16),
+    LoadBia(u16),
+    StoreSw(u16, u32),
+    StoreBia(u16, u32),
+}
+
+fn sec_op(elements: u16) -> impl Strategy<Value = SecOp> {
+    prop_oneof![
+        (0..elements).prop_map(SecOp::LoadSw),
+        (0..elements).prop_map(SecOp::LoadBia),
+        (0..elements, any::<u32>()).prop_map(|(i, v)| SecOp::StoreSw(i, v)),
+        (0..elements, any::<u32>()).prop_map(|(i, v)| SecOp::StoreBia(i, v)),
+    ]
+}
+
+fn elem(i: u16) -> PhysAddr {
+    PhysAddr::new(BASE + i as u64 * 4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn predicates_match_native(a in any::<u64>(), b in any::<u64>()) {
+        use predicate::*;
+        prop_assert_eq!(ct_eq(a, b) == u64::MAX, a == b);
+        prop_assert_eq!(ct_ne(a, b) == u64::MAX, a != b);
+        prop_assert_eq!(ct_lt(a, b) == u64::MAX, a < b);
+        prop_assert_eq!(ct_le(a, b) == u64::MAX, a <= b);
+        prop_assert_eq!(ct_gt(a, b) == u64::MAX, a > b);
+        prop_assert_eq!(ct_ge(a, b) == u64::MAX, a >= b);
+        prop_assert_eq!(ct_min(a, b), a.min(b));
+        prop_assert_eq!(ct_max(a, b), a.max(b));
+        prop_assert_eq!(ct_lt_signed(a as i64, b as i64) == u64::MAX, (a as i64) < (b as i64));
+        prop_assert_eq!(select(ct_eq(a, b), 1, 0), (a == b) as u64);
+        prop_assert_eq!(ct_abs(a as i64), (a as i64).wrapping_abs());
+    }
+
+    #[test]
+    fn dataflow_set_covers_exactly_the_range(base in 0u64..1u64 << 20, bytes in 1u64..20_000) {
+        let ds = DataflowSet::contiguous(PhysAddr::new(base), bytes);
+        // Every byte of the range is covered; the byte just outside is not.
+        prop_assert!(ds.contains_addr(PhysAddr::new(base)));
+        prop_assert!(ds.contains_addr(PhysAddr::new(base + bytes - 1)));
+        let expected = (base + bytes - 1) / 64 - base / 64 + 1;
+        prop_assert_eq!(ds.num_lines() as u64, expected);
+        let pages: u32 = ds.pages().iter().map(|p| p.bitmask.count()).sum();
+        prop_assert_eq!(pages as u64, expected, "page bitmasks partition the lines");
+        // Pages are sorted and unique.
+        for w in ds.pages().windows(2) {
+            prop_assert!(w[0].page < w[1].page);
+        }
+    }
+
+    /// Mixed SW/BIA linearized loads and stores behave exactly like a flat
+    /// array — the §5.2 functionality theorem under interleaving.
+    #[test]
+    fn linearized_ops_match_flat_memory(
+        ops in proptest::collection::vec(sec_op(700), 1..60),
+    ) {
+        let elements = 700u16;
+        let mut m = TestMachine::new();
+        let mut model: HashMap<u16, u32> = HashMap::new();
+        for i in 0..elements {
+            let v = (i as u32).wrapping_mul(2654435761);
+            m.poke_u32(elem(i), v);
+            model.insert(i, v);
+        }
+        let ds = DataflowSet::contiguous(PhysAddr::new(BASE), elements as u64 * 4);
+        for op in &ops {
+            match *op {
+                SecOp::LoadSw(i) => {
+                    let v = ct_load_sw(&mut m, &ds, elem(i), Width::U32, SwProfile::scalar());
+                    prop_assert_eq!(v as u32, model[&i]);
+                }
+                SecOp::LoadBia(i) => {
+                    let v = ct_load_bia(&mut m, &ds, elem(i), Width::U32, BiaOptions::default());
+                    prop_assert_eq!(v as u32, model[&i]);
+                }
+                SecOp::StoreSw(i, v) => {
+                    ct_store_sw(&mut m, &ds, elem(i), Width::U32, v as u64, SwProfile::scalar());
+                    model.insert(i, v);
+                }
+                SecOp::StoreBia(i, v) => {
+                    ct_store_bia(&mut m, &ds, elem(i), Width::U32, v as u64, BiaOptions::default());
+                    model.insert(i, v);
+                }
+            }
+        }
+        for i in 0..elements {
+            prop_assert_eq!(m.peek_u32(elem(i)), model[&i], "element {} corrupted", i);
+        }
+    }
+
+    /// The demand trace of a linearized operation sequence depends only on
+    /// the *shape* of the sequence (which op, in which DS), never on the
+    /// secret indices or data — §5.3 checked literally.
+    #[test]
+    fn demand_trace_is_secret_independent(
+        shape in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..25),
+        secrets_a in proptest::collection::vec(0u16..500, 25),
+        secrets_b in proptest::collection::vec(0u16..500, 25),
+        use_threshold in any::<bool>(),
+    ) {
+        let opts = if use_threshold {
+            BiaOptions::with_dram_threshold(8)
+        } else {
+            BiaOptions::default()
+        };
+        let trace_for = |secrets: &[u16]| {
+            let mut m = TestMachine::new();
+            for i in 0..500u16 {
+                m.poke_u32(elem(i), i as u32);
+            }
+            let ds = DataflowSet::contiguous(PhysAddr::new(BASE), 500 * 4);
+            m.trace.clear();
+            for (k, &(is_store, use_bia)) in shape.iter().enumerate() {
+                let target = elem(secrets[k]);
+                match (is_store, use_bia) {
+                    (false, false) => {
+                        ct_load_sw(&mut m, &ds, target, Width::U32, SwProfile::scalar());
+                    }
+                    (false, true) => {
+                        ct_load_bia(&mut m, &ds, target, Width::U32, opts);
+                    }
+                    (true, false) => {
+                        ct_store_sw(&mut m, &ds, target, Width::U32, k as u64, SwProfile::scalar());
+                    }
+                    (true, true) => {
+                        ct_store_bia(&mut m, &ds, target, Width::U32, k as u64, opts);
+                    }
+                }
+            }
+            m.trace.clone()
+        };
+        prop_assert_eq!(trace_for(&secrets_a), trace_for(&secrets_b));
+    }
+
+    /// `linearize_branch` equals the plain `if` for every condition and
+    /// payload, and `bounded_loop` equals the early-exit loop it replaces.
+    #[test]
+    fn ctflow_combinators_match_plain_control_flow(
+        cond in any::<bool>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        limit in 0u64..40,
+    ) {
+        let mut m = TestMachine::new();
+        let merged = linearize_branch(
+            &mut m,
+            CtCond::from_bool(cond),
+            |_, _| a,
+            |_, _| b,
+        );
+        prop_assert_eq!(merged, if cond { a } else { b });
+
+        // Sum 0..n but stop after the accumulator passes `limit` — the
+        // linearized version runs all 32 iterations with an active mask.
+        let linearized = bounded_loop(&mut m, 32, 0, |_, i, acc, _active| {
+            (acc + i, CtCond::from_bool(acc + i <= limit))
+        });
+        let mut plain = 0u64;
+        for i in 0..32 {
+            plain += i;
+            if plain > limit {
+                break;
+            }
+        }
+        prop_assert_eq!(linearized, plain);
+    }
+
+    /// After any traffic, every BIA bit set implies the line is genuinely
+    /// resident (dirty bit ⇒ genuinely dirty) in the monitored cache.
+    #[test]
+    fn bia_is_subset_of_ground_truth(
+        ops in proptest::collection::vec(sec_op(900), 1..40),
+    ) {
+        let mut m = TestMachine::new();
+        for i in 0..900u16 {
+            m.poke_u32(elem(i), 7);
+        }
+        let ds = DataflowSet::contiguous(PhysAddr::new(BASE), 900 * 4);
+        for op in &ops {
+            match *op {
+                SecOp::LoadSw(i) => {
+                    ct_load_sw(&mut m, &ds, elem(i), Width::U32, SwProfile::scalar());
+                }
+                SecOp::LoadBia(i) => {
+                    ct_load_bia(&mut m, &ds, elem(i), Width::U32, BiaOptions::default());
+                }
+                SecOp::StoreSw(i, v) => {
+                    ct_store_sw(&mut m, &ds, elem(i), Width::U32, v as u64, SwProfile::scalar());
+                }
+                SecOp::StoreBia(i, v) => {
+                    ct_store_bia(&mut m, &ds, elem(i), Width::U32, v as u64, BiaOptions::default());
+                }
+            }
+            m.assert_bia_subset_of_cache();
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Mitigation strategies: how a program performs its secret-dependent
+//! memory accesses.
+//!
+//! The three strategies correspond to the bars in the paper's Figures 7/9:
+//!
+//! * [`Strategy::Insecure`] — the original program: direct accesses,
+//!   fastest, leaks the secret through the cache.
+//! * [`Strategy::SoftwareCt`] — constant-time programming with software
+//!   dataflow linearization (Constantine, the paper's "CT" bar), at a
+//!   chosen [`SwProfile`] (scalar or AVX2).
+//! * [`Strategy::Bia`] — the paper's contribution: Algorithms 2 and 3 over
+//!   `CTLoad`/`CTStore` (the "L1d"/"L2" bars, depending on which machine
+//!   the program runs on).
+//!
+//! A `Strategy` is a small copyable value; pass it down to the code that
+//! issues secret-dependent accesses and call [`Strategy::load`] /
+//! [`Strategy::store`] instead of raw memory operations.
+
+use crate::ctmem::{CtMemory, Width};
+use crate::ds::DataflowSet;
+use crate::linearize::{ct_load_bia, ct_load_sw, ct_store_bia, ct_store_sw, BiaOptions, SwProfile};
+use ctbia_sim::addr::PhysAddr;
+use std::fmt;
+
+/// How secret-dependent accesses are performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Direct (leaky) accesses — the paper's insecure baseline.
+    Insecure,
+    /// Software dataflow linearization at the given cost profile.
+    SoftwareCt(SwProfile),
+    /// BIA-assisted linearization (requires a machine with a BIA).
+    Bia(BiaOptions),
+}
+
+impl Strategy {
+    /// Scalar software constant-time programming.
+    pub const fn software_ct() -> Self {
+        Strategy::SoftwareCt(SwProfile::scalar())
+    }
+
+    /// AVX2-profiled software constant-time programming.
+    pub const fn software_ct_avx2() -> Self {
+        Strategy::SoftwareCt(SwProfile::avx2())
+    }
+
+    /// BIA-assisted linearization with default options.
+    pub const fn bia() -> Self {
+        Strategy::Bia(BiaOptions {
+            dram_threshold: None,
+        })
+    }
+
+    /// Whether this strategy requires the machine to have a BIA.
+    pub const fn needs_bia(self) -> bool {
+        matches!(self, Strategy::Bia(_))
+    }
+
+    /// Performs a secret-dependent load of `width` at `addr`, whose
+    /// dataflow linearization set is `ds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is misaligned or outside `ds`, or (for
+    /// [`Strategy::Bia`]) if the machine has no BIA.
+    pub fn load<M: CtMemory + ?Sized>(
+        self,
+        m: &mut M,
+        ds: &DataflowSet,
+        addr: PhysAddr,
+        width: Width,
+    ) -> u64 {
+        match self {
+            Strategy::Insecure => m.load(addr, width),
+            Strategy::SoftwareCt(profile) => ct_load_sw(m, ds, addr, width, profile),
+            Strategy::Bia(opts) => ct_load_bia(m, ds, addr, width, opts),
+        }
+    }
+
+    /// Performs a secret-dependent store (see [`Strategy::load`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is misaligned or outside `ds`, or (for
+    /// [`Strategy::Bia`]) if the machine has no BIA.
+    pub fn store<M: CtMemory + ?Sized>(
+        self,
+        m: &mut M,
+        ds: &DataflowSet,
+        addr: PhysAddr,
+        width: Width,
+        value: u64,
+    ) {
+        match self {
+            Strategy::Insecure => m.store(addr, width, value),
+            Strategy::SoftwareCt(profile) => ct_store_sw(m, ds, addr, width, value, profile),
+            Strategy::Bia(opts) => ct_store_bia(m, ds, addr, width, value, opts),
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Strategy::Insecure => f.write_str("insecure"),
+            Strategy::SoftwareCt(p) if *p == SwProfile::avx2() => f.write_str("CT(avx2)"),
+            Strategy::SoftwareCt(_) => f.write_str("CT"),
+            Strategy::Bia(o) if o.dram_threshold.is_some() => f.write_str("BIA(+dram)"),
+            Strategy::Bia(_) => f.write_str("BIA"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctmem::CtMemoryExt;
+    use crate::testutil::TestMachine;
+
+    const BASE: u64 = 0x8_0000;
+
+    #[test]
+    fn strategies_agree_on_the_reference_machine() {
+        for strategy in [Strategy::Insecure, Strategy::software_ct(), Strategy::bia()] {
+            let mut m = TestMachine::new();
+            for i in 0..300u64 {
+                m.poke_u32(PhysAddr::new(BASE + i * 4), (i + 1) as u32);
+            }
+            let ds = DataflowSet::contiguous(PhysAddr::new(BASE), 300 * 4);
+            let v = strategy.load(&mut m, &ds, PhysAddr::new(BASE + 77 * 4), Width::U32);
+            assert_eq!(v, 78, "{strategy}");
+            strategy.store(&mut m, &ds, PhysAddr::new(BASE + 12 * 4), Width::U32, 500);
+            assert_eq!(m.load_u32(PhysAddr::new(BASE + 12 * 4)), 500, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Strategy::Insecure.to_string(), "insecure");
+        assert_eq!(Strategy::software_ct().to_string(), "CT");
+        assert_eq!(Strategy::software_ct_avx2().to_string(), "CT(avx2)");
+        assert_eq!(Strategy::bia().to_string(), "BIA");
+        assert_eq!(
+            Strategy::Bia(BiaOptions::with_dram_threshold(1)).to_string(),
+            "BIA(+dram)"
+        );
+    }
+
+    #[test]
+    fn needs_bia() {
+        assert!(Strategy::bia().needs_bia());
+        assert!(!Strategy::software_ct().needs_bia());
+        assert!(!Strategy::Insecure.needs_bia());
+    }
+}

@@ -1,0 +1,133 @@
+//! Machine-level counter snapshots.
+//!
+//! A [`Counters`] value is a full snapshot of everything the paper's
+//! evaluation reports: cycles (Figures 2, 7, 9), instruction counts and
+//! icache/dcache/DRAM references (Figure 8, §3.1 table), and the BIA's own
+//! statistics. Snapshots subtract, so measuring a region is
+//! `after - before` — or use `Machine::measure`.
+
+use ctbia_core::bia::BiaStats;
+use ctbia_sim::stats::HierarchyStats;
+use std::fmt;
+use std::ops::Sub;
+
+/// A snapshot of every machine counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Instructions executed (memory + bookkeeping). Each instruction is
+    /// one L1i reference under the machine's instruction-fetch model.
+    pub insts: u64,
+    /// `CTLoad` micro-operations executed.
+    pub ct_loads: u64,
+    /// `CTStore` micro-operations executed.
+    pub ct_stores: u64,
+    /// Full hierarchy statistics.
+    pub hier: HierarchyStats,
+    /// BIA statistics (all zero when no BIA is configured).
+    pub bia: BiaStats,
+}
+
+impl Counters {
+    /// L1 instruction-cache references: one per instruction (the machine's
+    /// analytic fetch model; see `ctbia-machine` crate docs).
+    pub fn l1i_refs(&self) -> u64 {
+        self.insts
+    }
+
+    /// L1 data-cache demand references.
+    pub fn l1d_refs(&self) -> u64 {
+        self.hier.l1d.accesses()
+    }
+
+    /// Last-level-cache misses (the §3.1 table's "LL misses").
+    pub fn llc_misses(&self) -> u64 {
+        self.hier.llc.misses
+    }
+
+    /// DRAM accesses (reads + write-backs).
+    pub fn dram_accesses(&self) -> u64 {
+        self.hier.dram.accesses()
+    }
+}
+
+impl Sub for Counters {
+    type Output = Counters;
+
+    fn sub(self, rhs: Counters) -> Counters {
+        Counters {
+            cycles: self.cycles - rhs.cycles,
+            insts: self.insts - rhs.insts,
+            ct_loads: self.ct_loads - rhs.ct_loads,
+            ct_stores: self.ct_stores - rhs.ct_stores,
+            hier: self.hier - rhs.hier,
+            bia: BiaStats {
+                accesses: self.bia.accesses - rhs.bia.accesses,
+                hits: self.bia.hits - rhs.bia.hits,
+                installs: self.bia.installs - rhs.bia.installs,
+                evictions: self.bia.evictions - rhs.bia.evictions,
+                events_applied: self.bia.events_applied - rhs.bia.events_applied,
+                events_ignored: self.bia.events_ignored - rhs.bia.events_ignored,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cycles {}, insts {} (CTLoad {}, CTStore {})",
+            self.cycles, self.insts, self.ct_loads, self.ct_stores
+        )?;
+        writeln!(f, "{}", self.hier)?;
+        write!(f, "BIA:  {}", self.bia)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_read_through() {
+        let mut c = Counters::default();
+        c.insts = 10;
+        c.hier.l1d.reads = 4;
+        c.hier.l1d.writes = 2;
+        c.hier.llc.misses = 3;
+        c.hier.dram.reads = 3;
+        c.hier.dram.writes = 1;
+        assert_eq!(c.l1i_refs(), 10);
+        assert_eq!(c.l1d_refs(), 6);
+        assert_eq!(c.llc_misses(), 3);
+        assert_eq!(c.dram_accesses(), 4);
+    }
+
+    #[test]
+    fn subtraction_is_fieldwise() {
+        let mut a = Counters::default();
+        a.cycles = 100;
+        a.insts = 50;
+        a.ct_loads = 5;
+        a.bia.accesses = 7;
+        let mut b = Counters::default();
+        b.cycles = 40;
+        b.insts = 20;
+        b.ct_loads = 2;
+        b.bia.accesses = 3;
+        let d = a - b;
+        assert_eq!(d.cycles, 60);
+        assert_eq!(d.insts, 30);
+        assert_eq!(d.ct_loads, 3);
+        assert_eq!(d.bia.accesses, 4);
+    }
+
+    #[test]
+    fn display_mentions_key_counters() {
+        let s = Counters::default().to_string();
+        assert!(s.contains("cycles") && s.contains("BIA"));
+    }
+}

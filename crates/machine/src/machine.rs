@@ -1,0 +1,938 @@
+//! The simulated machine: hierarchy + BIA + RAM + cost model, implementing
+//! [`CtMemory`].
+//!
+//! The machine is the `ctbia` equivalent of the paper's modified gem5
+//! system (§7.1): it executes memory operations against the cache
+//! hierarchy, keeps the BIA synchronized with the monitored level's event
+//! stream, and accounts instructions and cycles per the
+//! [`crate::cost::CostModel`].
+
+use crate::cost::CostModel;
+use crate::counters::Counters;
+use crate::memory::{OutOfSimRam, SimRam};
+use ctbia_core::bia::{Bia, BiaConfig};
+use ctbia_core::ctmem::{CtLoad, CtMemory, CtStore, Width};
+use ctbia_sim::addr::{LineAddr, PhysAddr};
+use ctbia_sim::config::{ConfigError, HierarchyConfig};
+use ctbia_sim::hierarchy::{AccessFlags, Hierarchy, Level, MonitorLevel};
+use std::fmt;
+
+/// Where the BIA is attached. The paper evaluates L1d and L2 residency
+/// (§4.2) and analyzes LLC residency (§6.4), which is feasible only when
+/// the BIA granularity does not cross the LLC slice-hash boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BiaPlacement {
+    /// BIA beside the L1 data cache.
+    L1d,
+    /// BIA beside the unified L2; every CT and dataflow-set access bypasses
+    /// L1 for security (§4.2).
+    L2,
+    /// BIA beside the LLC; every CT and dataflow-set access bypasses both
+    /// L1 and L2 (§6.4). The BIA granularity `M` must satisfy
+    /// `M <= LS_Hash` so that each management group lives entirely in one
+    /// slice and the interconnect traffic cannot resolve within a group.
+    Llc,
+}
+
+impl BiaPlacement {
+    fn monitor(self) -> MonitorLevel {
+        match self {
+            BiaPlacement::L1d => MonitorLevel::L1d,
+            BiaPlacement::L2 => MonitorLevel::L2,
+            BiaPlacement::Llc => MonitorLevel::Llc,
+        }
+    }
+}
+
+impl fmt::Display for BiaPlacement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BiaPlacement::L1d => f.write_str("L1d"),
+            BiaPlacement::L2 => f.write_str("L2"),
+            BiaPlacement::Llc => f.write_str("LLC"),
+        }
+    }
+}
+
+/// Errors from building or using a [`Machine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// Invalid hierarchy configuration.
+    Config(ConfigError),
+    /// Invalid BIA configuration.
+    Bia(String),
+    /// Simulated RAM exhausted.
+    Ram(OutOfSimRam),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::Config(e) => write!(f, "hierarchy configuration: {e}"),
+            MachineError::Bia(e) => write!(f, "BIA configuration: {e}"),
+            MachineError::Ram(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+impl From<ConfigError> for MachineError {
+    fn from(e: ConfigError) -> Self {
+        MachineError::Config(e)
+    }
+}
+
+impl From<OutOfSimRam> for MachineError {
+    fn from(e: OutOfSimRam) -> Self {
+        MachineError::Ram(e)
+    }
+}
+
+/// Machine configuration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Cache hierarchy (defaults to the paper's Table 1).
+    pub hierarchy: HierarchyConfig,
+    /// Optional BIA and its placement.
+    pub bia: Option<(BiaPlacement, BiaConfig)>,
+    /// Cycle accounting.
+    pub cost: CostModel,
+    /// Simulated RAM size in bytes.
+    pub ram_bytes: u64,
+    /// Model *silent stores*: a store whose value equals the memory's
+    /// current content does not set the dirty bit. The paper flags silent
+    /// stores as the main undocumented-hardware threat to constant-time
+    /// programming and defers them to future work (§2.4); enabling this
+    /// switch lets the test suite demonstrate the leak they cause (see
+    /// `tests/silent_stores.rs`). Off by default.
+    pub silent_stores: bool,
+}
+
+impl MachineConfig {
+    /// The insecure baseline machine: Table 1 hierarchy, no BIA.
+    pub fn insecure() -> Self {
+        MachineConfig {
+            hierarchy: HierarchyConfig::paper_table1(),
+            bia: None,
+            cost: CostModel::default(),
+            ram_bytes: 64 << 20,
+            silent_stores: false,
+        }
+    }
+
+    /// Table 1 machine with a Table 1 BIA at `placement`.
+    pub fn with_bia(placement: BiaPlacement) -> Self {
+        MachineConfig {
+            bia: Some((placement, BiaConfig::paper_table1())),
+            ..Self::insecure()
+        }
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::insecure()
+    }
+}
+
+/// A deterministic co-runner sharing the cache with the simulated program
+/// — the paper's §5.1 general case of "other processes us[ing] the same
+/// cache at the same time". Every `period` demand accesses of the program,
+/// the co-runner performs its next action (round-robin over `actions`).
+///
+/// Co-runner activity perturbs cache and BIA state but is not charged to
+/// the program's cycle/instruction counters and does not appear in its
+/// demand trace (it is another process). Determinism is preserved: the
+/// same program run sees the same interference.
+#[derive(Debug, Clone)]
+pub struct Interference {
+    /// Program demand accesses between co-runner actions.
+    pub period: u64,
+    /// The co-runner's actions, applied round-robin.
+    pub actions: Vec<CoRunnerOp>,
+}
+
+/// One co-runner action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoRunnerOp {
+    /// Evict the line containing the address from every level (an attacker
+    /// doing Prime+Probe maintenance, or a `clflush`).
+    Flush(PhysAddr),
+    /// Demand-read the address (another process touching its working set;
+    /// fills caches and may evict program lines).
+    Touch(PhysAddr),
+    /// Prefetch-like clean fill of the line (Figure 6(d)'s scenario).
+    Prefetch(PhysAddr),
+}
+
+/// One attacker-visible demand access, at cache-line granularity (the
+/// threat model's observation granularity, §2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// What kind of operation.
+    pub op: TraceOp,
+    /// The touched line.
+    pub line: LineAddr,
+}
+
+/// Demand-operation kinds recorded in the trace.
+///
+/// `CTLoad`/`CTStore` lookups are *not* traced: they change no cache state
+/// and are invisible to an access-driven attacker (§5.3). The conditional
+/// write of a `CTStore` changes only the *data* of an already-dirty line
+/// ("they do not change anything except data"), so it is likewise
+/// invisible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Regular demand load.
+    Load,
+    /// Regular demand store.
+    Store,
+    /// Dataflow-set load.
+    DsLoad,
+    /// Dataflow-set store.
+    DsStore,
+    /// Cache-bypassing DRAM load.
+    DramLoad,
+    /// Cache-bypassing DRAM store.
+    DramStore,
+}
+
+/// The simulated machine.
+#[derive(Debug)]
+pub struct Machine {
+    hier: Hierarchy,
+    bia: Option<Bia>,
+    placement: Option<BiaPlacement>,
+    ram: SimRam,
+    cost: CostModel,
+    cycles: u64,
+    insts: u64,
+    ct_loads: u64,
+    ct_stores: u64,
+    trace: Option<Vec<TraceEvent>>,
+    probe_slices: Option<Vec<u32>>,
+    silent_stores: bool,
+    interference: Option<Interference>,
+    interference_clock: u64,
+    interference_next: usize,
+}
+
+impl Machine {
+    /// Builds a machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError`] for invalid hierarchy or BIA configurations.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ctbia_machine::machine::{BiaPlacement, Machine, MachineConfig};
+    /// use ctbia_core::ctmem::CtMemoryExt;
+    ///
+    /// let mut m = Machine::new(MachineConfig::with_bia(BiaPlacement::L1d))?;
+    /// let a = m.alloc(4096, 64)?;
+    /// m.store_u32(a, 7);
+    /// assert_eq!(m.load_u32(a), 7);
+    /// assert!(m.counters().cycles > 0);
+    /// # Ok::<(), ctbia_machine::machine::MachineError>(())
+    /// ```
+    pub fn new(config: MachineConfig) -> Result<Self, MachineError> {
+        let mut hier = Hierarchy::new(config.hierarchy)?;
+        let (bia, placement) =
+            match config.bia {
+                Some((placement, bia_cfg)) => {
+                    if placement == BiaPlacement::Llc && hier.llc_slices() > 1 {
+                        // §6.4 feasibility: every 2^M group must map to one
+                        // slice, i.e. M <= LS_Hash; LS_Hash = 6 leaves no
+                        // usable granularity.
+                        let ls_hash = hier.llc_ls_hash_bit();
+                        if ls_hash <= 6 {
+                            return Err(MachineError::Bia(format!(
+                            "LLC-resident BIA is infeasible when LS_Hash = {ls_hash} (consecutive \
+                             lines are spread across slices, paper §6.4)"
+                        )));
+                        }
+                        if bia_cfg.granularity_log2 > ls_hash {
+                            return Err(MachineError::Bia(format!(
+                            "LLC-resident BIA granularity M={} exceeds LS_Hash={} — a management \
+                             group would span slices and the interconnect would leak (paper §6.4); \
+                             use BiaConfig::with_granularity({})",
+                            bia_cfg.granularity_log2, ls_hash, ls_hash.min(12)
+                        )));
+                        }
+                    }
+                    hier.set_monitor(Some(placement.monitor()));
+                    (
+                        Some(Bia::try_new(bia_cfg).map_err(MachineError::Bia)?),
+                        Some(placement),
+                    )
+                }
+                None => (None, None),
+            };
+        Ok(Machine {
+            hier,
+            bia,
+            placement,
+            ram: SimRam::new(config.ram_bytes),
+            cost: config.cost,
+            cycles: 0,
+            insts: 0,
+            ct_loads: 0,
+            ct_stores: 0,
+            trace: None,
+            probe_slices: None,
+            silent_stores: config.silent_stores,
+            interference: None,
+            interference_clock: 0,
+            interference_next: 0,
+        })
+    }
+
+    /// The insecure-baseline machine (no BIA).
+    ///
+    /// # Panics
+    ///
+    /// Never panics — the default configuration is valid by construction.
+    pub fn insecure() -> Self {
+        Self::new(MachineConfig::insecure()).expect("default configuration is valid")
+    }
+
+    /// A Table 1 machine with a BIA at `placement`.
+    pub fn with_bia(placement: BiaPlacement) -> Self {
+        Self::new(MachineConfig::with_bia(placement)).expect("default configuration is valid")
+    }
+
+    /// The configured BIA placement, if any.
+    pub fn bia_placement(&self) -> Option<BiaPlacement> {
+        self.placement
+    }
+
+    /// The BIA, if configured.
+    pub fn bia(&self) -> Option<&Bia> {
+        self.bia.as_ref()
+    }
+
+    /// The cache hierarchy (immutable; mutate only through machine
+    /// operations so the BIA stays synchronized).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hier
+    }
+
+    /// Allocates `size` bytes aligned to `align`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::Ram`] when simulated RAM is exhausted.
+    pub fn alloc(&mut self, size: u64, align: u64) -> Result<PhysAddr, MachineError> {
+        Ok(self.ram.alloc(size, align)?)
+    }
+
+    /// Allocates a line-aligned array of `n` 32-bit elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::Ram`] when simulated RAM is exhausted.
+    pub fn alloc_u32_array(&mut self, n: u64) -> Result<PhysAddr, MachineError> {
+        self.alloc(n * 4, 64)
+    }
+
+    /// Allocates a line-aligned array of `n` 64-bit elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::Ram`] when simulated RAM is exhausted.
+    pub fn alloc_u64_array(&mut self, n: u64) -> Result<PhysAddr, MachineError> {
+        self.alloc(n * 8, 64)
+    }
+
+    /// Debug write, bypassing caches and cost model (test/benchmark setup —
+    /// "the input was in memory before the program started").
+    pub fn poke(&mut self, addr: PhysAddr, width: Width, value: u64) {
+        self.ram.write(addr, width.bytes(), value);
+    }
+
+    /// Debug read, bypassing caches and cost model.
+    pub fn peek(&self, addr: PhysAddr, width: Width) -> u64 {
+        self.ram.read(addr, width.bytes())
+    }
+
+    /// Debug write of a `u32`.
+    pub fn poke_u32(&mut self, addr: PhysAddr, v: u32) {
+        self.poke(addr, Width::U32, v as u64);
+    }
+
+    /// Debug read of a `u32`.
+    pub fn peek_u32(&self, addr: PhysAddr) -> u32 {
+        self.peek(addr, Width::U32) as u32
+    }
+
+    /// Debug write of a `u64`.
+    pub fn poke_u64(&mut self, addr: PhysAddr, v: u64) {
+        self.poke(addr, Width::U64, v);
+    }
+
+    /// Debug read of a `u64`.
+    pub fn peek_u64(&self, addr: PhysAddr) -> u64 {
+        self.peek(addr, Width::U64)
+    }
+
+    /// Debug write of an `i32` bit pattern.
+    pub fn poke_i32(&mut self, addr: PhysAddr, v: i32) {
+        self.poke(addr, Width::U32, v as u32 as u64);
+    }
+
+    /// Debug read of an `i32` bit pattern.
+    pub fn peek_i32(&self, addr: PhysAddr) -> i32 {
+        self.peek(addr, Width::U32) as u32 as i32
+    }
+
+    /// Starts recording the attacker-granularity demand trace. Under an
+    /// LLC-resident BIA this also records the slice sequence of CT-op
+    /// probes — with a sliced LLC, a CT operation travels over the
+    /// interconnect to the slice holding its line, which a ring/mesh
+    /// attacker can observe at slice granularity (§6.4).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+        if self.placement == Some(BiaPlacement::Llc) {
+            self.probe_slices = Some(Vec::new());
+        }
+    }
+
+    /// Stops recording and returns the trace (empty if tracing was off).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// The slice sequence of CT-op probes recorded since `enable_trace`
+    /// (LLC-resident BIA only; empty otherwise).
+    pub fn take_probe_slices(&mut self) -> Vec<u32> {
+        self.probe_slices.take().unwrap_or_default()
+    }
+
+    /// Snapshot of all counters.
+    pub fn counters(&self) -> Counters {
+        Counters {
+            cycles: self.cycles,
+            insts: self.insts,
+            ct_loads: self.ct_loads,
+            ct_stores: self.ct_stores,
+            hier: self.hier.stats(),
+            bia: self.bia.as_ref().map(|b| *b.stats()).unwrap_or_default(),
+        }
+    }
+
+    /// Simulated cycles so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Runs `f` and returns its result together with the counter delta of
+    /// the region.
+    pub fn measure<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> (R, Counters) {
+        let before = self.counters();
+        let r = f(self);
+        (r, self.counters() - before)
+    }
+
+    /// Evicts `addr`'s line from every cache level (a `clflush`), keeping
+    /// the BIA synchronized. Used by tests and the attacker model.
+    pub fn flush_line(&mut self, addr: PhysAddr) {
+        self.hier.invalidate_everywhere(addr.line());
+        self.sync_bia();
+    }
+
+    /// A demand load that also returns its latency in cycles — the
+    /// simulated analogue of timing an access with `rdtsc`, used by the
+    /// Prime+Probe attacker.
+    pub fn timed_load(&mut self, addr: PhysAddr, width: Width) -> (u64, u64) {
+        let before = self.cycles;
+        let v = self.demand(addr, width, AccessFlags::read(), TraceOp::Load, None);
+        (v, self.cycles - before)
+    }
+
+    /// Installs (or clears, with `None`) a deterministic co-runner. See
+    /// [`Interference`].
+    pub fn set_interference(&mut self, interference: Option<Interference>) {
+        self.interference = interference;
+        self.interference_clock = 0;
+        self.interference_next = 0;
+    }
+
+    /// Runs the co-runner's next action when its period has elapsed.
+    fn tick_interference(&mut self) {
+        let Some(intf) = &self.interference else {
+            return;
+        };
+        if intf.actions.is_empty() || intf.period == 0 {
+            return;
+        }
+        self.interference_clock += 1;
+        if self.interference_clock % intf.period != 0 {
+            return;
+        }
+        let op = intf.actions[self.interference_next % intf.actions.len()];
+        self.interference_next += 1;
+        match op {
+            CoRunnerOp::Flush(addr) => {
+                self.hier.invalidate_everywhere(addr.line());
+            }
+            CoRunnerOp::Touch(addr) => {
+                self.hier.access(addr.line(), AccessFlags::read());
+            }
+            CoRunnerOp::Prefetch(addr) => {
+                if !self.hier.cache(Level::L1d).is_resident(addr.line()) {
+                    // A clean fill, as a prefetcher would perform.
+                    self.hier.access(addr.line(), AccessFlags::read());
+                }
+            }
+        }
+        self.sync_bia();
+    }
+
+    fn sync_bia(&mut self) {
+        if self.hier.has_events() {
+            let evs = self.hier.drain_events();
+            if let Some(bia) = &mut self.bia {
+                bia.apply_events(evs);
+            }
+        }
+    }
+
+    #[inline]
+    fn charge_inst(&mut self, n: u64) {
+        self.insts += n;
+        self.cycles += n * self.cost.cycles_per_inst;
+    }
+
+    fn demand(
+        &mut self,
+        addr: PhysAddr,
+        width: Width,
+        flags: AccessFlags,
+        op: TraceOp,
+        store: Option<u64>,
+    ) -> u64 {
+        self.tick_interference();
+        let ds_stream = matches!(op, TraceOp::DsLoad | TraceOp::DsStore);
+        // Silent-store squashing: a store of the value already in memory
+        // behaves like a read (no dirty-bit update) when enabled.
+        let mut flags = flags;
+        if self.silent_stores && flags.kind == ctbia_sim::cache::AccessKind::Write {
+            if let Some(v) = store {
+                if self.ram.read(addr, width.bytes()) == v & width.mask() {
+                    flags.kind = ctbia_sim::cache::AccessKind::Read;
+                }
+            }
+        }
+        debug_assert!(
+            addr.is_aligned(width.bytes()),
+            "misaligned access at {addr}"
+        );
+        self.charge_inst(1);
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent {
+                op,
+                line: addr.line(),
+            });
+        }
+        let result = self.hier.access(addr.line(), flags);
+        let nearest = if flags.dram_direct {
+            false
+        } else if flags.bypass_l2 {
+            result.hit_level == Level::Llc
+        } else if flags.bypass_l1 {
+            result.hit_level == Level::L2
+        } else {
+            result.hit_level == Level::L1d
+        };
+        self.cycles += self.cost.memory_cycles(result.latency, nearest, ds_stream);
+        self.sync_bia();
+        match store {
+            Some(v) => {
+                self.ram.write(addr, width.bytes(), v);
+                0
+            }
+            None => self.ram.read(addr, width.bytes()),
+        }
+    }
+
+    fn ds_flags(&self, kind: ctbia_sim::cache::AccessKind) -> AccessFlags {
+        let mut flags = AccessFlags {
+            kind,
+            update_replacement: false,
+            bypass_l1: false,
+            bypass_l2: false,
+            dram_direct: false,
+        };
+        match self.placement {
+            Some(BiaPlacement::L2) => flags.bypass_l1 = true,
+            Some(BiaPlacement::Llc) => {
+                flags.bypass_l1 = true;
+                flags.bypass_l2 = true;
+            }
+            _ => {}
+        }
+        flags
+    }
+}
+
+impl CtMemory for Machine {
+    fn load(&mut self, addr: PhysAddr, width: Width) -> u64 {
+        self.demand(addr, width, AccessFlags::read(), TraceOp::Load, None)
+    }
+
+    fn store(&mut self, addr: PhysAddr, width: Width, value: u64) {
+        self.demand(
+            addr,
+            width,
+            AccessFlags::write(),
+            TraceOp::Store,
+            Some(value),
+        );
+    }
+
+    fn ds_load(&mut self, addr: PhysAddr, width: Width) -> u64 {
+        let flags = self.ds_flags(ctbia_sim::cache::AccessKind::Read);
+        self.demand(addr, width, flags, TraceOp::DsLoad, None)
+    }
+
+    fn ds_store(&mut self, addr: PhysAddr, width: Width, value: u64) {
+        let flags = self.ds_flags(ctbia_sim::cache::AccessKind::Write);
+        self.demand(addr, width, flags, TraceOp::DsStore, Some(value));
+    }
+
+    fn dram_load(&mut self, addr: PhysAddr, width: Width) -> u64 {
+        self.demand(
+            addr,
+            width,
+            AccessFlags::read().dram_direct(),
+            TraceOp::DramLoad,
+            None,
+        )
+    }
+
+    fn dram_store(&mut self, addr: PhysAddr, width: Width, value: u64) {
+        self.demand(
+            addr,
+            width,
+            AccessFlags::write().dram_direct(),
+            TraceOp::DramStore,
+            Some(value),
+        );
+    }
+
+    fn ct_load(&mut self, addr: PhysAddr) -> CtLoad {
+        let placement = self
+            .placement
+            .expect("CTLoad requires a machine with a BIA");
+        self.ct_loads += 1;
+        self.charge_inst(1);
+        let aligned = addr.align_down_u64();
+        if let Some(slices) = &mut self.probe_slices {
+            slices.push(self.hier.llc_slice_of(aligned.line()));
+        }
+        let (probe, probe_latency) = self.hier.ct_probe(aligned.line(), placement.monitor());
+        let bia = self
+            .bia
+            .as_mut()
+            .expect("BIA present when placement is set");
+        let view = bia.access_for(addr);
+        let bia_latency = bia.latency();
+        self.cycles += self.cost.ct_cycles(probe_latency, bia_latency);
+        let data = if probe.resident {
+            self.ram.read(aligned, 8)
+        } else {
+            0
+        };
+        CtLoad {
+            data,
+            existence: view.existence,
+        }
+    }
+
+    fn ct_store(&mut self, addr: PhysAddr, data: u64) -> CtStore {
+        let placement = self
+            .placement
+            .expect("CTStore requires a machine with a BIA");
+        self.ct_stores += 1;
+        self.charge_inst(1);
+        let aligned = addr.align_down_u64();
+        if let Some(slices) = &mut self.probe_slices {
+            slices.push(self.hier.llc_slice_of(aligned.line()));
+        }
+        let bia = self
+            .bia
+            .as_mut()
+            .expect("BIA present when placement is set");
+        let view = bia.access_for(addr);
+        let bia_latency = bia.latency();
+        let (wrote, probe_latency) = self
+            .hier
+            .ct_write_if_dirty(aligned.line(), placement.monitor());
+        self.cycles += self.cost.ct_cycles(probe_latency, bia_latency);
+        self.sync_bia();
+        if wrote {
+            self.ram.write(aligned, 8, data);
+        }
+        CtStore {
+            dirtiness: view.dirtiness,
+        }
+    }
+
+    fn exec(&mut self, insts: u64) {
+        self.charge_inst(insts);
+    }
+
+    fn bia_granularity_log2(&self) -> u32 {
+        self.bia
+            .as_ref()
+            .map(|b| b.granularity_log2())
+            .unwrap_or(12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctbia_core::ctmem::CtMemoryExt;
+    use ctbia_core::ds::DataflowSet;
+    use ctbia_core::linearize::{ct_load_bia, ct_store_bia, BiaOptions};
+    use ctbia_core::Width;
+
+    #[test]
+    fn load_store_round_trip_and_cost() {
+        let mut m = Machine::insecure();
+        let a = m.alloc(64, 64).unwrap();
+        let c0 = m.counters();
+        m.store_u64(a, 0xdead_beef_cafe_f00d);
+        let v = m.load_u64(a);
+        assert_eq!(v, 0xdead_beef_cafe_f00d);
+        let d = m.counters() - c0;
+        assert_eq!(d.insts, 2);
+        // Store: cold miss through DRAM (2+15+41+200) + 1 issue cycle;
+        // load: L1 hit (2) + 1 issue cycle.
+        assert_eq!(d.cycles, 1 + 258 + 1 + 2);
+        assert_eq!(d.l1d_refs(), 2);
+        assert_eq!(d.dram_accesses(), 1);
+    }
+
+    #[test]
+    fn poke_peek_do_not_touch_caches_or_cost() {
+        let mut m = Machine::insecure();
+        let a = m.alloc(8, 8).unwrap();
+        m.poke_u64(a, 42);
+        assert_eq!(m.peek_u64(a), 42);
+        assert_eq!(m.counters().cycles, 0);
+        assert_eq!(m.counters().l1d_refs(), 0);
+    }
+
+    #[test]
+    fn ct_load_semantics_at_l1d() {
+        let mut m = Machine::with_bia(BiaPlacement::L1d);
+        let a = m.alloc(64, 64).unwrap();
+        m.poke_u64(a, 777);
+        // Miss: fake data, nothing installed.
+        let r = m.ct_load(a);
+        assert_eq!(r.data, 0);
+        assert!(!m.hierarchy().cache(Level::L1d).is_resident(a.line()));
+        // Bring the line in; existence was recorded by the event stream.
+        m.load_u64(a);
+        let r = m.ct_load(a);
+        assert_eq!(r.data, 777);
+        assert_eq!(
+            r.existence & 1 << a.line().index_in_page(),
+            1 << a.line().index_in_page()
+        );
+    }
+
+    #[test]
+    fn ct_store_writes_only_dirty_lines() {
+        let mut m = Machine::with_bia(BiaPlacement::L1d);
+        let a = m.alloc(64, 64).unwrap();
+        m.load_u64(a); // resident, clean
+        let r = m.ct_store(a, 1);
+        assert_eq!(m.peek_u64(a), 0, "clean line must not be written");
+        assert_eq!(r.dirtiness, 0);
+        m.store_u64(a, 5); // dirty now
+        let r = m.ct_store(a, 9);
+        assert_eq!(m.peek_u64(a), 9);
+        assert_ne!(r.dirtiness & 1 << a.line().index_in_page(), 0);
+    }
+
+    #[test]
+    fn l2_placement_bypasses_l1_for_ds_traffic() {
+        let mut m = Machine::with_bia(BiaPlacement::L2);
+        let a = m.alloc(64, 64).unwrap();
+        m.ds_load(a, Width::U64);
+        assert!(!m.hierarchy().cache(Level::L1d).is_resident(a.line()));
+        assert!(m.hierarchy().cache(Level::L2).is_resident(a.line()));
+        // Regular loads still use L1.
+        let b = m.alloc(64, 64).unwrap();
+        m.load_u64(b);
+        assert!(m.hierarchy().cache(Level::L1d).is_resident(b.line()));
+    }
+
+    #[test]
+    fn fig6_scenarios_eviction_and_prefetch_safety() {
+        // Figure 6(c): line dirty at CTLoad time, evicted before CTStore —
+        // the store must not corrupt memory.
+        let mut m = Machine::with_bia(BiaPlacement::L1d);
+        let a = m.alloc(64, 64).unwrap();
+        m.store_u64(a, 10); // dirty
+        let got = m.ct_load(a);
+        assert_eq!(got.data, 10);
+        m.flush_line(a); // "attacker" evicts; write-back keeps RAM = 10
+        let _ = m.ct_store(a, 0xbad);
+        assert_eq!(m.peek_u64(a), 10, "CTStore after eviction must do nothing");
+
+        // Figure 6(d): CTLoad missed (fake data), the line is then brought
+        // in CLEAN (as a prefetch would); CTStore must still refuse.
+        let b = m.alloc(64, 64).unwrap();
+        m.poke_u64(b, 20);
+        let got = m.ct_load(b);
+        assert_eq!(got.data, 0, "fake data on miss");
+        m.load_u64(b); // clean fill, like a prefetcher
+        let _ = m.ct_store(b, 0xbad);
+        assert_eq!(m.peek_u64(b), 20, "clean line must not accept fake data");
+    }
+
+    #[test]
+    fn bia_subset_invariant_under_machine_traffic() {
+        let mut m = Machine::with_bia(BiaPlacement::L1d);
+        let base = m.alloc(4096 * 4, 4096).unwrap();
+        // Mixed traffic over 4 pages.
+        for i in 0..256u64 {
+            let a = base.offset((i * 97) % (4096 * 4 / 8) * 8);
+            if i % 3 == 0 {
+                m.store_u64(a, i);
+            } else {
+                m.load_u64(a);
+            }
+            if i % 7 == 0 {
+                let _ = m.ct_load(a);
+            }
+            if i % 11 == 0 {
+                m.flush_line(a);
+            }
+        }
+        let bia = m.bia().unwrap();
+        for page in bia.tracked_pages() {
+            let view = bia.peek(page).unwrap();
+            let (exist, dirty) = m.hierarchy().cache(Level::L1d).page_truth(page);
+            assert_eq!(
+                view.existence & !exist,
+                0,
+                "BIA existence must be a subset of truth"
+            );
+            assert_eq!(
+                view.dirtiness & !dirty,
+                0,
+                "BIA dirtiness must be a subset of truth"
+            );
+        }
+    }
+
+    #[test]
+    fn algorithms_run_end_to_end_on_machine() {
+        for placement in [BiaPlacement::L1d, BiaPlacement::L2] {
+            let mut m = Machine::with_bia(placement);
+            let base = m.alloc_u32_array(2000).unwrap();
+            for i in 0..2000u64 {
+                m.poke_u32(base.offset(i * 4), i as u32);
+            }
+            let ds = DataflowSet::contiguous(base, 2000 * 4);
+            for secret in [0u64, 999, 1999] {
+                let v = ct_load_bia(
+                    &mut m,
+                    &ds,
+                    base.offset(secret * 4),
+                    Width::U32,
+                    BiaOptions::default(),
+                );
+                assert_eq!(v, secret, "placement {placement}");
+            }
+            ct_store_bia(
+                &mut m,
+                &ds,
+                base.offset(700 * 4),
+                Width::U32,
+                123456,
+                BiaOptions::default(),
+            );
+            assert_eq!(m.peek_u32(base.offset(700 * 4)), 123456);
+            assert_eq!(m.peek_u32(base.offset(701 * 4)), 701);
+        }
+    }
+
+    #[test]
+    fn trace_records_demand_lines_only() {
+        let mut m = Machine::with_bia(BiaPlacement::L1d);
+        let a = m.alloc(64, 64).unwrap();
+        m.enable_trace();
+        m.load_u64(a);
+        let _ = m.ct_load(a); // must not appear
+        m.ds_store(a, Width::U64, 3);
+        let trace = m.take_trace();
+        assert_eq!(
+            trace,
+            vec![
+                TraceEvent {
+                    op: TraceOp::Load,
+                    line: a.line()
+                },
+                TraceEvent {
+                    op: TraceOp::DsStore,
+                    line: a.line()
+                },
+            ]
+        );
+        assert!(m.take_trace().is_empty(), "trace disabled after take");
+    }
+
+    #[test]
+    fn measure_returns_region_delta() {
+        let mut m = Machine::insecure();
+        let a = m.alloc(64, 64).unwrap();
+        m.load_u64(a);
+        let (_, d) = m.measure(|m| {
+            m.load_u64(a);
+            m.load_u64(a);
+        });
+        assert_eq!(d.insts, 2);
+        assert_eq!(d.l1d_refs(), 2);
+        assert_eq!(d.cycles, 2 * 3); // two L1 hits + issue
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a machine with a BIA")]
+    fn ct_load_without_bia_panics() {
+        let mut m = Machine::insecure();
+        let _ = m.ct_load(PhysAddr::new(0x1_0000));
+    }
+
+    #[test]
+    fn timed_load_reports_latency_difference() {
+        let mut m = Machine::insecure();
+        let a = m.alloc(64, 64).unwrap();
+        let (_, cold) = m.timed_load(a, Width::U64);
+        let (_, warm) = m.timed_load(a, Width::U64);
+        assert!(cold > warm, "cold {cold} must exceed warm {warm}");
+        assert_eq!(warm, 3);
+    }
+
+    #[test]
+    fn errors_display() {
+        let err = MachineError::Bia("bad".into());
+        assert!(err.to_string().contains("BIA"));
+        let mut m = Machine::new(MachineConfig {
+            ram_bytes: 1 << 17,
+            ..MachineConfig::insecure()
+        })
+        .unwrap();
+        let err = m.alloc(1 << 20, 64).unwrap_err();
+        assert!(matches!(err, MachineError::Ram(_)));
+    }
+}

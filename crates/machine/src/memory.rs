@@ -1,0 +1,236 @@
+//! Simulated RAM and a bump allocator.
+//!
+//! The caches in `ctbia-sim` are metadata-only; all data lives here, in a
+//! flat little-endian byte array indexed by physical address. The machine
+//! keeps RAM authoritative at all times (a store updates RAM immediately
+//! and the dirty bit only tracks write-back cost), which is functionally
+//! exact for a single simulated agent.
+//!
+//! [`SimRam::alloc`] is a bump allocator: simulated programs allocate their
+//! arrays once up front, like the statically allocated benchmark inputs in
+//! the paper.
+
+use ctbia_sim::addr::PhysAddr;
+use std::fmt;
+
+/// Error returned when an allocation does not fit in simulated RAM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfSimRam {
+    /// Requested size in bytes.
+    pub requested: u64,
+    /// Bytes remaining.
+    pub remaining: u64,
+}
+
+impl fmt::Display for OutOfSimRam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of simulated RAM: requested {} B, {} B remaining",
+            self.requested, self.remaining
+        )
+    }
+}
+
+impl std::error::Error for OutOfSimRam {}
+
+/// Flat simulated RAM with a bump allocator.
+#[derive(Debug, Clone)]
+pub struct SimRam {
+    bytes: Vec<u8>,
+    /// First address handed out by the allocator; kept off zero so that a
+    /// "null" address is never a valid allocation.
+    base: u64,
+    next: u64,
+}
+
+impl SimRam {
+    /// Default allocation base: one page in, so address 0 stays invalid.
+    pub const DEFAULT_BASE: u64 = 0x1_0000;
+
+    /// Creates `size` bytes of zeroed RAM.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ctbia_machine::memory::SimRam;
+    ///
+    /// let mut ram = SimRam::new(1 << 20);
+    /// let a = ram.alloc(4096, 4096)?;
+    /// assert!(a.is_aligned(4096));
+    /// # Ok::<(), ctbia_machine::memory::OutOfSimRam>(())
+    /// ```
+    pub fn new(size: u64) -> Self {
+        assert!(
+            size > Self::DEFAULT_BASE,
+            "RAM must exceed the allocation base"
+        );
+        SimRam {
+            bytes: vec![0; size as usize],
+            base: Self::DEFAULT_BASE,
+            next: Self::DEFAULT_BASE,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn size(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Bytes still available to the allocator.
+    pub fn remaining(&self) -> u64 {
+        self.size() - self.next
+    }
+
+    /// Allocates `size` bytes aligned to `align` (a power of two).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfSimRam`] if the region does not fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, size: u64, align: u64) -> Result<PhysAddr, OutOfSimRam> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let start = (self.next + align - 1) & !(align - 1);
+        let end = start.checked_add(size).ok_or(OutOfSimRam {
+            requested: size,
+            remaining: self.remaining(),
+        })?;
+        if end > self.size() {
+            return Err(OutOfSimRam {
+                requested: size,
+                remaining: self.remaining(),
+            });
+        }
+        self.next = end;
+        Ok(PhysAddr::new(start))
+    }
+
+    /// Resets the allocator to the base (contents are kept).
+    pub fn reset_allocator(&mut self) {
+        self.next = self.base;
+    }
+
+    #[inline]
+    fn check(&self, addr: PhysAddr, len: u64) {
+        assert!(
+            addr.raw().saturating_add(len) <= self.size(),
+            "simulated access at {addr}+{len} beyond RAM of {} B",
+            self.size()
+        );
+    }
+
+    /// Reads `width` little-endian bytes, zero-extended.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range address.
+    #[inline]
+    pub fn read(&self, addr: PhysAddr, width_bytes: u64) -> u64 {
+        self.check(addr, width_bytes);
+        let i = addr.raw() as usize;
+        let mut v = 0u64;
+        for k in 0..width_bytes as usize {
+            v |= (self.bytes[i + k] as u64) << (8 * k);
+        }
+        v
+    }
+
+    /// Writes the low `width` bytes of `value`, little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range address.
+    #[inline]
+    pub fn write(&mut self, addr: PhysAddr, width_bytes: u64, value: u64) {
+        self.check(addr, width_bytes);
+        let i = addr.raw() as usize;
+        for k in 0..width_bytes as usize {
+            self.bytes[i + k] = (value >> (8 * k)) as u8;
+        }
+    }
+
+    /// Copies a byte slice into RAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range address.
+    pub fn write_bytes(&mut self, addr: PhysAddr, data: &[u8]) {
+        self.check(addr, data.len() as u64);
+        let i = addr.raw() as usize;
+        self.bytes[i..i + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads `len` bytes out of RAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range address.
+    pub fn read_bytes(&self, addr: PhysAddr, len: u64) -> &[u8] {
+        self.check(addr, len);
+        &self.bytes[addr.raw() as usize..(addr.raw() + len) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_respects_alignment_and_order() {
+        let mut ram = SimRam::new(1 << 20);
+        let a = ram.alloc(10, 8).unwrap();
+        let b = ram.alloc(10, 64).unwrap();
+        assert!(a.is_aligned(8));
+        assert!(b.is_aligned(64));
+        assert!(b.raw() >= a.raw() + 10);
+    }
+
+    #[test]
+    fn alloc_exhaustion() {
+        let mut ram = SimRam::new(SimRam::DEFAULT_BASE + 128);
+        assert!(ram.alloc(64, 1).is_ok());
+        let err = ram.alloc(128, 1).unwrap_err();
+        assert_eq!(err.remaining, 64);
+        assert!(err.to_string().contains("out of simulated RAM"));
+        ram.reset_allocator();
+        assert!(ram.alloc(128, 1).is_ok());
+    }
+
+    #[test]
+    fn read_write_round_trip_little_endian() {
+        let mut ram = SimRam::new(1 << 20);
+        let a = PhysAddr::new(0x2_0000);
+        ram.write(a, 8, 0x1122_3344_5566_7788);
+        assert_eq!(ram.read(a, 8), 0x1122_3344_5566_7788);
+        assert_eq!(ram.read(a, 4), 0x5566_7788);
+        assert_eq!(ram.read(a, 1), 0x88);
+        assert_eq!(ram.read(a.offset(7), 1), 0x11);
+        ram.write(a.offset(2), 2, 0xaabb);
+        assert_eq!(ram.read(a, 8), 0x1122_3344_aabb_7788);
+    }
+
+    #[test]
+    fn bulk_bytes() {
+        let mut ram = SimRam::new(1 << 20);
+        let a = PhysAddr::new(0x3_0000);
+        ram.write_bytes(a, &[1, 2, 3, 4]);
+        assert_eq!(ram.read_bytes(a, 4), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond RAM")]
+    fn out_of_range_read_panics() {
+        let ram = SimRam::new(1 << 17);
+        ram.read(PhysAddr::new(1 << 17), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_alignment_panics() {
+        let mut ram = SimRam::new(1 << 20);
+        let _ = ram.alloc(8, 3);
+    }
+}

@@ -1,0 +1,356 @@
+//! Address newtypes used throughout the simulator.
+//!
+//! The paper (and this reproduction) works at three granularities:
+//!
+//! * **byte** — [`PhysAddr`], a 64-bit physical byte address;
+//! * **cache line** — [`LineAddr`], a 64-byte-aligned block (the granularity
+//!   of every cache side channel considered by the paper, §2.4);
+//! * **page** — [`PageIdx`], a 4 KiB page holding exactly 64 lines, which is
+//!   the granularity at which the BIA bitmap table records existence and
+//!   dirtiness information (§4.1).
+//!
+//! The newtypes make it impossible to confuse the three in APIs
+//! (C-NEWTYPE), and all conversions are explicit and free.
+
+use std::fmt;
+
+/// Size of a cache line in bytes (fixed at 64, matching the paper §2.4).
+pub const LINE_BYTES: u64 = 64;
+/// log2 of [`LINE_BYTES`].
+pub const LINE_SHIFT: u32 = 6;
+/// Size of a page in bytes (fixed at 4096, matching the paper §4.1).
+pub const PAGE_BYTES: u64 = 4096;
+/// log2 of [`PAGE_BYTES`].
+pub const PAGE_SHIFT: u32 = 12;
+/// Number of cache lines per page: `4096 / 64 = 64`, which is why a single
+/// 64-bit word can record one existence (or dirtiness) bit per line (§4.1).
+pub const LINES_PER_PAGE: u64 = PAGE_BYTES / LINE_BYTES;
+
+/// A physical byte address in the simulated machine.
+///
+/// The simulated machine uses identity virtual-to-physical mapping, which is
+/// consistent with the paper's observation that only the low 12 bits (page
+/// offset) of an address are needed to drive the BIA algorithms and those
+/// bits are identical between virtual and physical addresses (§4.1).
+///
+/// # Examples
+///
+/// ```
+/// use ctbia_sim::addr::PhysAddr;
+///
+/// let a = PhysAddr::new(0x1048);
+/// assert_eq!(a.line().index_in_page(), 1); // 0x1048 is in line 1 of its page
+/// assert_eq!(a.page().raw(), 0x1);
+/// assert_eq!(a.line_offset(), 0x08);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates a physical address from a raw byte address.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+
+    /// Returns the raw 64-bit byte address.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The cache line containing this address.
+    #[inline]
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+
+    /// The page containing this address.
+    #[inline]
+    pub const fn page(self) -> PageIdx {
+        PageIdx(self.0 >> PAGE_SHIFT)
+    }
+
+    /// The byte offset within the containing cache line (`addr[5:0]`).
+    #[inline]
+    pub const fn line_offset(self) -> u64 {
+        self.0 & (LINE_BYTES - 1)
+    }
+
+    /// The byte offset within the containing page (`addr[11:0]`).
+    ///
+    /// This is the quantity the paper's Algorithms 2 and 3 splice onto each
+    /// page index to form `addr_to_read` / `addr_to_write`.
+    #[inline]
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_BYTES - 1)
+    }
+
+    /// Returns this address advanced by `bytes`.
+    #[inline]
+    pub const fn offset(self, bytes: u64) -> Self {
+        PhysAddr(self.0 + bytes)
+    }
+
+    /// Returns this address aligned down to an 8-byte boundary (the window
+    /// returned by a `CTLoad`).
+    #[inline]
+    pub const fn align_down_u64(self) -> Self {
+        PhysAddr(self.0 & !7)
+    }
+
+    /// Returns `true` if this address is aligned to `align` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    #[inline]
+    pub fn is_aligned(self, align: u64) -> bool {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        self.0 & (align - 1) == 0
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+}
+
+/// A cache-line address: a byte address shifted right by [`LINE_SHIFT`].
+///
+/// Two byte addresses within the same 64-byte block map to the same
+/// `LineAddr`. This is the unit the caches, the BIA, and every dataflow
+/// linearization set operate on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a raw line number (byte address / 64).
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        LineAddr(raw)
+    }
+
+    /// Returns the raw line number.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The first byte address of this line.
+    #[inline]
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr(self.0 << LINE_SHIFT)
+    }
+
+    /// The page containing this line.
+    #[inline]
+    pub const fn page(self) -> PageIdx {
+        PageIdx(self.0 >> (PAGE_SHIFT - LINE_SHIFT))
+    }
+
+    /// The index of this line within its page, in `0..64`.
+    ///
+    /// This is the bit position used for this line in a BIA existence or
+    /// dirtiness bitmap.
+    #[inline]
+    pub const fn index_in_page(self) -> u32 {
+        (self.0 & (LINES_PER_PAGE - 1)) as u32
+    }
+
+    /// Returns the line `n` lines after this one.
+    #[inline]
+    pub const fn offset(self, n: u64) -> Self {
+        LineAddr(self.0 + n)
+    }
+
+    /// Returns the byte address at `byte_offset` within this line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `byte_offset >= 64`.
+    #[inline]
+    pub fn with_offset(self, byte_offset: u64) -> PhysAddr {
+        assert!(
+            byte_offset < LINE_BYTES,
+            "offset {byte_offset} exceeds line size"
+        );
+        PhysAddr((self.0 << LINE_SHIFT) | byte_offset)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {:#x}", self.0)
+    }
+}
+
+impl From<PhysAddr> for LineAddr {
+    fn from(a: PhysAddr) -> Self {
+        a.line()
+    }
+}
+
+/// A page index: a byte address shifted right by [`PAGE_SHIFT`].
+///
+/// This is the tag stored in a BIA entry (§4.2): one entry records the
+/// existence and dirtiness bits for the 64 lines of one page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageIdx(u64);
+
+impl PageIdx {
+    /// Creates a page index from a raw page number (byte address / 4096).
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        PageIdx(raw)
+    }
+
+    /// Returns the raw page number.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The first byte address of this page.
+    #[inline]
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// The first line of this page.
+    #[inline]
+    pub const fn first_line(self) -> LineAddr {
+        LineAddr(self.0 << (PAGE_SHIFT - LINE_SHIFT))
+    }
+
+    /// The `i`-th line of this page (`i` in `0..64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 64`.
+    #[inline]
+    pub fn line(self, i: u32) -> LineAddr {
+        assert!((i as u64) < LINES_PER_PAGE, "line index {i} exceeds page");
+        LineAddr((self.0 << (PAGE_SHIFT - LINE_SHIFT)) | i as u64)
+    }
+
+    /// The byte address formed by splicing `page_offset` (`addr[11:0]`) onto
+    /// this page index — the `page_i | ld_addr[11:0]` operation of the
+    /// paper's Algorithms 2 and 3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_offset >= 4096`.
+    #[inline]
+    pub fn join(self, page_offset: u64) -> PhysAddr {
+        assert!(
+            page_offset < PAGE_BYTES,
+            "offset {page_offset} exceeds page size"
+        );
+        PhysAddr((self.0 << PAGE_SHIFT) | page_offset)
+    }
+}
+
+impl fmt::Display for PageIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page {:#x}", self.0)
+    }
+}
+
+impl From<PhysAddr> for PageIdx {
+    fn from(a: PhysAddr) -> Self {
+        a.page()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_addresses() {
+        // The example in the paper's Figure 3: target load 0x1048, DS covers
+        // lines at 0x1008, 0x1048, 0x1088, 0x10c8, 0x1108.
+        let target = PhysAddr::new(0x1048);
+        assert_eq!(target.line().base().raw(), 0x1040);
+        assert_eq!(target.page().raw(), 1);
+        assert_eq!(target.page_offset(), 0x48);
+        assert_eq!(target.line_offset(), 0x8);
+        assert_eq!(target.line().index_in_page(), 1);
+    }
+
+    #[test]
+    fn line_round_trips() {
+        let a = PhysAddr::new(0xdead_beef);
+        let l = a.line();
+        assert_eq!(l.with_offset(a.line_offset()), a);
+        assert_eq!(l.page(), a.page());
+        assert!(l.base().raw() <= a.raw());
+        assert!(a.raw() < l.base().raw() + LINE_BYTES);
+    }
+
+    #[test]
+    fn page_join_reconstructs_address() {
+        let a = PhysAddr::new(0x7_3fa8);
+        assert_eq!(a.page().join(a.page_offset()), a);
+    }
+
+    #[test]
+    fn page_lines_cover_page() {
+        let p = PageIdx::new(42);
+        for i in 0..64 {
+            let l = p.line(i);
+            assert_eq!(l.page(), p);
+            assert_eq!(l.index_in_page(), i);
+        }
+        assert_eq!(p.first_line(), p.line(0));
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        assert!(PhysAddr::new(0x1000).is_aligned(4096));
+        assert!(!PhysAddr::new(0x1008).is_aligned(4096));
+        assert_eq!(PhysAddr::new(0x1049).align_down_u64().raw(), 0x1048);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds line size")]
+    fn with_offset_rejects_out_of_line() {
+        LineAddr::new(0).with_offset(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds page")]
+    fn page_line_rejects_out_of_page() {
+        PageIdx::new(0).line(64);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(PhysAddr::new(0x1048).to_string(), "0x1048");
+        assert_eq!(format!("{:x}", PhysAddr::new(0x1048)), "1048");
+        assert_eq!(LineAddr::new(0x41).to_string(), "line 0x41");
+        assert_eq!(PageIdx::new(0x1).to_string(), "page 0x1");
+    }
+
+    #[test]
+    fn conversions() {
+        let a = PhysAddr::from(0x2040u64);
+        assert_eq!(LineAddr::from(a), a.line());
+        assert_eq!(PageIdx::from(a), a.page());
+        assert_eq!(a.offset(8).raw(), 0x2048);
+    }
+}

@@ -1,0 +1,525 @@
+//! A single set-associative, write-back cache level.
+//!
+//! The cache stores no data — data lives in the simulated RAM owned by the
+//! machine — only tags, valid bits, and dirty bits, which is exactly the
+//! state the paper's BIA mirrors. The [`Hierarchy`](crate::hierarchy)
+//! composes several `Cache` levels into the full memory system.
+//!
+//! Two access paths matter for the paper:
+//!
+//! * [`Cache::access`] — a demand access. Counts against the per-set access
+//!   counters (the statistic the paper's Figure 10 security test observes)
+//!   and, unless the caller opts out, updates replacement state.
+//! * [`Cache::probe`] — the lookup performed by `CTLoad`/`CTStore`. It
+//!   changes *no* state (no fill, no replacement update, no dirty-bit
+//!   change) and is therefore architecturally invisible to a Prime+Probe
+//!   attacker; it is deliberately excluded from the per-set access counters
+//!   and recorded under a separate statistic.
+
+use crate::addr::{LineAddr, PageIdx, LINES_PER_PAGE};
+use crate::config::{CacheConfig, ConfigError};
+use crate::replacement::ReplacementState;
+use crate::stats::CacheStats;
+
+/// Whether an access reads or writes the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store (marks the line dirty on hit/fill).
+    Write,
+}
+
+/// The result of a demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was present.
+    Hit {
+        /// Dirty state of the line *after* the access (a write hit sets it).
+        dirty: bool,
+        /// Whether the access flipped the dirty bit from clean to dirty.
+        dirtied: bool,
+    },
+    /// The line was absent. The caller is responsible for filling it (after
+    /// fetching from the next level) via [`Cache::fill`].
+    Miss,
+}
+
+/// The result of a non-destructive probe (`CTLoad`/`CTStore` lookup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeOutcome {
+    /// Whether the line is resident.
+    pub resident: bool,
+    /// Whether the line is resident *and* dirty.
+    pub dirty: bool,
+}
+
+/// A line pushed out of the cache by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The evicted line.
+    pub line: LineAddr,
+    /// Whether it was dirty (and therefore must be written back).
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+}
+
+/// One set-associative cache level.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    ways: Vec<Way>,
+    repl: ReplacementState,
+    stats: CacheStats,
+    set_accesses: Vec<u64>,
+    num_sets: usize,
+    set_mask: u64,
+    set_bits: u32,
+}
+
+impl Cache {
+    /// Builds a cache from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the configuration is invalid.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ctbia_sim::cache::Cache;
+    /// use ctbia_sim::config::CacheConfig;
+    ///
+    /// let cache = Cache::new(CacheConfig::new("L1d", 64 * 1024, 8, 2))?;
+    /// assert_eq!(cache.num_sets(), 128);
+    /// # Ok::<(), ctbia_sim::config::ConfigError>(())
+    /// ```
+    pub fn new(cfg: CacheConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let num_sets = cfg.num_sets() as usize;
+        let assoc = cfg.associativity as usize;
+        // Deterministic per-cache seed so Random replacement differs between
+        // levels but is reproducible across runs.
+        let seed = cfg.name.bytes().fold(0x9e37_79b9_7f4a_7c15u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+        });
+        Ok(Cache {
+            repl: ReplacementState::new(cfg.replacement, num_sets, assoc, seed),
+            ways: vec![Way::default(); num_sets * assoc],
+            stats: CacheStats::default(),
+            set_accesses: vec![0; num_sets],
+            num_sets,
+            set_mask: num_sets as u64 - 1,
+            set_bits: (num_sets as u64).trailing_zeros(),
+            cfg,
+        })
+    }
+
+    /// The configuration this cache was built from.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Hit latency in cycles.
+    pub fn hit_latency(&self) -> u64 {
+        self.cfg.hit_latency
+    }
+
+    /// The set index a line maps to.
+    #[inline]
+    pub fn set_index(&self, line: LineAddr) -> usize {
+        (line.raw() & self.set_mask) as usize
+    }
+
+    #[inline]
+    fn tag_of(&self, line: LineAddr) -> u64 {
+        line.raw() >> self.set_bits
+    }
+
+    #[inline]
+    fn find(&self, line: LineAddr) -> Option<usize> {
+        let set = self.set_index(line);
+        let tag = self.tag_of(line);
+        let base = set * self.cfg.associativity as usize;
+        (0..self.cfg.associativity as usize)
+            .map(|w| base + w)
+            .find(|&i| self.ways[i].valid && self.ways[i].tag == tag)
+    }
+
+    /// Reconstructs the line stored in `ways[i]` of `set`.
+    fn line_of(&self, set: usize, way_idx: usize) -> LineAddr {
+        let w = &self.ways[set * self.cfg.associativity as usize + way_idx];
+        LineAddr::new((w.tag << self.set_bits) | set as u64)
+    }
+
+    /// A demand access: hit or miss, with statistics and (optionally)
+    /// replacement update. A miss does **not** fill; call [`Cache::fill`]
+    /// once the next level has supplied the line.
+    ///
+    /// `update_replacement = false` implements the paper's replacement-
+    /// neutral access (§3.2): the access behaves normally but leaves the
+    /// LRU state untouched so that a later attacker probe cannot tell which
+    /// resident line was touched.
+    pub fn access(
+        &mut self,
+        line: LineAddr,
+        kind: AccessKind,
+        update_replacement: bool,
+    ) -> AccessOutcome {
+        let set = self.set_index(line);
+        self.set_accesses[set] += 1;
+        match kind {
+            AccessKind::Read => self.stats.reads += 1,
+            AccessKind::Write => self.stats.writes += 1,
+        }
+        match self.find(line) {
+            Some(i) => {
+                self.stats.hits += 1;
+                let way_in_set = i - set * self.cfg.associativity as usize;
+                if update_replacement {
+                    self.repl.on_hit(set, way_in_set);
+                }
+                let dirtied = kind == AccessKind::Write && !self.ways[i].dirty;
+                if kind == AccessKind::Write {
+                    self.ways[i].dirty = true;
+                }
+                AccessOutcome::Hit {
+                    dirty: self.ways[i].dirty,
+                    dirtied,
+                }
+            }
+            None => {
+                self.stats.misses += 1;
+                AccessOutcome::Miss
+            }
+        }
+    }
+
+    /// A state-free lookup: the cache access half of `CTLoad`/`CTStore`.
+    ///
+    /// Does not touch replacement state, dirty bits, or per-set access
+    /// counters; increments only the dedicated probe statistic. See the
+    /// module docs for why probes are excluded from per-set counts.
+    pub fn probe(&mut self, line: LineAddr) -> ProbeOutcome {
+        self.stats.probes += 1;
+        match self.find(line) {
+            Some(i) => ProbeOutcome {
+                resident: true,
+                dirty: self.ways[i].dirty,
+            },
+            None => ProbeOutcome {
+                resident: false,
+                dirty: false,
+            },
+        }
+    }
+
+    /// Installs `line`, evicting a victim if the set is full.
+    ///
+    /// `dirty` marks the incoming line dirty immediately (used when a write
+    /// allocates, or when a dirty victim from an upper level is written back
+    /// into this level).
+    pub fn fill(&mut self, line: LineAddr, dirty: bool) -> Option<Evicted> {
+        debug_assert!(self.find(line).is_none(), "fill of already-resident {line}");
+        let set = self.set_index(line);
+        let assoc = self.cfg.associativity as usize;
+        let base = set * assoc;
+        let slot = (0..assoc).find(|&w| !self.ways[base + w].valid);
+        let (way, evicted) = match slot {
+            Some(w) => (w, None),
+            None => {
+                let victim = self.repl.victim(set);
+                let old = self.ways[base + victim];
+                let ev = Evicted {
+                    line: self.line_of(set, victim),
+                    dirty: old.dirty,
+                };
+                self.stats.evictions += 1;
+                if old.dirty {
+                    self.stats.writebacks += 1;
+                }
+                (victim, Some(ev))
+            }
+        };
+        self.ways[base + way] = Way {
+            tag: self.tag_of(line),
+            valid: true,
+            dirty,
+        };
+        self.repl.on_fill(set, way);
+        self.stats.fills += 1;
+        evicted
+    }
+
+    /// Sets the dirty bit of `line` without counting a demand access — used
+    /// when a dirty victim from an upper level is written back into a line
+    /// already resident here.
+    ///
+    /// Returns `true` if the bit changed from clean to dirty, `false` if the
+    /// line was absent or already dirty.
+    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        match self.find(line) {
+            Some(i) if !self.ways[i].dirty => {
+                self.ways[i].dirty = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Removes `line` if present, returning its dirty state.
+    ///
+    /// Returns `None` if the line was not resident.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
+        let i = self.find(line)?;
+        let dirty = self.ways[i].dirty;
+        self.ways[i] = Way::default();
+        self.stats.invalidations += 1;
+        Some(dirty)
+    }
+
+    /// Ground truth: is `line` resident?
+    pub fn is_resident(&self, line: LineAddr) -> bool {
+        self.find(line).is_some()
+    }
+
+    /// Ground truth: is `line` resident and dirty?
+    pub fn is_dirty(&self, line: LineAddr) -> bool {
+        self.find(line).map(|i| self.ways[i].dirty).unwrap_or(false)
+    }
+
+    /// Ground-truth existence/dirtiness bitmaps for the 64 lines of `page`,
+    /// in the same bit layout as a BIA entry (bit *i* = line *i* of the
+    /// page). Used by tests to check the BIA-subset invariant (§5.2).
+    pub fn page_truth(&self, page: PageIdx) -> (u64, u64) {
+        let mut exist = 0u64;
+        let mut dirty = 0u64;
+        for i in 0..LINES_PER_PAGE as u32 {
+            if let Some(w) = self.find(page.line(i)) {
+                exist |= 1 << i;
+                if self.ways[w].dirty {
+                    dirty |= 1 << i;
+                }
+            }
+        }
+        (exist, dirty)
+    }
+
+    /// All currently resident lines (unordered). Intended for tests and
+    /// debugging; linear in the cache size.
+    pub fn resident_lines(&self) -> Vec<LineAddr> {
+        let assoc = self.cfg.associativity as usize;
+        let mut out = Vec::new();
+        for set in 0..self.num_sets {
+            for w in 0..assoc {
+                if self.ways[set * assoc + w].valid {
+                    out.push(self.line_of(set, w));
+                }
+            }
+        }
+        out
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Per-set demand access counts (the Figure 10 statistic).
+    pub fn set_access_counts(&self) -> &[u64] {
+        &self.set_accesses
+    }
+
+    /// Zeroes statistics and per-set counters (cache contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+        for c in &mut self.set_accesses {
+            *c = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways.
+        Cache::new(CacheConfig::new("T", 4 * 2 * 64, 2, 1)).unwrap()
+    }
+
+    fn line(set: u64, tag: u64) -> LineAddr {
+        LineAddr::new(tag << 2 | set)
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        let l = line(1, 5);
+        assert_eq!(c.access(l, AccessKind::Read, true), AccessOutcome::Miss);
+        assert!(c.fill(l, false).is_none());
+        assert!(matches!(
+            c.access(l, AccessKind::Read, true),
+            AccessOutcome::Hit { dirty: false, .. }
+        ));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn write_hit_sets_dirty_once() {
+        let mut c = tiny();
+        let l = line(0, 3);
+        c.fill(l, false);
+        let o = c.access(l, AccessKind::Write, true);
+        assert_eq!(
+            o,
+            AccessOutcome::Hit {
+                dirty: true,
+                dirtied: true
+            }
+        );
+        let o = c.access(l, AccessKind::Write, true);
+        assert_eq!(
+            o,
+            AccessOutcome::Hit {
+                dirty: true,
+                dirtied: false
+            }
+        );
+        assert!(c.is_dirty(l));
+    }
+
+    #[test]
+    fn eviction_reports_dirty_victim() {
+        let mut c = tiny();
+        let a = line(2, 1);
+        let b = line(2, 2);
+        let d = line(2, 3);
+        c.fill(a, false);
+        c.fill(b, false);
+        c.access(a, AccessKind::Write, true); // dirty a; b is now LRU victim
+        let ev = c.fill(d, false).expect("set full, must evict");
+        assert_eq!(
+            ev,
+            Evicted {
+                line: b,
+                dirty: false
+            }
+        );
+        // Next fill must evict dirty `a`.
+        let ev = c.fill(line(2, 4), false).expect("evict again");
+        assert_eq!(
+            ev,
+            Evicted {
+                line: a,
+                dirty: true
+            }
+        );
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn probe_changes_nothing() {
+        let mut c = tiny();
+        let a = line(1, 1);
+        let b = line(1, 2);
+        c.fill(a, false);
+        c.fill(b, false);
+        c.access(b, AccessKind::Read, true); // a is LRU victim
+        let before_sets: Vec<u64> = c.set_access_counts().to_vec();
+        let p = c.probe(a);
+        assert!(p.resident && !p.dirty);
+        assert!(!c.probe(line(1, 9)).resident);
+        // Probes must not perturb per-set counters, hit/miss stats, or LRU.
+        assert_eq!(c.set_access_counts(), before_sets.as_slice());
+        assert_eq!(c.stats().probes, 2);
+        assert_eq!(c.stats().misses, 0);
+        let ev = c.fill(line(1, 3), false).unwrap();
+        assert_eq!(ev.line, a, "probe must not refresh LRU");
+    }
+
+    #[test]
+    fn replacement_neutral_access_preserves_lru() {
+        let mut c = tiny();
+        let a = line(3, 1);
+        let b = line(3, 2);
+        c.fill(a, false);
+        c.fill(b, false);
+        // Touch `a` without updating replacement: `a` stays the LRU victim.
+        c.access(a, AccessKind::Read, false);
+        let ev = c.fill(line(3, 3), false).unwrap();
+        assert_eq!(ev.line, a);
+    }
+
+    #[test]
+    fn invalidate_removes_and_reports_dirty() {
+        let mut c = tiny();
+        let l = line(0, 7);
+        c.fill(l, true);
+        assert_eq!(c.invalidate(l), Some(true));
+        assert!(!c.is_resident(l));
+        assert_eq!(c.invalidate(l), None);
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn page_truth_matches_contents() {
+        let mut c = Cache::new(CacheConfig::new("T", 64 * 1024, 8, 1)).unwrap();
+        let page = PageIdx::new(3);
+        c.fill(page.line(0), false);
+        c.fill(page.line(5), true);
+        c.fill(page.line(63), false);
+        let (exist, dirty) = c.page_truth(page);
+        assert_eq!(exist, 1 | 1 << 5 | 1 << 63);
+        assert_eq!(dirty, 1 << 5);
+    }
+
+    #[test]
+    fn set_access_counts_track_demand_accesses() {
+        let mut c = tiny();
+        let l = line(2, 1);
+        c.access(l, AccessKind::Read, true); // miss counts too
+        c.fill(l, false);
+        c.access(l, AccessKind::Read, true);
+        c.access(l, AccessKind::Write, true);
+        assert_eq!(c.set_access_counts(), &[0, 0, 3, 0]);
+        c.reset_stats();
+        assert_eq!(c.set_access_counts(), &[0, 0, 0, 0]);
+        assert_eq!(c.stats().hits, 0);
+        assert!(c.is_resident(l), "reset_stats must keep contents");
+    }
+
+    #[test]
+    fn resident_lines_enumerates() {
+        let mut c = tiny();
+        c.fill(line(0, 1), false);
+        c.fill(line(3, 9), false);
+        let mut lines = c.resident_lines();
+        lines.sort();
+        assert_eq!(lines, vec![line(0, 1), line(3, 9)]);
+    }
+
+    #[test]
+    fn fills_prefer_invalid_ways() {
+        let mut c = tiny();
+        let a = line(1, 1);
+        c.fill(a, false);
+        c.invalidate(a);
+        // Set has an invalid way; filling must not evict the other way.
+        c.fill(line(1, 2), false);
+        assert!(c.fill(line(1, 3), false).is_none());
+    }
+}

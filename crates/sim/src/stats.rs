@@ -1,0 +1,237 @@
+//! Statistics counters for caches, DRAM, and the hierarchy.
+//!
+//! These counters are the raw material of every figure in the paper's
+//! evaluation: Figure 8 plots ratios of instruction counts and icache/
+//! dcache/DRAM access counts, the §3.1 table reports L1d/L1i references and
+//! LLC misses, and Figure 10 reports per-set access counts (kept in
+//! [`Cache`](crate::cache::Cache) itself).
+
+use std::fmt;
+use std::ops::Sub;
+
+/// Counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand read accesses.
+    pub reads: u64,
+    /// Demand write accesses.
+    pub writes: u64,
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Lines installed.
+    pub fills: u64,
+    /// Lines evicted by capacity/conflict.
+    pub evictions: u64,
+    /// Dirty evictions (write-backs to the next level).
+    pub writebacks: u64,
+    /// Explicit invalidations.
+    pub invalidations: u64,
+    /// State-free probes (`CTLoad`/`CTStore` lookups).
+    pub probes: u64,
+}
+
+impl CacheStats {
+    /// Total demand accesses (reads + writes).
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Demand miss ratio in `[0, 1]`; `0` when there were no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+impl Sub for CacheStats {
+    type Output = CacheStats;
+
+    fn sub(self, rhs: CacheStats) -> CacheStats {
+        CacheStats {
+            reads: self.reads - rhs.reads,
+            writes: self.writes - rhs.writes,
+            hits: self.hits - rhs.hits,
+            misses: self.misses - rhs.misses,
+            fills: self.fills - rhs.fills,
+            evictions: self.evictions - rhs.evictions,
+            writebacks: self.writebacks - rhs.writebacks,
+            invalidations: self.invalidations - rhs.invalidations,
+            probes: self.probes - rhs.probes,
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "accesses {} (r {} / w {}), hits {}, misses {} ({:.2}%), fills {}, evictions {}, writebacks {}, probes {}",
+            self.accesses(),
+            self.reads,
+            self.writes,
+            self.hits,
+            self.misses,
+            100.0 * self.miss_ratio(),
+            self.fills,
+            self.evictions,
+            self.writebacks,
+            self.probes,
+        )
+    }
+}
+
+/// Counters for the DRAM model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Read accesses reaching DRAM.
+    pub reads: u64,
+    /// Write accesses reaching DRAM (write-backs and bypass stores).
+    pub writes: u64,
+    /// Row-buffer hits (open-row model only).
+    pub row_hits: u64,
+    /// Row-buffer misses (every access in the closed-row model).
+    pub row_misses: u64,
+}
+
+impl DramStats {
+    /// Total DRAM accesses.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl Sub for DramStats {
+    type Output = DramStats;
+
+    fn sub(self, rhs: DramStats) -> DramStats {
+        DramStats {
+            reads: self.reads - rhs.reads,
+            writes: self.writes - rhs.writes,
+            row_hits: self.row_hits - rhs.row_hits,
+            row_misses: self.row_misses - rhs.row_misses,
+        }
+    }
+}
+
+impl fmt::Display for DramStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "accesses {} (r {} / w {}), row hits {}, row misses {}",
+            self.accesses(),
+            self.reads,
+            self.writes,
+            self.row_hits,
+            self.row_misses,
+        )
+    }
+}
+
+/// A snapshot of every counter in a [`Hierarchy`](crate::hierarchy::Hierarchy).
+///
+/// Snapshots subtract (`after - before`) so a measurement region is simply
+/// two snapshots around the code of interest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// L1 instruction cache counters.
+    pub l1i: CacheStats,
+    /// L1 data cache counters.
+    pub l1d: CacheStats,
+    /// L2 counters.
+    pub l2: CacheStats,
+    /// Last-level cache counters.
+    pub llc: CacheStats,
+    /// DRAM counters.
+    pub dram: DramStats,
+    /// Lines installed by the prefetcher.
+    pub prefetch_fills: u64,
+}
+
+impl Sub for HierarchyStats {
+    type Output = HierarchyStats;
+
+    fn sub(self, rhs: HierarchyStats) -> HierarchyStats {
+        HierarchyStats {
+            l1i: self.l1i - rhs.l1i,
+            l1d: self.l1d - rhs.l1d,
+            l2: self.l2 - rhs.l2,
+            llc: self.llc - rhs.llc,
+            dram: self.dram - rhs.dram,
+            prefetch_fills: self.prefetch_fills - rhs.prefetch_fills,
+        }
+    }
+}
+
+impl fmt::Display for HierarchyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "L1i:  {}", self.l1i)?;
+        writeln!(f, "L1d:  {}", self.l1d)?;
+        writeln!(f, "L2:   {}", self.l2)?;
+        writeln!(f, "LLC:  {}", self.llc)?;
+        write!(f, "DRAM: {}", self.dram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accesses_and_miss_ratio() {
+        let s = CacheStats {
+            reads: 6,
+            writes: 4,
+            hits: 8,
+            misses: 2,
+            ..Default::default()
+        };
+        assert_eq!(s.accesses(), 10);
+        assert!((s.miss_ratio() - 0.2).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_subtraction() {
+        let before = CacheStats {
+            reads: 5,
+            hits: 4,
+            misses: 1,
+            ..Default::default()
+        };
+        let after = CacheStats {
+            reads: 25,
+            hits: 20,
+            misses: 5,
+            ..Default::default()
+        };
+        let d = after - before;
+        assert_eq!(d.reads, 20);
+        assert_eq!(d.hits, 16);
+        assert_eq!(d.misses, 4);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert!(!CacheStats::default().to_string().is_empty());
+        assert!(!DramStats::default().to_string().is_empty());
+        let h = HierarchyStats::default().to_string();
+        assert!(h.contains("L1d") && h.contains("DRAM"));
+    }
+
+    #[test]
+    fn hierarchy_subtraction_covers_all_fields() {
+        let mut a = HierarchyStats::default();
+        a.l1d.reads = 10;
+        a.dram.writes = 3;
+        a.prefetch_fills = 2;
+        let d = a - HierarchyStats::default();
+        assert_eq!(d.l1d.reads, 10);
+        assert_eq!(d.dram.writes, 3);
+        assert_eq!(d.prefetch_fills, 2);
+    }
+}

@@ -1,0 +1,177 @@
+//! Binary search — Figure 7d workload.
+//!
+//! Searching a sorted array for a secret key: the probe addresses follow
+//! the comparison trace (Table 2), so every probe's dataflow linearization
+//! set is the whole array (`O(length_of_array)`).
+//!
+//! The kernel is a fixed-iteration lower-bound search (`ceil(log2(n)) + 1`
+//! probes with branchless bound updates) in **all** strategies, so outputs
+//! are identical and the only difference between strategies is how the
+//! probe load is performed. The insecure variant issues direct loads —
+//! whose addresses leak the comparison trace.
+
+use crate::run::{digest_u64, size_label, InputRng, Run, Workload};
+use crate::strategy::Strategy;
+use ctbia_core::ctmem::CtMemory;
+use ctbia_core::ctmem::Width;
+use ctbia_core::ds::DataflowSet;
+use ctbia_core::predicate::{ct_lt, select};
+use ctbia_machine::{Counters, Machine};
+
+/// Per-probe bookkeeping: midpoint, clamp, compare, two bound selects.
+const PER_PROBE_INSTS: u64 = 8;
+
+/// The BinarySearch workload (the paper sweeps 2k–10k elements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinarySearch {
+    /// Sorted array length.
+    pub size: usize,
+    /// Number of secret keys searched per run.
+    pub searches: usize,
+    /// Key generation seed.
+    pub seed: u64,
+}
+
+impl BinarySearch {
+    /// A search workload over `size` elements, 20 searches, default seed.
+    pub fn new(size: usize) -> Self {
+        BinarySearch {
+            size,
+            searches: 20,
+            seed: 0xb5ea,
+        }
+    }
+
+    /// The sorted array contents: `a[i] = 3 * i + 1`.
+    pub fn array(&self) -> Vec<u32> {
+        (0..self.size as u32).map(|i| 3 * i + 1).collect()
+    }
+
+    /// The secret keys.
+    pub fn keys(&self) -> Vec<u32> {
+        let mut rng = InputRng::new(self.seed);
+        (0..self.searches)
+            .map(|_| rng.below(3 * self.size as u64 + 3) as u32)
+            .collect()
+    }
+
+    /// Runs the kernel; returns the lower-bound index for each key plus the
+    /// measured counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine lacks RAM or (for [`Strategy::Bia`]) a BIA.
+    pub fn run_full(&self, m: &mut Machine, strategy: Strategy) -> (Vec<u32>, Counters) {
+        let n = self.size as u64;
+        let data = self.array();
+        let keys = self.keys();
+        let arr = m.alloc_u32_array(n).expect("alloc array");
+        for (i, &v) in data.iter().enumerate() {
+            m.poke_u32(arr.offset(i as u64 * 4), v);
+        }
+        let ds = DataflowSet::contiguous(arr, n * 4);
+        let probes = (64 - (n - 1).leading_zeros() as u64) + 1; // ceil(log2 n) + 1
+
+        let mut results = Vec::with_capacity(keys.len());
+        let (_, counters) = m.measure(|m| {
+            for &key in &keys {
+                let mut lo = 0u64;
+                let mut hi = n;
+                for _ in 0..probes {
+                    m.exec(PER_PROBE_INSTS);
+                    let mid = (lo + hi) / 2;
+                    // Clamp so the probe address stays in range even when
+                    // the logical range is empty (fixed probe count).
+                    let idx = mid.min(n - 1);
+                    let v = strategy.load(m, &ds, arr.offset(idx * 4), Width::U32);
+                    let active = ct_lt(lo, hi);
+                    let go_right = ct_lt(v, key as u64) & active;
+                    lo = select(go_right, mid + 1, lo);
+                    hi = select(!go_right & active, mid, hi);
+                }
+                results.push(lo as u32);
+            }
+        });
+        (results, counters)
+    }
+}
+
+/// Plain-Rust reference: lower-bound index (first element `>= key`).
+pub fn reference(array: &[u32], keys: &[u32]) -> Vec<u32> {
+    keys.iter()
+        .map(|&k| array.partition_point(|&v| v < k) as u32)
+        .collect()
+}
+
+impl Workload for BinarySearch {
+    fn name(&self) -> String {
+        format!("bin_{}", size_label(self.size))
+    }
+
+    fn run(&self, m: &mut Machine, strategy: Strategy) -> Run {
+        let (idx, counters) = self.run_full(m, strategy);
+        Run {
+            digest: digest_u64(idx.into_iter().map(u64::from)),
+            counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctbia_machine::BiaPlacement;
+
+    #[test]
+    fn matches_reference_under_all_strategies() {
+        let wl = BinarySearch {
+            size: 700,
+            searches: 25,
+            seed: 3,
+        };
+        let expect = reference(&wl.array(), &wl.keys());
+        for strategy in [Strategy::Insecure, Strategy::software_ct(), Strategy::bia()] {
+            let mut m = if strategy.needs_bia() {
+                Machine::with_bia(BiaPlacement::L1d)
+            } else {
+                Machine::insecure()
+            };
+            let (idx, _) = wl.run_full(&mut m, strategy);
+            assert_eq!(idx, expect, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn finds_exact_and_boundary_keys() {
+        // Keys at, below, and above every element of a small array.
+        let wl = BinarySearch {
+            size: 8,
+            searches: 1,
+            seed: 0,
+        };
+        let arr = wl.array(); // 1,4,7,...,22
+        let keys = vec![0, 1, 2, 22, 23, 100];
+        let expect = reference(&arr, &keys);
+        assert_eq!(expect, vec![0, 0, 1, 7, 8, 8]);
+    }
+
+    #[test]
+    fn non_power_of_two_sizes() {
+        for size in [5usize, 9, 1000, 1023, 1025] {
+            let wl = BinarySearch {
+                size,
+                searches: 10,
+                seed: 1,
+            };
+            let expect = reference(&wl.array(), &wl.keys());
+            let mut m = Machine::insecure();
+            let (idx, _) = wl.run_full(&mut m, Strategy::Insecure);
+            assert_eq!(idx, expect, "size {size}");
+        }
+    }
+
+    #[test]
+    fn name_matches_paper() {
+        assert_eq!(BinarySearch::new(10_000).name(), "bin_10k");
+    }
+}

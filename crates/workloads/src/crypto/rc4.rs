@@ -1,0 +1,154 @@
+//! ARC4 (RC4) — genuine algorithm.
+//!
+//! The 256-byte state array `S` is read and written at secret indices in
+//! both the key schedule (`j` accumulates key bytes) and the PRGA (`j` and
+//! `S[i]+S[j]`). Sequential accesses at the public index `i` stay direct;
+//! every `j`/`t`-indexed access is routed through the [`Strategy`]. The DS
+//! is the whole state array — only 4 cache lines, the "small DS" regime of
+//! the paper's §6.3 where the BIA's per-page preprocessing can cost more
+//! than it saves.
+
+use super::SimTable;
+use crate::run::{digest_u64, InputRng, Run, Workload};
+use crate::strategy::Strategy;
+use ctbia_core::ctmem::CtMemory;
+use ctbia_machine::{Counters, Machine};
+
+/// Register work per RC4 step (index arithmetic, masking, loop).
+const PER_STEP_INSTS: u64 = 6;
+
+/// The ARC4 workload: key-schedule plus `stream_len` keystream bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rc4 {
+    /// Key length in bytes.
+    pub key_len: usize,
+    /// Keystream bytes generated per run.
+    pub stream_len: usize,
+    /// Key seed.
+    pub seed: u64,
+}
+
+impl Rc4 {
+    /// The secret key bytes.
+    pub fn key(&self) -> Vec<u8> {
+        let mut rng = InputRng::new(self.seed);
+        (0..self.key_len).map(|_| rng.below(256) as u8).collect()
+    }
+
+    /// Runs the kernel, returning the keystream and counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine lacks RAM or (for [`Strategy::Bia`]) a BIA.
+    pub fn run_full(&self, m: &mut Machine, strategy: Strategy) -> (Vec<u8>, Counters) {
+        let key = self.key();
+        let identity: Vec<u8> = (0..=255).collect();
+        let s = SimTable::new_u8(m, &identity);
+
+        let mut out = Vec::with_capacity(self.stream_len);
+        let (_, counters) = m.measure(|m| {
+            // KSA.
+            let mut j = 0u64;
+            for i in 0..256u64 {
+                let si = s.lookup_public(m, i);
+                j = (j + si + key[(i as usize) % key.len()] as u64) & 255;
+                m.exec(PER_STEP_INSTS);
+                let sj = s.lookup(m, strategy, j);
+                s.store_public(m, i, sj);
+                s.store(m, strategy, j, si);
+            }
+            // PRGA.
+            let mut i = 0u64;
+            let mut j = 0u64;
+            for _ in 0..self.stream_len {
+                i = (i + 1) & 255;
+                let si = s.lookup_public(m, i);
+                j = (j + si) & 255;
+                m.exec(PER_STEP_INSTS);
+                let sj = s.lookup(m, strategy, j);
+                s.store_public(m, i, sj);
+                s.store(m, strategy, j, si);
+                let t = (si + sj) & 255;
+                out.push(s.lookup(m, strategy, t) as u8);
+            }
+        });
+        (out, counters)
+    }
+}
+
+impl Default for Rc4 {
+    fn default() -> Self {
+        Rc4 {
+            key_len: 16,
+            stream_len: 64,
+            seed: 0xac4,
+        }
+    }
+}
+
+/// Plain-Rust RC4 reference.
+pub fn reference(key: &[u8], stream_len: usize) -> Vec<u8> {
+    let mut s: Vec<u8> = (0..=255).collect();
+    let mut j = 0u8;
+    for i in 0..256usize {
+        j = j.wrapping_add(s[i]).wrapping_add(key[i % key.len()]);
+        s.swap(i, j as usize);
+    }
+    let (mut i, mut j) = (0u8, 0u8);
+    (0..stream_len)
+        .map(|_| {
+            i = i.wrapping_add(1);
+            j = j.wrapping_add(s[i as usize]);
+            s.swap(i as usize, j as usize);
+            s[(s[i as usize].wrapping_add(s[j as usize])) as usize]
+        })
+        .collect()
+}
+
+impl Workload for Rc4 {
+    fn name(&self) -> String {
+        "ARC4".into()
+    }
+
+    fn run(&self, m: &mut Machine, strategy: Strategy) -> Run {
+        let (ks, counters) = self.run_full(m, strategy);
+        Run {
+            digest: digest_u64(ks.into_iter().map(u64::from)),
+            counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rc4_known_answer() {
+        // Wikipedia test vector: key "Key" -> keystream EB9F7781B734CA72A719...
+        let ks = reference(b"Key", 10);
+        assert_eq!(
+            ks,
+            [0xEB, 0x9F, 0x77, 0x81, 0xB7, 0x34, 0xCA, 0x72, 0xA7, 0x19]
+        );
+        // Key "Wiki" -> 6044DB6D41B7...
+        let ks = reference(b"Wiki", 6);
+        assert_eq!(ks, [0x60, 0x44, 0xDB, 0x6D, 0x41, 0xB7]);
+    }
+
+    #[test]
+    fn machine_run_matches_reference() {
+        let wl = Rc4 {
+            key_len: 8,
+            stream_len: 32,
+            seed: 77,
+        };
+        let expect = reference(&wl.key(), 32);
+        let mut m = Machine::insecure();
+        let (ks, _) = wl.run_full(&mut m, Strategy::Insecure);
+        assert_eq!(ks, expect);
+        let mut m = Machine::insecure();
+        let (ks, _) = wl.run_full(&mut m, Strategy::software_ct());
+        assert_eq!(ks, expect);
+    }
+}

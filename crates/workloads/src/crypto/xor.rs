@@ -1,0 +1,146 @@
+//! XOR cipher — the "nothing to linearize" control.
+//!
+//! `out[i] = in[i] ^ key[i % klen]`: every address is a public loop
+//! counter, so constant-time programming changes nothing and every
+//! strategy costs the same — the ≈1× bar at the right edge of Figure 9.
+
+use crate::run::{digest_u64, InputRng, Run, Workload};
+use crate::strategy::Strategy;
+use ctbia_core::ctmem::CtMemoryExt;
+use ctbia_machine::{Counters, Machine};
+
+/// Register work per element: index math, xor, loop.
+const PER_ELEMENT_INSTS: u64 = 5;
+
+/// The XOR workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XorCipher {
+    /// Message length in 32-bit words.
+    pub words: usize,
+    /// Key length in 32-bit words.
+    pub key_words: usize,
+    /// Input seed.
+    pub seed: u64,
+}
+
+impl XorCipher {
+    /// The secret message words.
+    pub fn message(&self) -> Vec<u32> {
+        let mut rng = InputRng::new(self.seed);
+        (0..self.words).map(|_| rng.next_u64() as u32).collect()
+    }
+
+    /// The secret key words.
+    pub fn key(&self) -> Vec<u32> {
+        let mut rng = InputRng::new(self.seed ^ 0xff);
+        (0..self.key_words).map(|_| rng.next_u64() as u32).collect()
+    }
+
+    /// Runs the kernel; returns the ciphertext and counters.
+    ///
+    /// The `strategy` parameter is accepted for harness uniformity but has
+    /// no effect: there are no secret-dependent addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine lacks RAM.
+    pub fn run_full(&self, m: &mut Machine, _strategy: Strategy) -> (Vec<u32>, Counters) {
+        let msg = self.message();
+        let key = self.key();
+        let n = self.words as u64;
+        let kn = self.key_words as u64;
+        let input = m.alloc_u32_array(n).expect("alloc in");
+        let karr = m.alloc_u32_array(kn).expect("alloc key");
+        let output = m.alloc_u32_array(n).expect("alloc out");
+        for (i, &v) in msg.iter().enumerate() {
+            m.poke_u32(input.offset(i as u64 * 4), v);
+        }
+        for (i, &v) in key.iter().enumerate() {
+            m.poke_u32(karr.offset(i as u64 * 4), v);
+        }
+        let (_, counters) = m.measure(|m| {
+            use ctbia_core::ctmem::CtMemory;
+            for i in 0..n {
+                let v = m.load_u32(input.offset(i * 4));
+                let k = m.load_u32(karr.offset((i % kn) * 4));
+                m.exec(PER_ELEMENT_INSTS);
+                m.store_u32(output.offset(i * 4), v ^ k);
+            }
+        });
+        let out = (0..n).map(|i| m.peek_u32(output.offset(i * 4))).collect();
+        (out, counters)
+    }
+}
+
+impl Default for XorCipher {
+    fn default() -> Self {
+        XorCipher {
+            words: 256,
+            key_words: 8,
+            seed: 0x0a,
+        }
+    }
+}
+
+/// Plain-Rust reference.
+pub fn reference(msg: &[u32], key: &[u32]) -> Vec<u32> {
+    msg.iter()
+        .enumerate()
+        .map(|(i, &v)| v ^ key[i % key.len()])
+        .collect()
+}
+
+impl Workload for XorCipher {
+    fn name(&self) -> String {
+        "XOR".into()
+    }
+
+    fn run(&self, m: &mut Machine, strategy: Strategy) -> Run {
+        let (ct, counters) = self.run_full(m, strategy);
+        Run {
+            digest: digest_u64(ct.into_iter().map(u64::from)),
+            counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_matches_reference() {
+        let wl = XorCipher {
+            words: 64,
+            key_words: 4,
+            seed: 1,
+        };
+        let expect = reference(&wl.message(), &wl.key());
+        let mut m = Machine::insecure();
+        let (ct, _) = wl.run_full(&mut m, Strategy::Insecure);
+        assert_eq!(ct, expect);
+    }
+
+    #[test]
+    fn strategy_has_no_cost_effect() {
+        let wl = XorCipher::default();
+        let mut a = Machine::insecure();
+        let ra = wl.run(&mut a, Strategy::Insecure);
+        let mut b = Machine::insecure();
+        let rb = wl.run(&mut b, Strategy::software_ct());
+        assert_eq!(ra.digest, rb.digest);
+        assert_eq!(ra.counters.cycles, rb.counters.cycles);
+    }
+
+    #[test]
+    fn xor_is_an_involution() {
+        let wl = XorCipher {
+            words: 32,
+            key_words: 3,
+            seed: 2,
+        };
+        let ct = reference(&wl.message(), &wl.key());
+        let pt = reference(&ct, &wl.key());
+        assert_eq!(pt, wl.message());
+    }
+}

@@ -1,0 +1,71 @@
+//! Benchmark descriptions — the content of the paper's Table 2.
+
+/// One row of Table 2: a program with partially predictable or
+/// data-dependent memory access patterns, its leak, and its DS size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchmarkInfo {
+    /// Program name as the paper spells it.
+    pub program: &'static str,
+    /// What the unmitigated access pattern leaks.
+    pub leakage: &'static str,
+    /// Asymptotic size of the dataflow linearization set.
+    pub ds_size: &'static str,
+}
+
+/// The five Ghostrider programs of Table 2.
+pub const TABLE2: [BenchmarkInfo; 5] = [
+    BenchmarkInfo {
+        program: "dijkstra",
+        leakage: "access to not-yet-selected vertex with minimum distance to source vertex in each iteration leaks graph structure",
+        ds_size: "O(number_of_Vertices^2)",
+    },
+    BenchmarkInfo {
+        program: "histogram",
+        leakage: "calculating bin number based on data value; accesses to bins expose data",
+        ds_size: "O(number_of_Bin)",
+    },
+    BenchmarkInfo {
+        program: "permutation",
+        leakage: "permutation a[b[i]] = i exposes b[i]",
+        ds_size: "O(length_of_array)",
+    },
+    BenchmarkInfo {
+        program: "binary search",
+        leakage: "accesses to elements in array leak comparison trace",
+        ds_size: "O(length_of_array)",
+    },
+    BenchmarkInfo {
+        program: "heappop",
+        leakage: "heap adjusting procedure brings different access patterns with different internal data values",
+        ds_size: "O(length_of_array)",
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_five_programs() {
+        assert_eq!(TABLE2.len(), 5);
+        let names: Vec<&str> = TABLE2.iter().map(|b| b.program).collect();
+        assert_eq!(
+            names,
+            [
+                "dijkstra",
+                "histogram",
+                "permutation",
+                "binary search",
+                "heappop"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_row_is_complete() {
+        for b in &TABLE2 {
+            assert!(!b.leakage.is_empty());
+            assert!(b.ds_size.starts_with("O("));
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Dijkstra — Figure 7a / Figure 8 workload.
+//!
+//! O(V²) single-source shortest paths over a complete weighted graph whose
+//! adjacency matrix is secret. Per Table 2, the leak is the access to the
+//! not-yet-selected vertex `u` with minimum distance: once `u` is chosen,
+//! the relaxation loop reads `adj[u][j]` for every `j` — a secret row
+//! index. For a fixed public `j`, the possible addresses of `adj[u][j]`
+//! form the matrix *column* `j` (stride `V * 4` bytes), so the union over
+//! the loop covers the whole matrix: DS size `O(V²)`, as the paper states.
+//!
+//! The min-scan itself reads `dist[]`/`selected[]` sequentially — public
+//! addresses — and keeps the running minimum in registers, so only the
+//! `selected[u]` marking and the `adj[u][j]` reads need linearization.
+
+use crate::run::{digest_u64, Run, Workload};
+use crate::strategy::Strategy;
+use ctbia_core::ctmem::CtMemory;
+use ctbia_core::ctmem::{CtMemoryExt, Width};
+use ctbia_core::ds::DataflowSet;
+use ctbia_core::predicate::{ct_eq, ct_lt, select};
+use ctbia_machine::{Counters, Machine};
+
+/// Weights are kept small so sums never approach the INF sentinel.
+const MAX_WEIGHT: u32 = 100;
+/// "Unreached" sentinel.
+const INF: u32 = u32::MAX / 4;
+/// Per-scan-step bookkeeping instructions (two compares, two selects, loop).
+const SCAN_INSTS: u64 = 6;
+/// Per-relaxation bookkeeping instructions (add, min-select, loop).
+const RELAX_INSTS: u64 = 6;
+
+/// The Dijkstra workload on `vertices` vertices (the paper sweeps
+/// 32–128).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dijkstra {
+    /// Vertex count.
+    pub vertices: usize,
+    /// Input generation seed.
+    pub seed: u64,
+}
+
+impl Dijkstra {
+    /// A complete graph of `vertices` vertices with the default seed.
+    pub fn new(vertices: usize) -> Self {
+        Dijkstra {
+            vertices,
+            seed: 0xd1d,
+        }
+    }
+
+    /// The secret adjacency matrix, row-major.
+    pub fn adjacency(&self) -> Vec<u32> {
+        let mut rng = crate::run::InputRng::new(self.seed);
+        let n = self.vertices;
+        let mut adj = vec![0u32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                adj[i * n + j] = if i == j {
+                    0
+                } else {
+                    1 + rng.below(MAX_WEIGHT as u64) as u32
+                };
+            }
+        }
+        adj
+    }
+
+    /// Runs the kernel; returns the distance vector from vertex 0 and the
+    /// measured counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine lacks RAM or (for [`Strategy::Bia`]) a BIA.
+    pub fn run_full(&self, m: &mut Machine, strategy: Strategy) -> (Vec<u32>, Counters) {
+        let n = self.vertices as u64;
+        let adj_data = self.adjacency();
+        let adj = m.alloc_u32_array(n * n).expect("alloc adj");
+        let dist = m.alloc_u32_array(n).expect("alloc dist");
+        let selected = m.alloc_u32_array(n).expect("alloc selected");
+        for (i, &w) in adj_data.iter().enumerate() {
+            m.poke_u32(adj.offset(i as u64 * 4), w);
+        }
+        // DS of adj[u][j] for public j, secret u: column j of the matrix.
+        let col_ds: Vec<DataflowSet> = (0..n)
+            .map(|j| DataflowSet::strided(adj.offset(j * 4), n, n * 4, 4))
+            .collect();
+        let ds_selected = DataflowSet::contiguous(selected, n * 4);
+
+        let (_, counters) = m.measure(|m| {
+            // Public initialization.
+            for i in 0..n {
+                m.store_u32(dist.offset(i * 4), if i == 0 { 0 } else { INF });
+                m.store_u32(selected.offset(i * 4), 0);
+                m.exec(2);
+            }
+            for _ in 0..n {
+                // Branchless arg-min over unselected vertices.
+                let mut best = INF as u64 + 1;
+                let mut u = 0u64;
+                for i in 0..n {
+                    let d = m.load_u32(dist.offset(i * 4)) as u64;
+                    let s = m.load_u32(selected.offset(i * 4)) as u64;
+                    m.exec(SCAN_INSTS);
+                    let better = ct_eq(s, 0) & ct_lt(d, best);
+                    best = select(better, d, best);
+                    u = select(better, i, u);
+                }
+                // Mark u selected: secret-indexed store, DS = selected[].
+                strategy.store(m, &ds_selected, selected.offset(u * 4), Width::U32, 1);
+                // Relax every edge out of u: adj[u][j] is a secret-row load.
+                for j in 0..n {
+                    let addr = adj.offset((u * n + j) * 4);
+                    let w = strategy.load(m, &col_ds[j as usize], addr, Width::U32);
+                    m.exec(RELAX_INSTS);
+                    let nd = (best + w).min(INF as u64);
+                    let dj = m.load_u32(dist.offset(j * 4)) as u64;
+                    let better = ct_lt(nd, dj);
+                    m.store_u32(dist.offset(j * 4), select(better, nd, dj) as u32);
+                }
+            }
+        });
+
+        let out = (0..n).map(|i| m.peek_u32(dist.offset(i * 4))).collect();
+        (out, counters)
+    }
+}
+
+/// Plain-Rust reference (standard O(V²) Dijkstra from vertex 0).
+pub fn reference(adj: &[u32], n: usize) -> Vec<u32> {
+    let mut dist = vec![INF; n];
+    let mut selected = vec![false; n];
+    dist[0] = 0;
+    for _ in 0..n {
+        let mut best = INF as u64 + 1;
+        let mut u = 0;
+        for (i, (&d, &s)) in dist.iter().zip(&selected).enumerate() {
+            if !s && (d as u64) < best {
+                best = d as u64;
+                u = i;
+            }
+        }
+        selected[u] = true;
+        for j in 0..n {
+            let nd = (best + adj[u * n + j] as u64).min(INF as u64) as u32;
+            if nd < dist[j] {
+                dist[j] = nd;
+            }
+        }
+    }
+    dist
+}
+
+impl Workload for Dijkstra {
+    fn name(&self) -> String {
+        format!("dij_{}", self.vertices)
+    }
+
+    fn run(&self, m: &mut Machine, strategy: Strategy) -> Run {
+        let (dist, counters) = self.run_full(m, strategy);
+        Run {
+            digest: digest_u64(dist.into_iter().map(u64::from)),
+            counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctbia_machine::BiaPlacement;
+
+    #[test]
+    fn matches_reference_under_all_strategies() {
+        let wl = Dijkstra {
+            vertices: 24,
+            seed: 4,
+        };
+        let expect = reference(&wl.adjacency(), 24);
+        for strategy in [Strategy::Insecure, Strategy::software_ct(), Strategy::bia()] {
+            let mut m = if strategy.needs_bia() {
+                Machine::with_bia(BiaPlacement::L1d)
+            } else {
+                Machine::insecure()
+            };
+            let (dist, _) = wl.run_full(&mut m, strategy);
+            assert_eq!(dist, expect, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn l2_bia_matches_reference() {
+        let wl = Dijkstra {
+            vertices: 16,
+            seed: 2,
+        };
+        let mut m = Machine::with_bia(BiaPlacement::L2);
+        let (dist, _) = wl.run_full(&mut m, Strategy::bia());
+        assert_eq!(dist, reference(&wl.adjacency(), 16));
+    }
+
+    #[test]
+    fn reference_sanity_on_a_tiny_graph() {
+        // 3 vertices: 0-1 cost 5, 0-2 cost 9, 1-2 cost 2.
+        #[rustfmt::skip]
+        let adj = vec![
+            0, 5, 9,
+            5, 0, 2,
+            9, 2, 0,
+        ];
+        assert_eq!(reference(&adj, 3), vec![0, 5, 7]);
+    }
+
+    #[test]
+    fn bia_beats_ct() {
+        let wl = Dijkstra::new(24);
+        let mut mc = Machine::insecure();
+        let ct = wl.run(&mut mc, Strategy::software_ct());
+        let mut mb = Machine::with_bia(BiaPlacement::L1d);
+        let bia = wl.run(&mut mb, Strategy::bia());
+        assert_eq!(ct.digest, bia.digest);
+        assert!(
+            bia.counters.cycles < ct.counters.cycles,
+            "BIA should beat CT"
+        );
+    }
+
+    #[test]
+    fn name_matches_paper() {
+        assert_eq!(Dijkstra::new(128).name(), "dij_128");
+    }
+}

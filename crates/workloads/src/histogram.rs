@@ -1,0 +1,184 @@
+//! Histogram — the paper's running example (§2.3, §3.1, Figures 2/7b/10).
+//!
+//! ```c
+//! void histogram(int in[], int out[]) {
+//!     for (i = 0; i < SIZE; i++) {
+//!         int v = in[i];
+//!         if (v > 0) t = v % SIZE; else t = (0 - v) % SIZE;
+//!         out[t] = out[t] + 1;
+//!     }
+//! }
+//! ```
+//!
+//! `in` holds secret values; the read-modify-write of `out[t]` is the
+//! secret-dependent access whose dataflow linearization set is the whole
+//! `out` array (Table 2: DS size `O(number_of_Bin)`). The bin computation
+//! itself is branchless (`t = |v| % SIZE`), so there is no secret branch to
+//! linearize — the paper notes Histogram's overhead is purely dataflow
+//! linearization.
+
+use crate::run::{digest_u64, size_label, InputRng, Run, Workload};
+use crate::strategy::Strategy;
+use ctbia_core::ctmem::CtMemory;
+use ctbia_core::ctmem::{CtMemoryExt, Width};
+use ctbia_core::ds::DataflowSet;
+use ctbia_core::predicate::ct_abs;
+use ctbia_machine::{Counters, Machine};
+
+/// Bookkeeping instructions per element besides the explicit memory
+/// operations: loop control, abs, modulo, address generation.
+const PER_ELEMENT_INSTS: u64 = 12;
+
+/// The Histogram workload. `size` is both the input length and the bin
+/// count, as in the paper's benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of input elements and bins (the paper sweeps 1k–10k).
+    pub size: usize,
+    /// Input generation seed.
+    pub seed: u64,
+}
+
+impl Histogram {
+    /// A histogram of `size` elements/bins with the default seed.
+    pub fn new(size: usize) -> Self {
+        Histogram { size, seed: 0x5eed }
+    }
+
+    /// The secret input vector.
+    pub fn input(&self) -> Vec<i32> {
+        let mut rng = InputRng::new(self.seed);
+        (0..self.size)
+            .map(|_| rng.range_i32(-20_000, 20_000))
+            .collect()
+    }
+
+    /// Runs the kernel and returns the full bin vector plus the measured
+    /// counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine lacks RAM or (for [`Strategy::Bia`]) a BIA.
+    pub fn run_full(&self, m: &mut Machine, strategy: Strategy) -> (Vec<u32>, Counters) {
+        let n = self.size as u64;
+        let input = self.input();
+        let in_arr = m.alloc_u32_array(n).expect("alloc in[]");
+        let out = m.alloc_u32_array(n).expect("alloc out[]");
+        for (i, &v) in input.iter().enumerate() {
+            m.poke_i32(in_arr.offset(i as u64 * 4), v);
+        }
+        for i in 0..n {
+            m.poke_u32(out.offset(i * 4), 0);
+        }
+        let ds_out = DataflowSet::contiguous(out, n * 4);
+
+        let (_, counters) = m.measure(|m| {
+            for i in 0..n {
+                let v = m.load_i32(in_arr.offset(i * 4)) as i64;
+                m.exec(PER_ELEMENT_INSTS);
+                let t = (ct_abs(v) as u64) % n;
+                let addr = out.offset(t * 4);
+                let p = strategy.load(m, &ds_out, addr, Width::U32) as u32;
+                strategy.store(m, &ds_out, addr, Width::U32, p.wrapping_add(1) as u64);
+            }
+        });
+
+        let bins = (0..n).map(|i| m.peek_u32(out.offset(i * 4))).collect();
+        (bins, counters)
+    }
+}
+
+/// Plain-Rust reference implementation.
+pub fn reference(input: &[i32], size: usize) -> Vec<u32> {
+    let mut out = vec![0u32; size];
+    for &v in input {
+        let t = (v as i64).wrapping_abs() as u64 % size as u64;
+        out[t as usize] += 1;
+    }
+    out
+}
+
+impl Workload for Histogram {
+    fn name(&self) -> String {
+        format!("hist_{}", size_label(self.size))
+    }
+
+    fn run(&self, m: &mut Machine, strategy: Strategy) -> Run {
+        let (bins, counters) = self.run_full(m, strategy);
+        Run {
+            digest: digest_u64(bins.into_iter().map(u64::from)),
+            counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctbia_machine::BiaPlacement;
+
+    #[test]
+    fn matches_reference_under_all_strategies() {
+        let wl = Histogram { size: 300, seed: 9 };
+        let expect = reference(&wl.input(), 300);
+        for strategy in [Strategy::Insecure, Strategy::software_ct(), Strategy::bia()] {
+            let mut m = if strategy.needs_bia() {
+                Machine::with_bia(BiaPlacement::L1d)
+            } else {
+                Machine::insecure()
+            };
+            let (bins, _) = wl.run_full(&mut m, strategy);
+            assert_eq!(bins, expect, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn bia_l2_placement_matches_too() {
+        let wl = Histogram { size: 200, seed: 5 };
+        let expect = reference(&wl.input(), 200);
+        let mut m = Machine::with_bia(BiaPlacement::L2);
+        let (bins, _) = wl.run_full(&mut m, Strategy::bia());
+        assert_eq!(bins, expect);
+    }
+
+    #[test]
+    fn reference_counts_all_inputs() {
+        let input = vec![-3, 3, 0, 5];
+        let out = reference(&input, 4);
+        assert_eq!(out.iter().sum::<u32>(), 4);
+        assert_eq!(out[3], 2); // |-3| % 4 == 3 twice
+        assert_eq!(out[0], 1); // 0
+        assert_eq!(out[1], 1); // 5 % 4
+    }
+
+    #[test]
+    fn ct_is_slower_than_insecure_and_bia_in_between() {
+        let wl = Histogram::new(500);
+        let mut mi = Machine::insecure();
+        let base = wl.run(&mut mi, Strategy::Insecure);
+        let mut mc = Machine::insecure();
+        let ct = wl.run(&mut mc, Strategy::software_ct());
+        let mut mb = Machine::with_bia(BiaPlacement::L1d);
+        let bia = wl.run(&mut mb, Strategy::bia());
+        assert_eq!(base.digest, ct.digest);
+        assert_eq!(base.digest, bia.digest);
+        assert!(
+            ct.counters.cycles > 4 * base.counters.cycles,
+            "CT should be far slower"
+        );
+        assert!(
+            bia.counters.cycles < ct.counters.cycles / 2,
+            "BIA should beat CT"
+        );
+        assert!(
+            bia.counters.cycles > base.counters.cycles,
+            "BIA still costs something"
+        );
+    }
+
+    #[test]
+    fn name_uses_paper_labels() {
+        assert_eq!(Histogram::new(1000).name(), "hist_1k");
+        assert_eq!(Histogram::new(8000).name(), "hist_8k");
+    }
+}

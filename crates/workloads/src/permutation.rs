@@ -1,0 +1,138 @@
+//! Permutation — Figure 7c workload.
+//!
+//! `a[b[i]] = i` where `b` is a secret permutation: the store's target
+//! address exposes `b[i]` (Table 2), so its dataflow linearization set is
+//! the whole output array `a` (`O(length_of_array)`).
+
+use crate::run::{digest_u64, size_label, InputRng, Run, Workload};
+use crate::strategy::Strategy;
+use ctbia_core::ctmem::CtMemory;
+use ctbia_core::ctmem::{CtMemoryExt, Width};
+use ctbia_core::ds::DataflowSet;
+use ctbia_machine::{Counters, Machine};
+
+/// Per-element bookkeeping: loop control and address generation.
+const PER_ELEMENT_INSTS: u64 = 4;
+
+/// The Permutation workload (the paper sweeps 1k–8k elements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Permutation {
+    /// Array length.
+    pub size: usize,
+    /// Permutation seed.
+    pub seed: u64,
+}
+
+impl Permutation {
+    /// A permutation workload of `size` elements with the default seed.
+    pub fn new(size: usize) -> Self {
+        Permutation { size, seed: 0x9e12 }
+    }
+
+    /// The secret permutation `b`.
+    pub fn permutation(&self) -> Vec<u32> {
+        let mut b: Vec<u32> = (0..self.size as u32).collect();
+        InputRng::new(self.seed).shuffle(&mut b);
+        b
+    }
+
+    /// Runs the kernel; returns the inverted permutation `a` and the
+    /// measured counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine lacks RAM or (for [`Strategy::Bia`]) a BIA.
+    pub fn run_full(&self, m: &mut Machine, strategy: Strategy) -> (Vec<u32>, Counters) {
+        let n = self.size as u64;
+        let b_data = self.permutation();
+        let b = m.alloc_u32_array(n).expect("alloc b[]");
+        let a = m.alloc_u32_array(n).expect("alloc a[]");
+        for (i, &v) in b_data.iter().enumerate() {
+            m.poke_u32(b.offset(i as u64 * 4), v);
+        }
+        let ds_a = DataflowSet::contiguous(a, n * 4);
+
+        let (_, counters) = m.measure(|m| {
+            for i in 0..n {
+                let t = m.load_u32(b.offset(i * 4)) as u64; // public address
+                m.exec(PER_ELEMENT_INSTS);
+                strategy.store(m, &ds_a, a.offset(t * 4), Width::U32, i);
+            }
+        });
+
+        let out = (0..n).map(|i| m.peek_u32(a.offset(i * 4))).collect();
+        (out, counters)
+    }
+}
+
+/// Plain-Rust reference: the inverse permutation.
+pub fn reference(b: &[u32]) -> Vec<u32> {
+    let mut a = vec![0u32; b.len()];
+    for (i, &t) in b.iter().enumerate() {
+        a[t as usize] = i as u32;
+    }
+    a
+}
+
+impl Workload for Permutation {
+    fn name(&self) -> String {
+        format!("perm_{}", size_label(self.size))
+    }
+
+    fn run(&self, m: &mut Machine, strategy: Strategy) -> Run {
+        let (a, counters) = self.run_full(m, strategy);
+        Run {
+            digest: digest_u64(a.into_iter().map(u64::from)),
+            counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctbia_machine::BiaPlacement;
+
+    #[test]
+    fn matches_reference_under_all_strategies() {
+        let wl = Permutation {
+            size: 400,
+            seed: 11,
+        };
+        let expect = reference(&wl.permutation());
+        for strategy in [Strategy::Insecure, Strategy::software_ct(), Strategy::bia()] {
+            let mut m = if strategy.needs_bia() {
+                Machine::with_bia(BiaPlacement::L1d)
+            } else {
+                Machine::insecure()
+            };
+            let (a, _) = wl.run_full(&mut m, strategy);
+            assert_eq!(a, expect, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn inverse_of_inverse_is_identity() {
+        let wl = Permutation::new(256);
+        let b = wl.permutation();
+        let a = reference(&b);
+        let round_trip = reference(&a);
+        assert_eq!(round_trip, b);
+    }
+
+    #[test]
+    fn store_only_kernel_still_slower_under_ct() {
+        let wl = Permutation::new(400);
+        let mut mi = Machine::insecure();
+        let base = wl.run(&mut mi, Strategy::Insecure);
+        let mut mc = Machine::insecure();
+        let ct = wl.run(&mut mc, Strategy::software_ct());
+        assert_eq!(base.digest, ct.digest);
+        assert!(ct.counters.cycles > 4 * base.counters.cycles);
+    }
+
+    #[test]
+    fn name_matches_paper() {
+        assert_eq!(Permutation::new(4000).name(), "perm_4k");
+    }
+}

@@ -1,0 +1,71 @@
+//! Re-export of [`ctbia_core::strategy::Strategy`], kept here so workload
+//! code and downstream users can import it alongside the kernels.
+
+pub use ctbia_core::strategy::Strategy;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctbia_core::ctmem::Width;
+    use ctbia_core::ds::DataflowSet;
+    use ctbia_core::linearize::BiaOptions;
+    use ctbia_machine::{BiaPlacement, Machine};
+    use ctbia_sim::addr::PhysAddr;
+
+    fn setup(m: &mut Machine, n: u64) -> (PhysAddr, DataflowSet) {
+        let base = m.alloc_u32_array(n).unwrap();
+        for i in 0..n {
+            m.poke_u32(base.offset(i * 4), (i * 2 + 1) as u32);
+        }
+        (base, DataflowSet::contiguous(base, n * 4))
+    }
+
+    #[test]
+    fn all_strategies_agree_on_loads_and_stores() {
+        for strategy in [
+            Strategy::Insecure,
+            Strategy::software_ct(),
+            Strategy::software_ct_avx2(),
+            Strategy::bia(),
+        ] {
+            let mut m = if strategy.needs_bia() {
+                Machine::with_bia(BiaPlacement::L1d)
+            } else {
+                Machine::insecure()
+            };
+            let (base, ds) = setup(&mut m, 500);
+            let v = strategy.load(&mut m, &ds, base.offset(123 * 4), Width::U32);
+            assert_eq!(v, 123 * 2 + 1, "{strategy}");
+            strategy.store(&mut m, &ds, base.offset(321 * 4), Width::U32, 99);
+            assert_eq!(m.peek_u32(base.offset(321 * 4)), 99, "{strategy}");
+            assert_eq!(
+                m.peek_u32(base.offset(322 * 4)),
+                322 * 2 + 1,
+                "{strategy}: neighbour"
+            );
+        }
+    }
+
+    #[test]
+    fn display_names_are_distinct() {
+        use std::collections::HashSet;
+        let names: HashSet<String> = [
+            Strategy::Insecure,
+            Strategy::software_ct(),
+            Strategy::software_ct_avx2(),
+            Strategy::bia(),
+            Strategy::Bia(BiaOptions::with_dram_threshold(8)),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn needs_bia_flags() {
+        assert!(!Strategy::Insecure.needs_bia());
+        assert!(!Strategy::software_ct().needs_bia());
+        assert!(Strategy::bia().needs_bia());
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests: every kernel matches its plain-Rust reference for
+//! random sizes and seeds, under randomly chosen strategies — the §5.2
+//! functionality theorem fuzzed across the whole benchmark suite.
+
+use ctbia_machine::{BiaPlacement, Machine};
+use ctbia_workloads::{
+    binary_search, dijkstra, heappop, histogram, permutation, BinarySearch, Dijkstra, HeapPop,
+    Histogram, Permutation, Strategy as Mitigation,
+};
+use proptest::prelude::*;
+
+fn strategy_strategy() -> impl Strategy<Value = Mitigation> {
+    prop_oneof![
+        Just(Mitigation::Insecure),
+        Just(Mitigation::software_ct()),
+        Just(Mitigation::software_ct_avx2()),
+        Just(Mitigation::bia()),
+    ]
+}
+
+fn machine_for(s: Mitigation, l2: bool) -> Machine {
+    if s.needs_bia() {
+        Machine::with_bia(if l2 {
+            BiaPlacement::L2
+        } else {
+            BiaPlacement::L1d
+        })
+    } else {
+        Machine::insecure()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn histogram_matches_reference(
+        size in 8usize..400,
+        seed in any::<u64>(),
+        strategy in strategy_strategy(),
+        l2 in any::<bool>(),
+    ) {
+        let wl = Histogram { size, seed };
+        let expect = histogram::reference(&wl.input(), size);
+        let (bins, _) = wl.run_full(&mut machine_for(strategy, l2), strategy);
+        prop_assert_eq!(bins, expect);
+    }
+
+    #[test]
+    fn permutation_matches_reference(
+        size in 4usize..400,
+        seed in any::<u64>(),
+        strategy in strategy_strategy(),
+        l2 in any::<bool>(),
+    ) {
+        let wl = Permutation { size, seed };
+        let expect = permutation::reference(&wl.permutation());
+        let (a, _) = wl.run_full(&mut machine_for(strategy, l2), strategy);
+        prop_assert_eq!(a, expect);
+    }
+
+    #[test]
+    fn binary_search_matches_reference(
+        size in 1usize..500,
+        searches in 1usize..12,
+        seed in any::<u64>(),
+        strategy in strategy_strategy(),
+    ) {
+        let wl = BinarySearch { size, searches, seed };
+        let expect = binary_search::reference(&wl.array(), &wl.keys());
+        let (idx, _) = wl.run_full(&mut machine_for(strategy, false), strategy);
+        prop_assert_eq!(idx, expect);
+    }
+
+    #[test]
+    fn heappop_matches_reference(
+        size in 2usize..200,
+        pops_frac in 1usize..100,
+        seed in any::<u64>(),
+        strategy in strategy_strategy(),
+    ) {
+        let pops = (size * pops_frac / 100).max(1);
+        let wl = HeapPop { size, pops, seed };
+        let expect = heappop::reference(&wl.heap(), pops);
+        let (popped, _) = wl.run_full(&mut machine_for(strategy, false), strategy);
+        prop_assert_eq!(popped, expect);
+    }
+
+    #[test]
+    fn dijkstra_matches_reference(
+        vertices in 2usize..24,
+        seed in any::<u64>(),
+        strategy in strategy_strategy(),
+    ) {
+        let wl = Dijkstra { vertices, seed };
+        let expect = dijkstra::reference(&wl.adjacency(), vertices);
+        let (dist, _) = wl.run_full(&mut machine_for(strategy, false), strategy);
+        prop_assert_eq!(dist, expect);
+    }
+
+    /// Digest stability: the same workload with the same seed produces the
+    /// same digest and the same cycle count on a fresh machine — full
+    /// determinism at the workload level.
+    #[test]
+    fn workload_runs_are_deterministic(size in 8usize..200, seed in any::<u64>()) {
+        use ctbia_workloads::Workload;
+        let wl = Histogram { size, seed };
+        let a = wl.run(&mut Machine::with_bia(BiaPlacement::L1d), Mitigation::bia());
+        let b = wl.run(&mut Machine::with_bia(BiaPlacement::L1d), Mitigation::bia());
+        prop_assert_eq!(a.digest, b.digest);
+        prop_assert_eq!(a.counters, b.counters);
+    }
+}

@@ -1,0 +1,46 @@
+//! Crypto kernels under constant-time mitigation: AES (small dataflow
+//! sets, the §6.3 discussion) versus Blowfish (expensive data-dependent
+//! key schedule, §7.3.3).
+//!
+//! ```text
+//! cargo run --release --example crypto_aes
+//! ```
+
+use ctbia::machine::{BiaPlacement, Machine};
+use ctbia::workloads::crypto::{Aes, Blowfish};
+use ctbia::workloads::{Strategy, Workload};
+
+fn compare(wl: &dyn Workload) {
+    let mut m = Machine::insecure();
+    let base = wl.run(&mut m, Strategy::Insecure);
+    let mut m = Machine::insecure();
+    let ct = wl.run(&mut m, Strategy::software_ct());
+    let mut m = Machine::with_bia(BiaPlacement::L1d);
+    let bia = wl.run(&mut m, Strategy::bia());
+    assert_eq!(base.digest, ct.digest);
+    assert_eq!(base.digest, bia.digest);
+    let b = base.counters.cycles as f64;
+    println!(
+        "{:<10} insecure {:>9} cy | CT {:>9} cy ({:>5.2}x) | BIA(L1d) {:>9} cy ({:>5.2}x)",
+        wl.name(),
+        base.counters.cycles,
+        ct.counters.cycles,
+        ct.counters.cycles as f64 / b,
+        bia.counters.cycles,
+        bia.counters.cycles as f64 / b,
+    );
+}
+
+fn main() {
+    println!("Crypto under constant-time mitigation (Figure 9's story):\n");
+    // AES: 1 KiB T-tables = 16-line dataflow sets. Linearization is cheap
+    // and the BIA's per-page preprocessing buys little.
+    compare(&Aes::default());
+    // Blowfish: the key schedule performs 521 block encryptions with four
+    // secret S-box lookups per round — tens of thousands of linearized
+    // accesses that amortize the BIA overhead.
+    compare(&Blowfish::default());
+    println!("\nAES's dataflow sets fit within single BIA entries (§6.3): plain CT");
+    println!("is already near-optimal there. Blowfish's data-dependent setup phase");
+    println!("is where the BIA pays off (§7.3.3).");
+}

@@ -1,0 +1,102 @@
+//! Protecting your own kernel with the public API, step by step:
+//! allocate simulated memory, declare the dataflow linearization set of a
+//! secret-dependent access, and issue it through Algorithm 2/3 — then
+//! verify both the answer and the security property (identical demand
+//! traces across secrets).
+//!
+//! The kernel here is a toy "sensor calibration": readings index a secret
+//! calibration table, and a running, secret-indexed correction table is
+//! updated — one linearized load plus one linearized store per reading.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use ctbia::core::ctmem::Width;
+use ctbia::core::ds::DataflowSet;
+use ctbia::core::linearize::{ct_load_bia, ct_store_bia, BiaOptions};
+use ctbia::machine::{BiaPlacement, Machine, TraceEvent};
+use ctbia::sim::PhysAddr;
+
+const TABLE_ENTRIES: u64 = 2048; // 8 KiB calibration table -> 2 pages
+
+struct Calibrator {
+    table: PhysAddr,
+    table_ds: DataflowSet,
+    correction: PhysAddr,
+    correction_ds: DataflowSet,
+}
+
+impl Calibrator {
+    fn new(m: &mut Machine) -> Self {
+        let table = m.alloc_u32_array(TABLE_ENTRIES).unwrap();
+        for i in 0..TABLE_ENTRIES {
+            m.poke_u32(table.offset(i * 4), (i * 13 % 997) as u32);
+        }
+        let correction = m.alloc_u32_array(256).unwrap();
+        Calibrator {
+            table_ds: DataflowSet::contiguous(table, TABLE_ENTRIES * 4),
+            table,
+            correction_ds: DataflowSet::contiguous(correction, 256 * 4),
+            correction,
+        }
+    }
+
+    /// One calibration step: both the table lookup and the correction
+    /// update are secret-indexed, so both go through Algorithm 2/3.
+    fn step(&self, m: &mut Machine, reading: u64) -> u32 {
+        let cal = ct_load_bia(
+            m,
+            &self.table_ds,
+            self.table.offset((reading % TABLE_ENTRIES) * 4),
+            Width::U32,
+            BiaOptions::default(),
+        ) as u32;
+        let bucket = (cal as u64) % 256;
+        let addr = self.correction.offset(bucket * 4);
+        let old = ct_load_bia(
+            m,
+            &self.correction_ds,
+            addr,
+            Width::U32,
+            BiaOptions::default(),
+        ) as u32;
+        ct_store_bia(
+            m,
+            &self.correction_ds,
+            addr,
+            Width::U32,
+            (old + cal) as u64,
+            BiaOptions::default(),
+        );
+        cal
+    }
+}
+
+fn run_trace(readings: &[u64]) -> (u32, Vec<TraceEvent>, u64) {
+    let mut m = Machine::with_bia(BiaPlacement::L1d);
+    let cal = Calibrator::new(&mut m);
+    m.enable_trace();
+    let (sum, cost) = m.measure(|m| readings.iter().map(|&r| cal.step(m, r)).sum::<u32>());
+    (sum, m.take_trace(), cost.cycles)
+}
+
+fn main() {
+    // Two different secret reading streams.
+    let secrets_a: Vec<u64> = (0..64).map(|i| i * 31 + 5).collect();
+    let secrets_b: Vec<u64> = (0..64).map(|i| i * 17 + 1900).collect();
+
+    let (sum_a, trace_a, cycles) = run_trace(&secrets_a);
+    let (sum_b, trace_b, _) = run_trace(&secrets_b);
+
+    println!(
+        "calibration sums: {} vs {} (different secrets, different answers)",
+        sum_a, sum_b
+    );
+    println!("demand-trace length: {} events each", trace_a.len());
+    println!("traces identical across secrets: {}", trace_a == trace_b);
+    assert_eq!(trace_a, trace_b, "the mitigation must hide the readings");
+    println!("measured cost: {cycles} cycles for 64 protected steps");
+    println!("\nEvery address an attacker could observe is the same for both runs —");
+    println!("the §5.3 security argument, checked on your own kernel.");
+}

@@ -1,0 +1,323 @@
+//! `ctbia` — command-line front end to the simulator.
+//!
+//! ```text
+//! ctbia config                          # print the simulated system (Table 1)
+//! ctbia list                            # list workloads and strategies
+//! ctbia run hist 2000 --strategy bia --placement l1d
+//! ctbia compare hist 2000               # all strategies side by side
+//! ctbia attack [SECRET]                 # Prime+Probe demo
+//! ctbia leakage hist 1000               # leakage in bits, per strategy
+//! ```
+//!
+//! Argument parsing is deliberately hand-rolled (no CLI dependency); every
+//! subcommand is a thin veneer over the library API shown in `examples/`.
+
+use ctbia::attacks::{empirical_leakage_bits, set_access_profiles, PrimeProbe};
+use ctbia::core::ctmem::Width;
+use ctbia::core::ds::DataflowSet;
+use ctbia::machine::{BiaPlacement, Machine};
+use ctbia::sim::hierarchy::Level;
+use ctbia::workloads::{
+    BinarySearch, Dijkstra, HeapPop, Histogram, Permutation, Run, Strategy, Workload,
+};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+ctbia — Hardware Support for Constant-Time Programming (MICRO '23), simulated
+
+USAGE:
+    ctbia config
+    ctbia list
+    ctbia run <WORKLOAD> [SIZE] [--strategy insecure|ct|ct-avx2|bia] [--placement l1d|l2] [--stats]
+    ctbia compare <WORKLOAD> [SIZE]
+    ctbia attack [SECRET]
+    ctbia leakage <WORKLOAD> [SIZE]
+
+WORKLOADS: dijkstra | histogram | permutation | binary-search | heappop
+";
+
+fn make_workload(name: &str, size: usize) -> Result<Box<dyn Workload>, String> {
+    Ok(match name {
+        "dijkstra" | "dij" => Box::new(Dijkstra::new(size.min(256))),
+        "histogram" | "hist" => Box::new(Histogram::new(size)),
+        "permutation" | "perm" => Box::new(Permutation::new(size)),
+        "binary-search" | "bin" => Box::new(BinarySearch::new(size)),
+        "heappop" | "heap" => Box::new(HeapPop::new(size)),
+        other => return Err(format!("unknown workload '{other}' (try `ctbia list`)")),
+    })
+}
+
+fn default_size(name: &str) -> usize {
+    match name {
+        "dijkstra" | "dij" => 64,
+        _ => 2000,
+    }
+}
+
+fn parse_strategy(s: &str) -> Result<Strategy, String> {
+    Ok(match s {
+        "insecure" => Strategy::Insecure,
+        "ct" => Strategy::software_ct(),
+        "ct-avx2" => Strategy::software_ct_avx2(),
+        "bia" => Strategy::bia(),
+        other => return Err(format!("unknown strategy '{other}'")),
+    })
+}
+
+fn parse_placement(s: &str) -> Result<BiaPlacement, String> {
+    Ok(match s {
+        "l1d" => BiaPlacement::L1d,
+        "l2" => BiaPlacement::L2,
+        other => return Err(format!("unknown placement '{other}' (l1d or l2)")),
+    })
+}
+
+fn machine_for(strategy: Strategy, placement: BiaPlacement) -> Machine {
+    if strategy.needs_bia() {
+        Machine::with_bia(placement)
+    } else {
+        Machine::insecure()
+    }
+}
+
+fn print_run(label: &str, run: &Run, baseline: Option<u64>) {
+    let rel = baseline
+        .map(|b| format!("  ({:.2}x)", run.counters.cycles as f64 / b as f64))
+        .unwrap_or_default();
+    println!(
+        "{label:<10} {:>12} cycles  {:>11} insts  {:>10} L1d refs  {:>7} DRAM{rel}",
+        run.counters.cycles,
+        run.counters.insts,
+        run.counters.l1d_refs(),
+        run.counters.dram_accesses(),
+    );
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("run: missing workload name")?;
+    let mut size = None;
+    let mut strategy = Strategy::bia();
+    let mut placement = BiaPlacement::L1d;
+    let mut stats = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--stats" => stats = true,
+            "--strategy" => {
+                i += 1;
+                strategy = parse_strategy(args.get(i).ok_or("--strategy needs a value")?)?;
+            }
+            "--placement" => {
+                i += 1;
+                placement = parse_placement(args.get(i).ok_or("--placement needs a value")?)?;
+            }
+            v if size.is_none() && v.parse::<usize>().is_ok() => size = v.parse().ok(),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+        i += 1;
+    }
+    let size = size.unwrap_or_else(|| default_size(name));
+    let wl = make_workload(name, size)?;
+    let mut m = machine_for(strategy, placement);
+    let run = wl.run(&mut m, strategy);
+    println!("{} under {strategy} (BIA at {placement}):", wl.name());
+    print_run(&strategy.to_string(), &run, None);
+    if stats {
+        println!("\n{}", ctbia::machine::format_report(&run.counters));
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("compare: missing workload name")?;
+    let size = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| default_size(name));
+    let wl = make_workload(name, size)?;
+    println!("{}:", wl.name());
+    let base = wl.run(&mut Machine::insecure(), Strategy::Insecure);
+    print_run("insecure", &base, Some(base.counters.cycles));
+    for (label, strategy, placement) in [
+        ("CT", Strategy::software_ct_avx2(), None),
+        ("BIA@L1d", Strategy::bia(), Some(BiaPlacement::L1d)),
+        ("BIA@L2", Strategy::bia(), Some(BiaPlacement::L2)),
+    ] {
+        let mut m = match placement {
+            Some(p) => Machine::with_bia(p),
+            None => Machine::insecure(),
+        };
+        let run = wl.run(&mut m, strategy);
+        if run.digest != base.digest {
+            return Err(format!("{label} produced a different result — bug"));
+        }
+        print_run(label, &run, Some(base.counters.cycles));
+    }
+    Ok(())
+}
+
+fn cmd_attack(args: &[String]) -> Result<(), String> {
+    let secret: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(421);
+    if secret >= 1024 {
+        return Err("secret must be < 1024 (4 KiB table of u32)".into());
+    }
+    println!("victim: one read of table[{secret}] (4 KiB table)\n");
+    let run = |strategy: Strategy, bia: bool| {
+        let mut m = if bia {
+            Machine::with_bia(BiaPlacement::L1d)
+        } else {
+            Machine::insecure()
+        };
+        let table = m.alloc(4096, 4096).unwrap();
+        let ds = DataflowSet::contiguous(table, 4096);
+        let truth = m
+            .hierarchy()
+            .cache(Level::L1d)
+            .set_index(table.offset(secret * 4).line());
+        let pp = PrimeProbe::new(&mut m, Level::L1d).unwrap();
+        let lat = pp.round(&mut m, |m| {
+            let _ = strategy.load(m, &ds, table.offset(secret * 4), Width::U32);
+        });
+        (PrimeProbe::hottest_set(&lat), truth)
+    };
+    let (guess, truth) = run(Strategy::Insecure, false);
+    println!(
+        "insecure victim: true set {truth}, attacker guesses {guess} -> {}",
+        if guess == truth {
+            "RECOVERED"
+        } else {
+            "missed"
+        }
+    );
+    let (guess, truth) = run(Strategy::bia(), true);
+    println!(
+        "BIA victim:      true set {truth}, attacker guesses {guess} -> {}",
+        if guess == truth {
+            "coincidence at best"
+        } else {
+            "defeated"
+        }
+    );
+    Ok(())
+}
+
+fn cmd_leakage(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("leakage: missing workload name")?;
+    let size = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(500);
+    make_workload(name, size)?; // validate the name up front
+    let secrets: Vec<u64> = (0..8).map(|i| 1 + i * 97).collect();
+    println!(
+        "empirical leakage of {name}_{size} over {} random secrets:",
+        secrets.len()
+    );
+    for (label, strategy, bia) in [
+        ("insecure", Strategy::Insecure, false),
+        ("CT", Strategy::software_ct(), false),
+        ("BIA@L1d", Strategy::bia(), true),
+    ] {
+        let profiles = set_access_profiles(
+            || {
+                if bia {
+                    Machine::with_bia(BiaPlacement::L1d)
+                } else {
+                    Machine::insecure()
+                }
+            },
+            |m, seed| {
+                let _ = make_seeded(name, size, seed).run(m, strategy);
+            },
+            &secrets,
+            Level::L1d,
+        );
+        println!(
+            "  {label:<10} {:>6.3} bits (of {:.0} max)",
+            empirical_leakage_bits(&profiles),
+            (secrets.len() as f64).log2()
+        );
+    }
+    Ok(())
+}
+
+fn make_seeded(name: &str, size: usize, seed: u64) -> Box<dyn Workload> {
+    match name {
+        "dijkstra" | "dij" => Box::new(Dijkstra {
+            vertices: size.min(64),
+            seed,
+        }),
+        "histogram" | "hist" => Box::new(Histogram { size, seed }),
+        "permutation" | "perm" => Box::new(Permutation { size, seed }),
+        "binary-search" | "bin" => Box::new(BinarySearch {
+            size,
+            searches: 10,
+            seed,
+        }),
+        _ => Box::new(HeapPop {
+            size,
+            pops: 16.min(size),
+            seed,
+        }),
+    }
+}
+
+fn cmd_config() {
+    let cfg = ctbia::sim::config::HierarchyConfig::paper_table1();
+    let bia = ctbia::core::bia::BiaConfig::paper_table1();
+    println!("simulated system (paper Table 1):");
+    for (name, c) in [("L1d", &cfg.l1d), ("L2", &cfg.l2), ("LLC", &cfg.llc)] {
+        println!(
+            "  {name:<4} {:>6} KB  {:>2}-way {}  {:>2} cycles  {} sets",
+            c.size_bytes / 1024,
+            c.associativity,
+            c.replacement,
+            c.hit_latency,
+            c.num_sets()
+        );
+    }
+    println!(
+        "  BIA  {:>6} KB  {:>2}-way LRU  {:>2} cycle   {} entries (M = {})",
+        bia.size_bytes() / 1024,
+        bia.associativity,
+        bia.latency,
+        bia.entries,
+        bia.granularity_log2
+    );
+    println!("  DRAM {} cycles, closed row", cfg.dram.latency);
+}
+
+fn cmd_list() {
+    println!("workloads:  dijkstra histogram permutation binary-search heappop");
+    println!("strategies: insecure ct ct-avx2 bia");
+    println!("placements: l1d l2   (LLC via the library API; see tests/llc_bia.rs)");
+    println!("crypto kernels (via `cargo run -p ctbia-bench --bin fig09_crypto`):");
+    println!("  AES ARC2 ARC4 Blowfish CAST DES DES3 XOR");
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("config") => {
+            cmd_config();
+            Ok(())
+        }
+        Some("list") => {
+            cmd_list();
+            Ok(())
+        }
+        Some("run") => cmd_run(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("attack") => cmd_attack(&args[1..]),
+        Some("leakage") => cmd_leakage(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

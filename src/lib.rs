@@ -1,0 +1,54 @@
+//! # ctbia — Hardware Support for Constant-Time Programming, in Rust
+//!
+//! A full reproduction of *Hardware Support for Constant-Time Programming*
+//! (MICRO '23): the **BIA** bitmap structure and `CTLoad`/`CTStore`
+//! micro-operations, the dataflow-linearization algorithms that use them,
+//! a from-scratch cycle-cost cache-hierarchy simulator to run it all on,
+//! the paper's benchmark suite, and a Prime+Probe attacker to validate the
+//! security claims.
+//!
+//! This crate is a facade that re-exports the workspace members:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`sim`] | `ctbia-sim` | cache hierarchy substrate (L1i/L1d/L2/LLC/DRAM) |
+//! | [`core`] | `ctbia-core` | BIA, `CtMemory`, dataflow sets, Algorithms 2 & 3 |
+//! | [`machine`] | `ctbia-machine` | execution engine and cost model |
+//! | [`workloads`] | `ctbia-workloads` | Ghostrider + crypto benchmark kernels |
+//! | [`attacks`] | `ctbia-attacks` | Prime+Probe and distinguishability analysis |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ctbia::machine::{BiaPlacement, Machine};
+//! use ctbia::workloads::{Histogram, Strategy, Workload};
+//!
+//! let wl = Histogram::new(500);
+//!
+//! let mut baseline = Machine::insecure();
+//! let insecure = wl.run(&mut baseline, Strategy::Insecure);
+//!
+//! let mut ct_machine = Machine::insecure();
+//! let ct = wl.run(&mut ct_machine, Strategy::software_ct());
+//!
+//! let mut bia_machine = Machine::with_bia(BiaPlacement::L1d);
+//! let bia = wl.run(&mut bia_machine, Strategy::bia());
+//!
+//! // Same answers...
+//! assert_eq!(insecure.digest, ct.digest);
+//! assert_eq!(insecure.digest, bia.digest);
+//! // ...but the BIA mitigation is far cheaper than software CT.
+//! assert!(bia.counters.cycles < ct.counters.cycles / 2);
+//! ```
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `crates/bench/src/bin/` for the figure/table regenerators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ctbia_attacks as attacks;
+pub use ctbia_core as core;
+pub use ctbia_machine as machine;
+pub use ctbia_sim as sim;
+pub use ctbia_workloads as workloads;

@@ -1,0 +1,174 @@
+//! Fast shape checks of the paper's headline experimental claims, at
+//! reduced sizes so they run in the regular test suite. The full-size
+//! regenerators live in `crates/bench/src/bin/`.
+
+use ctbia::machine::{BiaPlacement, CostModel, Machine, MachineConfig};
+use ctbia::workloads::{Dijkstra, Histogram, Run, Strategy, Workload};
+
+fn eval_machine(bia: Option<BiaPlacement>) -> Machine {
+    let mut cfg = match bia {
+        Some(p) => MachineConfig::with_bia(p),
+        None => MachineConfig::insecure(),
+    };
+    cfg.cost = CostModel::o3_approx();
+    Machine::new(cfg).unwrap()
+}
+
+fn run(wl: &dyn Workload, strategy: Strategy, bia: Option<BiaPlacement>) -> Run {
+    wl.run(&mut eval_machine(bia), strategy)
+}
+
+fn overhead(wl: &dyn Workload, strategy: Strategy, bia: Option<BiaPlacement>) -> f64 {
+    let base = run(wl, Strategy::Insecure, None);
+    let r = run(wl, strategy, bia);
+    assert_eq!(base.digest, r.digest);
+    r.counters.cycles as f64 / base.counters.cycles as f64
+}
+
+/// Figure 2's shape: software-CT overhead grows with the DS size.
+#[test]
+fn fig2_ct_overhead_grows_with_ds_size() {
+    let small = overhead(&Histogram::new(500), Strategy::software_ct_avx2(), None);
+    let large = overhead(&Histogram::new(2000), Strategy::software_ct_avx2(), None);
+    assert!(
+        large > 2.0 * small,
+        "CT overhead should grow with DS size (got {small:.1}x -> {large:.1}x)"
+    );
+}
+
+/// Figure 7's shape: BIA beats software CT; BIA overhead stays far below
+/// CT's as sizes grow (the paper's ~7x headline).
+#[test]
+fn fig7_bia_beats_ct_substantially() {
+    for wl in [Histogram::new(1000), Histogram::new(2000)] {
+        let ct = overhead(&wl, Strategy::software_ct_avx2(), None);
+        let bia = overhead(&wl, Strategy::bia(), Some(BiaPlacement::L1d));
+        assert!(bia > 1.0, "{}: mitigation is not free", wl.name());
+        assert!(
+            ct / bia > 3.0,
+            "{}: expected a substantial reduction, got CT {ct:.1}x vs BIA {bia:.1}x",
+            wl.name()
+        );
+    }
+}
+
+/// Figure 7a's crossover: with a DS that overflows L1d (dijkstra at 128
+/// vertices: 64 KiB), the L2-resident BIA overtakes the L1d-resident one.
+#[test]
+fn fig7a_l2_bia_wins_when_ds_overflows_l1() {
+    let wl = Dijkstra::new(128);
+    let l1 = overhead(&wl, Strategy::bia(), Some(BiaPlacement::L1d));
+    let l2 = overhead(&wl, Strategy::bia(), Some(BiaPlacement::L2));
+    assert!(
+        l2 < l1,
+        "L2 BIA ({l2:.2}x) should beat L1d BIA ({l1:.2}x) at dij_128"
+    );
+    // And the opposite ordering while the DS fits comfortably in L1d.
+    let wl = Dijkstra::new(32);
+    let l1 = overhead(&wl, Strategy::bia(), Some(BiaPlacement::L1d));
+    let l2 = overhead(&wl, Strategy::bia(), Some(BiaPlacement::L2));
+    assert!(
+        l1 < l2,
+        "L1d BIA ({l1:.2}x) should beat L2 BIA ({l2:.2}x) at dij_32"
+    );
+}
+
+/// Figure 8's attribution: the BIA's gain comes from instruction and cache
+/// access counts, not from DRAM traffic.
+#[test]
+fn fig8_gain_is_in_counts_not_dram() {
+    let wl = Dijkstra::new(32);
+    let ct = run(&wl, Strategy::software_ct_avx2(), None).counters;
+    let bia = run(&wl, Strategy::bia(), Some(BiaPlacement::L1d)).counters;
+    assert!(ct.insts > 3 * bia.insts, "instruction reduction expected");
+    assert!(
+        ct.l1d_refs() > 3 * bia.l1d_refs(),
+        "dcache reduction expected"
+    );
+    let dram_ratio = ct.dram_accesses() as f64 / bia.dram_accesses().max(1) as f64;
+    assert!(
+        (0.5..2.0).contains(&dram_ratio),
+        "DRAM accesses should stay near 1x (got {dram_ratio:.2})"
+    );
+}
+
+/// §3.1's profile shape: the secure version multiplies L1d/L1i references
+/// but leaves LLC misses (≈ DRAM traffic) unchanged; AVX cuts only the
+/// instruction count.
+#[test]
+fn section31_profile_shape() {
+    let wl = Histogram::new(1500);
+    let origin = run(&wl, Strategy::Insecure, None).counters;
+    let secure = run(&wl, Strategy::software_ct(), None).counters;
+    let avx = run(&wl, Strategy::software_ct_avx2(), None).counters;
+    assert!(secure.l1d_refs() > 20 * origin.l1d_refs());
+    assert!(secure.l1i_refs() > 20 * origin.l1i_refs());
+    assert_eq!(
+        secure.llc_misses(),
+        origin.llc_misses(),
+        "LLC misses unchanged"
+    );
+    assert_eq!(avx.l1d_refs(), secure.l1d_refs(), "AVX keeps data refs");
+    assert!(avx.l1i_refs() < secure.l1i_refs(), "AVX cuts instructions");
+}
+
+/// Figure 9's shape: AES (single-page DSes) gains little or nothing from
+/// the BIA relative to CT, while Blowfish (expensive data-dependent key
+/// schedule) gains a lot.
+#[test]
+fn fig9_crypto_contrast() {
+    use ctbia::workloads::crypto::{Aes, Blowfish};
+    let aes_ct = overhead(&Aes::default(), Strategy::software_ct_avx2(), None);
+    let aes_bia = overhead(&Aes::default(), Strategy::bia(), Some(BiaPlacement::L1d));
+    let bf_ct = overhead(&Blowfish::default(), Strategy::software_ct_avx2(), None);
+    let bf_bia = overhead(
+        &Blowfish::default(),
+        Strategy::bia(),
+        Some(BiaPlacement::L1d),
+    );
+    let aes_gain = aes_ct / aes_bia;
+    let bf_gain = bf_ct / bf_bia;
+    assert!(
+        bf_gain > 2.0 * aes_gain,
+        "Blowfish should benefit far more than AES (AES {aes_gain:.2}x vs Blowfish {bf_gain:.2}x)"
+    );
+    assert!(
+        aes_ct < 5.0,
+        "AES CT overhead stays small (got {aes_ct:.2}x)"
+    );
+}
+
+/// §6.5's optimization: once the DS exceeds even the last-level cache,
+/// streaming the fetchset through the hierarchy buys nothing (every access
+/// misses everywhere, evicting everything on the way), and the DRAM-direct
+/// path wins. Uses a scaled-down hierarchy so the over-LLC regime is cheap
+/// to simulate.
+#[test]
+fn section65_dram_threshold_helps_oversized_ds() {
+    use ctbia::core::ctmem::Width;
+    use ctbia::core::ds::DataflowSet;
+    use ctbia::core::linearize::{ct_load_bia, BiaOptions};
+    use ctbia::sim::config::HierarchyConfig;
+
+    let sweep = |opts: BiaOptions| {
+        let mut cfg = MachineConfig::with_bia(BiaPlacement::L1d);
+        cfg.hierarchy = HierarchyConfig::tiny(); // 1 KiB L1d, 64 KiB LLC
+        cfg.cost = CostModel::o3_approx();
+        let mut m = Machine::new(cfg).unwrap();
+        let elements = 64 * 1024u64; // 256 KiB DS vs a 64 KiB LLC
+        let base = m.alloc_u32_array(elements).unwrap();
+        let ds = DataflowSet::contiguous(base, elements * 4);
+        let (_, c) = m.measure(|m| {
+            for i in (0..elements).step_by(16 * 1024 + 1) {
+                ct_load_bia(m, &ds, base.offset(i * 4), Width::U32, opts);
+            }
+        });
+        c.cycles
+    };
+    let plain = sweep(BiaOptions::default());
+    let bypass = sweep(BiaOptions::with_dram_threshold(16));
+    assert!(
+        bypass < plain,
+        "DRAM bypass should win on an over-LLC DS ({bypass} vs {plain} cycles)"
+    );
+}

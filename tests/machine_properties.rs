@@ -1,0 +1,134 @@
+//! Property tests of the full machine through the public facade: data
+//! integrity against a flat reference, BIA-subset invariance, counter
+//! identities, and determinism.
+
+use ctbia::core::ctmem::{CtMemory, Width};
+use ctbia::core::ds::DataflowSet;
+use ctbia::core::linearize::{ct_load_bia, ct_store_bia, BiaOptions};
+use ctbia::machine::{BiaPlacement, Machine};
+use ctbia::sim::hierarchy::Level;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Load(u16),
+    Store(u16, u64),
+    CtLoad(u16),
+    CtStore(u16, u64),
+    Flush(u16),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..2048u16).prop_map(Op::Load),
+        (0..2048u16, any::<u64>()).prop_map(|(i, v)| Op::Store(i, v)),
+        (0..2048u16).prop_map(Op::CtLoad),
+        (0..2048u16, any::<u64>()).prop_map(|(i, v)| Op::CtStore(i, v)),
+        (0..2048u16).prop_map(Op::Flush),
+    ]
+}
+
+fn check_bia_subset(m: &Machine, level: Level) {
+    let bia = m.bia().expect("machine has a BIA");
+    for page in bia.tracked_pages() {
+        let view = bia.peek(page).unwrap();
+        let (exist, dirty) = m.hierarchy().cache(level).page_truth(page);
+        assert_eq!(view.existence & !exist, 0, "stale existence for {page}");
+        assert_eq!(view.dirtiness & !dirty, 0, "stale dirtiness for {page}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random direct/linearized traffic against a 16 KiB region: RAM
+    /// contents always match a flat model, and the BIA never claims a line
+    /// the cache does not hold.
+    #[test]
+    fn machine_data_integrity_and_bia_subset(ops in proptest::collection::vec(op(), 1..120)) {
+        let mut m = Machine::with_bia(BiaPlacement::L1d);
+        let base = m.alloc_u64_array(2048).unwrap();
+        let ds = DataflowSet::contiguous(base, 2048 * 8);
+        let mut model: HashMap<u16, u64> = HashMap::new();
+        for o in &ops {
+            match *o {
+                Op::Load(i) => {
+                    let v = m.load(base.offset(i as u64 * 8), Width::U64);
+                    prop_assert_eq!(v, *model.get(&i).unwrap_or(&0));
+                }
+                Op::Store(i, v) => {
+                    m.store(base.offset(i as u64 * 8), Width::U64, v);
+                    model.insert(i, v);
+                }
+                Op::CtLoad(i) => {
+                    let v = ct_load_bia(&mut m, &ds, base.offset(i as u64 * 8), Width::U64, BiaOptions::default());
+                    prop_assert_eq!(v, *model.get(&i).unwrap_or(&0));
+                }
+                Op::CtStore(i, v) => {
+                    ct_store_bia(&mut m, &ds, base.offset(i as u64 * 8), Width::U64, v, BiaOptions::default());
+                    model.insert(i, v);
+                }
+                Op::Flush(i) => {
+                    m.flush_line(base.offset(i as u64 * 8));
+                }
+            }
+            check_bia_subset(&m, Level::L1d);
+        }
+        for (&i, &v) in &model {
+            prop_assert_eq!(m.peek_u64(base.offset(i as u64 * 8)), v);
+        }
+    }
+
+    /// Counter identities: instructions and cycles are monotone, cycles
+    /// bound instructions from above (every instruction costs at least one
+    /// cycle), hits+misses==accesses per level.
+    #[test]
+    fn machine_counter_identities(ops in proptest::collection::vec(op(), 1..100)) {
+        let mut m = Machine::with_bia(BiaPlacement::L1d);
+        let base = m.alloc_u64_array(2048).unwrap();
+        let ds = DataflowSet::contiguous(base, 2048 * 8);
+        let mut last_cycles = 0;
+        let mut last_insts = 0;
+        for o in &ops {
+            match *o {
+                Op::Load(i) => { m.load(base.offset(i as u64 * 8), Width::U64); }
+                Op::Store(i, v) => m.store(base.offset(i as u64 * 8), Width::U64, v),
+                Op::CtLoad(i) => { ct_load_bia(&mut m, &ds, base.offset(i as u64 * 8), Width::U64, BiaOptions::default()); }
+                Op::CtStore(i, v) => ct_store_bia(&mut m, &ds, base.offset(i as u64 * 8), Width::U64, v, BiaOptions::default()),
+                Op::Flush(i) => m.flush_line(base.offset(i as u64 * 8)),
+            }
+            let c = m.counters();
+            prop_assert!(c.cycles >= last_cycles && c.insts >= last_insts, "counters must be monotone");
+            last_cycles = c.cycles;
+            last_insts = c.insts;
+        }
+        let c = m.counters();
+        prop_assert!(c.cycles >= c.insts, "every instruction costs at least a cycle");
+        prop_assert_eq!(c.hier.l1d.hits + c.hier.l1d.misses, c.hier.l1d.accesses());
+        prop_assert_eq!(c.hier.l2.hits + c.hier.l2.misses, c.hier.l2.accesses());
+        prop_assert_eq!(c.bia.hits + c.bia.installs, c.bia.accesses);
+    }
+
+    /// Replaying the same operations on a fresh machine reproduces the
+    /// exact counters — full determinism.
+    #[test]
+    fn machine_is_deterministic(ops in proptest::collection::vec(op(), 1..80)) {
+        let run = || {
+            let mut m = Machine::with_bia(BiaPlacement::L2);
+            let base = m.alloc_u64_array(2048).unwrap();
+            let ds = DataflowSet::contiguous(base, 2048 * 8);
+            for o in &ops {
+                match *o {
+                    Op::Load(i) => { m.load(base.offset(i as u64 * 8), Width::U64); }
+                    Op::Store(i, v) => m.store(base.offset(i as u64 * 8), Width::U64, v),
+                    Op::CtLoad(i) => { ct_load_bia(&mut m, &ds, base.offset(i as u64 * 8), Width::U64, BiaOptions::default()); }
+                    Op::CtStore(i, v) => ct_store_bia(&mut m, &ds, base.offset(i as u64 * 8), Width::U64, v, BiaOptions::default()),
+                    Op::Flush(i) => m.flush_line(base.offset(i as u64 * 8)),
+                }
+            }
+            m.counters()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,143 @@
+//! Silent stores — the paper's §2.4 caveat, implemented and demonstrated.
+//!
+//! The paper notes that the "main concern about secret-dependent memory
+//! access is silent stores" [40]: hardware that skips the dirty-bit update
+//! when a store writes the value already in memory breaks the dataflow-
+//! linearized store, whose non-target lines are rewritten with their own
+//! values. Because whether silent stores exist in commercial parts is not
+//! public, the paper (like Constantine) assumes they do not and defers the
+//! issue to future work.
+//!
+//! These tests make that discussion concrete:
+//!
+//! * with silent stores **off** (the paper's assumption), the post-store
+//!   dirty-line set is identical for every secret;
+//! * with silent stores **on**, only the truly-modified line becomes dirty
+//!   — the dirty set (and therefore the write-back traffic an attacker can
+//!   observe at the memory controller) pinpoints the secret, for the
+//!   software mitigation and the BIA mitigation alike.
+
+use ctbia::core::ctmem::Width;
+use ctbia::core::ds::DataflowSet;
+use ctbia::machine::{BiaPlacement, Machine, MachineConfig};
+use ctbia::sim::hierarchy::Level;
+use ctbia::workloads::Strategy;
+
+fn machine(silent: bool, bia: Option<BiaPlacement>) -> Machine {
+    let mut cfg = match bia {
+        Some(p) => MachineConfig::with_bia(p),
+        None => MachineConfig::insecure(),
+    };
+    cfg.silent_stores = silent;
+    Machine::new(cfg).unwrap()
+}
+
+/// Runs one linearized store of a *changed* value at `secret`, returning
+/// the indices of DS lines left dirty in L1d.
+fn dirty_lines_after_store(
+    silent: bool,
+    strategy: Strategy,
+    bia: Option<BiaPlacement>,
+    secret: u64,
+) -> Vec<u64> {
+    let mut m = machine(silent, bia);
+    let base = m.alloc_u32_array(512).unwrap();
+    for i in 0..512u64 {
+        m.poke_u32(base.offset(i * 4), i as u32);
+    }
+    let ds = DataflowSet::contiguous(base, 512 * 4);
+    strategy.store(
+        &mut m,
+        &ds,
+        base.offset(secret * 4),
+        Width::U32,
+        0xffff_0000 | secret,
+    );
+    ds.lines()
+        .iter()
+        .enumerate()
+        .filter(|&(_, &line)| m.hierarchy().cache(Level::L1d).is_dirty(line))
+        .map(|(i, _)| i as u64)
+        .collect()
+}
+
+#[test]
+fn without_silent_stores_dirty_set_is_secret_independent() {
+    for (strategy, bia) in [
+        (Strategy::software_ct(), None),
+        (Strategy::bia(), Some(BiaPlacement::L1d)),
+    ] {
+        let a = dirty_lines_after_store(false, strategy, bia, 3);
+        let b = dirty_lines_after_store(false, strategy, bia, 500);
+        assert_eq!(a, b, "{strategy}: dirty sets must match across secrets");
+        assert_eq!(a.len(), 32, "{strategy}: every DS line rewritten dirty");
+    }
+}
+
+#[test]
+fn with_silent_stores_the_dirty_set_pinpoints_the_secret() {
+    for (strategy, bia) in [
+        (Strategy::software_ct(), None),
+        (Strategy::bia(), Some(BiaPlacement::L1d)),
+    ] {
+        let a = dirty_lines_after_store(true, strategy, bia, 3);
+        let b = dirty_lines_after_store(true, strategy, bia, 500);
+        assert_eq!(
+            a.len(),
+            1,
+            "{strategy}: only the real store survives squashing"
+        );
+        assert_eq!(b.len(), 1, "{strategy}");
+        assert_ne!(
+            a, b,
+            "{strategy}: the surviving dirty line IS the secret's line"
+        );
+        assert_eq!(a[0], 3 * 4 / 64, "{strategy}: line of element 3");
+        assert_eq!(b[0], 500 * 4 / 64, "{strategy}: line of element 500");
+    }
+}
+
+#[test]
+fn silent_stores_also_change_writeback_traffic() {
+    // The attacker-observable consequence: flushing the DS after the store
+    // produces one DRAM write-back per dirty line — a count of 1 under
+    // silent stores versus the full DS without them.
+    let run = |silent: bool| {
+        let mut m = machine(silent, None);
+        let base = m.alloc_u32_array(512).unwrap();
+        for i in 0..512u64 {
+            m.poke_u32(base.offset(i * 4), i as u32);
+        }
+        let ds = DataflowSet::contiguous(base, 512 * 4);
+        Strategy::software_ct().store(&mut m, &ds, base.offset(100 * 4), Width::U32, 0xdead_0000);
+        let before = m.counters().hier.dram.writes;
+        for &line in ds.lines() {
+            m.flush_line(line.base());
+        }
+        m.counters().hier.dram.writes - before
+    };
+    assert_eq!(
+        run(false),
+        32,
+        "every line written back without silent stores"
+    );
+    assert_eq!(
+        run(true),
+        1,
+        "only the secret's line written back with them"
+    );
+}
+
+#[test]
+fn functional_results_are_unaffected_by_silent_stores() {
+    use ctbia::workloads::{Histogram, Workload};
+    let wl = Histogram::new(300);
+    let mut plain = machine(false, Some(BiaPlacement::L1d));
+    let mut silent = machine(true, Some(BiaPlacement::L1d));
+    let a = wl.run(&mut plain, Strategy::bia());
+    let b = wl.run(&mut silent, Strategy::bia());
+    assert_eq!(
+        a.digest, b.digest,
+        "silent stores change timing/metadata, never values"
+    );
+}

@@ -1,0 +1,120 @@
+//! Cross-crate integration: every benchmark kernel computes bit-identical
+//! results under every mitigation strategy and BIA placement — the paper's
+//! §5.2 functionality requirement, end to end through the real machine.
+
+use ctbia::machine::{BiaPlacement, Machine};
+use ctbia::workloads::crypto::all_kernels;
+use ctbia::workloads::{
+    BinarySearch, Dijkstra, HeapPop, Histogram, Permutation, Run, Strategy, Workload,
+};
+
+fn configurations() -> Vec<(&'static str, Strategy, Option<BiaPlacement>)> {
+    vec![
+        ("insecure", Strategy::Insecure, None),
+        ("ct-scalar", Strategy::software_ct(), None),
+        ("ct-avx2", Strategy::software_ct_avx2(), None),
+        ("bia-l1d", Strategy::bia(), Some(BiaPlacement::L1d)),
+        ("bia-l2", Strategy::bia(), Some(BiaPlacement::L2)),
+    ]
+}
+
+fn run(wl: &dyn Workload, strategy: Strategy, placement: Option<BiaPlacement>) -> Run {
+    let mut m = match placement {
+        Some(p) => Machine::with_bia(p),
+        None => Machine::insecure(),
+    };
+    wl.run(&mut m, strategy)
+}
+
+fn assert_all_configurations_agree(wl: &dyn Workload) {
+    let baseline = run(wl, Strategy::Insecure, None);
+    assert!(
+        baseline.counters.cycles > 0,
+        "{}: kernel must do work",
+        wl.name()
+    );
+    for (label, strategy, placement) in configurations().into_iter().skip(1) {
+        let r = run(wl, strategy, placement);
+        assert_eq!(
+            r.digest,
+            baseline.digest,
+            "{} under {label} disagrees with the insecure baseline",
+            wl.name()
+        );
+    }
+}
+
+#[test]
+fn ghostrider_workloads_agree_across_configurations() {
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(Dijkstra::new(20)),
+        Box::new(Histogram::new(600)),
+        Box::new(Permutation::new(600)),
+        Box::new(BinarySearch::new(600)),
+        Box::new(HeapPop {
+            size: 300,
+            pops: 24,
+            seed: 0x4ea9,
+        }),
+    ];
+    for wl in &workloads {
+        assert_all_configurations_agree(wl.as_ref());
+    }
+}
+
+#[test]
+fn crypto_kernels_agree_across_configurations() {
+    for wl in all_kernels() {
+        assert_all_configurations_agree(wl.as_ref());
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_answers() {
+    // Guards against a degenerate kernel whose digest is input-independent
+    // (which would make the equivalence tests vacuous).
+    let a = run(&Histogram { size: 400, seed: 1 }, Strategy::Insecure, None);
+    let b = run(&Histogram { size: 400, seed: 2 }, Strategy::Insecure, None);
+    assert_ne!(a.digest, b.digest);
+    let a = run(
+        &Dijkstra {
+            vertices: 16,
+            seed: 1,
+        },
+        Strategy::Insecure,
+        None,
+    );
+    let b = run(
+        &Dijkstra {
+            vertices: 16,
+            seed: 2,
+        },
+        Strategy::Insecure,
+        None,
+    );
+    assert_ne!(a.digest, b.digest);
+}
+
+#[test]
+fn mitigation_costs_are_ordered() {
+    // insecure < BIA < software CT, for a DS well beyond one page.
+    let wl = Histogram::new(800);
+    let base = run(&wl, Strategy::Insecure, None);
+    let bia = run(&wl, Strategy::bia(), Some(BiaPlacement::L1d));
+    let ct = run(&wl, Strategy::software_ct(), None);
+    assert!(base.counters.cycles < bia.counters.cycles);
+    assert!(bia.counters.cycles < ct.counters.cycles);
+}
+
+#[test]
+fn dram_threshold_variant_is_still_correct() {
+    use ctbia::core::linearize::BiaOptions;
+    let wl = Histogram::new(700);
+    let base = run(&wl, Strategy::Insecure, None);
+    let thresh = run(
+        &wl,
+        Strategy::Bia(BiaOptions::with_dram_threshold(4)),
+        Some(BiaPlacement::L1d),
+    );
+    assert_eq!(base.digest, thresh.digest);
+}
