@@ -17,7 +17,7 @@ fn bench_access(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     for pages in [1u64, 16, 64, 256] {
         group.bench_with_input(BenchmarkId::from_parameter(pages), &pages, |b, &pages| {
-            let mut bia = Bia::new(BiaConfig::paper_table1());
+            let mut bia = Bia::new(BiaConfig::paper_table1()).unwrap();
             let mut i = 0u64;
             b.iter(|| {
                 i = (i + 1) % pages;
@@ -34,7 +34,7 @@ fn bench_events(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
     group.bench_function("tracked_page", |b| {
-        let mut bia = Bia::new(BiaConfig::paper_table1());
+        let mut bia = Bia::new(BiaConfig::paper_table1()).unwrap();
         let page = PageIdx::new(5);
         bia.access(page);
         let ev = CacheEvent {
@@ -44,7 +44,7 @@ fn bench_events(c: &mut Criterion) {
         b.iter(|| bia.on_event(black_box(&ev)));
     });
     group.bench_function("untracked_page", |b| {
-        let mut bia = Bia::new(BiaConfig::paper_table1());
+        let mut bia = Bia::new(BiaConfig::paper_table1()).unwrap();
         let ev = CacheEvent {
             line: PageIdx::new(999).line(7),
             kind: CacheEventKind::Fill { dirty: false },

@@ -26,6 +26,58 @@ use ctbia_sim::hierarchy::{CacheEvent, CacheEventKind};
 use ctbia_sim::replacement::{ReplacementKind, ReplacementState};
 use std::fmt;
 
+/// Why a [`BiaConfig`] was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BiaConfigError {
+    /// `entries` or `associativity` is zero.
+    ZeroGeometry,
+    /// `entries` is not a multiple of `associativity`.
+    NonMultipleAssociativity {
+        /// The configured entry count.
+        entries: u32,
+        /// The configured associativity.
+        associativity: u32,
+    },
+    /// The set count (`entries / associativity`) is not a power of two.
+    SetCountNotPowerOfTwo {
+        /// The resulting set count.
+        sets: u32,
+    },
+    /// `granularity_log2` is outside `7..=12` (one line per bit, at most 64
+    /// bits per entry).
+    GranularityOutOfRange {
+        /// The configured management granularity.
+        granularity_log2: u32,
+    },
+}
+
+impl fmt::Display for BiaConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BiaConfigError::ZeroGeometry => {
+                f.write_str("BIA entries and associativity must be non-zero")
+            }
+            BiaConfigError::NonMultipleAssociativity {
+                entries,
+                associativity,
+            } => write!(
+                f,
+                "BIA entries ({entries}) must be a multiple of associativity ({associativity})"
+            ),
+            BiaConfigError::SetCountNotPowerOfTwo { sets } => {
+                write!(f, "BIA set count ({sets}) must be a power of two")
+            }
+            BiaConfigError::GranularityOutOfRange { granularity_log2 } => write!(
+                f,
+                "BIA granularity M={granularity_log2} must be in 7..=12 (one line per bit, at \
+                 most 64 bits)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BiaConfigError {}
+
 /// Configuration of a BIA instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BiaConfig {
@@ -80,27 +132,27 @@ impl BiaConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message if `entries` is not a positive multiple of
-    /// `associativity` with a power-of-two set count.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns a [`BiaConfigError`] if `entries` is not a positive multiple
+    /// of `associativity` with a power-of-two set count, or if the
+    /// management granularity is out of range.
+    pub fn validate(&self) -> Result<(), BiaConfigError> {
         if self.entries == 0 || self.associativity == 0 {
-            return Err("BIA entries and associativity must be non-zero".into());
+            return Err(BiaConfigError::ZeroGeometry);
         }
         if self.entries % self.associativity != 0 {
-            return Err(format!(
-                "BIA entries ({}) must be a multiple of associativity ({})",
-                self.entries, self.associativity
-            ));
+            return Err(BiaConfigError::NonMultipleAssociativity {
+                entries: self.entries,
+                associativity: self.associativity,
+            });
         }
         let sets = self.entries / self.associativity;
         if !sets.is_power_of_two() {
-            return Err(format!("BIA set count ({sets}) must be a power of two"));
+            return Err(BiaConfigError::SetCountNotPowerOfTwo { sets });
         }
         if !(7..=12).contains(&self.granularity_log2) {
-            return Err(format!(
-                "BIA granularity M={} must be in 7..=12 (one line per bit, at most 64 bits)",
-                self.granularity_log2
-            ));
+            return Err(BiaConfigError::GranularityOutOfRange {
+                granularity_log2: self.granularity_log2,
+            });
         }
         Ok(())
     }
@@ -161,6 +213,17 @@ struct Entry {
     dirtiness: u64,
 }
 
+/// One valid entry as seen by [`Bia::snapshot`] — the audit interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BiaEntrySnapshot {
+    /// Group index (the entry's tag).
+    pub group: u64,
+    /// Existence bitmap.
+    pub existence: u64,
+    /// Dirtiness bitmap.
+    pub dirtiness: u64,
+}
+
 /// The BIA table.
 #[derive(Debug, Clone)]
 pub struct Bia {
@@ -174,20 +237,11 @@ pub struct Bia {
 impl Bia {
     /// Builds a BIA from its configuration.
     ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is invalid (see [`BiaConfig::validate`]);
-    /// use [`Bia::try_new`] for a fallible constructor.
-    pub fn new(cfg: BiaConfig) -> Self {
-        Self::try_new(cfg).expect("invalid BIA configuration")
-    }
-
-    /// Fallible constructor.
-    ///
     /// # Errors
     ///
-    /// Returns the validation message for an invalid configuration.
-    pub fn try_new(cfg: BiaConfig) -> Result<Self, String> {
+    /// Returns a [`BiaConfigError`] for an invalid configuration (see
+    /// [`BiaConfig::validate`]).
+    pub fn new(cfg: BiaConfig) -> Result<Self, BiaConfigError> {
         cfg.validate()?;
         let num_sets = cfg.entries / cfg.associativity;
         Ok(Bia {
@@ -392,6 +446,126 @@ impl Bia {
             .map(|e| e.tag)
             .collect()
     }
+
+    /// The group index covering `addr` (`addr >> M`).
+    pub fn group_of(&self, addr: ctbia_sim::addr::PhysAddr) -> u64 {
+        self.group_of_addr(addr)
+    }
+
+    /// The (group, bit) coordinates of a line under the configured
+    /// granularity.
+    pub fn locate(&self, line: ctbia_sim::addr::LineAddr) -> (u64, u32) {
+        self.group_and_bit(line)
+    }
+
+    /// Snapshot of every valid entry in storage order — the shadow
+    /// auditor's comparison interface.
+    pub fn snapshot(&self) -> Vec<BiaEntrySnapshot> {
+        self.entries
+            .iter()
+            .filter(|e| e.valid)
+            .map(|e| BiaEntrySnapshot {
+                group: e.tag,
+                existence: e.existence,
+                dirtiness: e.dirtiness,
+            })
+            .collect()
+    }
+
+    /// Number of valid entries.
+    pub fn valid_entries(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+
+    /// Zeroes the bitmaps of `group`'s entry, keeping the entry installed.
+    /// All-zero bitmaps are the conservative subset state (§5.2), so this
+    /// is always safe; the degradation path uses it to resynchronize after
+    /// a detected desync. Returns whether the group was tracked.
+    pub fn reset_group(&mut self, group: u64) -> bool {
+        match self.find(group) {
+            Some(i) => {
+                self.entries[i].existence = 0;
+                self.entries[i].dirtiness = 0;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops `group`'s entry entirely. Returns whether it was tracked.
+    pub fn invalidate_group(&mut self, group: u64) -> bool {
+        match self.find(group) {
+            Some(i) => {
+                self.entries[i] = Entry::default();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Invalidates every entry — a BIA-entry eviction storm, as injected by
+    /// the fault harness. Returns how many entries were dropped.
+    pub fn invalidate_all(&mut self) -> usize {
+        let n = self.valid_entries();
+        for e in &mut self.entries {
+            *e = Entry::default();
+        }
+        n
+    }
+
+    /// Fault hook: flips bit `bit` (mod lines-per-entry) of the `rank`-th
+    /// valid entry (mod the valid count), in the dirtiness plane when
+    /// `dirtiness` is set, else in the existence plane. The flip keeps
+    /// `dirtiness ⊆ existence` so the corrupted state stays *plausible* —
+    /// a state real hardware could reach — rather than physically
+    /// impossible. Returns the affected group, or `None` if the table is
+    /// empty.
+    pub fn flip_bit(&mut self, rank: usize, dirtiness: bool, bit: u32) -> Option<u64> {
+        let valid = self.valid_entries();
+        if valid == 0 {
+            return None;
+        }
+        let rank = rank % valid;
+        let i = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.valid)
+            .nth(rank)
+            .map(|(i, _)| i)
+            .expect("rank < valid count");
+        let b = 1u64 << (bit % self.cfg.lines_per_entry());
+        let e = &mut self.entries[i];
+        if dirtiness {
+            e.dirtiness ^= b;
+            if e.dirtiness & b != 0 {
+                e.existence |= b;
+            }
+        } else {
+            e.existence ^= b;
+            if e.existence & b == 0 {
+                e.dirtiness &= !b;
+            }
+        }
+        Some(e.tag)
+    }
+
+    /// Copies table contents and replacement state from `other`, keeping
+    /// this instance's configuration and statistics — the degradation
+    /// path's atomic resynchronization of a desynced BIA from the shadow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two configurations differ (the copy would be
+    /// meaningless).
+    pub fn copy_state_from(&mut self, other: &Bia) {
+        assert_eq!(
+            self.cfg, other.cfg,
+            "resync requires identically configured BIAs"
+        );
+        self.entries.copy_from_slice(&other.entries);
+        self.repl = other.repl.clone();
+    }
 }
 
 #[cfg(test)]
@@ -413,7 +587,7 @@ mod tests {
 
     #[test]
     fn install_starts_all_zero() {
-        let mut bia = Bia::new(BiaConfig::default());
+        let mut bia = Bia::new(BiaConfig::default()).unwrap();
         let v = bia.access(PageIdx::new(7));
         assert_eq!(
             v,
@@ -428,7 +602,7 @@ mod tests {
 
     #[test]
     fn events_update_tracked_pages_only() {
-        let mut bia = Bia::new(BiaConfig::default());
+        let mut bia = Bia::new(BiaConfig::default()).unwrap();
         let p = PageIdx::new(3);
         bia.access(p);
         bia.on_event(&ev(p.line(5), CacheEventKind::Fill { dirty: false }));
@@ -444,7 +618,7 @@ mod tests {
 
     #[test]
     fn hit_sets_existence_and_syncs_dirtiness() {
-        let mut bia = Bia::new(BiaConfig::default());
+        let mut bia = Bia::new(BiaConfig::default()).unwrap();
         let p = PageIdx::new(1);
         bia.access(p);
         bia.on_event(&ev(p.line(2), CacheEventKind::Hit { dirty: true }));
@@ -459,7 +633,7 @@ mod tests {
 
     #[test]
     fn evict_clears_both_bits() {
-        let mut bia = Bia::new(BiaConfig::default());
+        let mut bia = Bia::new(BiaConfig::default()).unwrap();
         let p = PageIdx::new(2);
         bia.access(p);
         bia.on_event(&ev(p.line(9), CacheEventKind::Fill { dirty: true }));
@@ -475,7 +649,7 @@ mod tests {
 
     #[test]
     fn dirty_change_implies_existence() {
-        let mut bia = Bia::new(BiaConfig::default());
+        let mut bia = Bia::new(BiaConfig::default()).unwrap();
         let p = PageIdx::new(4);
         bia.access(p);
         bia.on_event(&ev(p.line(1), CacheEventKind::DirtyChange { dirty: true }));
@@ -496,7 +670,7 @@ mod tests {
             associativity: 2,
             ..BiaConfig::paper_table1()
         };
-        let mut bia = Bia::new(cfg);
+        let mut bia = Bia::new(cfg).unwrap();
         let p0 = PageIdx::new(0);
         bia.access(p0);
         bia.on_event(&ev(p0.line(0), CacheEventKind::Fill { dirty: false }));
@@ -518,7 +692,7 @@ mod tests {
             associativity: 2,
             ..BiaConfig::paper_table1()
         };
-        let mut bia = Bia::new(cfg);
+        let mut bia = Bia::new(cfg).unwrap();
         bia.access(PageIdx::new(0));
         bia.access(PageIdx::new(2));
         bia.access(PageIdx::new(0)); // refresh page 0
@@ -549,11 +723,27 @@ mod tests {
         }
         .validate()
         .is_err());
-        assert!(Bia::try_new(BiaConfig {
+        assert!(Bia::new(BiaConfig {
             entries: 0,
             ..BiaConfig::default()
         })
         .is_err());
+        assert_eq!(
+            BiaConfig {
+                entries: 0,
+                ..BiaConfig::default()
+            }
+            .validate(),
+            Err(BiaConfigError::ZeroGeometry)
+        );
+        let err = BiaConfig {
+            entries: 6,
+            associativity: 4,
+            ..BiaConfig::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.to_string().contains("multiple"), "{err}");
     }
 
     #[test]
@@ -571,7 +761,7 @@ mod tests {
     fn finer_granularity_tracks_smaller_groups() {
         use ctbia_sim::addr::{LineAddr, PhysAddr};
         // M = 9: one entry covers 512 B = 8 lines.
-        let mut bia = Bia::new(BiaConfig::with_granularity(9));
+        let mut bia = Bia::new(BiaConfig::with_granularity(9)).unwrap();
         assert_eq!(bia.granularity_log2(), 9);
         let addr = PhysAddr::new(0x1200); // group 0x1200 >> 9 = 9
         bia.access_for(addr);
@@ -593,13 +783,112 @@ mod tests {
 
     #[test]
     fn stats_display() {
-        let bia = Bia::new(BiaConfig::default());
+        let bia = Bia::new(BiaConfig::default()).unwrap();
         assert!(bia.stats().to_string().contains("accesses"));
     }
 
     #[test]
+    fn snapshot_and_group_helpers() {
+        let mut bia = Bia::new(BiaConfig::default()).unwrap();
+        let p = PageIdx::new(5);
+        bia.access(p);
+        bia.on_event(&ev(p.line(3), CacheEventKind::Fill { dirty: true }));
+        let snap = bia.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].group, 5);
+        assert_eq!(snap[0].existence, 1 << 3);
+        assert_eq!(snap[0].dirtiness, 1 << 3);
+        assert_eq!(bia.group_of(p.base()), 5);
+        assert_eq!(bia.locate(p.line(3)), (5, 3));
+        assert_eq!(bia.valid_entries(), 1);
+    }
+
+    #[test]
+    fn reset_and_invalidate_groups() {
+        let mut bia = Bia::new(BiaConfig::default()).unwrap();
+        let p = PageIdx::new(6);
+        bia.access(p);
+        bia.on_event(&ev(p.line(0), CacheEventKind::Fill { dirty: true }));
+        assert!(bia.reset_group(6));
+        assert_eq!(
+            bia.peek(p).unwrap(),
+            BiaView {
+                existence: 0,
+                dirtiness: 0
+            },
+            "reset keeps the entry with zero bitmaps"
+        );
+        assert!(bia.invalidate_group(6));
+        assert_eq!(bia.peek(p), None);
+        assert!(!bia.reset_group(6), "untracked group");
+        assert!(!bia.invalidate_group(6));
+    }
+
+    #[test]
+    fn eviction_storm_drops_everything() {
+        let mut bia = Bia::new(BiaConfig::default()).unwrap();
+        for i in 0..10 {
+            bia.access(PageIdx::new(i));
+        }
+        assert_eq!(bia.invalidate_all(), 10);
+        assert_eq!(bia.valid_entries(), 0);
+        assert!(bia.tracked_groups().is_empty());
+    }
+
+    #[test]
+    fn flip_bit_preserves_subset_plausibility() {
+        let mut bia = Bia::new(BiaConfig::default()).unwrap();
+        assert_eq!(bia.flip_bit(0, false, 0), None, "empty table");
+        let p = PageIdx::new(9);
+        bia.access(p);
+        // Set a dirtiness bit: existence must come along.
+        assert_eq!(bia.flip_bit(0, true, 4), Some(9));
+        let v = bia.peek(p).unwrap();
+        assert_eq!(v.dirtiness, 1 << 4);
+        assert_eq!(v.existence, 1 << 4);
+        // Clear the existence bit: dirtiness must be cleared too.
+        assert_eq!(bia.flip_bit(0, false, 4), Some(9));
+        let v = bia.peek(p).unwrap();
+        assert_eq!(v.existence, 0);
+        assert_eq!(v.dirtiness, 0);
+    }
+
+    #[test]
+    fn copy_state_from_resynchronizes() {
+        let mut a = Bia::new(BiaConfig::default()).unwrap();
+        let mut b = Bia::new(BiaConfig::default()).unwrap();
+        let p = PageIdx::new(11);
+        a.access(p);
+        b.access(p);
+        b.on_event(&ev(p.line(7), CacheEventKind::Fill { dirty: false }));
+        a.invalidate_all(); // fault: storm on the real BIA
+        a.copy_state_from(&b);
+        assert_eq!(a.snapshot(), b.snapshot());
+        // Replacement state is copied too: identical future evictions.
+        let cfg = BiaConfig {
+            entries: 4,
+            associativity: 2,
+            ..BiaConfig::paper_table1()
+        };
+        let mut a = Bia::new(cfg).unwrap();
+        let mut b = Bia::new(cfg).unwrap();
+        for p in [0u64, 2, 0, 4] {
+            a.access(PageIdx::new(p));
+        }
+        b.access(PageIdx::new(8)); // different history
+        b.copy_state_from(&a);
+        a.access(PageIdx::new(6));
+        b.access(PageIdx::new(6));
+        let mut ga = a.tracked_groups();
+        let mut gb = b.tracked_groups();
+        ga.sort_unstable();
+        gb.sort_unstable();
+        assert_eq!(ga, gb, "post-resync evictions must pick the same victims");
+    }
+
+    #[test]
     fn tracked_pages_lists_valid_entries() {
-        let mut bia = Bia::new(BiaConfig::default());
+        let mut bia = Bia::new(BiaConfig::default()).unwrap();
         bia.access(PageIdx::new(10));
         bia.access(PageIdx::new(20));
         let mut pages = bia.tracked_pages();

@@ -67,7 +67,7 @@ impl TestMachine {
         TestMachine {
             mem: HashMap::new(),
             hier,
-            bia: Bia::new(BiaConfig::paper_table1()),
+            bia: Bia::new(BiaConfig::paper_table1()).expect("Table 1 BIA config is valid"),
             insts: 0,
             ds_loads: 0,
             ds_stores: 0,

@@ -1,0 +1,238 @@
+//! A self-contained, dependency-free stand-in for the [criterion] crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched from crates.io. This crate mirrors the subset of
+//! criterion's API that `ctbia-bench`'s benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! [`BenchmarkId`], [`Throughput`], `b.iter(..)`, and the
+//! `criterion_group!` / `criterion_main!` macros — so the bench files
+//! compile unchanged against either implementation.
+//!
+//! Measurement is intentionally simple: each benchmark runs a short warm-up
+//! followed by timed batches until the configured measurement time elapses,
+//! and reports the median ns/iteration. There is no statistical analysis,
+//! no plotting, and no persistence — good enough for relative comparisons
+//! in an offline container, not for publication-grade numbers.
+//!
+//! [criterion]: https://crates.io/crates/criterion
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Throughput annotation (recorded, displayed alongside results).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it repeatedly until the measurement budget is
+    /// spent. The closure's return value is passed through `black_box`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: run without recording.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            std::hint::black_box(f());
+        }
+        let start = Instant::now();
+        let deadline = start + self.measurement_time;
+        let mut iters = 0u64;
+        while Instant::now() < deadline {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        self.iters_done = iters.max(1);
+        self.elapsed = start.elapsed();
+    }
+
+    fn ns_per_iter(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.iters_done.max(1) as f64
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample count — accepted for API compatibility; this harness times a
+    /// single batch, so the value is not used.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Records the group's throughput annotation.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+        };
+        f(&mut b);
+        let per_iter = b.ns_per_iter();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.1} Melem/s)", n as f64 * 1e3 / per_iter)
+            }
+            Some(Throughput::Bytes(n)) => format!("  ({:.1} MB/s)", n as f64 * 1e3 / per_iter),
+            None => String::new(),
+        };
+        println!(
+            "{}/{id:<28} {per_iter:>12.1} ns/iter  ({} iters){rate}",
+            self.name, b.iters_done
+        );
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnOnce(&mut Bencher)) {
+        self.run_one(&id.to_string(), f);
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        let name = id.name;
+        self.run_one(&name, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: Duration::from_millis(300),
+            warm_up_time: Duration::from_millis(50),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnOnce(&mut Bencher)) {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// Declares a group of benchmark functions, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench -- <filter>` passes arguments; this harness runs
+            // everything regardless, which is acceptable offline.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn bencher_runs_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut runs = 0u64;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs > 0, "closure must have executed");
+    }
+}

@@ -11,6 +11,71 @@ use ctbia_sim::stats::HierarchyStats;
 use std::fmt;
 use std::ops::Sub;
 
+/// Robustness counters: fault injection, shadow auditing, and the
+/// graceful-degradation state machine. All zero when auditing and fault
+/// injection are disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RobustnessStats {
+    /// Drained event batches cross-checked by the shadow auditor.
+    pub audit_batches: u64,
+    /// Divergences the auditor detected between the real and shadow BIA.
+    pub audit_violations: u64,
+    /// Desyncs caught by the inline per-access sanity check (a `CTLoad`
+    /// whose existence bit contradicts the probe, or a `CTStore` whose
+    /// dirtiness bit contradicts the conditional write).
+    pub inline_desyncs: u64,
+    /// Management groups downgraded to full dataflow linearization.
+    pub downgrades: u64,
+    /// CT operations served with a zeroed view because their group was
+    /// degraded (each one linearizes its full dataflow set).
+    pub degraded_ct_ops: u64,
+    /// Recoveries: a clean audit batch re-promoted degraded groups after
+    /// the BIA was resynchronized from the shadow.
+    pub resyncs: u64,
+    /// Events/structural faults the injector actually fired.
+    pub faults_injected: u64,
+}
+
+impl Sub for RobustnessStats {
+    type Output = RobustnessStats;
+
+    fn sub(self, rhs: RobustnessStats) -> RobustnessStats {
+        RobustnessStats {
+            audit_batches: self.audit_batches - rhs.audit_batches,
+            audit_violations: self.audit_violations - rhs.audit_violations,
+            inline_desyncs: self.inline_desyncs - rhs.inline_desyncs,
+            downgrades: self.downgrades - rhs.downgrades,
+            degraded_ct_ops: self.degraded_ct_ops - rhs.degraded_ct_ops,
+            resyncs: self.resyncs - rhs.resyncs,
+            faults_injected: self.faults_injected - rhs.faults_injected,
+        }
+    }
+}
+
+impl RobustnessStats {
+    /// True when every field is zero (auditing/injection never ran or
+    /// never found anything).
+    pub fn is_zero(&self) -> bool {
+        *self == RobustnessStats::default()
+    }
+}
+
+impl fmt::Display for RobustnessStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "batches {}, violations {}, inline desyncs {}, downgrades {}, degraded CT ops {}, resyncs {}, faults {}",
+            self.audit_batches,
+            self.audit_violations,
+            self.inline_desyncs,
+            self.downgrades,
+            self.degraded_ct_ops,
+            self.resyncs,
+            self.faults_injected
+        )
+    }
+}
+
 /// A snapshot of every machine counter.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counters {
@@ -27,6 +92,9 @@ pub struct Counters {
     pub hier: HierarchyStats,
     /// BIA statistics (all zero when no BIA is configured).
     pub bia: BiaStats,
+    /// Fault-injection / audit / degradation statistics (all zero when
+    /// auditing and fault injection are disabled).
+    pub robust: RobustnessStats,
 }
 
 impl Counters {
@@ -70,6 +138,7 @@ impl Sub for Counters {
                 events_applied: self.bia.events_applied - rhs.bia.events_applied,
                 events_ignored: self.bia.events_ignored - rhs.bia.events_ignored,
             },
+            robust: self.robust - rhs.robust,
         }
     }
 }
@@ -82,7 +151,11 @@ impl fmt::Display for Counters {
             self.cycles, self.insts, self.ct_loads, self.ct_stores
         )?;
         writeln!(f, "{}", self.hier)?;
-        write!(f, "BIA:  {}", self.bia)
+        write!(f, "BIA:  {}", self.bia)?;
+        if !self.robust.is_zero() {
+            write!(f, "\nAudit: {}", self.robust)?;
+        }
+        Ok(())
     }
 }
 
@@ -129,5 +202,28 @@ mod tests {
     fn display_mentions_key_counters() {
         let s = Counters::default().to_string();
         assert!(s.contains("cycles") && s.contains("BIA"));
+    }
+
+    #[test]
+    fn robustness_stats_subtract_and_gate_display() {
+        let mut a = RobustnessStats::default();
+        a.audit_batches = 9;
+        a.audit_violations = 4;
+        a.downgrades = 2;
+        let mut b = RobustnessStats::default();
+        b.audit_batches = 5;
+        b.audit_violations = 1;
+        let d = a - b;
+        assert_eq!(d.audit_batches, 4);
+        assert_eq!(d.audit_violations, 3);
+        assert_eq!(d.downgrades, 2);
+        assert!(!d.is_zero());
+        assert!(RobustnessStats::default().is_zero());
+        // The counters display stays byte-identical when auditing is off.
+        assert!(!Counters::default().to_string().contains("Audit"));
+        let mut c = Counters::default();
+        c.robust = a;
+        let s = c.to_string();
+        assert!(s.contains("Audit") && s.contains("violations 4"));
     }
 }

@@ -59,9 +59,16 @@ fn corunner_costs_no_victim_cycles_or_trace_entries() {
     m.enable_trace();
     let (_, noisy) = m.measure(|m| m.load_u64(victim));
     let trace = m.take_trace();
-    assert_eq!(noisy.cycles, quiet.cycles, "co-runner work is not the victim's time");
+    assert_eq!(
+        noisy.cycles, quiet.cycles,
+        "co-runner work is not the victim's time"
+    );
     assert_eq!(noisy.insts, quiet.insts);
-    assert_eq!(trace.len(), 1, "co-runner accesses stay out of the victim trace");
+    assert_eq!(
+        trace.len(),
+        1,
+        "co-runner accesses stay out of the victim trace"
+    );
     // But the co-runner's cache traffic is real:
     assert!(m.hierarchy().cache(Level::L1d).is_resident(other.line()));
 }
@@ -83,17 +90,27 @@ fn corunner_keeps_bia_synchronized() {
     }));
     m.load_u64(victim); // triggers the flush
     m.set_interference(None);
-    assert_eq!(m.ct_load(tracked).existence & bit, 0, "BIA saw the co-runner's eviction");
+    assert_eq!(
+        m.ct_load(tracked).existence & bit,
+        0,
+        "BIA saw the co-runner's eviction"
+    );
 }
 
 #[test]
 fn empty_or_zero_period_interference_is_inert() {
     let mut m = Machine::insecure();
     let victim = m.alloc(64, 64).unwrap();
-    m.set_interference(Some(Interference { period: 0, actions: vec![CoRunnerOp::Flush(victim)] }));
+    m.set_interference(Some(Interference {
+        period: 0,
+        actions: vec![CoRunnerOp::Flush(victim)],
+    }));
     m.load_u64(victim);
     assert!(m.hierarchy().cache(Level::L1d).is_resident(victim.line()));
-    m.set_interference(Some(Interference { period: 1, actions: vec![] }));
+    m.set_interference(Some(Interference {
+        period: 1,
+        actions: vec![],
+    }));
     m.load_u64(victim);
     assert!(m.hierarchy().cache(Level::L1d).is_resident(victim.line()));
 }

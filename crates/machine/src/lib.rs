@@ -42,6 +42,7 @@
 #[cfg(test)]
 mod interference_tests;
 
+pub mod audit;
 pub mod cost;
 pub mod counters;
 pub mod machine;
@@ -49,8 +50,9 @@ pub mod memory;
 pub mod report;
 pub mod secure;
 
+pub use audit::{AuditViolation, BitPlane, ShadowAuditor, ViolationKind};
 pub use cost::CostModel;
-pub use counters::Counters;
+pub use counters::{Counters, RobustnessStats};
 pub use machine::{
     BiaPlacement, CoRunnerOp, Interference, Machine, MachineConfig, MachineError, TraceEvent,
     TraceOp,

@@ -7,14 +7,17 @@
 //! stream, and accounts instructions and cycles per the
 //! [`crate::cost::CostModel`].
 
+use crate::audit::ShadowAuditor;
 use crate::cost::CostModel;
-use crate::counters::Counters;
+use crate::counters::{Counters, RobustnessStats};
 use crate::memory::{OutOfSimRam, SimRam};
-use ctbia_core::bia::{Bia, BiaConfig};
+use ctbia_core::bia::{Bia, BiaConfig, BiaConfigError};
 use ctbia_core::ctmem::{CtLoad, CtMemory, CtStore, Width};
 use ctbia_sim::addr::{LineAddr, PhysAddr};
 use ctbia_sim::config::{ConfigError, HierarchyConfig};
+use ctbia_sim::fault::{FaultConfig, FaultInjector, StructuralFault};
 use ctbia_sim::hierarchy::{AccessFlags, Hierarchy, Level, MonitorLevel};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Where the BIA is attached. The paper evaluates L1d and L2 residency
@@ -60,7 +63,12 @@ pub enum MachineError {
     /// Invalid hierarchy configuration.
     Config(ConfigError),
     /// Invalid BIA configuration.
-    Bia(String),
+    Bia(BiaConfigError),
+    /// The BIA placement is infeasible for this hierarchy (§6.4 LLC
+    /// constraints).
+    Placement(String),
+    /// The operation requires a BIA but the machine has none.
+    NoBia,
     /// Simulated RAM exhausted.
     Ram(OutOfSimRam),
 }
@@ -70,6 +78,8 @@ impl fmt::Display for MachineError {
         match self {
             MachineError::Config(e) => write!(f, "hierarchy configuration: {e}"),
             MachineError::Bia(e) => write!(f, "BIA configuration: {e}"),
+            MachineError::Placement(e) => write!(f, "BIA placement: {e}"),
+            MachineError::NoBia => f.write_str("operation requires a machine with a BIA"),
             MachineError::Ram(e) => write!(f, "{e}"),
         }
     }
@@ -80,6 +90,12 @@ impl std::error::Error for MachineError {}
 impl From<ConfigError> for MachineError {
     fn from(e: ConfigError) -> Self {
         MachineError::Config(e)
+    }
+}
+
+impl From<BiaConfigError> for MachineError {
+    fn from(e: BiaConfigError) -> Self {
+        MachineError::Bia(e)
     }
 }
 
@@ -217,6 +233,10 @@ pub struct Machine {
     interference: Option<Interference>,
     interference_clock: u64,
     interference_next: usize,
+    auditor: Option<ShadowAuditor>,
+    injector: Option<FaultInjector>,
+    degraded: BTreeSet<u64>,
+    robust: RobustnessStats,
 }
 
 impl Machine {
@@ -250,13 +270,13 @@ impl Machine {
                         // usable granularity.
                         let ls_hash = hier.llc_ls_hash_bit();
                         if ls_hash <= 6 {
-                            return Err(MachineError::Bia(format!(
+                            return Err(MachineError::Placement(format!(
                             "LLC-resident BIA is infeasible when LS_Hash = {ls_hash} (consecutive \
                              lines are spread across slices, paper §6.4)"
                         )));
                         }
                         if bia_cfg.granularity_log2 > ls_hash {
-                            return Err(MachineError::Bia(format!(
+                            return Err(MachineError::Placement(format!(
                             "LLC-resident BIA granularity M={} exceeds LS_Hash={} — a management \
                              group would span slices and the interconnect would leak (paper §6.4); \
                              use BiaConfig::with_granularity({})",
@@ -265,10 +285,7 @@ impl Machine {
                         }
                     }
                     hier.set_monitor(Some(placement.monitor()));
-                    (
-                        Some(Bia::try_new(bia_cfg).map_err(MachineError::Bia)?),
-                        Some(placement),
-                    )
+                    (Some(Bia::new(bia_cfg)?), Some(placement))
                 }
                 None => (None, None),
             };
@@ -288,6 +305,10 @@ impl Machine {
             interference: None,
             interference_clock: 0,
             interference_next: 0,
+            auditor: None,
+            injector: None,
+            degraded: BTreeSet::new(),
+            robust: RobustnessStats::default(),
         })
     }
 
@@ -319,6 +340,72 @@ impl Machine {
     /// operations so the BIA stays synchronized).
     pub fn hierarchy(&self) -> &Hierarchy {
         &self.hier
+    }
+
+    /// Enables the shadow auditor: a fault-free shadow BIA plus ground
+    /// truth, cross-checked against the real BIA after every drained event
+    /// batch. Call before issuing traffic — the shadow assumes it observes
+    /// the event stream from the beginning. Zero-cost when never enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::NoBia`] when the machine has no BIA.
+    pub fn enable_audit(&mut self) -> Result<(), MachineError> {
+        let bia = self.bia.as_ref().ok_or(MachineError::NoBia)?;
+        self.auditor = Some(ShadowAuditor::new(*bia.config())?);
+        Ok(())
+    }
+
+    /// Installs (or clears, with `None`) a deterministic fault injector
+    /// acting on the BIA's event stream and structure. Faults only have an
+    /// effect on machines with a BIA.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::NoBia`] when the machine has no BIA.
+    pub fn set_fault_injector(&mut self, cfg: Option<FaultConfig>) -> Result<(), MachineError> {
+        if self.bia.is_none() {
+            return Err(MachineError::NoBia);
+        }
+        self.injector = cfg.map(FaultInjector::new);
+        Ok(())
+    }
+
+    /// The shadow auditor, if enabled.
+    pub fn auditor(&self) -> Option<&ShadowAuditor> {
+        self.auditor.as_ref()
+    }
+
+    /// The fault injector, if installed.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    /// Management groups currently degraded to full dataflow
+    /// linearization, in ascending order.
+    pub fn degraded_groups(&self) -> Vec<u64> {
+        self.degraded.iter().copied().collect()
+    }
+
+    /// Whether any robustness machinery (audit or fault injection) is on.
+    /// When false, CT operations take the exact pre-robustness path.
+    fn robustness_active(&self) -> bool {
+        self.auditor.is_some() || self.injector.is_some()
+    }
+
+    /// Downgrades `group` to full linearization: zeroes its bitmaps in the
+    /// real BIA (and the shadow, to keep lockstep) and serves zeroed views
+    /// for its CT operations until a clean audit batch re-promotes it.
+    fn degrade_group(&mut self, group: u64) {
+        if self.degraded.insert(group) {
+            self.robust.downgrades += 1;
+        }
+        if let Some(bia) = &mut self.bia {
+            bia.reset_group(group);
+        }
+        if let Some(aud) = &mut self.auditor {
+            aud.reset_group(group);
+        }
     }
 
     /// Allocates `size` bytes aligned to `align`.
@@ -421,6 +508,14 @@ impl Machine {
             ct_stores: self.ct_stores,
             hier: self.hier.stats(),
             bia: self.bia.as_ref().map(|b| *b.stats()).unwrap_or_default(),
+            robust: {
+                let mut r = self.robust;
+                r.faults_injected = self
+                    .injector
+                    .as_ref()
+                    .map_or(0, FaultInjector::faults_injected);
+                r
+            },
         }
     }
 
@@ -493,10 +588,109 @@ impl Machine {
     }
 
     fn sync_bia(&mut self) {
-        if self.hier.has_events() {
-            let evs = self.hier.drain_events();
-            if let Some(bia) = &mut self.bia {
-                bia.apply_events(evs);
+        if self.auditor.is_none() && self.injector.is_none() {
+            // Fast path, byte-identical to the audit-off machine.
+            if self.hier.has_events() {
+                let evs = self.hier.drain_events();
+                if let Some(bia) = &mut self.bia {
+                    bia.apply_events(evs);
+                }
+            }
+            return;
+        }
+        let delayed_pending = self
+            .injector
+            .as_ref()
+            .is_some_and(|i| i.pending_delayed() > 0);
+        if !self.hier.has_events() && !delayed_pending {
+            return;
+        }
+        let pristine = self.hier.drain_events();
+        // The auditor sees the stream as emitted; the real BIA sees it
+        // after the injector had its way.
+        if let Some(aud) = &mut self.auditor {
+            aud.observe_batch(&pristine);
+        }
+        if self.bia.is_none() {
+            return;
+        }
+        let mut delivered = pristine;
+        let mut structural = Vec::new();
+        if let Some(inj) = &mut self.injector {
+            inj.perturb(&mut delivered);
+            structural = inj.structural_faults();
+        }
+        if let Some(bia) = &mut self.bia {
+            bia.apply_events(delivered);
+        }
+        for fault in structural {
+            match fault {
+                StructuralFault::Flip {
+                    rank,
+                    dirtiness,
+                    bit,
+                } => {
+                    if let Some(bia) = &mut self.bia {
+                        bia.flip_bit(rank as usize, dirtiness, bit);
+                    }
+                }
+                StructuralFault::Storm => {
+                    if let Some(bia) = &mut self.bia {
+                        bia.invalidate_all();
+                    }
+                }
+                StructuralFault::Interfere { pick } => self.interfere_fault(pick),
+            }
+        }
+        self.audit_batch();
+    }
+
+    /// Mid-linearization co-runner interference: evict one line of a
+    /// tracked group from every level. Unlike the other faults this is
+    /// genuine cache activity, so the resulting events reach the real BIA
+    /// *and* the auditor pristine — it perturbs state without desync.
+    fn interfere_fault(&mut self, pick: u64) {
+        let Some(bia) = &self.bia else { return };
+        let groups = bia.tracked_groups();
+        if groups.is_empty() {
+            return;
+        }
+        let g = groups[((pick as u128 * groups.len() as u128) >> 64) as usize];
+        let line = LineAddr::new(g << (bia.granularity_log2() - 6));
+        self.hier.invalidate_everywhere(line);
+        let evs = self.hier.drain_events();
+        if let Some(aud) = &mut self.auditor {
+            aud.observe_batch(&evs);
+        }
+        if let Some(bia) = &mut self.bia {
+            bia.apply_events(evs);
+        }
+    }
+
+    /// Cross-checks the real BIA against the shadow after a drained batch
+    /// and runs the degradation state machine: violations downgrade their
+    /// groups and resynchronize the real table from the shadow; a clean
+    /// batch re-promotes previously degraded groups.
+    fn audit_batch(&mut self) {
+        let (Some(aud), Some(bia)) = (&mut self.auditor, &mut self.bia) else {
+            return;
+        };
+        let fresh = aud.check(bia);
+        self.robust.audit_batches += 1;
+        if fresh.is_empty() {
+            if !self.degraded.is_empty() {
+                // The table survived a full batch fault-free after the
+                // resync: trust it again.
+                self.robust.resyncs += 1;
+                self.degraded.clear();
+            }
+            return;
+        }
+        self.robust.audit_violations += fresh.len() as u64;
+        bia.copy_state_from(aud.shadow());
+        for group in fresh.iter().map(|v| v.group) {
+            if self.degraded.insert(group) {
+                self.robust.downgrades += 1;
             }
         }
     }
@@ -635,13 +829,39 @@ impl CtMemory for Machine {
             slices.push(self.hier.llc_slice_of(aligned.line()));
         }
         let (probe, probe_latency) = self.hier.ct_probe(aligned.line(), placement.monitor());
-        let bia = self
-            .bia
-            .as_mut()
-            .expect("BIA present when placement is set");
-        let view = bia.access_for(addr);
-        let bia_latency = bia.latency();
+        if let Some(aud) = &mut self.auditor {
+            aud.mirror_access(addr);
+        }
+        let (mut view, bia_latency, group, bit) = {
+            let bia = self
+                .bia
+                .as_mut()
+                .expect("BIA present when placement is set");
+            let view = bia.access_for(addr);
+            let (group, bit) = bia.locate(aligned.line());
+            (view, bia.latency(), group, bit)
+        };
         self.cycles += self.cost.ct_cycles(probe_latency, bia_latency);
+        if self.robustness_active() {
+            if self.degraded.contains(&group) {
+                // Degraded group: a zero view makes Algorithm 2 fetch the
+                // whole dataflow set — full linearization.
+                self.robust.degraded_ct_ops += 1;
+                view = ctbia_core::bia::BiaView {
+                    existence: 0,
+                    dirtiness: 0,
+                };
+            } else if view.existence & (1 << bit) != 0 && !probe.resident {
+                // The BIA claims the target line resident but the probe
+                // disagrees — a desync the subset invariant forbids.
+                self.robust.inline_desyncs += 1;
+                self.degrade_group(group);
+                view = ctbia_core::bia::BiaView {
+                    existence: 0,
+                    dirtiness: 0,
+                };
+            }
+        }
         let data = if probe.resident {
             self.ram.read(aligned, 8)
         } else {
@@ -663,16 +883,42 @@ impl CtMemory for Machine {
         if let Some(slices) = &mut self.probe_slices {
             slices.push(self.hier.llc_slice_of(aligned.line()));
         }
-        let bia = self
-            .bia
-            .as_mut()
-            .expect("BIA present when placement is set");
-        let view = bia.access_for(addr);
-        let bia_latency = bia.latency();
+        if let Some(aud) = &mut self.auditor {
+            aud.mirror_access(addr);
+        }
+        let (mut view, bia_latency, group, bit) = {
+            let bia = self
+                .bia
+                .as_mut()
+                .expect("BIA present when placement is set");
+            let view = bia.access_for(addr);
+            let (group, bit) = bia.locate(aligned.line());
+            (view, bia.latency(), group, bit)
+        };
         let (wrote, probe_latency) = self
             .hier
             .ct_write_if_dirty(aligned.line(), placement.monitor());
         self.cycles += self.cost.ct_cycles(probe_latency, bia_latency);
+        if self.robustness_active() {
+            if self.degraded.contains(&group) {
+                self.robust.degraded_ct_ops += 1;
+                view = ctbia_core::bia::BiaView {
+                    existence: 0,
+                    dirtiness: 0,
+                };
+            } else if view.dirtiness & (1 << bit) != 0 && !wrote {
+                // Stale dirtiness on the target would make Algorithm 3
+                // skip the read-modify-write while the CTStore also
+                // refused to write: a lost store. A zero view forces the
+                // RMW path.
+                self.robust.inline_desyncs += 1;
+                self.degrade_group(group);
+                view = ctbia_core::bia::BiaView {
+                    existence: 0,
+                    dirtiness: 0,
+                };
+            }
+        }
         self.sync_bia();
         if wrote {
             self.ram.write(aligned, 8, data);
@@ -925,8 +1171,11 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let err = MachineError::Bia("bad".into());
+        let err = MachineError::Bia(BiaConfigError::ZeroGeometry);
         assert!(err.to_string().contains("BIA"));
+        let err = MachineError::Placement("M too coarse".into());
+        assert!(err.to_string().contains("placement"));
+        assert!(MachineError::NoBia.to_string().contains("BIA"));
         let mut m = Machine::new(MachineConfig {
             ram_bytes: 1 << 17,
             ..MachineConfig::insecure()

@@ -1,0 +1,201 @@
+//! A self-contained, dependency-free stand-in for the [proptest] crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched from crates.io. This crate implements exactly the
+//! subset of proptest's API that the `ctbia` workspace uses — the
+//! [`Strategy`] trait, `any`, integer ranges, tuples, [`Just`], `prop_map`,
+//! `prop_oneof!`, `collection::vec`, [`ProptestConfig`] and the `proptest!`
+//! / `prop_assert*!` macros — with the same call syntax, so the test files
+//! compile unchanged against either implementation.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generating seed; the
+//!   case is reproducible because seeding is fully deterministic.
+//! * **Deterministic scheduling.** Case `k` of test `t` always sees the RNG
+//!   seeded with `fnv(module_path::t) ⊕ splitmix(k)`, so a failure is
+//!   reproducible by re-running the test — no persistence files needed.
+//!
+//! [proptest]: https://crates.io/crates/proptest
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Any, BoxedStrategy, Just, Map, Strategy, Union};
+pub use test_runner::TestRng;
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Generates an arbitrary value of `T` (the `any::<T>()` entry point).
+pub fn any<T: strategy::Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Everything the property-test files import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{ProptestConfig, TestRng};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for __case in 0..config.cases as u64 {
+                    let mut __rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $( let $arg = $crate::Strategy::sample(&($strat), &mut __rng); )*
+                    let __run = || { $body };
+                    __run();
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!` — like `assert!`, usable inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` — like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!` — like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among equally-weighted strategies producing one `Value`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $( $crate::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = TestRng::for_case("x", 3);
+        let mut b = TestRng::for_case("x", 3);
+        let mut c = TestRng::for_case("x", 4);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("bounds", 0);
+        for _ in 0..2000 {
+            let v = Strategy::sample(&(5u64..17), &mut rng);
+            assert!((5..17).contains(&v));
+            let v = Strategy::sample(&(0u16..1), &mut rng);
+            assert_eq!(v, 0);
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_size_range() {
+        let mut rng = TestRng::for_case("vec", 0);
+        for _ in 0..500 {
+            let v = Strategy::sample(&crate::collection::vec(crate::any::<u8>(), 2..6), &mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+        let v = Strategy::sample(&crate::collection::vec(crate::any::<bool>(), 9), &mut rng);
+        assert_eq!(v.len(), 9);
+    }
+
+    #[test]
+    fn oneof_map_just_tuples_compose() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Op {
+            A(u16),
+            B(u16, u32),
+        }
+        let strat = prop_oneof![
+            (0u16..10).prop_map(Op::A),
+            (0u16..10, any::<u32>()).prop_map(|(i, v)| Op::B(i, v)),
+            Just(Op::A(3)),
+        ];
+        let mut rng = TestRng::for_case("compose", 1);
+        let mut seen_a = false;
+        let mut seen_b = false;
+        for _ in 0..200 {
+            match Strategy::sample(&strat, &mut rng) {
+                Op::A(i) => {
+                    assert!(i < 10);
+                    seen_a = true;
+                }
+                Op::B(i, _) => {
+                    assert!(i < 10);
+                    seen_b = true;
+                }
+            }
+        }
+        assert!(seen_a && seen_b, "both arms must be exercised");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0u64..100, flip in any::<bool>()) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(x / 100, 0);
+            let _ = flip;
+            prop_assert_ne!(x, 100);
+        }
+    }
+}

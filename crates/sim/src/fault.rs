@@ -1,0 +1,560 @@
+//! Seeded, deterministic fault injection for the BIA event stream.
+//!
+//! The paper's security and correctness arguments (§5.2, §5.3) rest on the
+//! BIA staying a conservative subset of the monitored cache's ground
+//! truth, maintained by an event stream that real hardware would carry
+//! over dedicated wires. This module asks: *what if that machinery
+//! glitches?* A [`FaultInjector`] sits between `Hierarchy::drain_events`
+//! and `Bia::apply_events` and perturbs the stream — dropping, duplicating,
+//! delaying, or corrupting individual [`CacheEvent`]s — and additionally
+//! schedules *structural* faults against the BIA table itself (bit flips,
+//! entry eviction storms) and mid-linearization co-runner interference.
+//!
+//! Everything is driven by a SplitMix64 generator seeded from
+//! [`FaultConfig::seed`]: the same seed over the same event stream yields
+//! bit-identical fault schedules, which the robustness property tests rely
+//! on. Because the event stream itself is secret-independent (the paper's
+//! §5.3 induction), the fault schedule is secret-independent too.
+//!
+//! The injector knows nothing about the BIA — it emits [`StructuralFault`]
+//! descriptions that `ctbia-machine` maps onto BIA fault hooks, keeping
+//! the layering (core depends on sim, not vice versa) intact.
+
+use crate::addr::LineAddr;
+use crate::hierarchy::{CacheEvent, CacheEventKind};
+use std::fmt;
+use std::str::FromStr;
+
+/// One fault category the injector can be armed with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Silently discard an event (a lost update on the monitor wires).
+    Drop,
+    /// Deliver an event twice.
+    Dup,
+    /// Hold an event back and deliver it at the start of the next batch
+    /// (delayed, therefore reordered, delivery).
+    Delay,
+    /// Corrupt an event in flight: perturb its line address within the
+    /// page, or toggle its dirty payload.
+    Corrupt,
+    /// Flip one existence/dirtiness bit directly in a BIA entry (an SEU in
+    /// the bitmap SRAM).
+    Flip,
+    /// Invalidate every BIA entry at once (an entry eviction storm).
+    Storm,
+    /// Co-runner interference mid-linearization: flush a tracked line from
+    /// the hierarchy between the program's accesses.
+    Interfere,
+}
+
+impl FaultKind {
+    /// Every kind, in a fixed order (used for display and digests).
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::Drop,
+        FaultKind::Dup,
+        FaultKind::Delay,
+        FaultKind::Corrupt,
+        FaultKind::Flip,
+        FaultKind::Storm,
+        FaultKind::Interfere,
+    ];
+
+    fn tag(self) -> u64 {
+        match self {
+            FaultKind::Drop => 1,
+            FaultKind::Dup => 2,
+            FaultKind::Delay => 3,
+            FaultKind::Corrupt => 4,
+            FaultKind::Flip => 5,
+            FaultKind::Storm => 6,
+            FaultKind::Interfere => 7,
+        }
+    }
+
+    /// Whether this kind perturbs the event stream (as opposed to the BIA
+    /// table or the cache).
+    pub fn is_stream_fault(self) -> bool {
+        matches!(
+            self,
+            FaultKind::Drop | FaultKind::Dup | FaultKind::Delay | FaultKind::Corrupt
+        )
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Dup => "dup",
+            FaultKind::Delay => "delay",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Flip => "flip",
+            FaultKind::Storm => "storm",
+            FaultKind::Interfere => "interfere",
+        })
+    }
+}
+
+impl FromStr for FaultKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "drop" => FaultKind::Drop,
+            "dup" | "duplicate" => FaultKind::Dup,
+            "delay" | "reorder" => FaultKind::Delay,
+            "corrupt" => FaultKind::Corrupt,
+            "flip" => FaultKind::Flip,
+            "storm" | "evict" => FaultKind::Storm,
+            "interfere" | "corun" => FaultKind::Interfere,
+            other => {
+                return Err(format!(
+                    "unknown fault kind '{other}' (expected one of \
+                     drop, dup, delay, corrupt, flip, storm, interfere)"
+                ))
+            }
+        })
+    }
+}
+
+/// Parses a comma-separated fault list, e.g. `"drop,dup,flip"`.
+///
+/// # Errors
+///
+/// Returns the first unknown kind's message.
+pub fn parse_fault_kinds(s: &str) -> Result<Vec<FaultKind>, String> {
+    let mut kinds = Vec::new();
+    for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let kind: FaultKind = part.parse()?;
+        if !kinds.contains(&kind) {
+            kinds.push(kind);
+        }
+    }
+    if kinds.is_empty() {
+        return Err("empty fault list".into());
+    }
+    Ok(kinds)
+}
+
+/// Configuration of a [`FaultInjector`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Which fault kinds are armed.
+    pub kinds: Vec<FaultKind>,
+    /// Seed of the fault schedule.
+    pub seed: u64,
+    /// Per-event probability of each armed *stream* fault, in parts per
+    /// million.
+    pub rate_ppm: u32,
+    /// Per-batch probability of each armed *structural* fault
+    /// (flip/storm/interfere), in parts per million.
+    pub batch_rate_ppm: u32,
+}
+
+impl FaultConfig {
+    /// A configuration with the default rates (2% per event, 5% per batch).
+    pub fn new(kinds: Vec<FaultKind>, seed: u64) -> Self {
+        FaultConfig {
+            kinds,
+            seed,
+            rate_ppm: 20_000,
+            batch_rate_ppm: 50_000,
+        }
+    }
+}
+
+/// One fault the injector committed, for the log and the schedule digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The drain batch the fault landed in.
+    pub batch: u64,
+    /// What was injected.
+    pub kind: FaultKind,
+    /// The affected line, when the fault targets one.
+    pub line: Option<LineAddr>,
+}
+
+/// A fault aimed at the BIA table or the cache rather than the event
+/// stream. The machine maps these onto `Bia` fault hooks / hierarchy ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StructuralFault {
+    /// Flip bit `bit` of the `rank`-th valid BIA entry, in the dirtiness
+    /// plane when `dirtiness` is set.
+    Flip {
+        /// Entry rank among valid entries (consumer reduces mod count).
+        rank: u32,
+        /// Target the dirtiness plane instead of existence.
+        dirtiness: bool,
+        /// Bit index (consumer reduces mod lines-per-entry).
+        bit: u32,
+    },
+    /// Invalidate every BIA entry.
+    Storm,
+    /// Flush the `pick`-th tracked group's first line from the hierarchy
+    /// (consumer reduces mod the tracked-group count).
+    Interfere {
+        /// Group pick among tracked groups.
+        pick: u64,
+    },
+}
+
+/// The seeded event-stream and BIA fault injector. See the module docs.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    state: u64,
+    delayed: Vec<CacheEvent>,
+    log: Vec<InjectedFault>,
+    batch: u64,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultInjector {
+    /// Builds an injector from its configuration.
+    pub fn new(cfg: FaultConfig) -> Self {
+        let mut state = cfg.seed ^ 0xfa17_fa17_fa17_fa17;
+        // Decorrelate nearby seeds.
+        splitmix(&mut state);
+        FaultInjector {
+            cfg,
+            state,
+            delayed: Vec::new(),
+            log: Vec::new(),
+            batch: 0,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    fn armed(&self, kind: FaultKind) -> bool {
+        self.cfg.kinds.contains(&kind)
+    }
+
+    /// One Bernoulli trial at `ppm` parts per million.
+    fn roll(&mut self, ppm: u32) -> bool {
+        // Multiply-shift keeps the draw uniform without modulo bias.
+        let draw = ((splitmix(&mut self.state) as u128 * 1_000_000) >> 64) as u32;
+        draw < ppm
+    }
+
+    fn record(&mut self, kind: FaultKind, line: Option<LineAddr>) {
+        self.log.push(InjectedFault {
+            batch: self.batch,
+            kind,
+            line,
+        });
+    }
+
+    /// Perturbs one drained event batch in place: releases previously
+    /// delayed events at the front, then rolls each armed stream fault for
+    /// each event. Call once per drain batch, *before*
+    /// `Bia::apply_events`; pair with [`FaultInjector::structural_faults`]
+    /// for the same batch.
+    pub fn perturb(&mut self, events: &mut Vec<CacheEvent>) {
+        self.batch += 1;
+        if !self.delayed.is_empty() {
+            let mut released = std::mem::take(&mut self.delayed);
+            released.append(events);
+            *events = released;
+        }
+        let mut out = Vec::with_capacity(events.len());
+        for ev in events.drain(..) {
+            if self.armed(FaultKind::Drop) && self.roll(self.cfg.rate_ppm) {
+                self.record(FaultKind::Drop, Some(ev.line));
+                continue;
+            }
+            if self.armed(FaultKind::Delay) && self.roll(self.cfg.rate_ppm) {
+                self.record(FaultKind::Delay, Some(ev.line));
+                self.delayed.push(ev);
+                continue;
+            }
+            if self.armed(FaultKind::Corrupt) && self.roll(self.cfg.rate_ppm) {
+                let ev = self.corrupt(ev);
+                self.record(FaultKind::Corrupt, Some(ev.line));
+                out.push(ev);
+                continue;
+            }
+            let dup = self.armed(FaultKind::Dup) && self.roll(self.cfg.rate_ppm);
+            if dup {
+                self.record(FaultKind::Dup, Some(ev.line));
+                out.push(ev);
+            }
+            out.push(ev);
+        }
+        *events = out;
+    }
+
+    /// Corrupts one event: either its line address (XOR a nonzero value
+    /// into the in-page line index) or, where the kind carries one, its
+    /// dirty payload.
+    fn corrupt(&mut self, ev: CacheEvent) -> CacheEvent {
+        let flip_payload = splitmix(&mut self.state) & 1 == 0;
+        match ev.kind {
+            CacheEventKind::Hit { dirty } if flip_payload => CacheEvent {
+                line: ev.line,
+                kind: CacheEventKind::Hit { dirty: !dirty },
+            },
+            CacheEventKind::Fill { dirty } if flip_payload => CacheEvent {
+                line: ev.line,
+                kind: CacheEventKind::Fill { dirty: !dirty },
+            },
+            CacheEventKind::DirtyChange { dirty } if flip_payload => CacheEvent {
+                line: ev.line,
+                kind: CacheEventKind::DirtyChange { dirty: !dirty },
+            },
+            _ => {
+                // Perturb the line within its page (low 6 bits of the line
+                // number), guaranteed nonzero so the event really moves.
+                let delta = 1 + (splitmix(&mut self.state) & 0x3f) % 63;
+                CacheEvent {
+                    line: LineAddr::new(ev.line.raw() ^ delta),
+                    kind: ev.kind,
+                }
+            }
+        }
+    }
+
+    /// Rolls the armed structural faults for the batch last perturbed.
+    /// Call directly after [`FaultInjector::perturb`]; apply the returned
+    /// faults to the real BIA / hierarchy before auditing.
+    pub fn structural_faults(&mut self) -> Vec<StructuralFault> {
+        let mut out = Vec::new();
+        if self.armed(FaultKind::Flip) && self.roll(self.cfg.batch_rate_ppm) {
+            let word = splitmix(&mut self.state);
+            let fault = StructuralFault::Flip {
+                rank: (word >> 32) as u32,
+                dirtiness: word & 1 == 1,
+                bit: ((word >> 8) & 0x3f) as u32,
+            };
+            self.record(FaultKind::Flip, None);
+            out.push(fault);
+        }
+        if self.armed(FaultKind::Storm) && self.roll(self.cfg.batch_rate_ppm) {
+            self.record(FaultKind::Storm, None);
+            out.push(StructuralFault::Storm);
+        }
+        if self.armed(FaultKind::Interfere) && self.roll(self.cfg.batch_rate_ppm) {
+            let pick = splitmix(&mut self.state);
+            self.record(FaultKind::Interfere, None);
+            out.push(StructuralFault::Interfere { pick });
+        }
+        out
+    }
+
+    /// Every fault committed so far, in injection order.
+    pub fn log(&self) -> &[InjectedFault] {
+        &self.log
+    }
+
+    /// Total number of committed faults.
+    pub fn faults_injected(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// Number of delayed events still queued for the next batch.
+    pub fn pending_delayed(&self) -> usize {
+        self.delayed.len()
+    }
+
+    /// FNV-1a digest of the fault schedule — two runs with the same seed
+    /// and the same event stream produce the same digest.
+    pub fn schedule_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |w: u64| {
+            for k in 0..8 {
+                h ^= (w >> (8 * k)) & 0xff;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for f in &self.log {
+            mix(f.batch);
+            mix(f.kind.tag());
+            mix(f.line.map(|l| l.raw() + 1).unwrap_or(0));
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(n: u64) -> Vec<CacheEvent> {
+        (0..n)
+            .map(|i| CacheEvent {
+                line: LineAddr::new(i * 3),
+                kind: match i % 4 {
+                    0 => CacheEventKind::Fill { dirty: false },
+                    1 => CacheEventKind::Hit { dirty: true },
+                    2 => CacheEventKind::DirtyChange { dirty: true },
+                    _ => CacheEventKind::Evict,
+                },
+            })
+            .collect()
+    }
+
+    fn all_stream_cfg(seed: u64) -> FaultConfig {
+        FaultConfig {
+            rate_ppm: 200_000, // 20%: plenty of faults in a short stream
+            ..FaultConfig::new(
+                vec![
+                    FaultKind::Drop,
+                    FaultKind::Dup,
+                    FaultKind::Delay,
+                    FaultKind::Corrupt,
+                ],
+                seed,
+            )
+        }
+    }
+
+    #[test]
+    fn kind_parsing_round_trips() {
+        for kind in FaultKind::ALL {
+            assert_eq!(kind.to_string().parse::<FaultKind>().unwrap(), kind);
+        }
+        assert!("bogus".parse::<FaultKind>().is_err());
+        assert_eq!(
+            parse_fault_kinds("drop, dup,flip").unwrap(),
+            vec![FaultKind::Drop, FaultKind::Dup, FaultKind::Flip]
+        );
+        assert_eq!(
+            parse_fault_kinds("drop,drop").unwrap(),
+            vec![FaultKind::Drop],
+            "duplicates collapse"
+        );
+        assert!(parse_fault_kinds("").is_err());
+        assert!(parse_fault_kinds("drop,bogus").is_err());
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let run = |seed: u64| {
+            let mut inj = FaultInjector::new(all_stream_cfg(seed));
+            for _ in 0..20 {
+                let mut evs = stream(50);
+                inj.perturb(&mut evs);
+                let _ = inj.structural_faults();
+            }
+            (inj.log().to_vec(), inj.schedule_digest())
+        };
+        let (log_a, dig_a) = run(7);
+        let (log_b, dig_b) = run(7);
+        assert_eq!(log_a, log_b);
+        assert_eq!(dig_a, dig_b);
+        assert!(!log_a.is_empty(), "20% over 1000 events must fire");
+        let (_, dig_c) = run(8);
+        assert_ne!(dig_a, dig_c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn disarmed_kinds_never_fire() {
+        let cfg = FaultConfig {
+            rate_ppm: 1_000_000,
+            batch_rate_ppm: 1_000_000,
+            ..FaultConfig::new(vec![FaultKind::Drop], 1)
+        };
+        let mut inj = FaultInjector::new(cfg);
+        let mut evs = stream(100);
+        inj.perturb(&mut evs);
+        assert!(evs.is_empty(), "rate 100% drop must discard everything");
+        assert!(inj.structural_faults().is_empty());
+        assert!(inj.log().iter().all(|f| f.kind == FaultKind::Drop));
+    }
+
+    #[test]
+    fn delayed_events_reappear_next_batch() {
+        let cfg = FaultConfig {
+            rate_ppm: 1_000_000,
+            ..FaultConfig::new(vec![FaultKind::Delay], 2)
+        };
+        let mut inj = FaultInjector::new(cfg);
+        let mut evs = stream(5);
+        let original = evs.clone();
+        inj.perturb(&mut evs);
+        assert!(evs.is_empty());
+        assert_eq!(inj.pending_delayed(), 5);
+        // Next batch: the delayed events come out first, then get delayed
+        // again (rate is 100%) — so release them with delay disarmed.
+        let mut inj2 = inj.clone();
+        inj2.cfg.kinds.clear();
+        let mut next = vec![CacheEvent {
+            line: LineAddr::new(999),
+            kind: CacheEventKind::Evict,
+        }];
+        inj2.perturb(&mut next);
+        assert_eq!(next.len(), 6);
+        assert_eq!(&next[..5], &original[..], "delayed events lead the batch");
+        assert_eq!(next[5].line, LineAddr::new(999));
+    }
+
+    #[test]
+    fn corrupt_changes_event_but_keeps_count() {
+        let cfg = FaultConfig {
+            rate_ppm: 1_000_000,
+            ..FaultConfig::new(vec![FaultKind::Corrupt], 3)
+        };
+        let mut inj = FaultInjector::new(cfg);
+        let mut evs = stream(64);
+        let original = evs.clone();
+        inj.perturb(&mut evs);
+        assert_eq!(evs.len(), original.len());
+        assert_ne!(evs, original, "every event corrupted at 100%");
+        for (a, b) in evs.iter().zip(&original) {
+            assert!(a != b, "corruption must change the event: {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn dup_doubles_and_structurals_fire() {
+        let cfg = FaultConfig {
+            rate_ppm: 1_000_000,
+            batch_rate_ppm: 1_000_000,
+            ..FaultConfig::new(
+                vec![
+                    FaultKind::Dup,
+                    FaultKind::Flip,
+                    FaultKind::Storm,
+                    FaultKind::Interfere,
+                ],
+                4,
+            )
+        };
+        let mut inj = FaultInjector::new(cfg);
+        let mut evs = stream(10);
+        inj.perturb(&mut evs);
+        assert_eq!(evs.len(), 20);
+        let faults = inj.structural_faults();
+        assert_eq!(faults.len(), 3);
+        assert!(matches!(faults[0], StructuralFault::Flip { .. }));
+        assert!(matches!(faults[1], StructuralFault::Storm));
+        assert!(matches!(faults[2], StructuralFault::Interfere { .. }));
+    }
+
+    #[test]
+    fn zero_rate_is_a_no_op() {
+        let cfg = FaultConfig {
+            rate_ppm: 0,
+            batch_rate_ppm: 0,
+            ..FaultConfig::new(FaultKind::ALL.to_vec(), 5)
+        };
+        let mut inj = FaultInjector::new(cfg);
+        let mut evs = stream(100);
+        let original = evs.clone();
+        inj.perturb(&mut evs);
+        assert_eq!(evs, original);
+        assert!(inj.structural_faults().is_empty());
+        assert_eq!(inj.faults_injected(), 0);
+    }
+}

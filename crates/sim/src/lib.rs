@@ -51,6 +51,7 @@ pub mod addr;
 pub mod cache;
 pub mod config;
 pub mod dram;
+pub mod fault;
 pub mod hierarchy;
 pub mod replacement;
 pub mod stats;
@@ -58,6 +59,7 @@ pub mod stats;
 pub use addr::{LineAddr, PageIdx, PhysAddr, LINES_PER_PAGE, LINE_BYTES, PAGE_BYTES};
 pub use cache::{AccessKind, Cache, ProbeOutcome};
 pub use config::{CacheConfig, ConfigError, DramConfig, HierarchyConfig};
+pub use fault::{FaultConfig, FaultInjector, FaultKind, InjectedFault, StructuralFault};
 pub use hierarchy::{
     AccessFlags, AccessResult, CacheEvent, CacheEventKind, Hierarchy, Level, MonitorLevel,
 };

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the ctbia workspace. Every PR must pass this script
+# unchanged; it is what the repo means by "the tests are green".
+#
+#   scripts/ci.sh
+#
+# Steps, in order (fail fast):
+#   1. cargo fmt --check      -- formatting is canonical
+#   2. cargo clippy -D warnings, all targets (tests, benches, examples)
+#   3. cargo build --release  -- the release artifacts build
+#   4. cargo test -q          -- the full unit/property/integration suite
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo build --workspace --release
+run cargo test --workspace -q
+
+echo "==> tier-1 gate passed"

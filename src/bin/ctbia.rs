@@ -16,6 +16,7 @@ use ctbia::attacks::{empirical_leakage_bits, set_access_profiles, PrimeProbe};
 use ctbia::core::ctmem::Width;
 use ctbia::core::ds::DataflowSet;
 use ctbia::machine::{BiaPlacement, Machine};
+use ctbia::sim::fault::{parse_fault_kinds, FaultConfig, FaultKind};
 use ctbia::sim::hierarchy::Level;
 use ctbia::workloads::{
     BinarySearch, Dijkstra, HeapPop, Histogram, Permutation, Run, Strategy, Workload,
@@ -28,12 +29,15 @@ ctbia — Hardware Support for Constant-Time Programming (MICRO '23), simulated
 USAGE:
     ctbia config
     ctbia list
-    ctbia run <WORKLOAD> [SIZE] [--strategy insecure|ct|ct-avx2|bia] [--placement l1d|l2] [--stats]
+    ctbia run <WORKLOAD> [SIZE] [--strategy insecure|ct|ct-avx2|bia] [--placement l1d|l2|llc] [--stats]
     ctbia compare <WORKLOAD> [SIZE]
     ctbia attack [SECRET]
     ctbia leakage <WORKLOAD> [SIZE]
+    ctbia audit <WORKLOAD> [SIZE] [--placement l1d|l2|llc]
+    ctbia fuzz [--faults LIST] [--seed N] [--iters K] <WORKLOAD> [SIZE] [--placement l1d|l2|llc]
 
 WORKLOADS: dijkstra | histogram | permutation | binary-search | heappop
+FAULTS:    drop | dup | delay | corrupt | flip | storm | interfere (comma-separated)
 ";
 
 fn make_workload(name: &str, size: usize) -> Result<Box<dyn Workload>, String> {
@@ -68,8 +72,19 @@ fn parse_placement(s: &str) -> Result<BiaPlacement, String> {
     Ok(match s {
         "l1d" => BiaPlacement::L1d,
         "l2" => BiaPlacement::L2,
-        other => return Err(format!("unknown placement '{other}' (l1d or l2)")),
+        "llc" => BiaPlacement::Llc,
+        other => return Err(format!("unknown placement '{other}' (l1d, l2 or llc)")),
     })
+}
+
+fn parse_size(s: &str) -> Result<usize, String> {
+    let n: usize = s
+        .parse()
+        .map_err(|_| format!("invalid size '{s}' (expected a positive integer)"))?;
+    if n == 0 {
+        return Err(format!("invalid size '{s}' (must be at least 1)"));
+    }
+    Ok(n)
 }
 
 fn machine_for(strategy: Strategy, placement: BiaPlacement) -> Machine {
@@ -111,7 +126,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 i += 1;
                 placement = parse_placement(args.get(i).ok_or("--placement needs a value")?)?;
             }
-            v if size.is_none() && v.parse::<usize>().is_ok() => size = v.parse().ok(),
+            v if size.is_none() && !v.starts_with('-') => size = Some(parse_size(v)?),
             other => return Err(format!("unexpected argument '{other}'")),
         }
         i += 1;
@@ -130,10 +145,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
 fn cmd_compare(args: &[String]) -> Result<(), String> {
     let name = args.first().ok_or("compare: missing workload name")?;
-    let size = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| default_size(name));
+    let size = match args.get(1) {
+        Some(s) => parse_size(s)?,
+        None => default_size(name),
+    };
     let wl = make_workload(name, size)?;
     println!("{}:", wl.name());
     let base = wl.run(&mut Machine::insecure(), Strategy::Insecure);
@@ -142,6 +157,7 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
         ("CT", Strategy::software_ct_avx2(), None),
         ("BIA@L1d", Strategy::bia(), Some(BiaPlacement::L1d)),
         ("BIA@L2", Strategy::bia(), Some(BiaPlacement::L2)),
+        ("BIA@LLC", Strategy::bia(), Some(BiaPlacement::Llc)),
     ] {
         let mut m = match placement {
             Some(p) => Machine::with_bia(p),
@@ -203,7 +219,10 @@ fn cmd_attack(args: &[String]) -> Result<(), String> {
 
 fn cmd_leakage(args: &[String]) -> Result<(), String> {
     let name = args.first().ok_or("leakage: missing workload name")?;
-    let size = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(500);
+    let size = match args.get(1) {
+        Some(s) => parse_size(s)?,
+        None => 500,
+    };
     make_workload(name, size)?; // validate the name up front
     let secrets: Vec<u64> = (0..8).map(|i| 1 + i * 97).collect();
     println!(
@@ -235,6 +254,154 @@ fn cmd_leakage(args: &[String]) -> Result<(), String> {
             (secrets.len() as f64).log2()
         );
     }
+    Ok(())
+}
+
+/// `ctbia audit <WORKLOAD> [SIZE] [--placement ..]` — run the workload
+/// under the BIA strategy with the shadow auditor enabled and report
+/// whether the BIA ever diverged from ground truth.
+fn cmd_audit(args: &[String]) -> Result<(), String> {
+    let mut name = None;
+    let mut size = None;
+    let mut placement = BiaPlacement::L1d;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--placement" => {
+                i += 1;
+                placement = parse_placement(args.get(i).ok_or("--placement needs a value")?)?;
+            }
+            v if name.is_none() && !v.starts_with('-') => name = Some(v.to_string()),
+            v if size.is_none() && !v.starts_with('-') => size = Some(parse_size(v)?),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+        i += 1;
+    }
+    let name = name.ok_or("audit: missing workload name")?;
+    let size = size.unwrap_or_else(|| default_size(&name));
+    let wl = make_workload(&name, size)?;
+    let reference = wl.run(&mut Machine::insecure(), Strategy::Insecure);
+    let mut m = Machine::with_bia(placement);
+    m.enable_audit().map_err(|e| e.to_string())?;
+    let run = wl.run(&mut m, Strategy::bia());
+    let robust = m.counters().robust;
+    println!(
+        "audit of {} under BIA@{placement}: {} batches, {} violations, {} downgrades",
+        wl.name(),
+        robust.audit_batches,
+        robust.audit_violations,
+        robust.downgrades
+    );
+    for v in m
+        .auditor()
+        .expect("audit enabled")
+        .violations()
+        .iter()
+        .take(5)
+    {
+        println!("  {v}");
+    }
+    if run.digest != reference.digest {
+        return Err("audited run produced a different result — bug".into());
+    }
+    if robust.audit_violations > 0 {
+        return Err(format!(
+            "{} violation(s) detected on a fault-free run — BIA desync bug",
+            robust.audit_violations
+        ));
+    }
+    println!("clean: BIA matched ground truth on every drained batch");
+    Ok(())
+}
+
+/// `ctbia fuzz [--faults LIST] [--seed N] [--iters K] <WORKLOAD> [SIZE]` —
+/// repeatedly run the workload while a seeded injector sabotages the BIA,
+/// checking that graceful degradation keeps every result bit-correct.
+fn cmd_fuzz(args: &[String]) -> Result<(), String> {
+    let mut faults = vec![FaultKind::Drop, FaultKind::Dup, FaultKind::Flip];
+    let mut seed = 7u64;
+    let mut iters = 25u64;
+    let mut placement = BiaPlacement::L1d;
+    let mut name = None;
+    let mut size = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--faults" => {
+                i += 1;
+                faults = parse_fault_kinds(args.get(i).ok_or("--faults needs a value")?)?;
+            }
+            "--seed" => {
+                i += 1;
+                let s = args.get(i).ok_or("--seed needs a value")?;
+                seed = s.parse().map_err(|_| format!("invalid seed '{s}'"))?;
+            }
+            "--iters" => {
+                i += 1;
+                let s = args.get(i).ok_or("--iters needs a value")?;
+                iters = s
+                    .parse()
+                    .ok()
+                    .filter(|&k| k > 0)
+                    .ok_or_else(|| format!("invalid iteration count '{s}'"))?;
+            }
+            "--placement" => {
+                i += 1;
+                placement = parse_placement(args.get(i).ok_or("--placement needs a value")?)?;
+            }
+            v if name.is_none() && !v.starts_with('-') => name = Some(v.to_string()),
+            v if size.is_none() && !v.starts_with('-') => size = Some(parse_size(v)?),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+        i += 1;
+    }
+    let name = name.ok_or("fuzz: missing workload name")?;
+    let size = size.unwrap_or_else(|| default_size(&name));
+    let wl = make_workload(&name, size)?;
+    let fault_list = faults
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    println!(
+        "fuzzing {} under BIA@{placement}: faults [{fault_list}], seed {seed}, {iters} iters",
+        wl.name()
+    );
+    let reference = wl.run(&mut Machine::insecure(), Strategy::Insecure);
+    let (mut faults_total, mut violations, mut inline, mut downgrades, mut resyncs) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut mismatches = 0u64;
+    for iter in 0..iters {
+        // Derive a distinct but reproducible schedule per iteration.
+        let iter_seed = seed ^ iter.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut cfg = FaultConfig::new(faults.clone(), iter_seed);
+        cfg.rate_ppm = 100_000; // 10% of events faulted
+        cfg.batch_rate_ppm = 50_000; // 5% of batches structurally faulted
+        let mut m = Machine::with_bia(placement);
+        m.enable_audit().map_err(|e| e.to_string())?;
+        m.set_fault_injector(Some(cfg)).map_err(|e| e.to_string())?;
+        let run = wl.run(&mut m, Strategy::bia());
+        let r = m.counters().robust;
+        faults_total += r.faults_injected;
+        violations += r.audit_violations;
+        inline += r.inline_desyncs;
+        downgrades += r.downgrades;
+        resyncs += r.resyncs;
+        if run.digest != reference.digest {
+            mismatches += 1;
+            println!("  iter {iter}: INCORRECT RESULT (seed {iter_seed:#x})");
+        }
+    }
+    println!(
+        "injected {faults_total} faults: {violations} audit violations, {inline} inline desyncs, \
+         {downgrades} downgrades, {resyncs} resyncs"
+    );
+    if mismatches > 0 {
+        return Err(format!(
+            "{mismatches}/{iters} iterations produced incorrect results"
+        ));
+    }
+    println!("all {iters} iterations bit-correct: every desync was caught or absorbed");
     Ok(())
 }
 
@@ -287,7 +454,8 @@ fn cmd_config() {
 fn cmd_list() {
     println!("workloads:  dijkstra histogram permutation binary-search heappop");
     println!("strategies: insecure ct ct-avx2 bia");
-    println!("placements: l1d l2   (LLC via the library API; see tests/llc_bia.rs)");
+    println!("placements: l1d l2 llc");
+    println!("faults:     drop dup delay corrupt flip storm interfere (for `ctbia fuzz`)");
     println!("crypto kernels (via `cargo run -p ctbia-bench --bin fig09_crypto`):");
     println!("  AES ARC2 ARC4 Blowfish CAST DES DES3 XOR");
 }
@@ -307,6 +475,8 @@ fn main() -> ExitCode {
         Some("compare") => cmd_compare(&args[1..]),
         Some("attack") => cmd_attack(&args[1..]),
         Some("leakage") => cmd_leakage(&args[1..]),
+        Some("audit") => cmd_audit(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(())
