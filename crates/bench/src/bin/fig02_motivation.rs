@@ -5,23 +5,39 @@
 //! ```text
 //! cargo run -p ctbia-bench --release --bin fig02_motivation
 //! ```
+//!
+//! The size × strategy grid runs on the shared sweep engine (parallel,
+//! memoized under `results/cache/`).
 
-use ctbia_bench::{overhead, run_ct_avx2, run_ct_scalar, run_insecure};
-use ctbia_workloads::{Histogram, Workload};
+use ctbia_bench::{eval_cell, figure_engine, report_overhead};
+use ctbia_harness::{StrategySpec, WorkloadSpec};
+use ctbia_machine::BiaPlacement;
 
 fn main() {
+    let workloads: Vec<WorkloadSpec> = [1000, 2000, 4000, 6000, 8000, 10_000]
+        .iter()
+        .map(|&n| WorkloadSpec::named("hist", n).expect("built-in workload name"))
+        .collect();
+    let mut grid = Vec::with_capacity(workloads.len() * 3);
+    for &wl in &workloads {
+        for strategy in [
+            StrategySpec::Insecure,
+            StrategySpec::Ct,
+            StrategySpec::CtAvx2,
+        ] {
+            grid.push(eval_cell(wl, strategy, BiaPlacement::L1d));
+        }
+    }
+    let reports = figure_engine().run(&grid).expect("figure 2 grid is valid");
+
     println!("Figure 2: Histogram CT overhead vs input size (x baseline cycles)");
     println!("{:<10} {:>12} {:>12}", "size", "secure", "secure+avx2");
-    for size in [1000, 2000, 4000, 6000, 8000, 10_000] {
-        let wl = Histogram::new(size);
-        let base = run_insecure(&wl);
-        let ct = run_ct_scalar(&wl);
-        let avx = run_ct_avx2(&wl);
+    for (chunk, wl) in reports.chunks_exact(3).zip(&workloads) {
         println!(
             "{:<10} {:>12.2} {:>12.2}",
             wl.name(),
-            overhead(&ct, &base),
-            overhead(&avx, &base),
+            report_overhead(&chunk[1], &chunk[0]),
+            report_overhead(&chunk[2], &chunk[0]),
         );
     }
     println!("\nThe overhead grows with the DS size — the paper's 'large dataflow");

@@ -7,14 +7,19 @@
 //! cargo run -p ctbia-bench --release --bin fig07_overheads -- dijkstra
 //! cargo run -p ctbia-bench --release --bin fig07_overheads -- --quick # small sizes
 //! ```
+//!
+//! Each sweep expands to a cell grid on the shared sweep engine: sizes and
+//! strategies simulate in parallel, and completed cells are memoized under
+//! `results/cache/`, so re-running a figure (or a sibling bin that shares
+//! cells) costs only the cells that changed.
 
-use ctbia_bench::{figure7_row, print_overhead_table, OverheadRow};
-use ctbia_workloads::{BinarySearch, Dijkstra, HeapPop, Histogram, Permutation, Workload};
+use ctbia_bench::{figure7_rows, print_overhead_table};
+use ctbia_harness::WorkloadSpec;
 
-fn rows(workloads: &[Box<dyn Workload>]) -> Vec<OverheadRow> {
-    workloads
+fn specs(name: &str, sizes: &[usize]) -> Vec<WorkloadSpec> {
+    sizes
         .iter()
-        .map(|wl| figure7_row(wl.as_ref()))
+        .map(|&n| WorkloadSpec::named(name, n).expect("built-in workload name"))
         .collect()
 }
 
@@ -50,53 +55,33 @@ fn main() {
     };
 
     if which == "all" || which == "dijkstra" {
-        let wls: Vec<Box<dyn Workload>> = dij_sizes
-            .iter()
-            .map(|&n| Box::new(Dijkstra::new(n)) as Box<dyn Workload>)
-            .collect();
         print_overhead_table(
             "Figure 7(a): dijkstra — exec. time overhead vs insecure",
-            &rows(&wls),
+            &figure7_rows(&specs("dijkstra", dij_sizes)),
         );
     }
     if which == "all" || which == "histogram" {
-        let wls: Vec<Box<dyn Workload>> = hist_sizes
-            .iter()
-            .map(|&n| Box::new(Histogram::new(n)) as Box<dyn Workload>)
-            .collect();
         print_overhead_table(
             "Figure 7(b): histogram — exec. time overhead vs insecure",
-            &rows(&wls),
+            &figure7_rows(&specs("histogram", hist_sizes)),
         );
     }
     if which == "all" || which == "permutation" {
-        let wls: Vec<Box<dyn Workload>> = perm_sizes
-            .iter()
-            .map(|&n| Box::new(Permutation::new(n)) as Box<dyn Workload>)
-            .collect();
         print_overhead_table(
             "Figure 7(c): permutation — exec. time overhead vs insecure",
-            &rows(&wls),
+            &figure7_rows(&specs("permutation", perm_sizes)),
         );
     }
     if which == "all" || which == "binary-search" {
-        let wls: Vec<Box<dyn Workload>> = bin_sizes
-            .iter()
-            .map(|&n| Box::new(BinarySearch::new(n)) as Box<dyn Workload>)
-            .collect();
         print_overhead_table(
             "Figure 7(d): binary search — exec. time overhead vs insecure",
-            &rows(&wls),
+            &figure7_rows(&specs("binary-search", bin_sizes)),
         );
     }
     if which == "all" || which == "heappop" {
-        let wls: Vec<Box<dyn Workload>> = heap_sizes
-            .iter()
-            .map(|&n| Box::new(HeapPop::new(n)) as Box<dyn Workload>)
-            .collect();
         print_overhead_table(
             "Figure 7(e): heap pop — exec. time overhead vs insecure",
-            &rows(&wls),
+            &figure7_rows(&specs("heappop", heap_sizes)),
         );
     }
 }

@@ -5,24 +5,38 @@
 //! ```text
 //! cargo run -p ctbia-bench --release --bin fig08_reduction
 //! ```
+//!
+//! The size × strategy grid runs on the shared sweep engine (parallel,
+//! memoized under `results/cache/`).
 
-use ctbia_bench::{run_bia_l1d, run_ct};
-use ctbia_workloads::{Dijkstra, Workload};
+use ctbia_bench::{eval_cell, figure_engine};
+use ctbia_harness::{StrategySpec, WorkloadSpec};
+use ctbia_machine::BiaPlacement;
 
 fn ratio(a: u64, b: u64) -> f64 {
     a as f64 / b.max(1) as f64
 }
 
 fn main() {
+    let workloads: Vec<WorkloadSpec> = [32, 64, 96, 128]
+        .iter()
+        .map(|&n| WorkloadSpec::named("dijkstra", n).expect("built-in workload name"))
+        .collect();
+    let mut grid = Vec::with_capacity(workloads.len() * 2);
+    for &wl in &workloads {
+        grid.push(eval_cell(wl, StrategySpec::CtAvx2, BiaPlacement::L1d));
+        grid.push(eval_cell(wl, StrategySpec::Bia, BiaPlacement::L1d));
+    }
+    let reports = figure_engine().run(&grid).expect("figure 8 grid is valid");
+
     println!("Figure 8: overhead reduction ratio (CT / L1d BIA), dijkstra");
     println!(
         "{:<10} {:>10} {:>10} {:>10} {:>10} {:>12}",
         "workload", "insts", "icache", "dcache", "dram", "exec. time"
     );
-    for n in [32, 64, 96, 128] {
-        let wl = Dijkstra::new(n);
-        let ct = run_ct(&wl).counters;
-        let bia = run_bia_l1d(&wl).counters;
+    for (chunk, wl) in reports.chunks_exact(2).zip(&workloads) {
+        let ct = &chunk[0].counters;
+        let bia = &chunk[1].counters;
         println!(
             "{:<10} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>12.2}",
             wl.name(),

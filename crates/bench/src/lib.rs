@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+use ctbia_harness::{CellReport, CellSpec, DiskCache, StrategySpec, SweepEngine, WorkloadSpec};
 use ctbia_machine::{BiaPlacement, CostModel, Machine, MachineConfig};
 use ctbia_workloads::{Run, Strategy, Workload};
 
@@ -70,6 +71,39 @@ pub fn run_bia_l2(wl: &dyn Workload) -> Run {
     wl.run(&mut m, Strategy::bia())
 }
 
+/// The shared figure engine: a parallel worker pool over the repo-wide
+/// `results/cache/` memo table, so sibling figure bins (and `ctbia bench`)
+/// share completed cells. If the cache directory cannot be created the
+/// engine simply runs uncached.
+pub fn figure_engine() -> SweepEngine {
+    let engine = SweepEngine::new();
+    match DiskCache::open_default() {
+        Ok(cache) => engine.with_cache(cache),
+        Err(_) => engine,
+    }
+}
+
+/// One figure cell: `workload` under `strategy` (with `placement` for BIA
+/// cells) on the evaluation configuration — Table 1 hierarchy and the
+/// `o3_approx` cost model, exactly what [`eval_machine`] simulates.
+pub fn eval_cell(
+    workload: WorkloadSpec,
+    strategy: StrategySpec,
+    placement: BiaPlacement,
+) -> CellSpec {
+    CellSpec::new(workload, strategy, placement).with_eval_config()
+}
+
+/// Execution-time overhead of a cell report relative to a baseline report
+/// (1.0 = equal) — [`overhead`] for sweep-engine output.
+pub fn report_overhead(report: &CellReport, baseline: &CellReport) -> f64 {
+    assert_eq!(
+        report.digest, baseline.digest,
+        "strategies disagree on the output"
+    );
+    report.counters.cycles as f64 / baseline.counters.cycles.max(1) as f64
+}
+
 /// Execution-time overhead of `run` relative to `baseline` (1.0 = equal).
 pub fn overhead(run: &Run, baseline: &Run) -> f64 {
     assert_eq!(
@@ -104,6 +138,37 @@ pub fn figure7_row(wl: &dyn Workload) -> OverheadRow {
         l2: overhead(&l2, &base),
         ct: overhead(&ct, &base),
     }
+}
+
+/// Assembles one Figure 7 row per workload spec through the sweep engine:
+/// the whole `workloads × {insecure, L1d, L2, CT}` grid is expanded up
+/// front, simulated in parallel (memoized under `results/cache/`), and
+/// folded back into rows in grid order.
+pub fn figure7_rows(workloads: &[WorkloadSpec]) -> Vec<OverheadRow> {
+    figure7_rows_on(&figure_engine(), workloads)
+}
+
+/// [`figure7_rows`] on a caller-provided engine (no-cache engines keep
+/// tests hermetic).
+pub fn figure7_rows_on(engine: &SweepEngine, workloads: &[WorkloadSpec]) -> Vec<OverheadRow> {
+    let mut grid = Vec::with_capacity(workloads.len() * 4);
+    for &wl in workloads {
+        grid.push(eval_cell(wl, StrategySpec::Insecure, BiaPlacement::L1d));
+        grid.push(eval_cell(wl, StrategySpec::Bia, BiaPlacement::L1d));
+        grid.push(eval_cell(wl, StrategySpec::Bia, BiaPlacement::L2));
+        grid.push(eval_cell(wl, StrategySpec::CtAvx2, BiaPlacement::L1d));
+    }
+    let reports = engine.run(&grid).expect("figure 7 grid is valid");
+    reports
+        .chunks_exact(4)
+        .zip(workloads)
+        .map(|(chunk, wl)| OverheadRow {
+            name: wl.name(),
+            l1d: report_overhead(&chunk[1], &chunk[0]),
+            l2: report_overhead(&chunk[2], &chunk[0]),
+            ct: report_overhead(&chunk[3], &chunk[0]),
+        })
+        .collect()
 }
 
 /// Prints a Figure 7-style table to stdout.
@@ -154,5 +219,21 @@ mod tests {
         let a = run_insecure(&Histogram::new(100));
         let b = run_insecure(&Histogram::new(101));
         let _ = overhead(&a, &b);
+    }
+
+    #[test]
+    fn engine_rows_match_direct_simulation() {
+        // The sweep-engine path must reproduce the direct-simulation path
+        // exactly — same machines, same cost model, same numbers.
+        let rows = figure7_rows_on(
+            &SweepEngine::serial(),
+            &[WorkloadSpec::named("hist", 300).unwrap()],
+        );
+        let direct = figure7_row(&Histogram::new(300));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].name, direct.name);
+        assert!((rows[0].l1d - direct.l1d).abs() < 1e-12);
+        assert!((rows[0].l2 - direct.l2).abs() < 1e-12);
+        assert!((rows[0].ct - direct.ct).abs() < 1e-12);
     }
 }

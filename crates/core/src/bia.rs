@@ -564,7 +564,9 @@ impl Bia {
             "resync requires identically configured BIAs"
         );
         self.entries.copy_from_slice(&other.entries);
-        self.repl = other.repl.clone();
+        // In-place copy: `ReplacementState::clone_from` reuses the stamp
+        // buffer, so a resync allocates nothing.
+        self.repl.clone_from(&other.repl);
     }
 }
 

@@ -1,0 +1,120 @@
+//! The content-addressed on-disk cell cache.
+//!
+//! Completed cells are memoized under `results/cache/`, one file per cell,
+//! named by the cell digest (32 hex digits). Because the key covers every
+//! input that determines the result, a hit can be returned without
+//! re-simulating; because files are written atomically (temp file + rename)
+//! and the format is versioned and trailer-closed, a concurrent or
+//! interrupted writer can at worst produce a miss, never a wrong report.
+//!
+//! The cache is safe to delete at any time — it is a pure memo table.
+
+use crate::report::CellReport;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The default cache location, relative to the repository root.
+pub const DEFAULT_DIR: &str = "results/cache";
+
+/// A directory of memoized cell reports, keyed by cell digest.
+#[derive(Debug, Clone)]
+pub struct DiskCache {
+    dir: PathBuf,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a cache at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<DiskCache> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(DiskCache { dir })
+    }
+
+    /// Opens the default `results/cache` directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory cannot be created.
+    pub fn open_default() -> io::Result<DiskCache> {
+        DiskCache::open(DEFAULT_DIR)
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_of(&self, key: &str) -> PathBuf {
+        self.dir.join(key)
+    }
+
+    /// Loads the report cached under `key`, or `None` on a miss (absent,
+    /// unreadable, truncated, corrupt, or written by a different schema
+    /// version — all equivalent: the cell re-simulates).
+    pub fn load(&self, key: &str) -> Option<CellReport> {
+        let text = fs::read_to_string(self.path_of(key)).ok()?;
+        CellReport::from_cache_text(&text)
+    }
+
+    /// Stores `report` under `key`, atomically: the text is written to a
+    /// sibling temp file and renamed into place, so concurrent readers see
+    /// either nothing or a complete file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the write or rename fails.
+    pub fn store(&self, key: &str, report: &CellReport) -> io::Result<()> {
+        let tmp = self.dir.join(format!(".{key}.tmp.{}", std::process::id()));
+        fs::write(&tmp, report.to_cache_text())?;
+        let result = fs::rename(&tmp, self.path_of(key));
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctbia_machine::Counters;
+
+    fn tmp_cache(tag: &str) -> DiskCache {
+        let dir =
+            std::env::temp_dir().join(format!("ctbia-cache-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        DiskCache::open(dir).unwrap()
+    }
+
+    fn report(label: &str) -> CellReport {
+        CellReport {
+            label: label.into(),
+            digest: 7,
+            counters: Counters::default(),
+        }
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let cache = tmp_cache("roundtrip");
+        let r = report("a/b");
+        cache.store("00ff", &r).unwrap();
+        assert_eq!(cache.load("00ff"), Some(r));
+        assert_eq!(cache.load("beef"), None);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_files_are_misses() {
+        let cache = tmp_cache("corrupt");
+        cache.store("k", &report("x")).unwrap();
+        fs::write(cache.dir().join("k"), "not a cache file").unwrap();
+        assert_eq!(cache.load("k"), None);
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+}

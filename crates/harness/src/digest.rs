@@ -1,0 +1,134 @@
+//! Content digests for experiment cells.
+//!
+//! A cell's cache key is a 128-bit FNV-1a hash over a canonical encoding of
+//! everything that determines its result: the workload descriptor, the
+//! strategy, the BIA placement, and the full [`SimConfig`](crate::spec::SimConfig).
+//! The encoding is *self-delimiting* — every variable-length field is
+//! length-prefixed and every struct field is preceded by its name — so two
+//! different specs can never encode to the same byte stream, and therefore
+//! (up to hash collisions, negligible at 128 bits) never share a digest.
+//!
+//! The encoding starts with [`SCHEMA_VERSION`]; bump it whenever simulator
+//! semantics change in a way that invalidates previously cached results.
+
+/// Version tag mixed into every digest. Bump on semantic changes to the
+/// simulator or the cell format so stale cache entries miss instead of
+/// resurfacing.
+pub const SCHEMA_VERSION: &str = "ctbia-cell-v1";
+
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// An incremental 128-bit FNV-1a hasher with typed, tagged writes.
+#[derive(Debug, Clone)]
+pub struct Digest {
+    state: u128,
+}
+
+impl Digest {
+    /// A fresh digest, pre-seeded with [`SCHEMA_VERSION`].
+    pub fn new() -> Self {
+        let mut d = Digest {
+            state: FNV128_OFFSET,
+        };
+        d.write_str(SCHEMA_VERSION);
+        d
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u128;
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// Hashes a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(&(s.len() as u64).to_le_bytes());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Hashes a `u64`.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Hashes a `bool` as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_bytes(&[v as u8]);
+    }
+
+    /// Hashes a named `u64` field: the tag makes field order explicit and
+    /// the stream self-describing.
+    pub fn field_u64(&mut self, name: &str, v: u64) {
+        self.write_str(name);
+        self.write_u64(v);
+    }
+
+    /// Hashes a named string field.
+    pub fn field_str(&mut self, name: &str, v: &str) {
+        self.write_str(name);
+        self.write_str(v);
+    }
+
+    /// Hashes a named boolean field.
+    pub fn field_bool(&mut self, name: &str, v: bool) {
+        self.write_str(name);
+        self.write_bool(v);
+    }
+
+    /// The final 128-bit digest value.
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+
+    /// The digest as 32 lowercase hex digits — the cache file name.
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.state)
+    }
+}
+
+impl Default for Digest {
+    fn default() -> Self {
+        Digest::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let mut a = Digest::new();
+        a.field_u64("x", 1);
+        a.field_u64("y", 2);
+        let mut b = Digest::new();
+        b.field_u64("x", 1);
+        b.field_u64("y", 2);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Digest::new();
+        c.field_u64("y", 2);
+        c.field_u64("x", 1);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn length_prefix_prevents_concatenation_ambiguity() {
+        let mut a = Digest::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Digest::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hex_is_32_digits() {
+        let d = Digest::new();
+        let h = d.hex();
+        assert_eq!(h.len(), 32);
+        assert!(h.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -1,0 +1,230 @@
+//! The sweep engine: a deterministic worker pool over experiment cells.
+//!
+//! [`SweepEngine::run`] takes a grid of [`CellSpec`]s and returns one
+//! [`CellReport`] per cell, **in grid order**. Workers claim cells from a
+//! shared atomic index and write results into the cell's own output slot,
+//! so the merged output never depends on completion order; combined with
+//! cells owning their seeds, a parallel sweep is byte-identical to a serial
+//! one. An optional [`DiskCache`] memoizes completed cells across runs and
+//! across binaries.
+
+use crate::cache::DiskCache;
+use crate::report::CellReport;
+use crate::spec::CellSpec;
+use ctbia_machine::Machine;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Executes one cell from scratch — a pure function of the spec.
+///
+/// # Errors
+///
+/// Returns a message if the cell's machine configuration is invalid (e.g.
+/// an LLC placement on a sliced hierarchy the BIA granularity cannot
+/// serve).
+pub fn execute_cell(spec: &CellSpec) -> Result<CellReport, String> {
+    let label = spec.label();
+    let mut m = Machine::new(spec.machine_config()).map_err(|e| format!("{label}: {e}"))?;
+    if spec.audit {
+        m.enable_audit().map_err(|e| format!("{label}: {e}"))?;
+    }
+    if let Some(f) = &spec.faults {
+        m.set_fault_injector(Some(f.to_config()))
+            .map_err(|e| format!("{label}: {e}"))?;
+    }
+    let wl = spec.workload.build();
+    let run = wl.run(&mut m, spec.strategy.to_strategy());
+    Ok(CellReport {
+        label,
+        digest: run.digest,
+        counters: run.counters,
+    })
+}
+
+/// A worker pool plus optional memo cache for running cell grids.
+#[derive(Debug)]
+pub struct SweepEngine {
+    threads: usize,
+    cache: Option<DiskCache>,
+    executed: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl SweepEngine {
+    /// An engine sized from [`std::thread::available_parallelism`], with no
+    /// cache.
+    pub fn new() -> Self {
+        let threads = thread::available_parallelism().map_or(1, |n| n.get());
+        SweepEngine {
+            threads,
+            cache: None,
+            executed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// A single-threaded engine with no cache — the reference ordering the
+    /// parallel pool must reproduce byte-for-byte.
+    pub fn serial() -> Self {
+        SweepEngine::new().with_threads(1)
+    }
+
+    /// Overrides the worker count (clamped to at least 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Attaches a memo cache: completed cells are stored, and matching
+    /// cells are served from disk without touching the simulator.
+    #[must_use]
+    pub fn with_cache(mut self, cache: DiskCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&DiskCache> {
+        self.cache.as_ref()
+    }
+
+    /// Cells this engine actually simulated (cache hits excluded).
+    pub fn cells_executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Cells this engine served from the cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Runs one cell: cache lookup, then simulation on a miss, then a
+    /// best-effort store (a failed store costs a future re-simulation, not
+    /// correctness).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`execute_cell`] errors.
+    pub fn run_cell(&self, spec: &CellSpec) -> Result<CellReport, String> {
+        let key = spec.digest_hex();
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.load(&key) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit);
+            }
+        }
+        let report = execute_cell(spec)?;
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        if let Some(cache) = &self.cache {
+            let _ = cache.store(&key, &report);
+        }
+        Ok(report)
+    }
+
+    /// Runs every cell of `cells`, returning reports **ordered by grid
+    /// index** regardless of worker scheduling.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-indexed failing cell; the sweep does
+    /// not short-circuit cells already claimed by other workers.
+    pub fn run(&self, cells: &[CellSpec]) -> Result<Vec<CellReport>, String> {
+        let n = cells.len();
+        let workers = self.threads.min(n.max(1));
+        if workers <= 1 {
+            return cells.iter().map(|spec| self.run_cell(spec)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<Result<CellReport, String>>>> =
+            Mutex::new((0..n).map(|_| None).collect());
+        thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = self.run_cell(&cells[i]);
+                    slots.lock().unwrap()[i] = Some(result);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|slot| slot.expect("worker pool covered every cell"))
+            .collect()
+    }
+}
+
+impl Default for SweepEngine {
+    fn default() -> Self {
+        SweepEngine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{StrategySpec, WorkloadSpec};
+    use ctbia_machine::BiaPlacement;
+
+    fn cell(strategy: StrategySpec) -> CellSpec {
+        CellSpec::new(
+            WorkloadSpec::named("hist", 200).unwrap(),
+            strategy,
+            BiaPlacement::L1d,
+        )
+    }
+
+    #[test]
+    fn execute_cell_matches_direct_simulation() {
+        let report = execute_cell(&cell(StrategySpec::Insecure)).unwrap();
+        let wl = ctbia_workloads::Histogram::new(200);
+        let run = ctbia_workloads::Workload::run(
+            &wl,
+            &mut Machine::insecure(),
+            ctbia_workloads::Strategy::Insecure,
+        );
+        assert_eq!(report.digest, run.digest);
+        assert_eq!(report.counters, run.counters);
+        assert_eq!(report.label, "hist_200/insecure");
+    }
+
+    #[test]
+    fn strategies_agree_on_output_through_the_engine() {
+        let engine = SweepEngine::serial();
+        let grid = [
+            cell(StrategySpec::Insecure),
+            cell(StrategySpec::CtAvx2),
+            cell(StrategySpec::Bia),
+        ];
+        let reports = engine.run(&grid).unwrap();
+        assert_eq!(reports[0].digest, reports[1].digest);
+        assert_eq!(reports[0].digest, reports[2].digest);
+        assert_eq!(engine.cells_executed(), 3);
+        assert_eq!(engine.cache_hits(), 0);
+    }
+
+    #[test]
+    fn infeasible_cells_report_errors() {
+        // LLC placement on an 8-slice hierarchy with page-granularity BIA
+        // (M = 12 > LS_Hash = 6) is rejected by the machine; the engine must
+        // surface that instead of panicking the pool.
+        let mut spec = cell(StrategySpec::Bia);
+        spec.placement = BiaPlacement::Llc;
+        spec.config.hierarchy = ctbia_sim::config::HierarchyConfig::sliced_llc(8, 6);
+        let err = SweepEngine::serial()
+            .run(std::slice::from_ref(&spec))
+            .unwrap_err();
+        assert!(err.contains("hist_200"), "error names the cell: {err}");
+    }
+}

@@ -1,0 +1,592 @@
+//! Experiment-cell descriptors: what to simulate, declaratively.
+//!
+//! A [`CellSpec`] is a pure-data description of one simulation — workload,
+//! strategy, BIA placement, and the complete [`SimConfig`]. Cells carry
+//! their own seeds (inside the workload descriptor and the optional
+//! [`FaultSpec`]), so executing a cell is a pure function of the spec: the
+//! same spec always produces the same [`CellReport`](crate::report::CellReport),
+//! no matter which worker thread runs it or in what order. That property is
+//! what makes both the parallel pool and the on-disk cache sound.
+
+use crate::digest::Digest;
+use ctbia_core::bia::BiaConfig;
+use ctbia_machine::{BiaPlacement, CostModel, MachineConfig};
+use ctbia_sim::config::HierarchyConfig;
+use ctbia_sim::fault::{FaultConfig, FaultKind};
+use ctbia_workloads::crypto::{Aes, Blowfish, Cast, Des, Des3, Rc2, Rc4, XorCipher};
+use ctbia_workloads::{BinarySearch, Dijkstra, HeapPop, Histogram, Permutation, Workload};
+use std::fmt;
+
+/// One of the eight Figure 9 crypto kernels, at its default parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CryptoKernel {
+    /// AES-128 encryption (T-table style S-box lookups).
+    Aes,
+    /// RC2 block cipher.
+    Rc2,
+    /// RC4 stream cipher.
+    Rc4,
+    /// Blowfish (including the data-dependent key schedule).
+    Blowfish,
+    /// CAST-128.
+    Cast,
+    /// Single DES.
+    Des,
+    /// Triple DES.
+    Des3,
+    /// XOR stream cipher (the no-table control).
+    Xor,
+}
+
+impl CryptoKernel {
+    /// All eight kernels in the Figure 9 presentation order.
+    pub const ALL: [CryptoKernel; 8] = [
+        CryptoKernel::Aes,
+        CryptoKernel::Rc2,
+        CryptoKernel::Rc4,
+        CryptoKernel::Blowfish,
+        CryptoKernel::Cast,
+        CryptoKernel::Des,
+        CryptoKernel::Des3,
+        CryptoKernel::Xor,
+    ];
+
+    fn tag(self) -> &'static str {
+        match self {
+            CryptoKernel::Aes => "aes",
+            CryptoKernel::Rc2 => "rc2",
+            CryptoKernel::Rc4 => "rc4",
+            CryptoKernel::Blowfish => "blowfish",
+            CryptoKernel::Cast => "cast",
+            CryptoKernel::Des => "des",
+            CryptoKernel::Des3 => "des3",
+            CryptoKernel::Xor => "xor",
+        }
+    }
+
+    fn build(self) -> Box<dyn Workload> {
+        match self {
+            CryptoKernel::Aes => Box::new(Aes::default()),
+            CryptoKernel::Rc2 => Box::new(Rc2::default()),
+            CryptoKernel::Rc4 => Box::new(Rc4::default()),
+            CryptoKernel::Blowfish => Box::new(Blowfish::default()),
+            CryptoKernel::Cast => Box::new(Cast::default()),
+            CryptoKernel::Des => Box::new(Des::default()),
+            CryptoKernel::Des3 => Box::new(Des3::default()),
+            CryptoKernel::Xor => Box::new(XorCipher::default()),
+        }
+    }
+}
+
+/// A pure-data workload descriptor: which kernel, at what size, with which
+/// input seed. Every parameter that shapes the simulated access stream is
+/// explicit here so it reaches the cell digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadSpec {
+    /// Dijkstra single-source shortest paths on `vertices` vertices.
+    Dijkstra {
+        /// Vertex count.
+        vertices: usize,
+        /// Input-graph seed.
+        seed: u64,
+    },
+    /// Secret-indexed histogram over `size` input elements.
+    Histogram {
+        /// Input length.
+        size: usize,
+        /// Input seed.
+        seed: u64,
+    },
+    /// Secret permutation of a `size`-element array.
+    Permutation {
+        /// Array length.
+        size: usize,
+        /// Permutation seed.
+        seed: u64,
+    },
+    /// `searches` binary searches over a `size`-element sorted array.
+    BinarySearch {
+        /// Array length.
+        size: usize,
+        /// Number of searches.
+        searches: usize,
+        /// Key seed.
+        seed: u64,
+    },
+    /// `pops` pops from a `size`-element binary heap.
+    HeapPop {
+        /// Heap size.
+        size: usize,
+        /// Number of pops.
+        pops: usize,
+        /// Heap-content seed.
+        seed: u64,
+    },
+    /// One of the crypto kernels at its default parameters.
+    Crypto(CryptoKernel),
+}
+
+impl WorkloadSpec {
+    /// The spec equivalent of the CLI's workload constructors: `name` is a
+    /// CLI workload name (long or short form) and `size` the element count.
+    /// Seeds and auxiliary parameters match the workload's `new()` defaults,
+    /// so a spec-built cell simulates exactly what `ctbia run` always has.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown workload.
+    pub fn named(name: &str, size: usize) -> Result<WorkloadSpec, String> {
+        Ok(match name {
+            "dijkstra" | "dij" => {
+                let w = Dijkstra::new(size.min(256));
+                WorkloadSpec::Dijkstra {
+                    vertices: w.vertices,
+                    seed: w.seed,
+                }
+            }
+            "histogram" | "hist" => {
+                let w = Histogram::new(size);
+                WorkloadSpec::Histogram {
+                    size: w.size,
+                    seed: w.seed,
+                }
+            }
+            "permutation" | "perm" => {
+                let w = Permutation::new(size);
+                WorkloadSpec::Permutation {
+                    size: w.size,
+                    seed: w.seed,
+                }
+            }
+            "binary-search" | "bin" => {
+                let w = BinarySearch::new(size);
+                WorkloadSpec::BinarySearch {
+                    size: w.size,
+                    searches: w.searches,
+                    seed: w.seed,
+                }
+            }
+            "heappop" | "heap" => {
+                let w = HeapPop::new(size);
+                WorkloadSpec::HeapPop {
+                    size: w.size,
+                    pops: w.pops,
+                    seed: w.seed,
+                }
+            }
+            other => return Err(format!("unknown workload '{other}' (try `ctbia list`)")),
+        })
+    }
+
+    /// Instantiates the runnable workload this spec describes.
+    pub fn build(&self) -> Box<dyn Workload> {
+        match *self {
+            WorkloadSpec::Dijkstra { vertices, seed } => Box::new(Dijkstra { vertices, seed }),
+            WorkloadSpec::Histogram { size, seed } => Box::new(Histogram { size, seed }),
+            WorkloadSpec::Permutation { size, seed } => Box::new(Permutation { size, seed }),
+            WorkloadSpec::BinarySearch {
+                size,
+                searches,
+                seed,
+            } => Box::new(BinarySearch {
+                size,
+                searches,
+                seed,
+            }),
+            WorkloadSpec::HeapPop { size, pops, seed } => Box::new(HeapPop { size, pops, seed }),
+            WorkloadSpec::Crypto(k) => k.build(),
+        }
+    }
+
+    /// The workload's display name (`hist_2k`, `AES`, ...).
+    pub fn name(&self) -> String {
+        self.build().name()
+    }
+
+    fn digest_into(&self, d: &mut Digest) {
+        match *self {
+            WorkloadSpec::Dijkstra { vertices, seed } => {
+                d.field_str("workload", "dijkstra");
+                d.field_u64("vertices", vertices as u64);
+                d.field_u64("seed", seed);
+            }
+            WorkloadSpec::Histogram { size, seed } => {
+                d.field_str("workload", "histogram");
+                d.field_u64("size", size as u64);
+                d.field_u64("seed", seed);
+            }
+            WorkloadSpec::Permutation { size, seed } => {
+                d.field_str("workload", "permutation");
+                d.field_u64("size", size as u64);
+                d.field_u64("seed", seed);
+            }
+            WorkloadSpec::BinarySearch {
+                size,
+                searches,
+                seed,
+            } => {
+                d.field_str("workload", "binary-search");
+                d.field_u64("size", size as u64);
+                d.field_u64("searches", searches as u64);
+                d.field_u64("seed", seed);
+            }
+            WorkloadSpec::HeapPop { size, pops, seed } => {
+                d.field_str("workload", "heappop");
+                d.field_u64("size", size as u64);
+                d.field_u64("pops", pops as u64);
+                d.field_u64("seed", seed);
+            }
+            WorkloadSpec::Crypto(k) => {
+                d.field_str("workload", "crypto");
+                d.field_str("kernel", k.tag());
+            }
+        }
+    }
+}
+
+/// Which protection strategy a cell runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategySpec {
+    /// Direct (leaky) accesses.
+    Insecure,
+    /// Scalar software constant-time linearization.
+    Ct,
+    /// AVX2-profiled software constant-time linearization (the paper's CT bar).
+    CtAvx2,
+    /// BIA-assisted linearization.
+    Bia,
+}
+
+impl StrategySpec {
+    /// Parses a CLI strategy name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown strategy.
+    pub fn parse(s: &str) -> Result<StrategySpec, String> {
+        Ok(match s {
+            "insecure" => StrategySpec::Insecure,
+            "ct" => StrategySpec::Ct,
+            "ct-avx2" => StrategySpec::CtAvx2,
+            "bia" => StrategySpec::Bia,
+            other => return Err(format!("unknown strategy '{other}'")),
+        })
+    }
+
+    /// The runnable [`ctbia_workloads::Strategy`] this spec describes.
+    pub fn to_strategy(self) -> ctbia_workloads::Strategy {
+        match self {
+            StrategySpec::Insecure => ctbia_workloads::Strategy::Insecure,
+            StrategySpec::Ct => ctbia_workloads::Strategy::software_ct(),
+            StrategySpec::CtAvx2 => ctbia_workloads::Strategy::software_ct_avx2(),
+            StrategySpec::Bia => ctbia_workloads::Strategy::bia(),
+        }
+    }
+
+    /// Whether cells with this strategy need a machine with a BIA.
+    pub fn needs_bia(self) -> bool {
+        matches!(self, StrategySpec::Bia)
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            StrategySpec::Insecure => "insecure",
+            StrategySpec::Ct => "ct",
+            StrategySpec::CtAvx2 => "ct-avx2",
+            StrategySpec::Bia => "bia",
+        }
+    }
+}
+
+impl fmt::Display for StrategySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StrategySpec::Insecure => f.write_str("insecure"),
+            StrategySpec::Ct => f.write_str("CT"),
+            StrategySpec::CtAvx2 => f.write_str("CT(avx2)"),
+            StrategySpec::Bia => f.write_str("BIA"),
+        }
+    }
+}
+
+/// The complete simulated-system configuration of a cell: hierarchy, BIA,
+/// cost model, and machine parameters. Every field participates in the cell
+/// digest — change any of them and the cell re-simulates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Cache hierarchy (Table 1 by default).
+    pub hierarchy: HierarchyConfig,
+    /// BIA geometry, used when the strategy needs one.
+    pub bia: BiaConfig,
+    /// Cycle-accounting model.
+    pub cost: CostModel,
+    /// Simulated RAM capacity in bytes.
+    pub ram_bytes: u64,
+    /// Whether stores silently drop dirtiness-neutral writes.
+    pub silent_stores: bool,
+}
+
+impl SimConfig {
+    /// The CLI configuration: Table 1 hierarchy and BIA, the conservative
+    /// in-order cost model (matching `ctbia run` since the seed).
+    pub fn cli_default() -> Self {
+        let m = MachineConfig::insecure();
+        SimConfig {
+            hierarchy: m.hierarchy,
+            bia: BiaConfig::paper_table1(),
+            cost: m.cost,
+            ram_bytes: m.ram_bytes,
+            silent_stores: m.silent_stores,
+        }
+    }
+
+    /// The figure-harness configuration: as [`SimConfig::cli_default`] but
+    /// with the `o3_approx` cost model the evaluation figures use.
+    pub fn eval() -> Self {
+        SimConfig {
+            cost: CostModel::o3_approx(),
+            ..SimConfig::cli_default()
+        }
+    }
+
+    fn digest_cache(d: &mut Digest, prefix: &str, c: &ctbia_sim::config::CacheConfig) {
+        d.field_str(prefix, &c.name);
+        d.field_u64("size_bytes", c.size_bytes);
+        d.field_u64("associativity", c.associativity as u64);
+        d.field_u64("hit_latency", c.hit_latency);
+        d.field_str("replacement", &c.replacement.to_string());
+    }
+
+    fn digest_into(&self, d: &mut Digest) {
+        for (prefix, c) in [
+            ("l1i", &self.hierarchy.l1i),
+            ("l1d", &self.hierarchy.l1d),
+            ("l2", &self.hierarchy.l2),
+            ("llc", &self.hierarchy.llc),
+        ] {
+            Self::digest_cache(d, prefix, c);
+        }
+        d.field_u64("dram.latency", self.hierarchy.dram.latency);
+        d.field_bool("dram.row_buffer", self.hierarchy.dram.row_buffer);
+        d.field_u64("dram.row_hit_latency", self.hierarchy.dram.row_hit_latency);
+        d.field_u64("dram.row_bytes", self.hierarchy.dram.row_bytes);
+        d.field_u64("dram.banks", self.hierarchy.dram.banks as u64);
+        d.field_bool("prefetcher", self.hierarchy.l1d_next_line_prefetcher);
+        d.field_u64("llc_slices", self.hierarchy.llc_slices as u64);
+        d.field_u64("llc_ls_hash_bit", self.hierarchy.llc_ls_hash_bit as u64);
+        d.field_str("inclusion", &self.hierarchy.inclusion.to_string());
+        d.field_u64("bia.entries", self.bia.entries as u64);
+        d.field_u64("bia.associativity", self.bia.associativity as u64);
+        d.field_u64("bia.latency", self.bia.latency);
+        d.field_str("bia.replacement", &self.bia.replacement.to_string());
+        d.field_u64("bia.granularity_log2", self.bia.granularity_log2 as u64);
+        d.field_u64("cost.cycles_per_inst", self.cost.cycles_per_inst);
+        d.field_u64("cost.l1_hit_overlap", self.cost.l1_hit_overlap);
+        d.field_bool("cost.ds_hit", self.cost.ds_hit_cycles.is_some());
+        d.field_u64("cost.ds_hit_cycles", self.cost.ds_hit_cycles.unwrap_or(0));
+        d.field_u64("cost.ct_overlap", self.cost.ct_overlap);
+        d.field_u64("ram_bytes", self.ram_bytes);
+        d.field_bool("silent_stores", self.silent_stores);
+    }
+}
+
+/// Fault-injection parameters for robustness cells (`ctbia fuzz`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Which fault kinds are armed.
+    pub kinds: Vec<FaultKind>,
+    /// Seed of the fault schedule — owned by the cell, so fuzz iterations
+    /// stay reproducible under any execution order.
+    pub seed: u64,
+    /// Per-event stream-fault probability, parts per million.
+    pub rate_ppm: u32,
+    /// Per-batch structural-fault probability, parts per million.
+    pub batch_rate_ppm: u32,
+}
+
+impl FaultSpec {
+    /// The injector configuration this spec describes.
+    pub fn to_config(&self) -> FaultConfig {
+        let mut cfg = FaultConfig::new(self.kinds.clone(), self.seed);
+        cfg.rate_ppm = self.rate_ppm;
+        cfg.batch_rate_ppm = self.batch_rate_ppm;
+        cfg
+    }
+
+    fn digest_into(&self, d: &mut Digest) {
+        d.field_u64("faults.kinds", self.kinds.len() as u64);
+        for k in &self.kinds {
+            d.write_str(&k.to_string());
+        }
+        d.field_u64("faults.seed", self.seed);
+        d.field_u64("faults.rate_ppm", self.rate_ppm as u64);
+        d.field_u64("faults.batch_rate_ppm", self.batch_rate_ppm as u64);
+    }
+}
+
+/// One independent experiment cell: everything needed to simulate it, and
+/// nothing that depends on the rest of the grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellSpec {
+    /// What to run.
+    pub workload: WorkloadSpec,
+    /// How secret-dependent accesses are performed.
+    pub strategy: StrategySpec,
+    /// Where the BIA sits. Ignored (and excluded from the digest) when the
+    /// strategy does not need a BIA, so an insecure Histogram cell is the
+    /// same cell no matter which placement a sweep paired it with.
+    pub placement: BiaPlacement,
+    /// The simulated system.
+    pub config: SimConfig,
+    /// Run with the shadow auditor attached.
+    pub audit: bool,
+    /// Optional fault injection (implies robustness counters in the report).
+    pub faults: Option<FaultSpec>,
+}
+
+impl CellSpec {
+    /// A cell with the CLI default configuration, no audit, no faults.
+    pub fn new(workload: WorkloadSpec, strategy: StrategySpec, placement: BiaPlacement) -> Self {
+        CellSpec {
+            workload,
+            strategy,
+            placement,
+            config: SimConfig::cli_default(),
+            audit: false,
+            faults: None,
+        }
+    }
+
+    /// Same cell under the figure-harness (`o3_approx`) configuration.
+    #[must_use]
+    pub fn with_eval_config(mut self) -> Self {
+        self.config = SimConfig::eval();
+        self
+    }
+
+    /// Human-readable cell label: workload plus strategy (and placement for
+    /// BIA cells), e.g. `hist_2k/BIA@L1d`.
+    pub fn label(&self) -> String {
+        if self.strategy.needs_bia() {
+            format!(
+                "{}/{}@{}",
+                self.workload.name(),
+                self.strategy,
+                self.placement
+            )
+        } else {
+            format!("{}/{}", self.workload.name(), self.strategy)
+        }
+    }
+
+    /// The machine configuration this cell simulates on.
+    pub fn machine_config(&self) -> MachineConfig {
+        let mut cfg = MachineConfig::insecure();
+        cfg.hierarchy = self.config.hierarchy.clone();
+        cfg.cost = self.config.cost;
+        cfg.ram_bytes = self.config.ram_bytes;
+        cfg.silent_stores = self.config.silent_stores;
+        if self.strategy.needs_bia() {
+            cfg.bia = Some((self.placement, self.config.bia));
+        }
+        cfg
+    }
+
+    /// The cell's content digest — the cache key.
+    pub fn digest(&self) -> u128 {
+        let mut d = Digest::new();
+        self.workload.digest_into(&mut d);
+        d.field_str("strategy", self.strategy.tag());
+        let placement = if self.strategy.needs_bia() {
+            match self.placement {
+                BiaPlacement::L1d => "l1d",
+                BiaPlacement::L2 => "l2",
+                BiaPlacement::Llc => "llc",
+            }
+        } else {
+            "-"
+        };
+        d.field_str("placement", placement);
+        self.config.digest_into(&mut d);
+        d.field_bool("audit", self.audit);
+        match &self.faults {
+            Some(f) => f.digest_into(&mut d),
+            None => d.field_str("faults", "-"),
+        }
+        d.finish()
+    }
+
+    /// The digest as 32 hex digits — the cache file name.
+    pub fn digest_hex(&self) -> String {
+        format!("{:032x}", self.digest())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_cell() -> CellSpec {
+        CellSpec::new(
+            WorkloadSpec::named("hist", 500).unwrap(),
+            StrategySpec::Bia,
+            BiaPlacement::L1d,
+        )
+    }
+
+    #[test]
+    fn named_matches_cli_constructors() {
+        assert_eq!(WorkloadSpec::named("hist", 500).unwrap().name(), "hist_500");
+        // The CLI caps dijkstra at 256 vertices; the spec must agree.
+        match WorkloadSpec::named("dijkstra", 9999).unwrap() {
+            WorkloadSpec::Dijkstra { vertices, .. } => assert_eq!(vertices, 256),
+            other => panic!("wrong spec {other:?}"),
+        }
+        assert!(WorkloadSpec::named("nope", 1).is_err());
+    }
+
+    #[test]
+    fn digest_is_stable_and_distinguishes_cells() {
+        let a = base_cell();
+        assert_eq!(a.digest(), base_cell().digest());
+        let mut b = base_cell();
+        b.placement = BiaPlacement::L2;
+        assert_ne!(a.digest(), b.digest());
+        let mut c = base_cell();
+        c.workload = WorkloadSpec::named("hist", 501).unwrap();
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn placement_is_normalized_away_for_non_bia_cells() {
+        let mut a = base_cell();
+        a.strategy = StrategySpec::Insecure;
+        let mut b = a.clone();
+        b.placement = BiaPlacement::Llc;
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn audit_and_faults_reach_the_digest() {
+        let a = base_cell();
+        let mut b = base_cell();
+        b.audit = true;
+        assert_ne!(a.digest(), b.digest());
+        let mut c = base_cell();
+        c.faults = Some(FaultSpec {
+            kinds: vec![FaultKind::Drop],
+            seed: 1,
+            rate_ppm: 1000,
+            batch_rate_ppm: 0,
+        });
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn labels_read_like_the_cli() {
+        assert_eq!(base_cell().label(), "hist_500/BIA@L1d");
+        let mut c = base_cell();
+        c.strategy = StrategySpec::CtAvx2;
+        assert_eq!(c.label(), "hist_500/CT(avx2)");
+    }
+}

@@ -1,0 +1,137 @@
+//! Property test: the cell digest is sensitive to **every** `SimConfig`
+//! field and to the workload size — changing any of them must change the
+//! digest, so a stale cache entry can never be returned for a modified
+//! experiment.
+
+use ctbia_harness::{CellSpec, SimConfig, StrategySpec, WorkloadSpec};
+use ctbia_machine::BiaPlacement;
+use ctbia_sim::config::InclusionPolicy;
+use ctbia_sim::replacement::ReplacementKind;
+use proptest::prelude::*;
+
+fn base_cell() -> CellSpec {
+    CellSpec::new(
+        WorkloadSpec::named("hist", 777).unwrap(),
+        StrategySpec::Bia,
+        BiaPlacement::L1d,
+    )
+}
+
+/// Number of distinct mutations below.
+const MUTATIONS: usize = 30;
+
+/// Applies mutation `field` (perturbing by `bump`, never a no-op) to the
+/// cell's `SimConfig` — one arm per digestible field.
+fn mutate(cfg: &mut SimConfig, field: usize, bump: u64) {
+    let bump32 = (bump % 1000 + 1) as u32;
+    match field {
+        0 => cfg.hierarchy.l1i.size_bytes += bump,
+        1 => cfg.hierarchy.l1i.associativity += bump32,
+        2 => cfg.hierarchy.l1i.hit_latency += bump,
+        3 => cfg.hierarchy.l1d.size_bytes += bump,
+        4 => cfg.hierarchy.l1d.associativity += bump32,
+        5 => cfg.hierarchy.l1d.hit_latency += bump,
+        6 => {
+            cfg.hierarchy.l1d.replacement = ReplacementKind::Fifo;
+        }
+        7 => cfg.hierarchy.l2.size_bytes += bump,
+        8 => cfg.hierarchy.l2.associativity += bump32,
+        9 => cfg.hierarchy.l2.hit_latency += bump,
+        10 => cfg.hierarchy.llc.size_bytes += bump,
+        11 => cfg.hierarchy.llc.associativity += bump32,
+        12 => cfg.hierarchy.llc.hit_latency += bump,
+        13 => cfg.hierarchy.dram.latency += bump,
+        14 => cfg.hierarchy.dram.row_buffer = !cfg.hierarchy.dram.row_buffer,
+        15 => cfg.hierarchy.dram.row_hit_latency += bump,
+        16 => cfg.hierarchy.dram.row_bytes += bump,
+        17 => cfg.hierarchy.dram.banks += bump32,
+        18 => cfg.hierarchy.l1d_next_line_prefetcher = !cfg.hierarchy.l1d_next_line_prefetcher,
+        19 => cfg.hierarchy.llc_slices += bump32,
+        20 => cfg.hierarchy.llc_ls_hash_bit += bump32,
+        21 => {
+            cfg.hierarchy.inclusion = InclusionPolicy::Exclusive;
+        }
+        22 => cfg.bia.entries += bump32,
+        23 => cfg.bia.associativity += bump32,
+        24 => cfg.bia.latency += bump,
+        25 => cfg.bia.granularity_log2 += bump32,
+        26 => cfg.cost.cycles_per_inst += bump,
+        27 => cfg.cost.ct_overlap += bump,
+        28 => cfg.ram_bytes += bump,
+        _ => cfg.silent_stores = !cfg.silent_stores,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    #[test]
+    fn any_sim_config_change_changes_the_digest(
+        field in 0usize..MUTATIONS,
+        bump in 1u64..1_000_000,
+    ) {
+        let base = base_cell();
+        let mut modified = base.clone();
+        mutate(&mut modified.config, field, bump);
+        prop_assert_ne!(base.config.clone(), modified.config.clone(),
+            "mutation {} must actually change the config", field);
+        prop_assert_ne!(base.digest(), modified.digest(),
+            "mutation {} must change the digest", field);
+    }
+
+    #[test]
+    fn workload_size_and_seed_reach_the_digest(
+        size in 1usize..10_000,
+        delta in 1usize..500,
+        seed_bump in 1u64..1_000_000,
+    ) {
+        let mut a = base_cell();
+        a.workload = WorkloadSpec::named("hist", size).unwrap();
+        let mut b = a.clone();
+        b.workload = WorkloadSpec::named("hist", size + delta).unwrap();
+        prop_assert_ne!(a.digest(), b.digest(), "size change must change the digest");
+        let mut c = a.clone();
+        if let WorkloadSpec::Histogram { seed, .. } = &mut c.workload {
+            *seed = seed.wrapping_add(seed_bump);
+        }
+        prop_assert_ne!(a.digest(), c.digest(), "seed change must change the digest");
+    }
+
+    #[test]
+    fn cost_model_options_reach_the_digest(flat in 0u64..64, overlap in 1u64..64) {
+        // ds_hit_cycles is an Option: None, Some(0), Some(k) must all be
+        // distinct digests (the bool+value encoding).
+        let base = base_cell();
+        let mut some = base.clone();
+        some.config.cost.ds_hit_cycles = Some(flat);
+        prop_assert_ne!(base.digest(), some.digest());
+        let mut more = base.clone();
+        more.config.cost.l1_hit_overlap += overlap;
+        prop_assert_ne!(base.digest(), more.digest());
+    }
+}
+
+#[test]
+fn bia_replacement_kind_reaches_the_digest() {
+    let base = base_cell();
+    let mut modified = base.clone();
+    modified.config.bia.replacement = ReplacementKind::Random;
+    assert_ne!(base.digest(), modified.digest());
+}
+
+#[test]
+fn mutation_arms_cover_every_field_once() {
+    // Sanity: all arms produce distinct configs (no two arms collide on the
+    // same field with the same effect).
+    let mut digests = std::collections::HashSet::new();
+    digests.insert(base_cell().digest());
+    for field in 0..MUTATIONS {
+        let mut cell = base_cell();
+        mutate(&mut cell.config, field, 3);
+        assert!(
+            digests.insert(cell.digest()),
+            "mutation {field} collided with a previous digest"
+        );
+    }
+    assert_eq!(digests.len(), MUTATIONS + 1);
+}

@@ -1,0 +1,149 @@
+//! Sweep-engine determinism and memoization guarantees:
+//!
+//! * a parallel sweep is byte-identical to a serial one over the full
+//!   5-workload × 3-placement grid;
+//! * a warm cache returns identical reports without touching the simulator
+//!   (checked through the engine's cell-execution counter);
+//! * changing the workload size changes the digest and forces
+//!   re-simulation.
+
+use ctbia_harness::{CellSpec, DiskCache, StrategySpec, SweepEngine, WorkloadSpec};
+use ctbia_machine::BiaPlacement;
+use std::fs;
+use std::path::PathBuf;
+
+/// The full Ghostrider grid: every workload at a small (fast) size, under
+/// the BIA strategy at every placement.
+fn ghostrider_grid() -> Vec<CellSpec> {
+    let workloads = [
+        ("dijkstra", 16),
+        ("histogram", 300),
+        ("permutation", 200),
+        ("binary-search", 400),
+        ("heappop", 300),
+    ];
+    let placements = [BiaPlacement::L1d, BiaPlacement::L2, BiaPlacement::Llc];
+    let mut grid = Vec::new();
+    for (name, size) in workloads {
+        for placement in placements {
+            grid.push(CellSpec::new(
+                WorkloadSpec::named(name, size).unwrap(),
+                StrategySpec::Bia,
+                placement,
+            ));
+        }
+    }
+    grid
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ctbia-sweep-test-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    let grid = ghostrider_grid();
+    assert_eq!(grid.len(), 15, "5 workloads x 3 placements");
+
+    let serial_engine = SweepEngine::serial();
+    let serial = serial_engine.run(&grid).unwrap();
+    assert_eq!(serial_engine.cells_executed(), 15);
+
+    // Force real concurrency even on single-core hosts.
+    let parallel_engine = SweepEngine::new().with_threads(4);
+    let parallel = parallel_engine.run(&grid).unwrap();
+    assert_eq!(parallel_engine.cells_executed(), 15);
+
+    assert_eq!(
+        serial, parallel,
+        "reports differ between serial and parallel"
+    );
+    // Byte-level check: the serialized form (what lands on disk and in
+    // BENCH_sweep.json) is identical too, cell for cell, in grid order.
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.to_cache_text(), p.to_cache_text());
+    }
+}
+
+#[test]
+fn warm_cache_serves_identical_reports_without_simulating() {
+    let grid = ghostrider_grid();
+    let dir = tmp_dir("warm");
+
+    let cold_engine = SweepEngine::new()
+        .with_threads(2)
+        .with_cache(DiskCache::open(&dir).unwrap());
+    let cold = cold_engine.run(&grid).unwrap();
+    assert_eq!(cold_engine.cells_executed(), grid.len() as u64);
+    assert_eq!(cold_engine.cache_hits(), 0);
+
+    // A fresh engine over the same directory: every cell must come from
+    // disk, with the simulator never invoked.
+    let warm_engine = SweepEngine::new()
+        .with_threads(2)
+        .with_cache(DiskCache::open(&dir).unwrap());
+    let warm = warm_engine.run(&grid).unwrap();
+    assert_eq!(
+        warm_engine.cells_executed(),
+        0,
+        "warm cache must not touch the simulator"
+    );
+    assert_eq!(warm_engine.cache_hits(), grid.len() as u64);
+    assert_eq!(cold, warm, "cached reports differ from simulated ones");
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn changed_workload_size_forces_resimulation() {
+    let dir = tmp_dir("invalidate");
+    let cache = DiskCache::open(&dir).unwrap();
+
+    let small = CellSpec::new(
+        WorkloadSpec::named("hist", 200).unwrap(),
+        StrategySpec::Insecure,
+        BiaPlacement::L1d,
+    );
+    let mut larger = small.clone();
+    larger.workload = WorkloadSpec::named("hist", 201).unwrap();
+    assert_ne!(small.digest(), larger.digest());
+
+    let engine = SweepEngine::serial().with_cache(cache);
+    engine.run_cell(&small).unwrap();
+    assert_eq!(engine.cells_executed(), 1);
+    engine.run_cell(&small).unwrap();
+    assert_eq!(engine.cells_executed(), 1, "identical cell must hit");
+    let report = engine.run_cell(&larger).unwrap();
+    assert_eq!(
+        engine.cells_executed(),
+        2,
+        "a different size is a different cell and must re-simulate"
+    );
+    assert_eq!(report.label, "hist_201/insecure");
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_cache_entries_fall_back_to_simulation() {
+    let dir = tmp_dir("corrupt");
+    let cache = DiskCache::open(&dir).unwrap();
+    let cell = CellSpec::new(
+        WorkloadSpec::named("perm", 150).unwrap(),
+        StrategySpec::Insecure,
+        BiaPlacement::L1d,
+    );
+
+    let engine = SweepEngine::serial().with_cache(cache.clone());
+    let first = engine.run_cell(&cell).unwrap();
+    fs::write(dir.join(cell.digest_hex()), "scrambled").unwrap();
+    let second = engine.run_cell(&cell).unwrap();
+    assert_eq!(engine.cells_executed(), 2, "corrupt entry must re-simulate");
+    assert_eq!(first, second);
+    // The re-simulation repaired the entry.
+    assert_eq!(cache.load(&cell.digest_hex()), Some(second));
+
+    let _ = fs::remove_dir_all(&dir);
+}

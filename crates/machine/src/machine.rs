@@ -16,7 +16,7 @@ use ctbia_core::ctmem::{CtLoad, CtMemory, CtStore, Width};
 use ctbia_sim::addr::{LineAddr, PhysAddr};
 use ctbia_sim::config::{ConfigError, HierarchyConfig};
 use ctbia_sim::fault::{FaultConfig, FaultInjector, StructuralFault};
-use ctbia_sim::hierarchy::{AccessFlags, Hierarchy, Level, MonitorLevel};
+use ctbia_sim::hierarchy::{AccessFlags, CacheEvent, Hierarchy, Level, MonitorLevel};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -237,6 +237,9 @@ pub struct Machine {
     injector: Option<FaultInjector>,
     degraded: BTreeSet<u64>,
     robust: RobustnessStats,
+    /// Spare event buffer, swapped with the hierarchy's on every drain so
+    /// the steady-state event path performs no allocation.
+    event_buf: Vec<CacheEvent>,
 }
 
 impl Machine {
@@ -309,6 +312,7 @@ impl Machine {
             injector: None,
             degraded: BTreeSet::new(),
             robust: RobustnessStats::default(),
+            event_buf: Vec::new(),
         })
     }
 
@@ -589,11 +593,13 @@ impl Machine {
 
     fn sync_bia(&mut self) {
         if self.auditor.is_none() && self.injector.is_none() {
-            // Fast path, byte-identical to the audit-off machine.
+            // Fast path, byte-identical to the audit-off machine. The drain
+            // swaps the hierarchy's event buffer with the machine's spare,
+            // so steady-state simulation allocates nothing on this path.
             if self.hier.has_events() {
-                let evs = self.hier.drain_events();
+                self.hier.drain_events_into(&mut self.event_buf);
                 if let Some(bia) = &mut self.bia {
-                    bia.apply_events(evs);
+                    bia.apply_events(self.event_buf.iter().copied());
                 }
             }
             return;

@@ -316,18 +316,32 @@ impl Cache {
         (exist, dirty)
     }
 
-    /// All currently resident lines (unordered). Intended for tests and
-    /// debugging; linear in the cache size.
-    pub fn resident_lines(&self) -> Vec<LineAddr> {
+    /// Visits every currently resident line (unordered: set-major, then
+    /// way order) without allocating. Linear in the cache size; the
+    /// allocation-free form of [`Cache::resident_lines`], for audit and
+    /// property-check loops that run per batch.
+    pub fn for_each_resident(&self, mut f: impl FnMut(LineAddr)) {
         let assoc = self.cfg.associativity as usize;
-        let mut out = Vec::new();
         for set in 0..self.num_sets {
             for w in 0..assoc {
                 if self.ways[set * assoc + w].valid {
-                    out.push(self.line_of(set, w));
+                    f(self.line_of(set, w));
                 }
             }
         }
+    }
+
+    /// Number of currently resident lines, without allocating.
+    pub fn resident_count(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+
+    /// All currently resident lines (unordered). Intended for tests and
+    /// debugging; linear in the cache size and allocates — hot paths should
+    /// use [`Cache::for_each_resident`] instead.
+    pub fn resident_lines(&self) -> Vec<LineAddr> {
+        let mut out = Vec::with_capacity(self.resident_count());
+        self.for_each_resident(|line| out.push(line));
         out
     }
 
@@ -510,6 +524,11 @@ mod tests {
         let mut lines = c.resident_lines();
         lines.sort();
         assert_eq!(lines, vec![line(0, 1), line(3, 9)]);
+        assert_eq!(c.resident_count(), 2);
+        let mut walked = Vec::new();
+        c.for_each_resident(|l| walked.push(l));
+        walked.sort();
+        assert_eq!(walked, lines, "visitor and allocating walk agree");
     }
 
     #[test]

@@ -265,8 +265,21 @@ impl Hierarchy {
     }
 
     /// Removes and returns all pending events.
+    ///
+    /// Allocates a fresh vector per drain; steady-state consumers should
+    /// prefer [`Hierarchy::drain_events_into`], which recycles one buffer.
     pub fn drain_events(&mut self) -> Vec<CacheEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Drains all pending events into `out` (cleared first) by swapping the
+    /// two buffers. Passing the same `out` on every drain makes the event
+    /// path allocation-free once both buffers have grown to the high-water
+    /// batch size: the emptied `out` becomes the hierarchy's next event
+    /// buffer, and its capacity is reused.
+    pub fn drain_events_into(&mut self, out: &mut Vec<CacheEvent>) {
+        out.clear();
+        std::mem::swap(&mut self.events, out);
     }
 
     /// True if events are pending.
@@ -767,6 +780,32 @@ mod tests {
         h.set_monitor(None);
         h.access(LineAddr::new(7), AccessFlags::read());
         assert!(!h.has_events());
+    }
+
+    #[test]
+    fn drain_into_swaps_buffers_and_reuses_capacity() {
+        let mut h = h();
+        h.set_monitor(Some(MonitorLevel::L1d));
+        let mut buf = Vec::new();
+        h.access(LineAddr::new(6), AccessFlags::read());
+        h.drain_events_into(&mut buf);
+        assert_eq!(
+            buf,
+            vec![CacheEvent {
+                line: LineAddr::new(6),
+                kind: CacheEventKind::Fill { dirty: false }
+            }]
+        );
+        assert!(!h.has_events());
+        // The second drain must clear stale contents and deliver only the
+        // new batch, via the swapped-back buffer.
+        h.access(LineAddr::new(7), AccessFlags::read());
+        h.drain_events_into(&mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf[0].line, LineAddr::new(7));
+        // Draining with nothing pending yields an empty buffer.
+        h.drain_events_into(&mut buf);
+        assert!(buf.is_empty());
     }
 
     #[test]

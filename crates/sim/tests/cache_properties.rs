@@ -158,12 +158,16 @@ proptest! {
         let per_set: u64 = cache.set_access_counts().iter().sum();
         prop_assert_eq!(per_set, s.accesses(), "per-set counts sum to demand accesses");
         // Residency never exceeds capacity, and dirty lines are resident.
-        prop_assert!(cache.resident_lines().len() <= 8);
-        for line in cache.resident_lines() {
+        prop_assert!(cache.resident_count() <= 8);
+        let mut visited = 0usize;
+        cache.for_each_resident(|line| {
+            visited += 1;
             if cache.is_dirty(line) {
-                prop_assert!(cache.is_resident(line));
+                assert!(cache.is_resident(line));
             }
-        }
+        });
+        // The allocation-free walk and the allocating one agree.
+        prop_assert_eq!(visited, cache.resident_lines().len());
     }
 
     /// Hierarchy invariants: latency is the sum of the probed levels'
@@ -195,7 +199,7 @@ proptest! {
         }
         // Conservation: every line resident in L1d was filled at some point.
         let s = h.stats();
-        prop_assert!(s.l1d.fills >= h.cache(Level::L1d).resident_lines().len() as u64);
+        prop_assert!(s.l1d.fills >= h.cache(Level::L1d).resident_count() as u64);
         prop_assert_eq!(s.l1d.hits + s.l1d.misses, s.l1d.accesses());
     }
 

@@ -9,6 +9,10 @@
 #   2. cargo clippy -D warnings, all targets (tests, benches, examples)
 #   3. cargo build --release  -- the release artifacts build
 #   4. cargo test -q          -- the full unit/property/integration suite
+#   5. cargo bench --no-run   -- the criterion microbenches still compile
+#   6. ctbia bench --quick    -- sweep-engine smoke run; BENCH_sweep.json
+#                                must exist, be byte-deterministic, and
+#                                show a fully-memoized warm phase
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,5 +25,12 @@ run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo build --workspace --release
 run cargo test --workspace -q
+run cargo bench --workspace --no-run
+
+run ./target/release/ctbia bench --quick
+grep -q '"schema": "ctbia-bench-sweep-v1"' BENCH_sweep.json
+grep -q '"byte_identical": true' BENCH_sweep.json
+grep -q '"executed": 0, "cache_hits": 44' BENCH_sweep.json
+echo "==> BENCH_sweep.json is well-formed and deterministic"
 
 echo "==> tier-1 gate passed"

@@ -7,21 +7,30 @@
 //! ctbia compare hist 2000               # all strategies side by side
 //! ctbia attack [SECRET]                 # Prime+Probe demo
 //! ctbia leakage hist 1000               # leakage in bits, per strategy
+//! ctbia bench --quick                   # sweep-engine throughput benchmark
 //! ```
 //!
-//! Argument parsing is deliberately hand-rolled (no CLI dependency); every
-//! subcommand is a thin veneer over the library API shown in `examples/`.
+//! Argument parsing is deliberately hand-rolled (no CLI dependency). The
+//! experiment subcommands (`run`, `compare`, `fuzz`, `bench`) are veneers
+//! over the [`ctbia::harness`] sweep engine: each describes its work as a
+//! grid of [`CellSpec`]s, so results are memoized under `results/cache/`
+//! and independent cells simulate in parallel.
 
 use ctbia::attacks::{empirical_leakage_bits, set_access_profiles, PrimeProbe};
 use ctbia::core::ctmem::Width;
 use ctbia::core::ds::DataflowSet;
+use ctbia::harness::{
+    CellReport, CellSpec, CryptoKernel, DiskCache, FaultSpec, StrategySpec, SweepEngine,
+    WorkloadSpec,
+};
 use ctbia::machine::{BiaPlacement, Machine};
-use ctbia::sim::fault::{parse_fault_kinds, FaultConfig, FaultKind};
+use ctbia::sim::fault::{parse_fault_kinds, FaultKind};
 use ctbia::sim::hierarchy::Level;
 use ctbia::workloads::{
-    BinarySearch, Dijkstra, HeapPop, Histogram, Permutation, Run, Strategy, Workload,
+    BinarySearch, Dijkstra, HeapPop, Histogram, Permutation, Strategy, Workload,
 };
 use std::process::ExitCode;
+use std::time::Instant;
 
 const USAGE: &str = "\
 ctbia — Hardware Support for Constant-Time Programming (MICRO '23), simulated
@@ -35,9 +44,13 @@ USAGE:
     ctbia leakage <WORKLOAD> [SIZE]
     ctbia audit <WORKLOAD> [SIZE] [--placement l1d|l2|llc]
     ctbia fuzz [--faults LIST] [--seed N] [--iters K] <WORKLOAD> [SIZE] [--placement l1d|l2|llc]
+    ctbia bench [--quick] [--threads N]
 
 WORKLOADS: dijkstra | histogram | permutation | binary-search | heappop
 FAULTS:    drop | dup | delay | corrupt | flip | storm | interfere (comma-separated)
+
+Completed experiment cells are memoized under results/cache/ (safe to
+delete at any time); `ctbia bench` writes BENCH_sweep.json.
 ";
 
 fn make_workload(name: &str, size: usize) -> Result<Box<dyn Workload>, String> {
@@ -56,16 +69,6 @@ fn default_size(name: &str) -> usize {
         "dijkstra" | "dij" => 64,
         _ => 2000,
     }
-}
-
-fn parse_strategy(s: &str) -> Result<Strategy, String> {
-    Ok(match s {
-        "insecure" => Strategy::Insecure,
-        "ct" => Strategy::software_ct(),
-        "ct-avx2" => Strategy::software_ct_avx2(),
-        "bia" => Strategy::bia(),
-        other => return Err(format!("unknown strategy '{other}'")),
-    })
 }
 
 fn parse_placement(s: &str) -> Result<BiaPlacement, String> {
@@ -87,31 +90,33 @@ fn parse_size(s: &str) -> Result<usize, String> {
     Ok(n)
 }
 
-fn machine_for(strategy: Strategy, placement: BiaPlacement) -> Machine {
-    if strategy.needs_bia() {
-        Machine::with_bia(placement)
-    } else {
-        Machine::insecure()
+/// Attaches the default `results/cache/` memo cache; if the directory
+/// cannot be created (read-only checkout, say) the engine simply runs
+/// uncached.
+fn attach_default_cache(engine: SweepEngine) -> SweepEngine {
+    match DiskCache::open_default() {
+        Ok(cache) => engine.with_cache(cache),
+        Err(_) => engine,
     }
 }
 
-fn print_run(label: &str, run: &Run, baseline: Option<u64>) {
+fn print_report(label: &str, report: &CellReport, baseline: Option<u64>) {
     let rel = baseline
-        .map(|b| format!("  ({:.2}x)", run.counters.cycles as f64 / b as f64))
+        .map(|b| format!("  ({:.2}x)", report.counters.cycles as f64 / b as f64))
         .unwrap_or_default();
     println!(
         "{label:<10} {:>12} cycles  {:>11} insts  {:>10} L1d refs  {:>7} DRAM{rel}",
-        run.counters.cycles,
-        run.counters.insts,
-        run.counters.l1d_refs(),
-        run.counters.dram_accesses(),
+        report.counters.cycles,
+        report.counters.insts,
+        report.counters.l1d_refs(),
+        report.counters.dram_accesses(),
     );
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let name = args.first().ok_or("run: missing workload name")?;
     let mut size = None;
-    let mut strategy = Strategy::bia();
+    let mut strategy = StrategySpec::Bia;
     let mut placement = BiaPlacement::L1d;
     let mut stats = false;
     let mut i = 1;
@@ -120,7 +125,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             "--stats" => stats = true,
             "--strategy" => {
                 i += 1;
-                strategy = parse_strategy(args.get(i).ok_or("--strategy needs a value")?)?;
+                strategy = StrategySpec::parse(args.get(i).ok_or("--strategy needs a value")?)?;
             }
             "--placement" => {
                 i += 1;
@@ -132,13 +137,19 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         i += 1;
     }
     let size = size.unwrap_or_else(|| default_size(name));
-    let wl = make_workload(name, size)?;
-    let mut m = machine_for(strategy, placement);
-    let run = wl.run(&mut m, strategy);
-    println!("{} under {strategy} (BIA at {placement}):", wl.name());
-    print_run(&strategy.to_string(), &run, None);
+    let spec = CellSpec::new(WorkloadSpec::named(name, size)?, strategy, placement);
+    let engine = attach_default_cache(SweepEngine::serial());
+    let report = engine.run_cell(&spec)?;
+    println!(
+        "{} under {strategy} (BIA at {placement}):",
+        spec.workload.name()
+    );
+    print_report(&strategy.to_string(), &report, None);
+    if engine.cache_hits() > 0 {
+        println!("(served from results/cache — delete the entry to re-simulate)");
+    }
     if stats {
-        println!("\n{}", ctbia::machine::format_report(&run.counters));
+        println!("\n{}", ctbia::machine::format_report(&report.counters));
     }
     Ok(())
 }
@@ -149,25 +160,28 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
         Some(s) => parse_size(s)?,
         None => default_size(name),
     };
-    let wl = make_workload(name, size)?;
-    println!("{}:", wl.name());
-    let base = wl.run(&mut Machine::insecure(), Strategy::Insecure);
-    print_run("insecure", &base, Some(base.counters.cycles));
-    for (label, strategy, placement) in [
-        ("CT", Strategy::software_ct_avx2(), None),
-        ("BIA@L1d", Strategy::bia(), Some(BiaPlacement::L1d)),
-        ("BIA@L2", Strategy::bia(), Some(BiaPlacement::L2)),
-        ("BIA@LLC", Strategy::bia(), Some(BiaPlacement::Llc)),
-    ] {
-        let mut m = match placement {
-            Some(p) => Machine::with_bia(p),
-            None => Machine::insecure(),
-        };
-        let run = wl.run(&mut m, strategy);
-        if run.digest != base.digest {
+    let workload = WorkloadSpec::named(name, size)?;
+    let lineup = [
+        ("insecure", StrategySpec::Insecure, BiaPlacement::L1d),
+        ("CT", StrategySpec::CtAvx2, BiaPlacement::L1d),
+        ("BIA@L1d", StrategySpec::Bia, BiaPlacement::L1d),
+        ("BIA@L2", StrategySpec::Bia, BiaPlacement::L2),
+        ("BIA@LLC", StrategySpec::Bia, BiaPlacement::Llc),
+    ];
+    let grid: Vec<CellSpec> = lineup
+        .iter()
+        .map(|&(_, strategy, placement)| CellSpec::new(workload, strategy, placement))
+        .collect();
+    let engine = attach_default_cache(SweepEngine::new());
+    let reports = engine.run(&grid)?;
+    println!("{}:", workload.name());
+    let base_cycles = reports[0].counters.cycles;
+    let base_digest = reports[0].digest;
+    for ((label, _, _), report) in lineup.iter().zip(&reports) {
+        if report.digest != base_digest {
             return Err(format!("{label} produced a different result — bug"));
         }
-        print_run(label, &run, Some(base.counters.cycles));
+        print_report(label, report, Some(base_cycles));
     }
     Ok(())
 }
@@ -317,6 +331,11 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
 /// `ctbia fuzz [--faults LIST] [--seed N] [--iters K] <WORKLOAD> [SIZE]` —
 /// repeatedly run the workload while a seeded injector sabotages the BIA,
 /// checking that graceful degradation keeps every result bit-correct.
+///
+/// Every iteration is an independent cell carrying its own fault seed, so
+/// the whole campaign runs on the parallel sweep engine and stays
+/// reproducible under any worker schedule. No cache is attached: fuzzing
+/// is about exercising the injector, not replaying old runs.
 fn cmd_fuzz(args: &[String]) -> Result<(), String> {
     let mut faults = vec![FaultKind::Drop, FaultKind::Dup, FaultKind::Flip];
     let mut seed = 7u64;
@@ -357,7 +376,7 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
     }
     let name = name.ok_or("fuzz: missing workload name")?;
     let size = size.unwrap_or_else(|| default_size(&name));
-    let wl = make_workload(&name, size)?;
+    let workload = WorkloadSpec::named(&name, size)?;
     let fault_list = faults
         .iter()
         .map(ToString::to_string)
@@ -365,31 +384,41 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
         .join(",");
     println!(
         "fuzzing {} under BIA@{placement}: faults [{fault_list}], seed {seed}, {iters} iters",
-        wl.name()
+        workload.name()
     );
-    let reference = wl.run(&mut Machine::insecure(), Strategy::Insecure);
+    let iter_seed = |iter: u64| seed ^ iter.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    // Cell 0 is the fault-free insecure reference; cells 1..=iters each
+    // carry a distinct but reproducible fault schedule.
+    let mut grid = vec![CellSpec::new(workload, StrategySpec::Insecure, placement)];
+    for iter in 0..iters {
+        let mut cell = CellSpec::new(workload, StrategySpec::Bia, placement);
+        cell.audit = true;
+        cell.faults = Some(FaultSpec {
+            kinds: faults.clone(),
+            seed: iter_seed(iter),
+            rate_ppm: 100_000,      // 10% of events faulted
+            batch_rate_ppm: 50_000, // 5% of batches structurally faulted
+        });
+        grid.push(cell);
+    }
+    let reports = SweepEngine::new().run(&grid)?;
+    let reference = reports[0].digest;
     let (mut faults_total, mut violations, mut inline, mut downgrades, mut resyncs) =
         (0u64, 0u64, 0u64, 0u64, 0u64);
     let mut mismatches = 0u64;
-    for iter in 0..iters {
-        // Derive a distinct but reproducible schedule per iteration.
-        let iter_seed = seed ^ iter.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        let mut cfg = FaultConfig::new(faults.clone(), iter_seed);
-        cfg.rate_ppm = 100_000; // 10% of events faulted
-        cfg.batch_rate_ppm = 50_000; // 5% of batches structurally faulted
-        let mut m = Machine::with_bia(placement);
-        m.enable_audit().map_err(|e| e.to_string())?;
-        m.set_fault_injector(Some(cfg)).map_err(|e| e.to_string())?;
-        let run = wl.run(&mut m, Strategy::bia());
-        let r = m.counters().robust;
+    for (iter, report) in reports[1..].iter().enumerate() {
+        let r = report.counters.robust;
         faults_total += r.faults_injected;
         violations += r.audit_violations;
         inline += r.inline_desyncs;
         downgrades += r.downgrades;
         resyncs += r.resyncs;
-        if run.digest != reference.digest {
+        if report.digest != reference {
             mismatches += 1;
-            println!("  iter {iter}: INCORRECT RESULT (seed {iter_seed:#x})");
+            println!(
+                "  iter {iter}: INCORRECT RESULT (seed {:#x})",
+                iter_seed(iter as u64)
+            );
         }
     }
     println!(
@@ -402,6 +431,204 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
         ));
     }
     println!("all {iters} iterations bit-correct: every desync was caught or absorbed");
+    Ok(())
+}
+
+/// The `ctbia bench` grid: the five Ghostrider workloads under four
+/// strategies plus the eight Figure 9 crypto kernels under three, all with
+/// the figure-harness (`o3_approx`) configuration.
+fn bench_grid(quick: bool) -> Vec<CellSpec> {
+    let sizes: &[(&str, usize)] = if quick {
+        &[
+            ("dijkstra", 16),
+            ("histogram", 400),
+            ("permutation", 400),
+            ("binary-search", 600),
+            ("heappop", 600),
+        ]
+    } else {
+        &[
+            ("dijkstra", 64),
+            ("histogram", 2000),
+            ("permutation", 2000),
+            ("binary-search", 4000),
+            ("heappop", 4000),
+        ]
+    };
+    let mut grid = Vec::new();
+    for &(name, size) in sizes {
+        let workload = WorkloadSpec::named(name, size).expect("built-in workload name");
+        for (strategy, placement) in [
+            (StrategySpec::Insecure, BiaPlacement::L1d),
+            (StrategySpec::CtAvx2, BiaPlacement::L1d),
+            (StrategySpec::Bia, BiaPlacement::L1d),
+            (StrategySpec::Bia, BiaPlacement::L2),
+        ] {
+            grid.push(CellSpec::new(workload, strategy, placement).with_eval_config());
+        }
+    }
+    for kernel in CryptoKernel::ALL {
+        for (strategy, placement) in [
+            (StrategySpec::Insecure, BiaPlacement::L1d),
+            (StrategySpec::CtAvx2, BiaPlacement::L1d),
+            (StrategySpec::Bia, BiaPlacement::L1d),
+        ] {
+            grid.push(
+                CellSpec::new(WorkloadSpec::Crypto(kernel), strategy, placement).with_eval_config(),
+            );
+        }
+    }
+    grid
+}
+
+/// Work simulated by one cell, in memory-system events: retired
+/// instructions plus every cache- and DRAM-level access.
+fn simulated_accesses(report: &CellReport) -> u64 {
+    let c = &report.counters;
+    c.insts
+        + c.hier.l1i.accesses()
+        + c.hier.l1d.accesses()
+        + c.hier.l2.accesses()
+        + c.hier.llc.accesses()
+        + c.dram_accesses()
+}
+
+/// One phase object of `BENCH_sweep.json`, on a single line so shell
+/// tooling can grep it.
+fn phase_json(wall_s: f64, cells: usize, sim_accesses: u64, executed: u64, hits: u64) -> String {
+    let wall = wall_s.max(1e-9);
+    format!(
+        "{{ \"wall_ms\": {:.3}, \"cells_per_sec\": {:.2}, \"sim_accesses_per_sec\": {:.0}, \
+         \"executed\": {executed}, \"cache_hits\": {hits} }}",
+        wall_s * 1000.0,
+        cells as f64 / wall,
+        sim_accesses as f64 / wall,
+    )
+}
+
+/// `ctbia bench [--quick] [--threads N]` — measure sweep-engine throughput
+/// over the full benchmark grid, three ways: serial, parallel, and
+/// parallel over a warm cache. Writes `BENCH_sweep.json`.
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let mut quick = false;
+    let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = threads;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--threads" => {
+                i += 1;
+                let s = args.get(i).ok_or("--threads needs a value")?;
+                threads = s
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("invalid thread count '{s}'"))?;
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+        i += 1;
+    }
+    let grid = bench_grid(quick);
+    let n = grid.len();
+    println!(
+        "bench sweep: {n} cells (5 Ghostrider x 4 strategies + 8 crypto x 3), \
+         o3_approx cost model, {threads} worker(s) on {cores} core(s)"
+    );
+
+    // Phase 1: serial, uncached — the reference for both time and bytes.
+    let serial_engine = SweepEngine::serial();
+    let t = Instant::now();
+    let serial = serial_engine.run(&grid)?;
+    let serial_s = t.elapsed().as_secs_f64();
+
+    // Phase 2: parallel, uncached.
+    let parallel_engine = SweepEngine::new().with_threads(threads);
+    let t = Instant::now();
+    let parallel = parallel_engine.run(&grid)?;
+    let parallel_s = t.elapsed().as_secs_f64();
+
+    // Phase 3: parallel over a warm cache. The cache is primed from the
+    // phase-2 reports, so this phase must not simulate a single cell.
+    let cache = DiskCache::open_default().map_err(|e| format!("cannot open results/cache: {e}"))?;
+    for (spec, report) in grid.iter().zip(&parallel) {
+        cache
+            .store(&spec.digest_hex(), report)
+            .map_err(|e| format!("cannot prime cache: {e}"))?;
+    }
+    let warm_engine = SweepEngine::new().with_threads(threads).with_cache(cache);
+    let t = Instant::now();
+    let warm = warm_engine.run(&grid)?;
+    let warm_s = t.elapsed().as_secs_f64();
+
+    let byte_identical = serial.iter().zip(&parallel).zip(&warm).all(|((s, p), w)| {
+        let bytes = s.to_cache_text();
+        bytes == p.to_cache_text() && bytes == w.to_cache_text()
+    });
+    let sim_accesses: u64 = serial.iter().map(simulated_accesses).sum();
+    let speedup_parallel = serial_s / parallel_s.max(1e-9);
+    let speedup_warm = serial_s / warm_s.max(1e-9);
+
+    println!(
+        "  serial    {:>9.1} ms  {:>8.2} cells/s  {:>12.0} sim accesses/s",
+        serial_s * 1000.0,
+        n as f64 / serial_s.max(1e-9),
+        sim_accesses as f64 / serial_s.max(1e-9),
+    );
+    println!(
+        "  parallel  {:>9.1} ms  {:>8.2} cells/s  {:>12.0} sim accesses/s  ({speedup_parallel:.2}x)",
+        parallel_s * 1000.0,
+        n as f64 / parallel_s.max(1e-9),
+        sim_accesses as f64 / parallel_s.max(1e-9),
+    );
+    println!(
+        "  warm      {:>9.1} ms  {:>8.2} cells/s  ({} simulated, {} from results/cache, {speedup_warm:.0}x)",
+        warm_s * 1000.0,
+        n as f64 / warm_s.max(1e-9),
+        warm_engine.cells_executed(),
+        warm_engine.cache_hits(),
+    );
+    println!(
+        "  byte-identical across all three phases: {}",
+        if byte_identical { "yes" } else { "NO — BUG" }
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"ctbia-bench-sweep-v1\",\n  \"quick\": {quick},\n  \
+         \"threads\": {threads},\n  \"available_cores\": {cores},\n  \"cells\": {n},\n  \
+         \"sim_accesses\": {sim_accesses},\n  \"byte_identical\": {byte_identical},\n  \
+         \"serial\": {},\n  \"parallel\": {},\n  \"warm\": {},\n  \
+         \"speedup\": {{ \"parallel_over_serial\": {speedup_parallel:.3}, \
+         \"warm_over_serial\": {speedup_warm:.3} }}\n}}\n",
+        phase_json(serial_s, n, sim_accesses, serial_engine.cells_executed(), 0),
+        phase_json(
+            parallel_s,
+            n,
+            sim_accesses,
+            parallel_engine.cells_executed(),
+            0
+        ),
+        phase_json(
+            warm_s,
+            n,
+            0,
+            warm_engine.cells_executed(),
+            warm_engine.cache_hits()
+        ),
+    );
+    std::fs::write("BENCH_sweep.json", &json)
+        .map_err(|e| format!("cannot write BENCH_sweep.json: {e}"))?;
+    println!("wrote BENCH_sweep.json");
+    if !byte_identical {
+        return Err("parallel or cached reports differ from serial — determinism bug".into());
+    }
+    if warm_engine.cells_executed() != 0 {
+        return Err(format!(
+            "warm phase re-simulated {} cell(s) — memoization bug",
+            warm_engine.cells_executed()
+        ));
+    }
     Ok(())
 }
 
@@ -456,7 +683,7 @@ fn cmd_list() {
     println!("strategies: insecure ct ct-avx2 bia");
     println!("placements: l1d l2 llc");
     println!("faults:     drop dup delay corrupt flip storm interfere (for `ctbia fuzz`)");
-    println!("crypto kernels (via `cargo run -p ctbia-bench --bin fig09_crypto`):");
+    println!("crypto kernels (in `ctbia bench` and `fig09_crypto`):");
     println!("  AES ARC2 ARC4 Blowfish CAST DES DES3 XOR");
 }
 
@@ -477,6 +704,7 @@ fn main() -> ExitCode {
         Some("leakage") => cmd_leakage(&args[1..]),
         Some("audit") => cmd_audit(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(())

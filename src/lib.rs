@@ -16,6 +16,7 @@
 //! | [`machine`] | `ctbia-machine` | execution engine and cost model |
 //! | [`workloads`] | `ctbia-workloads` | Ghostrider + crypto benchmark kernels |
 //! | [`attacks`] | `ctbia-attacks` | Prime+Probe and distinguishability analysis |
+//! | [`harness`] | `ctbia-harness` | parallel, memoizing experiment sweep engine |
 //!
 //! # Quickstart
 //!
@@ -49,6 +50,7 @@
 
 pub use ctbia_attacks as attacks;
 pub use ctbia_core as core;
+pub use ctbia_harness as harness;
 pub use ctbia_machine as machine;
 pub use ctbia_sim as sim;
 pub use ctbia_workloads as workloads;
