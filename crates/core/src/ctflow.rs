@@ -31,12 +31,30 @@ impl CtCond {
     ///
     /// # Panics
     ///
-    /// Panics (in debug builds) on a partial mask, which would silently mix
-    /// operand bits in every later select.
+    /// Panics on a partial mask — in **all** build profiles. A partial
+    /// mask silently mixes operand bits in every later select, turning a
+    /// construction bug into a data-dependent (and thus potentially
+    /// secret-dependent) wrong answer; release builds must not let that
+    /// through. Use [`CtCond::try_from_mask`] to handle untrusted masks
+    /// without panicking.
     #[inline]
+    #[track_caller]
     pub fn from_mask(mask: u64) -> Self {
-        debug_assert!(mask == 0 || mask == u64::MAX, "partial mask {mask:#x}");
-        CtCond(mask)
+        match Self::try_from_mask(mask) {
+            Some(c) => c,
+            None => panic!("partial mask {mask:#x} is not a valid CtCond"),
+        }
+    }
+
+    /// Fallible counterpart of [`CtCond::from_mask`]: `None` unless the
+    /// mask is exactly `0` or `u64::MAX`.
+    #[inline]
+    pub fn try_from_mask(mask: u64) -> Option<Self> {
+        if mask == 0 || mask == u64::MAX {
+            Some(CtCond(mask))
+        } else {
+            None
+        }
     }
 
     /// From a boolean that is itself derived from secret data.
@@ -172,8 +190,19 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "partial mask")]
-    fn partial_masks_rejected_in_debug() {
+    fn partial_masks_rejected_in_every_profile() {
         let _ = CtCond::from_mask(0xff);
+    }
+
+    #[test]
+    fn try_from_mask_is_total() {
+        assert_eq!(CtCond::try_from_mask(0), Some(CtCond::from_bool(false)));
+        assert_eq!(
+            CtCond::try_from_mask(u64::MAX),
+            Some(CtCond::from_bool(true))
+        );
+        assert_eq!(CtCond::try_from_mask(0xff), None);
+        assert_eq!(CtCond::try_from_mask(1), None);
     }
 
     #[test]

@@ -143,6 +143,28 @@ pub trait CtMemory {
     fn bia_granularity_log2(&self) -> u32 {
         12
     }
+
+    /// Whether the opt-in shadow taint layer is active. Defaults to
+    /// `false`; implementations without taint support keep the default
+    /// and the remaining taint hooks stay no-ops (zero cost, like the
+    /// audit layer).
+    fn taint_enabled(&self) -> bool {
+        false
+    }
+
+    /// The join of the shadow taint labels of the `width` bytes at
+    /// `addr`. Defaults to `PUBLIC` (taint layer disabled).
+    fn taint_of(&self, _addr: PhysAddr, _width: Width) -> crate::taint::TaintLabel {
+        crate::taint::TaintLabel::PUBLIC
+    }
+
+    /// Sets the shadow taint label of the `width` bytes at `addr`.
+    /// A no-op by default.
+    fn set_taint(&mut self, _addr: PhysAddr, _width: Width, _label: crate::taint::TaintLabel) {}
+
+    /// Records a [`crate::taint::LeakViolation`] raised by a taint
+    /// checker driving this memory. A no-op by default.
+    fn report_leak(&mut self, _violation: crate::taint::LeakViolation) {}
 }
 
 /// Extracts a `width`-sized value from the aligned 8-byte window containing

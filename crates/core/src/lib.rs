@@ -17,6 +17,9 @@
 //!   already-resident / already-dirty lines using the BIA bitmaps.
 //! * [`predicate`] — branchless constant-time primitives used by the
 //!   algorithms and the workloads.
+//! * [`taint`] — the value-level secret-taint lattice, taint-carrying
+//!   values ([`taint::Tv`]), and structured [`taint::LeakViolation`]
+//!   reports consumed by the `ctbia-verify` sanitizer.
 //!
 //! # Example: mitigating a secret-indexed load
 //!
@@ -49,6 +52,7 @@ pub mod ds;
 pub mod linearize;
 pub mod predicate;
 pub mod strategy;
+pub mod taint;
 
 #[cfg(test)]
 mod proptests;
@@ -61,3 +65,4 @@ pub use ctmem::{CtLoad, CtMemory, CtMemoryExt, CtStore, Width};
 pub use ds::{Bitmask, DataflowSet, DsGroup, DsPage};
 pub use linearize::{ct_load_bia, ct_load_sw, ct_store_bia, ct_store_sw, BiaOptions, SwProfile};
 pub use strategy::Strategy;
+pub use taint::{LeakKind, LeakViolation, Taint, TaintLabel, Tv};

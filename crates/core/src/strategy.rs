@@ -31,6 +31,11 @@ pub enum Strategy {
     SoftwareCt(SwProfile),
     /// BIA-assisted linearization (requires a machine with a BIA).
     Bia(BiaOptions),
+    /// BIA-assisted loads only: `CTLoad` for reads, software dataflow
+    /// linearization (scalar) for writes. The intermediate point the
+    /// verification grid calls "BIA-load" — useful on hardware whose
+    /// BIA tracks existence but not dirtiness.
+    BiaLoads(BiaOptions),
 }
 
 impl Strategy {
@@ -51,9 +56,16 @@ impl Strategy {
         })
     }
 
+    /// BIA-assisted loads with software-linearized stores.
+    pub const fn bia_loads() -> Self {
+        Strategy::BiaLoads(BiaOptions {
+            dram_threshold: None,
+        })
+    }
+
     /// Whether this strategy requires the machine to have a BIA.
     pub const fn needs_bia(self) -> bool {
-        matches!(self, Strategy::Bia(_))
+        matches!(self, Strategy::Bia(_) | Strategy::BiaLoads(_))
     }
 
     /// Performs a secret-dependent load of `width` at `addr`, whose
@@ -73,7 +85,7 @@ impl Strategy {
         match self {
             Strategy::Insecure => m.load(addr, width),
             Strategy::SoftwareCt(profile) => ct_load_sw(m, ds, addr, width, profile),
-            Strategy::Bia(opts) => ct_load_bia(m, ds, addr, width, opts),
+            Strategy::Bia(opts) | Strategy::BiaLoads(opts) => ct_load_bia(m, ds, addr, width, opts),
         }
     }
 
@@ -95,6 +107,7 @@ impl Strategy {
             Strategy::Insecure => m.store(addr, width, value),
             Strategy::SoftwareCt(profile) => ct_store_sw(m, ds, addr, width, value, profile),
             Strategy::Bia(opts) => ct_store_bia(m, ds, addr, width, value, opts),
+            Strategy::BiaLoads(_) => ct_store_sw(m, ds, addr, width, value, SwProfile::scalar()),
         }
     }
 }
@@ -107,6 +120,7 @@ impl fmt::Display for Strategy {
             Strategy::SoftwareCt(_) => f.write_str("CT"),
             Strategy::Bia(o) if o.dram_threshold.is_some() => f.write_str("BIA(+dram)"),
             Strategy::Bia(_) => f.write_str("BIA"),
+            Strategy::BiaLoads(_) => f.write_str("BIA(loads)"),
         }
     }
 }
@@ -121,7 +135,12 @@ mod tests {
 
     #[test]
     fn strategies_agree_on_the_reference_machine() {
-        for strategy in [Strategy::Insecure, Strategy::software_ct(), Strategy::bia()] {
+        for strategy in [
+            Strategy::Insecure,
+            Strategy::software_ct(),
+            Strategy::bia(),
+            Strategy::bia_loads(),
+        ] {
             let mut m = TestMachine::new();
             for i in 0..300u64 {
                 m.poke_u32(PhysAddr::new(BASE + i * 4), (i + 1) as u32);
@@ -144,11 +163,13 @@ mod tests {
             Strategy::Bia(BiaOptions::with_dram_threshold(1)).to_string(),
             "BIA(+dram)"
         );
+        assert_eq!(Strategy::bia_loads().to_string(), "BIA(loads)");
     }
 
     #[test]
     fn needs_bia() {
         assert!(Strategy::bia().needs_bia());
+        assert!(Strategy::bia_loads().needs_bia());
         assert!(!Strategy::software_ct().needs_bia());
         assert!(!Strategy::Insecure.needs_bia());
     }

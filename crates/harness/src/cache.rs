@@ -57,8 +57,7 @@ impl DiskCache {
     /// unreadable, truncated, corrupt, or written by a different schema
     /// version — all equivalent: the cell re-simulates).
     pub fn load(&self, key: &str) -> Option<CellReport> {
-        let text = fs::read_to_string(self.path_of(key)).ok()?;
-        CellReport::from_cache_text(&text)
+        CellReport::from_cache_text(&self.load_text(key)?)
     }
 
     /// Stores `report` under `key`, atomically: the text is written to a
@@ -69,8 +68,25 @@ impl DiskCache {
     ///
     /// Returns the I/O error if the write or rename fails.
     pub fn store(&self, key: &str, report: &CellReport) -> io::Result<()> {
+        self.store_text(key, &report.to_cache_text())
+    }
+
+    /// Raw read of the text cached under `key` (`None` when absent or
+    /// unreadable). For callers with their own versioned encodings —
+    /// e.g. verification cells — which validate the text themselves.
+    pub fn load_text(&self, key: &str) -> Option<String> {
+        fs::read_to_string(self.path_of(key)).ok()
+    }
+
+    /// Raw atomic write of `text` under `key` (temp file + rename, like
+    /// [`DiskCache::store`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the write or rename fails.
+    pub fn store_text(&self, key: &str, text: &str) -> io::Result<()> {
         let tmp = self.dir.join(format!(".{key}.tmp.{}", std::process::id()));
-        fs::write(&tmp, report.to_cache_text())?;
+        fs::write(&tmp, text)?;
         let result = fs::rename(&tmp, self.path_of(key));
         if result.is_err() {
             let _ = fs::remove_file(&tmp);

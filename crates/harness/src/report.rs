@@ -75,6 +75,8 @@ macro_rules! with_counter_fields {
         $m!("robust.degraded_ct_ops", robust.degraded_ct_ops);
         $m!("robust.resyncs", robust.resyncs);
         $m!("robust.faults_injected", robust.faults_injected);
+        $m!("taint.marked_bytes", taint.marked_bytes);
+        $m!("taint.leak_violations", taint.leak_violations);
     };
 }
 
@@ -169,6 +171,7 @@ mod tests {
         c.hier.dram.row_misses = 7;
         c.bia.events_applied = 11;
         c.robust.resyncs = 3;
+        c.taint.leak_violations = 2;
         CellReport {
             label: "hist_2k/BIA@L1d".into(),
             digest: 0xdead_beef_cafe_f00d,

@@ -14,7 +14,9 @@ use ctbia_machine::{BiaPlacement, CostModel, MachineConfig};
 use ctbia_sim::config::HierarchyConfig;
 use ctbia_sim::fault::{FaultConfig, FaultKind};
 use ctbia_workloads::crypto::{Aes, Blowfish, Cast, Des, Des3, Rc2, Rc4, XorCipher};
-use ctbia_workloads::{BinarySearch, Dijkstra, HeapPop, Histogram, Permutation, Workload};
+use ctbia_workloads::{
+    BinarySearch, Dijkstra, HeapPop, Histogram, LeakyBinarySearch, Permutation, Workload,
+};
 use std::fmt;
 
 /// One of the eight Figure 9 crypto kernels, at its default parameters.
@@ -76,6 +78,46 @@ impl CryptoKernel {
             CryptoKernel::Xor => Box::new(XorCipher::default()),
         }
     }
+
+    /// The kernel at its default parameters but with the key/input seed
+    /// replaced — the trace-equivalence oracle's way of drawing fresh
+    /// secrets while keeping the public structure fixed.
+    pub fn build_seeded(self, seed: u64) -> Box<dyn Workload> {
+        match self {
+            CryptoKernel::Aes => Box::new(Aes {
+                seed,
+                ..Aes::default()
+            }),
+            CryptoKernel::Rc2 => Box::new(Rc2 {
+                seed,
+                ..Rc2::default()
+            }),
+            CryptoKernel::Rc4 => Box::new(Rc4 {
+                seed,
+                ..Rc4::default()
+            }),
+            CryptoKernel::Blowfish => Box::new(Blowfish {
+                seed,
+                ..Blowfish::default()
+            }),
+            CryptoKernel::Cast => Box::new(Cast {
+                seed,
+                ..Cast::default()
+            }),
+            CryptoKernel::Des => Box::new(Des {
+                seed,
+                ..Des::default()
+            }),
+            CryptoKernel::Des3 => Box::new(Des3 {
+                seed,
+                ..Des3::default()
+            }),
+            CryptoKernel::Xor => Box::new(XorCipher {
+                seed,
+                ..XorCipher::default()
+            }),
+        }
+    }
 }
 
 /// A pure-data workload descriptor: which kernel, at what size, with which
@@ -120,6 +162,16 @@ pub enum WorkloadSpec {
         /// Number of pops.
         pops: usize,
         /// Heap-content seed.
+        seed: u64,
+    },
+    /// The intentionally leaky binary search — the verifier's negative
+    /// control (raw secret-indexed probe).
+    LeakyBinarySearch {
+        /// Array length.
+        size: usize,
+        /// Number of searches.
+        searches: usize,
+        /// Key seed.
         seed: u64,
     },
     /// One of the crypto kernels at its default parameters.
@@ -174,6 +226,14 @@ impl WorkloadSpec {
                     seed: w.seed,
                 }
             }
+            "leaky-bin" | "leaky" => {
+                let w = LeakyBinarySearch::new(size);
+                WorkloadSpec::LeakyBinarySearch {
+                    size: w.inner.size,
+                    searches: w.inner.searches,
+                    seed: w.inner.seed,
+                }
+            }
             other => return Err(format!("unknown workload '{other}' (try `ctbia list`)")),
         })
     }
@@ -194,7 +254,45 @@ impl WorkloadSpec {
                 seed,
             }),
             WorkloadSpec::HeapPop { size, pops, seed } => Box::new(HeapPop { size, pops, seed }),
+            WorkloadSpec::LeakyBinarySearch {
+                size,
+                searches,
+                seed,
+            } => Box::new(LeakyBinarySearch {
+                inner: BinarySearch {
+                    size,
+                    searches,
+                    seed,
+                },
+            }),
             WorkloadSpec::Crypto(k) => k.build(),
+        }
+    }
+
+    /// The same workload with its secret-input seed replaced. The seed
+    /// varies only the *secrets* (keys, values, graph weights) — the
+    /// public structure (sizes, iteration counts, layouts) is fixed by
+    /// the spec — so two reseeded runs are exactly a "pair of secrets"
+    /// in the trace-equivalence sense.
+    pub fn build_reseeded(&self, seed: u64) -> Box<dyn Workload> {
+        match *self {
+            WorkloadSpec::Dijkstra { vertices, .. } => Box::new(Dijkstra { vertices, seed }),
+            WorkloadSpec::Histogram { size, .. } => Box::new(Histogram { size, seed }),
+            WorkloadSpec::Permutation { size, .. } => Box::new(Permutation { size, seed }),
+            WorkloadSpec::BinarySearch { size, searches, .. } => Box::new(BinarySearch {
+                size,
+                searches,
+                seed,
+            }),
+            WorkloadSpec::HeapPop { size, pops, .. } => Box::new(HeapPop { size, pops, seed }),
+            WorkloadSpec::LeakyBinarySearch { size, searches, .. } => Box::new(LeakyBinarySearch {
+                inner: BinarySearch {
+                    size,
+                    searches,
+                    seed,
+                },
+            }),
+            WorkloadSpec::Crypto(k) => k.build_seeded(seed),
         }
     }
 
@@ -236,6 +334,16 @@ impl WorkloadSpec {
                 d.field_u64("pops", pops as u64);
                 d.field_u64("seed", seed);
             }
+            WorkloadSpec::LeakyBinarySearch {
+                size,
+                searches,
+                seed,
+            } => {
+                d.field_str("workload", "leaky-bin");
+                d.field_u64("size", size as u64);
+                d.field_u64("searches", searches as u64);
+                d.field_u64("seed", seed);
+            }
             WorkloadSpec::Crypto(k) => {
                 d.field_str("workload", "crypto");
                 d.field_str("kernel", k.tag());
@@ -255,6 +363,9 @@ pub enum StrategySpec {
     CtAvx2,
     /// BIA-assisted linearization.
     Bia,
+    /// BIA-assisted loads with software-linearized stores (the verify
+    /// grid's "BIA-load" point).
+    BiaLoads,
 }
 
 impl StrategySpec {
@@ -269,6 +380,7 @@ impl StrategySpec {
             "ct" => StrategySpec::Ct,
             "ct-avx2" => StrategySpec::CtAvx2,
             "bia" => StrategySpec::Bia,
+            "bia-loads" => StrategySpec::BiaLoads,
             other => return Err(format!("unknown strategy '{other}'")),
         })
     }
@@ -280,12 +392,13 @@ impl StrategySpec {
             StrategySpec::Ct => ctbia_workloads::Strategy::software_ct(),
             StrategySpec::CtAvx2 => ctbia_workloads::Strategy::software_ct_avx2(),
             StrategySpec::Bia => ctbia_workloads::Strategy::bia(),
+            StrategySpec::BiaLoads => ctbia_workloads::Strategy::bia_loads(),
         }
     }
 
     /// Whether cells with this strategy need a machine with a BIA.
     pub fn needs_bia(self) -> bool {
-        matches!(self, StrategySpec::Bia)
+        matches!(self, StrategySpec::Bia | StrategySpec::BiaLoads)
     }
 
     fn tag(self) -> &'static str {
@@ -294,6 +407,7 @@ impl StrategySpec {
             StrategySpec::Ct => "ct",
             StrategySpec::CtAvx2 => "ct-avx2",
             StrategySpec::Bia => "bia",
+            StrategySpec::BiaLoads => "bia-loads",
         }
     }
 }
@@ -305,6 +419,7 @@ impl fmt::Display for StrategySpec {
             StrategySpec::Ct => f.write_str("CT"),
             StrategySpec::CtAvx2 => f.write_str("CT(avx2)"),
             StrategySpec::Bia => f.write_str("BIA"),
+            StrategySpec::BiaLoads => f.write_str("BIA(loads)"),
         }
     }
 }
@@ -588,5 +703,40 @@ mod tests {
         let mut c = base_cell();
         c.strategy = StrategySpec::CtAvx2;
         assert_eq!(c.label(), "hist_500/CT(avx2)");
+    }
+
+    #[test]
+    fn bia_loads_strategy_parses_and_needs_a_bia() {
+        assert_eq!(
+            StrategySpec::parse("bia-loads").unwrap(),
+            StrategySpec::BiaLoads
+        );
+        assert!(StrategySpec::BiaLoads.needs_bia());
+        assert_eq!(StrategySpec::BiaLoads.to_string(), "BIA(loads)");
+        let mut c = base_cell();
+        c.strategy = StrategySpec::BiaLoads;
+        assert_eq!(c.label(), "hist_500/BIA(loads)@L1d");
+        assert_ne!(c.digest(), base_cell().digest());
+    }
+
+    #[test]
+    fn leaky_workload_is_a_distinct_spec() {
+        let w = WorkloadSpec::named("leaky-bin", 500).unwrap();
+        assert_eq!(w.name(), "leaky-bin_500");
+        let b = WorkloadSpec::named("bin", 500).unwrap();
+        let mut d1 = Digest::new();
+        w.digest_into(&mut d1);
+        let mut d2 = Digest::new();
+        b.digest_into(&mut d2);
+        assert_ne!(d1.finish(), d2.finish());
+    }
+
+    #[test]
+    fn reseeding_changes_only_the_seed() {
+        let w = WorkloadSpec::named("bin", 300).unwrap();
+        // Same structure, same name; different secrets.
+        assert_eq!(w.build_reseeded(7).name(), w.build().name());
+        let c = WorkloadSpec::Crypto(CryptoKernel::Aes);
+        assert_eq!(c.build_reseeded(7).name(), c.build().name());
     }
 }

@@ -76,6 +76,47 @@ impl fmt::Display for RobustnessStats {
     }
 }
 
+/// Shadow-taint counters. All zero when the taint layer is disabled,
+/// so pre-existing reports and cache entries are unaffected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaintStats {
+    /// Bytes currently labelled secret in the shadow taint map.
+    pub marked_bytes: u64,
+    /// Leak violations reported against this machine (secrets reaching
+    /// raw addresses, native branches, or loop trip counts).
+    pub leak_violations: u64,
+}
+
+impl Sub for TaintStats {
+    type Output = TaintStats;
+
+    fn sub(self, rhs: TaintStats) -> TaintStats {
+        TaintStats {
+            // `marked_bytes` is a level, not a monotone count; clamp so
+            // region measurement around an untaint never underflows.
+            marked_bytes: self.marked_bytes.saturating_sub(rhs.marked_bytes),
+            leak_violations: self.leak_violations - rhs.leak_violations,
+        }
+    }
+}
+
+impl TaintStats {
+    /// True when the taint layer never marked or caught anything.
+    pub fn is_zero(&self) -> bool {
+        *self == TaintStats::default()
+    }
+}
+
+impl fmt::Display for TaintStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "marked bytes {}, leak violations {}",
+            self.marked_bytes, self.leak_violations
+        )
+    }
+}
+
 /// A snapshot of every machine counter.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counters {
@@ -95,6 +136,9 @@ pub struct Counters {
     /// Fault-injection / audit / degradation statistics (all zero when
     /// auditing and fault injection are disabled).
     pub robust: RobustnessStats,
+    /// Shadow-taint statistics (all zero when the taint layer is
+    /// disabled).
+    pub taint: TaintStats,
 }
 
 impl Counters {
@@ -139,6 +183,7 @@ impl Sub for Counters {
                 events_ignored: self.bia.events_ignored - rhs.bia.events_ignored,
             },
             robust: self.robust - rhs.robust,
+            taint: self.taint - rhs.taint,
         }
     }
 }
@@ -154,6 +199,9 @@ impl fmt::Display for Counters {
         write!(f, "BIA:  {}", self.bia)?;
         if !self.robust.is_zero() {
             write!(f, "\nAudit: {}", self.robust)?;
+        }
+        if !self.taint.is_zero() {
+            write!(f, "\nTaint: {}", self.taint)?;
         }
         Ok(())
     }
@@ -225,5 +273,24 @@ mod tests {
         c.robust = a;
         let s = c.to_string();
         assert!(s.contains("Audit") && s.contains("violations 4"));
+    }
+
+    #[test]
+    fn taint_stats_subtract_and_gate_display() {
+        let mut a = TaintStats::default();
+        a.marked_bytes = 128;
+        a.leak_violations = 3;
+        let mut b = TaintStats::default();
+        b.marked_bytes = 200; // level can shrink between snapshots
+        b.leak_violations = 1;
+        let d = a - b;
+        assert_eq!(d.marked_bytes, 0);
+        assert_eq!(d.leak_violations, 2);
+        assert!(TaintStats::default().is_zero());
+        assert!(!Counters::default().to_string().contains("Taint"));
+        let mut c = Counters::default();
+        c.taint = a;
+        let s = c.to_string();
+        assert!(s.contains("Taint") && s.contains("leak violations 3"));
     }
 }

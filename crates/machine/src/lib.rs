@@ -52,10 +52,10 @@ pub mod secure;
 
 pub use audit::{AuditViolation, BitPlane, ShadowAuditor, ViolationKind};
 pub use cost::CostModel;
-pub use counters::{Counters, RobustnessStats};
+pub use counters::{Counters, RobustnessStats, TaintStats};
 pub use machine::{
-    BiaPlacement, CoRunnerOp, Interference, Machine, MachineConfig, MachineError, TraceEvent,
-    TraceOp,
+    BiaPlacement, CoRunnerOp, CtResponse, Interference, Machine, MachineConfig, MachineError,
+    ObsTrace, TraceEvent, TraceOp,
 };
 pub use memory::{OutOfSimRam, SimRam};
 pub use report::format_report;

@@ -9,15 +9,16 @@
 
 use crate::audit::ShadowAuditor;
 use crate::cost::CostModel;
-use crate::counters::{Counters, RobustnessStats};
+use crate::counters::{Counters, RobustnessStats, TaintStats};
 use crate::memory::{OutOfSimRam, SimRam};
 use ctbia_core::bia::{Bia, BiaConfig, BiaConfigError};
 use ctbia_core::ctmem::{CtLoad, CtMemory, CtStore, Width};
+use ctbia_core::taint::{LeakViolation, TaintLabel};
 use ctbia_sim::addr::{LineAddr, PhysAddr};
 use ctbia_sim::config::{ConfigError, HierarchyConfig};
 use ctbia_sim::fault::{FaultConfig, FaultInjector, StructuralFault};
 use ctbia_sim::hierarchy::{AccessFlags, CacheEvent, Hierarchy, Level, MonitorLevel};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// Where the BIA is attached. The paper evaluates L1d and L2 residency
@@ -215,6 +216,150 @@ pub enum TraceOp {
     DramStore,
 }
 
+impl TraceOp {
+    fn code(self) -> u64 {
+        match self {
+            TraceOp::Load => 0,
+            TraceOp::Store => 1,
+            TraceOp::DsLoad => 2,
+            TraceOp::DsStore => 3,
+            TraceOp::DramLoad => 4,
+            TraceOp::DramStore => 5,
+        }
+    }
+}
+
+/// One CT-operation response as seen by the linearized program: the
+/// existence bitmap of a `CTLoad` or the dirtiness bitmap of a
+/// `CTStore`, after any robustness degradation. Part of the
+/// [`ObsTrace`] because the *program's* subsequent demand accesses are
+/// a deterministic function of these bitmaps — if they were
+/// secret-dependent, the leak would surface downstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtResponse {
+    /// `true` for a `CTStore` (dirtiness), `false` for a `CTLoad`
+    /// (existence).
+    pub store: bool,
+    /// The bitmap returned to the program.
+    pub bitmap: u64,
+}
+
+/// The observation trace the trace-equivalence oracle compares: every
+/// attacker-visible demand access at cache-line granularity, every
+/// CT-op bitmap response, and (under a sliced LLC-resident BIA) the
+/// slice sequence of CT-op probes. Two runs of a constant-time program
+/// on different secrets must produce **equal** observation traces
+/// (DESIGN.md §10; the paper's Fig. 10 property, generalized).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObsTrace {
+    /// Demand accesses, in program order, at line granularity.
+    pub demand: Vec<TraceEvent>,
+    /// CT-op responses, in program order.
+    pub ct: Vec<CtResponse>,
+    /// CT-op probe slices (LLC-resident BIA on a sliced LLC only).
+    pub slices: Vec<u32>,
+}
+
+impl ObsTrace {
+    /// Total recorded events.
+    pub fn len(&self) -> usize {
+        self.demand.len() + self.ct.len() + self.slices.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// An order-sensitive FNV-1a digest of the whole trace.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        mix(self.demand.len() as u64);
+        for e in &self.demand {
+            mix(e.op.code());
+            mix(e.line.raw());
+        }
+        mix(self.ct.len() as u64);
+        for r in &self.ct {
+            mix(r.store as u64);
+            mix(r.bitmap);
+        }
+        mix(self.slices.len() as u64);
+        for s in &self.slices {
+            mix(*s as u64);
+        }
+        h
+    }
+
+    /// Describes the first point where `self` and `other` differ, or
+    /// `None` when the traces are equal. Used for diagnostics when the
+    /// oracle finds a divergence.
+    pub fn first_divergence(&self, other: &ObsTrace) -> Option<String> {
+        for (i, (a, b)) in self.demand.iter().zip(&other.demand).enumerate() {
+            if a != b {
+                return Some(format!(
+                    "demand[{i}]: {:?}@{:#x} vs {:?}@{:#x}",
+                    a.op,
+                    a.line.raw(),
+                    b.op,
+                    b.line.raw()
+                ));
+            }
+        }
+        if self.demand.len() != other.demand.len() {
+            return Some(format!(
+                "demand length {} vs {}",
+                self.demand.len(),
+                other.demand.len()
+            ));
+        }
+        for (i, (a, b)) in self.ct.iter().zip(&other.ct).enumerate() {
+            if a != b {
+                return Some(format!(
+                    "ct[{i}]: {}:{:#x} vs {}:{:#x}",
+                    if a.store { "dirt" } else { "exist" },
+                    a.bitmap,
+                    if b.store { "dirt" } else { "exist" },
+                    b.bitmap
+                ));
+            }
+        }
+        if self.ct.len() != other.ct.len() {
+            return Some(format!("ct length {} vs {}", self.ct.len(), other.ct.len()));
+        }
+        for (i, (a, b)) in self.slices.iter().zip(&other.slices).enumerate() {
+            if a != b {
+                return Some(format!("slice[{i}]: {a} vs {b}"));
+            }
+        }
+        if self.slices.len() != other.slices.len() {
+            return Some(format!(
+                "slice length {} vs {}",
+                self.slices.len(),
+                other.slices.len()
+            ));
+        }
+        None
+    }
+}
+
+/// Shadow-taint state: a byte-granularity map holding only the bytes
+/// currently labelled secret, plus the violations reported so far.
+/// Boxed behind an `Option` so the disabled case costs one `None`
+/// check, exactly like the audit layer.
+#[derive(Debug, Default)]
+struct TaintState {
+    shadow: HashMap<u64, TaintLabel>,
+    violations: Vec<LeakViolation>,
+    reported: u64,
+}
+
 /// The simulated machine.
 #[derive(Debug)]
 pub struct Machine {
@@ -229,6 +374,8 @@ pub struct Machine {
     ct_stores: u64,
     trace: Option<Vec<TraceEvent>>,
     probe_slices: Option<Vec<u32>>,
+    ct_obs: Option<Vec<CtResponse>>,
+    taint: Option<Box<TaintState>>,
     silent_stores: bool,
     interference: Option<Interference>,
     interference_clock: u64,
@@ -304,6 +451,8 @@ impl Machine {
             ct_stores: 0,
             trace: None,
             probe_slices: None,
+            ct_obs: None,
+            taint: None,
             silent_stores: config.silent_stores,
             interference: None,
             interference_clock: 0,
@@ -503,6 +652,45 @@ impl Machine {
         self.probe_slices.take().unwrap_or_default()
     }
 
+    /// Starts recording the full [`ObsTrace`] the trace-equivalence
+    /// oracle compares: the demand trace (see [`Machine::enable_trace`])
+    /// plus every CT-op bitmap response.
+    pub fn enable_observation(&mut self) {
+        self.enable_trace();
+        self.ct_obs = Some(Vec::new());
+    }
+
+    /// Stops observation recording and returns the trace (empty for any
+    /// channel that was not being recorded).
+    pub fn take_observation(&mut self) -> ObsTrace {
+        ObsTrace {
+            demand: self.take_trace(),
+            ct: self.ct_obs.take().unwrap_or_default(),
+            slices: self.take_probe_slices(),
+        }
+    }
+
+    /// Turns on the shadow taint layer. Until this is called every
+    /// taint hook is a no-op and the hot path pays only a `None` check,
+    /// mirroring the audit layer's opt-in contract.
+    pub fn enable_taint(&mut self) {
+        if self.taint.is_none() {
+            self.taint = Some(Box::default());
+        }
+    }
+
+    /// The leak violations reported so far (empty when taint is off).
+    pub fn taint_violations(&self) -> &[LeakViolation] {
+        self.taint.as_ref().map_or(&[], |t| &t.violations)
+    }
+
+    /// Drains and returns the recorded leak violations.
+    pub fn take_taint_violations(&mut self) -> Vec<LeakViolation> {
+        self.taint
+            .as_mut()
+            .map_or_else(Vec::new, |t| std::mem::take(&mut t.violations))
+    }
+
     /// Snapshot of all counters.
     pub fn counters(&self) -> Counters {
         Counters {
@@ -520,6 +708,13 @@ impl Machine {
                     .map_or(0, FaultInjector::faults_injected);
                 r
             },
+            taint: self
+                .taint
+                .as_ref()
+                .map_or_else(TaintStats::default, |t| TaintStats {
+                    marked_bytes: t.shadow.len() as u64,
+                    leak_violations: t.reported,
+                }),
         }
     }
 
@@ -873,6 +1068,12 @@ impl CtMemory for Machine {
         } else {
             0
         };
+        if let Some(obs) = &mut self.ct_obs {
+            obs.push(CtResponse {
+                store: false,
+                bitmap: view.existence,
+            });
+        }
         CtLoad {
             data,
             existence: view.existence,
@@ -929,6 +1130,12 @@ impl CtMemory for Machine {
         if wrote {
             self.ram.write(aligned, 8, data);
         }
+        if let Some(obs) = &mut self.ct_obs {
+            obs.push(CtResponse {
+                store: true,
+                bitmap: view.dirtiness,
+            });
+        }
         CtStore {
             dirtiness: view.dirtiness,
         }
@@ -943,6 +1150,44 @@ impl CtMemory for Machine {
             .as_ref()
             .map(|b| b.granularity_log2())
             .unwrap_or(12)
+    }
+
+    fn taint_enabled(&self) -> bool {
+        self.taint.is_some()
+    }
+
+    fn taint_of(&self, addr: PhysAddr, width: Width) -> TaintLabel {
+        let Some(t) = &self.taint else {
+            return TaintLabel::PUBLIC;
+        };
+        let mut label = TaintLabel::PUBLIC;
+        for i in 0..width.bytes() {
+            if let Some(l) = t.shadow.get(&(addr.raw() + i)) {
+                label = label.join(*l);
+            }
+        }
+        label
+    }
+
+    fn set_taint(&mut self, addr: PhysAddr, width: Width, label: TaintLabel) {
+        let Some(t) = &mut self.taint else { return };
+        for i in 0..width.bytes() {
+            if label.is_secret() {
+                t.shadow.insert(addr.raw() + i, label);
+            } else {
+                t.shadow.remove(&(addr.raw() + i));
+            }
+        }
+    }
+
+    fn report_leak(&mut self, violation: LeakViolation) {
+        let Some(t) = &mut self.taint else { return };
+        t.reported += 1;
+        // Keep at most the first 64 structured reports; the count keeps
+        // climbing so a pathological workload can't balloon memory.
+        if t.violations.len() < 64 {
+            t.violations.push(violation);
+        }
     }
 }
 
@@ -1163,6 +1408,93 @@ mod tests {
     fn ct_load_without_bia_panics() {
         let mut m = Machine::insecure();
         let _ = m.ct_load(PhysAddr::new(0x1_0000));
+    }
+
+    #[test]
+    fn observation_records_demand_and_ct_responses() {
+        let mut m = Machine::with_bia(BiaPlacement::L1d);
+        let a = m.alloc(128, 64).unwrap();
+        m.enable_observation();
+        m.store_u64(a, 7);
+        let r = m.ct_load(a);
+        let s = m.ct_store(a, 9);
+        let obs = m.take_observation();
+        assert_eq!(obs.demand.len(), 1);
+        assert_eq!(obs.demand[0].op, TraceOp::Store);
+        assert_eq!(
+            obs.ct,
+            vec![
+                CtResponse {
+                    store: false,
+                    bitmap: r.existence
+                },
+                CtResponse {
+                    store: true,
+                    bitmap: s.dirtiness
+                },
+            ]
+        );
+        assert!(obs.slices.is_empty(), "no sliced LLC in this config");
+        assert!(!obs.is_empty());
+        // A second identical machine produces an equal trace and digest.
+        let mut m2 = Machine::with_bia(BiaPlacement::L1d);
+        let a2 = m2.alloc(128, 64).unwrap();
+        m2.enable_observation();
+        m2.store_u64(a2, 7);
+        let _ = m2.ct_load(a2);
+        let _ = m2.ct_store(a2, 9);
+        let obs2 = m2.take_observation();
+        assert_eq!(obs, obs2);
+        assert_eq!(obs.digest(), obs2.digest());
+        assert_eq!(obs.first_divergence(&obs2), None);
+    }
+
+    #[test]
+    fn observation_divergence_is_described() {
+        let mut m = Machine::insecure();
+        let a = m.alloc(256, 64).unwrap();
+        m.enable_observation();
+        m.load_u64(a);
+        let one = m.take_observation();
+        m.enable_observation();
+        m.load_u64(a.offset(64));
+        let other = m.take_observation();
+        let d = one.first_divergence(&other).unwrap();
+        assert!(d.contains("demand[0]"), "{d}");
+        assert_ne!(one.digest(), other.digest());
+    }
+
+    #[test]
+    fn taint_shadow_tracks_bytes_and_violations() {
+        use ctbia_core::taint::{LeakKind, LeakViolation, Taint};
+        let mut m = Machine::insecure();
+        let a = m.alloc(64, 64).unwrap();
+        // Disabled: hooks are no-ops and counters stay zero.
+        m.set_taint(a, Width::U64, TaintLabel::SECRET);
+        assert!(!m.taint_enabled());
+        assert_eq!(m.taint_of(a, Width::U64), TaintLabel::PUBLIC);
+        assert!(m.counters().taint.is_zero());
+        // Enabled: byte-granularity labels, join over the window.
+        m.enable_taint();
+        m.set_taint(a, Width::U32, TaintLabel::SECRET);
+        assert_eq!(m.taint_of(a, Width::U8), TaintLabel::SECRET);
+        assert_eq!(m.taint_of(a.offset(4), Width::U32), TaintLabel::PUBLIC);
+        assert_eq!(m.taint_of(a, Width::U64), TaintLabel::SECRET);
+        assert_eq!(m.counters().taint.marked_bytes, 4);
+        m.set_taint(a, Width::U32, TaintLabel::PUBLIC);
+        assert_eq!(m.taint_of(a, Width::U64), TaintLabel::PUBLIC);
+        assert_eq!(m.counters().taint.marked_bytes, 0);
+        // Violations are counted and retained.
+        m.report_leak(LeakViolation {
+            kind: LeakKind::Branch,
+            context: "test".into(),
+            addr: None,
+            provenance: Taint::secret("k").chain(),
+        });
+        assert_eq!(m.counters().taint.leak_violations, 1);
+        assert_eq!(m.taint_violations().len(), 1);
+        assert_eq!(m.take_taint_violations().len(), 1);
+        assert!(m.taint_violations().is_empty());
     }
 
     #[test]

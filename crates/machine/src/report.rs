@@ -67,6 +67,12 @@ pub fn format_report(counters: &Counters) -> String {
         stat("robust.resyncs", counters.robust.resyncs);
         stat("robust.faults_injected", counters.robust.faults_injected);
     }
+    // Taint stats only when the shadow-taint layer marked or caught
+    // something, for the same byte-identical-when-off reason.
+    if !counters.taint.is_zero() {
+        stat("taint.marked_bytes", counters.taint.marked_bytes);
+        stat("taint.leak_violations", counters.taint.leak_violations);
+    }
     out
 }
 
@@ -130,6 +136,21 @@ mod tests {
         let text = format_report(&m.counters());
         assert_eq!(text.matches("robust.audit_batches").count(), 1);
         assert_eq!(text.matches("robust.downgrades").count(), 1);
+    }
+
+    #[test]
+    fn report_taint_section_appears_only_when_tainted() {
+        use ctbia_core::taint::TaintLabel;
+        use ctbia_core::Width;
+        let mut m = Machine::insecure();
+        let a = m.alloc(64, 64).unwrap();
+        m.store_u64(a, 3);
+        assert!(!format_report(&m.counters()).contains("taint."));
+        m.enable_taint();
+        m.set_taint(a, Width::U32, TaintLabel::SECRET);
+        let text = format_report(&m.counters());
+        assert_eq!(text.matches("taint.marked_bytes").count(), 1);
+        assert_eq!(text.matches("taint.leak_violations").count(), 1);
     }
 
     #[test]

@@ -1,0 +1,482 @@
+//! Taint-instrumented (`Tv`) mirrors of the five Ghostrider workloads
+//! plus the leaky negative control.
+//!
+//! Each mirror re-implements its workload's kernel **operation for
+//! operation** on top of [`TaintMem`], with every value wrapped in a
+//! [`Tv`] so the sanitizer can watch secrets flow: the same loads and
+//! stores in the same order, the same branchless index updates, the same
+//! clamps — only expressed through the taint algebra instead of bare
+//! `u64`s. Two properties are then checked:
+//!
+//! 1. **Functional fidelity** — the mirror's outputs must equal the
+//!    workload's plain-Rust reference ([`TaintOutcome::outputs_ok`]);
+//!    a mirror that drifted from the real kernel would verify the wrong
+//!    program.
+//! 2. **Leak freedom** — no secret may reach a raw address, native
+//!    branch, or trip count ([`TaintOutcome::violations`] stays empty
+//!    for the constant-time kernels; the leaky mirror must trip).
+//!
+//! The crypto kernels have no mirrors yet — [`taint_check`] returns
+//! `None` for them and the harness falls back to the black-box
+//! trace-equivalence oracle alone (see DESIGN.md §10 for the coverage
+//! argument).
+
+use crate::mem::{tv_addr, TaintMem};
+use ctbia_core::ctmem::Width;
+use ctbia_core::ds::DataflowSet;
+use ctbia_core::predicate::ct_abs;
+use ctbia_core::taint::{LeakViolation, Tv};
+use ctbia_harness::WorkloadSpec;
+use ctbia_machine::Machine;
+use ctbia_workloads::{
+    binary_search, dijkstra, heappop, histogram, permutation, BinarySearch, Dijkstra, HeapPop,
+    Histogram, Permutation, Strategy,
+};
+
+/// What the taint pass observed for one kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaintOutcome {
+    /// Whether the mirror's outputs matched the plain-Rust reference.
+    pub outputs_ok: bool,
+    /// The recorded violations (the machine stores the first 64).
+    pub violations: Vec<LeakViolation>,
+}
+
+/// Runs the Tv mirror for `workload` (if one exists) on `m` under
+/// `strategy` and returns what the sanitizer saw. `None` means the
+/// workload has no mirror (the crypto kernels) — the caller falls back
+/// to the trace-equivalence oracle alone.
+pub fn taint_check(
+    m: &mut Machine,
+    workload: &WorkloadSpec,
+    strategy: Strategy,
+) -> Option<TaintOutcome> {
+    Some(match *workload {
+        WorkloadSpec::BinarySearch {
+            size,
+            searches,
+            seed,
+        } => binary_search_tv(
+            m,
+            &BinarySearch {
+                size,
+                searches,
+                seed,
+            },
+            strategy,
+        ),
+        WorkloadSpec::LeakyBinarySearch {
+            size,
+            searches,
+            seed,
+        } => leaky_binary_search_tv(
+            m,
+            &BinarySearch {
+                size,
+                searches,
+                seed,
+            },
+        ),
+        WorkloadSpec::Histogram { size, seed } => {
+            histogram_tv(m, &Histogram { size, seed }, strategy)
+        }
+        WorkloadSpec::Permutation { size, seed } => {
+            permutation_tv(m, &Permutation { size, seed }, strategy)
+        }
+        WorkloadSpec::HeapPop { size, pops, seed } => {
+            heappop_tv(m, &HeapPop { size, pops, seed }, strategy)
+        }
+        WorkloadSpec::Dijkstra { vertices, seed } => {
+            dijkstra_tv(m, &Dijkstra { vertices, seed }, strategy)
+        }
+        WorkloadSpec::Crypto(_) => return None,
+    })
+}
+
+/// The search loop shared by the CT and leaky binary-search mirrors;
+/// `raw_probe` selects the probe flavour (the single line that differs).
+fn binary_search_loop(
+    m: &mut Machine,
+    wl: &BinarySearch,
+    strategy: Strategy,
+    raw_probe: bool,
+) -> TaintOutcome {
+    let n = wl.size as u64;
+    let data = wl.array();
+    let keys = wl.keys();
+    let arr = m.alloc_u32_array(n).expect("alloc array");
+    for (i, &v) in data.iter().enumerate() {
+        m.poke_u32(arr.offset(i as u64 * 4), v);
+    }
+    let ds = DataflowSet::contiguous(arr, n * 4);
+    let probes = (64 - (n - 1).leading_zeros() as u64) + 1;
+
+    let mut tm = TaintMem::new(m, strategy);
+    let mut results = Vec::with_capacity(keys.len());
+    for (k, &key) in keys.iter().enumerate() {
+        let key = Tv::secret(key as u64, format!("search key #{k}"));
+        let mut lo = Tv::public(0);
+        let mut hi = Tv::public(n);
+        for _ in 0..tm.trip_count(&Tv::public(probes), "probe loop") {
+            tm.exec(8);
+            let mid = lo.add(&hi).shr(1);
+            let idx = mid.ct_min(&Tv::public(n - 1));
+            let addr = tv_addr(arr, &idx, 4);
+            let v = if raw_probe {
+                tm.load(&addr, Width::U32, "probe a[mid] (raw)")
+            } else {
+                tm.ds_load(&ds, &addr, Width::U32, "probe a[mid]")
+            };
+            let active = lo.ct_lt(&hi);
+            let go_right = v.ct_lt(&key).and(&active);
+            lo = Tv::select(&go_right, &mid.add(&Tv::public(1)), &lo);
+            hi = Tv::select(&go_right.not().and(&active), &mid, &hi);
+        }
+        results.push(lo.v as u32);
+    }
+    TaintOutcome {
+        outputs_ok: results == binary_search::reference(&data, &keys),
+        violations: m.take_taint_violations(),
+    }
+}
+
+/// Constant-time binary search: probes go through the strategy, so the
+/// secret-derived midpoint never reaches a raw address.
+pub fn binary_search_tv(m: &mut Machine, wl: &BinarySearch, strategy: Strategy) -> TaintOutcome {
+    binary_search_loop(m, wl, strategy, false)
+}
+
+/// The leaky variant: the probe is a raw load at the secret-derived
+/// midpoint — every probe past the first is a [`LeakViolation`].
+pub fn leaky_binary_search_tv(m: &mut Machine, wl: &BinarySearch) -> TaintOutcome {
+    binary_search_loop(m, wl, Strategy::Insecure, true)
+}
+
+/// Histogram: the input values are secret; the bin index derived from
+/// them addresses `out[]` only through linearized accesses.
+pub fn histogram_tv(m: &mut Machine, wl: &Histogram, strategy: Strategy) -> TaintOutcome {
+    let n = wl.size as u64;
+    let input = wl.input();
+    let in_arr = m.alloc_u32_array(n).expect("alloc in[]");
+    let out = m.alloc_u32_array(n).expect("alloc out[]");
+    for (i, &v) in input.iter().enumerate() {
+        m.poke_i32(in_arr.offset(i as u64 * 4), v);
+    }
+    for i in 0..n {
+        m.poke_u32(out.offset(i * 4), 0);
+    }
+    let ds_out = DataflowSet::contiguous(out, n * 4);
+
+    let mut tm = TaintMem::new(m, strategy);
+    tm.mark_secret(in_arr, n * 4);
+    for i in 0..tm.trip_count(&Tv::public(n), "element loop") {
+        let v = tm.load(&tv_addr(in_arr, &Tv::public(i), 4), Width::U32, "in[i]");
+        tm.exec(12);
+        // |v| via the sign trick the Tv algebra does not model: derived
+        // from `v`, so the bin index stays as secret as the input.
+        let abs = ct_abs(v.v as u32 as i32 as i64) as u64;
+        let t = Tv::derived(abs, &v).rem(&Tv::public(n));
+        let addr = tv_addr(out, &t, 4);
+        let p = tm.ds_load(&ds_out, &addr, Width::U32, "out[t] read");
+        tm.ds_store(
+            &ds_out,
+            &addr,
+            Width::U32,
+            &p.add(&Tv::public(1)),
+            "out[t] write",
+        );
+    }
+    let bins: Vec<u32> = (0..n).map(|i| m.peek_u32(out.offset(i * 4))).collect();
+    TaintOutcome {
+        outputs_ok: bins == histogram::reference(&input, wl.size),
+        violations: m.take_taint_violations(),
+    }
+}
+
+/// Permutation: `b` is the secret; `a[b[i]] = i` stores through the
+/// strategy at a secret destination (pure implicit flow).
+pub fn permutation_tv(m: &mut Machine, wl: &Permutation, strategy: Strategy) -> TaintOutcome {
+    let n = wl.size as u64;
+    let b_data = wl.permutation();
+    let b = m.alloc_u32_array(n).expect("alloc b[]");
+    let a = m.alloc_u32_array(n).expect("alloc a[]");
+    for (i, &v) in b_data.iter().enumerate() {
+        m.poke_u32(b.offset(i as u64 * 4), v);
+    }
+    let ds_a = DataflowSet::contiguous(a, n * 4);
+
+    let mut tm = TaintMem::new(m, strategy);
+    tm.mark_secret(b, n * 4);
+    for i in 0..tm.trip_count(&Tv::public(n), "element loop") {
+        let t = tm.load(&tv_addr(b, &Tv::public(i), 4), Width::U32, "b[i]");
+        tm.exec(4);
+        tm.ds_store(
+            &ds_a,
+            &tv_addr(a, &t, 4),
+            Width::U32,
+            &Tv::public(i),
+            "a[b[i]] = i",
+        );
+    }
+    let out: Vec<u32> = (0..n).map(|i| m.peek_u32(a.offset(i * 4))).collect();
+    TaintOutcome {
+        outputs_ok: out == permutation::reference(&b_data),
+        violations: m.take_taint_violations(),
+    }
+}
+
+/// Heap pop: the heap contents are secret; the root and last element sit
+/// at public addresses, but the sift path index is secret from the first
+/// comparison on and only ever addresses memory through the strategy.
+pub fn heappop_tv(m: &mut Machine, wl: &HeapPop, strategy: Strategy) -> TaintOutcome {
+    assert!(wl.pops <= wl.size, "cannot pop more than the heap holds");
+    let n = wl.size as u64;
+    let heap_data = wl.heap();
+    let heap = m.alloc_u32_array(n).expect("alloc heap");
+    for (i, &v) in heap_data.iter().enumerate() {
+        m.poke_u32(heap.offset(i as u64 * 4), v);
+    }
+    let ds = DataflowSet::contiguous(heap, n * 4);
+    let depth = 64 - (n.max(2) - 1).leading_zeros() as u64;
+
+    let mut tm = TaintMem::new(m, strategy);
+    tm.mark_secret(heap, n * 4);
+    let mut popped = Vec::with_capacity(wl.pops);
+    let mut size = n; // public: the pop count is public
+    for _ in 0..tm.trip_count(&Tv::public(wl.pops as u64), "pop loop") {
+        let root = tm.load(&tv_addr(heap, &Tv::public(0), 4), Width::U32, "heap[0]");
+        size -= 1;
+        let last = tm.load(
+            &tv_addr(heap, &Tv::public(size), 4),
+            Width::U32,
+            "heap[size-1]",
+        );
+        tm.exec(4);
+        popped.push(root.v as u32);
+        let mut i = Tv::public(0);
+        let hold = last;
+        for _ in 0..tm.trip_count(&Tv::public(depth), "sift loop") {
+            tm.exec(14);
+            let c1 = i.mul(&Tv::public(2)).add(&Tv::public(1));
+            let c2 = i.mul(&Tv::public(2)).add(&Tv::public(2));
+            let size_tv = Tv::public(size);
+            let c1_ok = c1.ct_lt(&size_tv);
+            let c2_ok = c2.ct_lt(&size_tv);
+            let clamp = Tv::public(size.saturating_sub(1));
+            let a1 = tv_addr(heap, &c1.ct_min(&clamp), 4);
+            let a2 = tv_addr(heap, &c2.ct_min(&clamp), 4);
+            let v1 = tm.ds_load(&ds, &a1, Width::U32, "heap child 1").and(&c1_ok);
+            let v2 = tm.ds_load(&ds, &a2, Width::U32, "heap child 2").and(&c2_ok);
+            let right = v1.ct_lt(&v2);
+            let c = Tv::select(&right, &c2, &c1);
+            let vc = Tv::select(&right, &v2, &v1);
+            let go = hold.ct_lt(&vc);
+            let write = Tv::select(&go, &vc, &hold);
+            tm.ds_store(&ds, &tv_addr(heap, &i, 4), Width::U32, &write, "heap[i]");
+            i = Tv::select(&go, &c, &i);
+        }
+        tm.ds_store(
+            &ds,
+            &tv_addr(heap, &i, 4),
+            Width::U32,
+            &hold,
+            "heap[i] settle",
+        );
+    }
+    TaintOutcome {
+        outputs_ok: popped == heappop::reference(&heap_data, wl.pops),
+        violations: m.take_taint_violations(),
+    }
+}
+
+/// "Unreached" sentinel, mirroring the Dijkstra workload's constant.
+const INF: u64 = (u32::MAX / 4) as u64;
+
+/// Dijkstra: the adjacency matrix is secret. Distances become secret on
+/// the first relaxation, `selected[]` becomes secret through the
+/// secret-indexed marking store; both are then only ever read at public
+/// (sequential-scan) addresses, while `adj[u][j]` and `selected[u]` go
+/// through the strategy.
+pub fn dijkstra_tv(m: &mut Machine, wl: &Dijkstra, strategy: Strategy) -> TaintOutcome {
+    let n = wl.vertices as u64;
+    let adj_data = wl.adjacency();
+    let adj = m.alloc_u32_array(n * n).expect("alloc adj");
+    let dist = m.alloc_u32_array(n).expect("alloc dist");
+    let selected = m.alloc_u32_array(n).expect("alloc selected");
+    for (i, &w) in adj_data.iter().enumerate() {
+        m.poke_u32(adj.offset(i as u64 * 4), w);
+    }
+    let col_ds: Vec<DataflowSet> = (0..n)
+        .map(|j| DataflowSet::strided(adj.offset(j * 4), n, n * 4, 4))
+        .collect();
+    let ds_selected = DataflowSet::contiguous(selected, n * 4);
+
+    let mut tm = TaintMem::new(m, strategy);
+    tm.mark_secret(adj, n * n * 4);
+    for i in 0..tm.trip_count(&Tv::public(n), "init loop") {
+        let d0 = Tv::public(if i == 0 { 0 } else { INF });
+        tm.store(
+            &tv_addr(dist, &Tv::public(i), 4),
+            Width::U32,
+            &d0,
+            "dist init",
+        );
+        tm.store(
+            &tv_addr(selected, &Tv::public(i), 4),
+            Width::U32,
+            &Tv::public(0),
+            "selected init",
+        );
+        tm.exec(2);
+    }
+    for _ in 0..tm.trip_count(&Tv::public(n), "vertex loop") {
+        let mut best = Tv::public(INF + 1);
+        let mut u = Tv::public(0);
+        for i in 0..tm.trip_count(&Tv::public(n), "arg-min scan") {
+            let d = tm.load(&tv_addr(dist, &Tv::public(i), 4), Width::U32, "dist[i]");
+            let s = tm.load(
+                &tv_addr(selected, &Tv::public(i), 4),
+                Width::U32,
+                "selected[i]",
+            );
+            tm.exec(6);
+            let better = s.ct_eq(&Tv::public(0)).and(&d.ct_lt(&best));
+            best = Tv::select(&better, &d, &best);
+            u = Tv::select(&better, &Tv::public(i), &u);
+        }
+        tm.ds_store(
+            &ds_selected,
+            &tv_addr(selected, &u, 4),
+            Width::U32,
+            &Tv::public(1),
+            "selected[u] = 1",
+        );
+        for j in 0..tm.trip_count(&Tv::public(n), "relax loop") {
+            let addr = tv_addr(adj, &u.mul(&Tv::public(n)).add(&Tv::public(j)), 4);
+            let w = tm.ds_load(&col_ds[j as usize], &addr, Width::U32, "adj[u][j]");
+            tm.exec(6);
+            let nd = best.add(&w).ct_min(&Tv::public(INF));
+            let dj = tm.load(&tv_addr(dist, &Tv::public(j), 4), Width::U32, "dist[j]");
+            let better = nd.ct_lt(&dj);
+            tm.store(
+                &tv_addr(dist, &Tv::public(j), 4),
+                Width::U32,
+                &Tv::select(&better, &nd, &dj),
+                "dist[j] relax",
+            );
+        }
+    }
+    let out: Vec<u32> = (0..n).map(|i| m.peek_u32(dist.offset(i * 4))).collect();
+    TaintOutcome {
+        outputs_ok: out == dijkstra::reference(&adj_data, wl.vertices),
+        violations: m.take_taint_violations(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctbia_core::taint::LeakKind;
+    use ctbia_machine::BiaPlacement;
+
+    fn machine_for(strategy: Strategy) -> Machine {
+        if strategy.needs_bia() {
+            Machine::with_bia(BiaPlacement::L1d)
+        } else {
+            Machine::insecure()
+        }
+    }
+
+    fn ct_strategies() -> [Strategy; 3] {
+        [
+            Strategy::software_ct(),
+            Strategy::bia(),
+            Strategy::bia_loads(),
+        ]
+    }
+
+    #[test]
+    fn ct_mirrors_are_clean_and_correct() {
+        for strategy in ct_strategies() {
+            let checks: [(&str, TaintOutcome); 5] = [
+                (
+                    "bin",
+                    binary_search_tv(
+                        &mut machine_for(strategy),
+                        &BinarySearch::new(300),
+                        strategy,
+                    ),
+                ),
+                (
+                    "hist",
+                    histogram_tv(&mut machine_for(strategy), &Histogram::new(200), strategy),
+                ),
+                (
+                    "perm",
+                    permutation_tv(&mut machine_for(strategy), &Permutation::new(200), strategy),
+                ),
+                (
+                    "heap",
+                    heappop_tv(&mut machine_for(strategy), &HeapPop::new(200), strategy),
+                ),
+                (
+                    "dij",
+                    dijkstra_tv(&mut machine_for(strategy), &Dijkstra::new(16), strategy),
+                ),
+            ];
+            for (name, outcome) in checks {
+                assert!(outcome.outputs_ok, "{name}/{strategy}: wrong outputs");
+                assert!(
+                    outcome.violations.is_empty(),
+                    "{name}/{strategy}: {}",
+                    outcome.violations[0]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn leaky_mirror_reports_raw_address_violations_with_provenance() {
+        let mut m = Machine::insecure();
+        let outcome = leaky_binary_search_tv(&mut m, &BinarySearch::new(300));
+        assert!(outcome.outputs_ok, "the leak is a side channel, not a bug");
+        assert!(!outcome.violations.is_empty());
+        let v = &outcome.violations[0];
+        assert_eq!(v.kind, LeakKind::RawAddress);
+        assert!(v.addr.is_some());
+        assert!(
+            v.provenance.iter().any(|s| s.contains("search key")),
+            "provenance must reach the secret input: {:?}",
+            v.provenance
+        );
+        // The counter is exact; the stored list is capped at 64 samples.
+        let reported = m.counters().taint.leak_violations;
+        assert!(reported >= outcome.violations.len() as u64);
+        assert_eq!(outcome.violations.len() as u64, reported.min(64));
+    }
+
+    #[test]
+    fn dispatcher_covers_every_mirrored_spec() {
+        let specs = [
+            WorkloadSpec::named("bin", 200).unwrap(),
+            WorkloadSpec::named("hist", 150).unwrap(),
+            WorkloadSpec::named("perm", 150).unwrap(),
+            WorkloadSpec::named("heap", 150).unwrap(),
+            WorkloadSpec::named("dij", 12).unwrap(),
+            WorkloadSpec::named("leaky-bin", 200).unwrap(),
+        ];
+        for spec in specs {
+            let mut m = Machine::insecure();
+            let outcome = taint_check(&mut m, &spec, Strategy::software_ct())
+                .expect("mirror exists for every Table-2 workload");
+            assert!(outcome.outputs_ok, "{spec:?}");
+        }
+        let mut m = Machine::insecure();
+        assert!(taint_check(
+            &mut m,
+            &WorkloadSpec::Crypto(ctbia_harness::CryptoKernel::Aes),
+            Strategy::software_ct(),
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,259 @@
+//! The [`TaintMem`] facade: a machine wrapper that propagates secret
+//! taint through memory and checks the three timing-visible sinks.
+//!
+//! `TaintMem` is how the Tv mirror kernels (see [`crate::kernels`]) talk
+//! to the machine. It pairs every access with a taint judgment:
+//!
+//! * [`TaintMem::load`]/[`TaintMem::store`] are *raw demand accesses* —
+//!   their address must be public. A secret address raises a
+//!   [`LeakKind::RawAddress`] violation (the access still executes, so
+//!   one bug does not hide the next).
+//! * [`TaintMem::ds_load`]/[`TaintMem::ds_store`] are linearized
+//!   accesses performed through the configured [`Strategy`] — secret
+//!   addresses are exactly what they exist for, so no sink check; the
+//!   loaded value inherits the address taint (the *which element* bit)
+//!   joined with the shadow label of the bytes read.
+//! * [`TaintMem::branch`] and [`TaintMem::trip_count`] guard native
+//!   control flow: a secret condition or bound raises
+//!   [`LeakKind::Branch`] / [`LeakKind::TripCount`].
+//!
+//! Value-level taint lives in [`Tv`]s; memory-level taint lives in the
+//! machine's byte-granularity shadow map (see `Machine::enable_taint`),
+//! so secrets survive round trips through RAM.
+
+use ctbia_core::ctmem::{CtMemory, Width};
+use ctbia_core::ds::DataflowSet;
+use ctbia_core::taint::{LeakKind, LeakViolation, Taint, TaintLabel, Tv};
+use ctbia_machine::Machine;
+use ctbia_sim::addr::PhysAddr;
+use ctbia_workloads::Strategy;
+
+/// The address of `base[index]` for `scale`-byte elements, as a [`Tv`]:
+/// secret indices yield secret addresses, which is how an index leak
+/// becomes an address leak the sink checks can see.
+#[must_use]
+pub fn tv_addr(base: PhysAddr, index: &Tv, scale: u64) -> Tv {
+    Tv::public(base.raw()).add(&index.mul(&Tv::public(scale)))
+}
+
+/// A taint-checking view of a [`Machine`] plus the [`Strategy`] used for
+/// linearized accesses.
+#[derive(Debug)]
+pub struct TaintMem<'m> {
+    m: &'m mut Machine,
+    strategy: Strategy,
+}
+
+impl<'m> TaintMem<'m> {
+    /// Wraps `m`, enabling its shadow taint layer (idempotent).
+    pub fn new(m: &'m mut Machine, strategy: Strategy) -> TaintMem<'m> {
+        m.enable_taint();
+        TaintMem { m, strategy }
+    }
+
+    /// The wrapped machine, for setup and readout around the kernel.
+    pub fn machine(&mut self) -> &mut Machine {
+        self.m
+    }
+
+    /// Marks the `bytes` bytes at `base` as secret in the shadow map —
+    /// the taint source for memory-resident secret inputs.
+    pub fn mark_secret(&mut self, base: PhysAddr, bytes: u64) {
+        for i in 0..bytes {
+            self.m
+                .set_taint(base.offset(i), Width::U8, TaintLabel::SECRET);
+        }
+    }
+
+    fn check_public_addr(&mut self, addr: &Tv, what: &str) {
+        if addr.is_secret() {
+            self.m.report_leak(LeakViolation {
+                kind: LeakKind::RawAddress,
+                context: what.to_string(),
+                addr: Some(addr.v),
+                provenance: addr.taint.chain(),
+            });
+        }
+    }
+
+    /// The taint of the bytes a load reads back, as a fresh provenance
+    /// root (memory round trips restart the chain at the load event).
+    fn shadow_taint(&self, addr: &Tv, width: Width, what: &str) -> Taint {
+        if self.m.taint_of(PhysAddr::new(addr.v), width).is_secret() {
+            Taint::secret(format!("{what}: secret bytes loaded @ {:#x}", addr.v))
+        } else {
+            Taint::public()
+        }
+    }
+
+    /// A raw demand load. The address must be public
+    /// ([`LeakKind::RawAddress`] otherwise); the result carries the
+    /// shadow taint of the bytes read.
+    pub fn load(&mut self, addr: &Tv, width: Width, what: &str) -> Tv {
+        self.check_public_addr(addr, what);
+        let v = self.m.load(PhysAddr::new(addr.v), width);
+        let taint = self.shadow_taint(addr, width, what);
+        Tv { v, taint }
+    }
+
+    /// A raw demand store. The address must be public; the shadow map
+    /// takes the stored value's label.
+    pub fn store(&mut self, addr: &Tv, width: Width, value: &Tv, what: &str) {
+        self.check_public_addr(addr, what);
+        let pa = PhysAddr::new(addr.v);
+        self.m.store(pa, width, value.v);
+        self.m.set_taint(pa, width, value.taint.label());
+    }
+
+    /// A linearized load through the strategy. Secret addresses are
+    /// permitted — that is the point of linearization — and the result
+    /// joins the address taint (extended with a `ds-load` provenance
+    /// event) with the shadow label of the bytes read.
+    pub fn ds_load(&mut self, ds: &DataflowSet, addr: &Tv, width: Width, what: &str) -> Tv {
+        let v = self
+            .strategy
+            .load(&mut *self.m, ds, PhysAddr::new(addr.v), width);
+        let taint = addr
+            .taint
+            .via("ds-load", what)
+            .join(&self.shadow_taint(addr, width, what));
+        Tv { v, taint }
+    }
+
+    /// A linearized store through the strategy. The shadow map takes the
+    /// join of the value and address labels: when the *destination* is
+    /// secret-selected, which cell changed is itself a secret (implicit
+    /// flow), and a later raw read of it must come back tainted.
+    pub fn ds_store(&mut self, ds: &DataflowSet, addr: &Tv, width: Width, value: &Tv, _what: &str) {
+        let pa = PhysAddr::new(addr.v);
+        self.strategy.store(&mut *self.m, ds, pa, width, value.v);
+        self.m
+            .set_taint(pa, width, value.taint.label().join(addr.taint.label()));
+    }
+
+    /// Resolves a native branch condition (non-zero = taken). A secret
+    /// condition raises [`LeakKind::Branch`].
+    pub fn branch(&mut self, cond: &Tv, what: &str) -> bool {
+        if cond.is_secret() {
+            self.m.report_leak(LeakViolation {
+                kind: LeakKind::Branch,
+                context: what.to_string(),
+                addr: None,
+                provenance: cond.taint.chain(),
+            });
+        }
+        cond.v != 0
+    }
+
+    /// Resolves a loop bound. A secret bound raises
+    /// [`LeakKind::TripCount`].
+    pub fn trip_count(&mut self, bound: &Tv, what: &str) -> u64 {
+        if bound.is_secret() {
+            self.m.report_leak(LeakViolation {
+                kind: LeakKind::TripCount,
+                context: what.to_string(),
+                addr: None,
+                provenance: bound.taint.chain(),
+            });
+        }
+        bound.v
+    }
+
+    /// Charges bookkeeping instructions, like [`CtMemory::exec`].
+    pub fn exec(&mut self, insts: u64) {
+        self.m.exec(insts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctbia_core::taint::LeakKind;
+
+    fn setup(m: &mut Machine, n: u64) -> (PhysAddr, DataflowSet) {
+        let base = m.alloc_u32_array(n).unwrap();
+        for i in 0..n {
+            m.poke_u32(base.offset(i * 4), i as u32);
+        }
+        (base, DataflowSet::contiguous(base, n * 4))
+    }
+
+    #[test]
+    fn raw_access_at_secret_address_is_a_violation() {
+        let mut m = Machine::insecure();
+        let (base, _) = setup(&mut m, 64);
+        let mut tm = TaintMem::new(&mut m, Strategy::Insecure);
+        let idx = Tv::secret(5, "the secret index");
+        let v = tm.load(&tv_addr(base, &idx, 4), Width::U32, "probe");
+        assert_eq!(v.v, 5);
+        let violations = m.take_taint_violations();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].kind, LeakKind::RawAddress);
+        assert!(violations[0].provenance[0].contains("the secret index"));
+    }
+
+    #[test]
+    fn ds_access_at_secret_address_is_allowed() {
+        let mut m = Machine::insecure();
+        let (base, ds) = setup(&mut m, 64);
+        let mut tm = TaintMem::new(&mut m, Strategy::software_ct());
+        let idx = Tv::secret(9, "key");
+        let v = tm.ds_load(&ds, &tv_addr(base, &idx, 4), Width::U32, "lookup");
+        assert_eq!(v.v, 9);
+        assert!(v.is_secret(), "value inherits the address taint");
+        assert!(m.take_taint_violations().is_empty());
+    }
+
+    #[test]
+    fn shadow_map_carries_secrets_through_memory() {
+        let mut m = Machine::insecure();
+        let (base, _) = setup(&mut m, 64);
+        let mut tm = TaintMem::new(&mut m, Strategy::Insecure);
+        tm.mark_secret(base, 8);
+        let a0 = tv_addr(base, &Tv::public(0), 4);
+        let a4 = tv_addr(base, &Tv::public(4), 4);
+        assert!(tm.load(&a0, Width::U32, "secret half").is_secret());
+        assert!(!tm.load(&a4, Width::U32, "public half").is_secret());
+        // A secret value stored to a public cell taints that cell.
+        let s = Tv::secret(1, "k");
+        tm.store(&a4, Width::U32, &s, "spill");
+        assert!(tm.load(&a4, Width::U32, "reload").is_secret());
+        assert!(m.take_taint_violations().is_empty());
+    }
+
+    #[test]
+    fn ds_store_records_the_implicit_destination_flow() {
+        let mut m = Machine::insecure();
+        let (base, ds) = setup(&mut m, 64);
+        let mut tm = TaintMem::new(&mut m, Strategy::software_ct());
+        let idx = Tv::secret(3, "perm entry");
+        // Public value, secret destination: the cell must become secret.
+        tm.ds_store(
+            &ds,
+            &tv_addr(base, &idx, 4),
+            Width::U32,
+            &Tv::public(7),
+            "a[b[i]] = i",
+        );
+        let back = tm.load(&tv_addr(base, &Tv::public(3), 4), Width::U32, "readback");
+        assert_eq!(back.v, 7);
+        assert!(back.is_secret());
+    }
+
+    #[test]
+    fn control_flow_sinks_fire_only_on_secrets() {
+        let mut m = Machine::insecure();
+        let mut tm = TaintMem::new(&mut m, Strategy::Insecure);
+        assert!(tm.branch(&Tv::public(1), "public branch"));
+        assert_eq!(tm.trip_count(&Tv::public(10), "public loop"), 10);
+        assert!(m.take_taint_violations().is_empty());
+
+        let mut tm = TaintMem::new(&mut m, Strategy::Insecure);
+        assert!(!tm.branch(&Tv::secret(0, "bit"), "if (secret)"));
+        let _ = tm.trip_count(&Tv::secret(3, "len"), "for 0..secret");
+        let violations = m.take_taint_violations();
+        assert_eq!(violations.len(), 2);
+        assert_eq!(violations[0].kind, LeakKind::Branch);
+        assert_eq!(violations[1].kind, LeakKind::TripCount);
+    }
+}

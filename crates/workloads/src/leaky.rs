@@ -1,0 +1,146 @@
+//! An **intentionally leaky** binary search — the verifier's negative
+//! control.
+//!
+//! Identical to [`crate::binary_search::BinarySearch`] except for one
+//! line: the probe load is a *raw demand load* at the secret-derived
+//! midpoint address, ignoring the configured [`Strategy`] entirely.
+//! This is exactly the bug class the verification layer exists to
+//! catch — a secret reaching a raw address computation — so:
+//!
+//! * the trace-equivalence oracle must see **divergent** observation
+//!   traces across secret pairs (the probe addresses follow the
+//!   comparison trace), and
+//! * the taint sanitizer must raise at least one
+//!   [`ctbia_core::taint::LeakKind::RawAddress`] violation with a
+//!   provenance chain rooted at the search key.
+//!
+//! Outputs still match [`crate::binary_search::reference`] — the leak
+//! is a side channel, not a wrong answer — which is what makes it a
+//! useful control: every *functional* check passes while every
+//! *security* check must fail.
+
+use crate::binary_search::BinarySearch;
+use crate::run::{digest_u64, size_label, Run, Workload};
+use crate::strategy::Strategy;
+use ctbia_core::ctmem::CtMemory;
+use ctbia_core::ctmem::Width;
+use ctbia_core::predicate::{ct_lt, select};
+use ctbia_machine::{Counters, Machine};
+
+/// Per-probe bookkeeping, matching the CT variant so instruction counts
+/// are comparable.
+const PER_PROBE_INSTS: u64 = 8;
+
+/// The leaky negative-control workload. Wraps a [`BinarySearch`] for
+/// its inputs; `strategy` is accepted but deliberately not honoured by
+/// the probe load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeakyBinarySearch {
+    /// The underlying search parameters (array, keys, probe count).
+    pub inner: BinarySearch,
+}
+
+impl LeakyBinarySearch {
+    /// A leaky search over `size` elements, 20 searches, default seed.
+    pub fn new(size: usize) -> Self {
+        LeakyBinarySearch {
+            inner: BinarySearch::new(size),
+        }
+    }
+
+    /// Runs the kernel; returns the lower-bound index per key plus the
+    /// measured counters. The probe is a raw `m.load` — the leak.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine lacks RAM.
+    pub fn run_full(&self, m: &mut Machine, _strategy: Strategy) -> (Vec<u32>, Counters) {
+        let n = self.inner.size as u64;
+        let data = self.inner.array();
+        let keys = self.inner.keys();
+        let arr = m.alloc_u32_array(n).expect("alloc array");
+        for (i, &v) in data.iter().enumerate() {
+            m.poke_u32(arr.offset(i as u64 * 4), v);
+        }
+        let probes = (64 - (n - 1).leading_zeros() as u64) + 1;
+
+        let mut results = Vec::with_capacity(keys.len());
+        let (_, counters) = m.measure(|m| {
+            for &key in &keys {
+                let mut lo = 0u64;
+                let mut hi = n;
+                for _ in 0..probes {
+                    m.exec(PER_PROBE_INSTS);
+                    let mid = (lo + hi) / 2;
+                    let idx = mid.min(n - 1);
+                    // THE BUG: a direct demand load at a secret-derived
+                    // address. Its line address enters the cache state and
+                    // the demand trace.
+                    let v = m.load(arr.offset(idx * 4), Width::U32);
+                    let active = ct_lt(lo, hi);
+                    let go_right = ct_lt(v, key as u64) & active;
+                    lo = select(go_right, mid + 1, lo);
+                    hi = select(!go_right & active, mid, hi);
+                }
+                results.push(lo as u32);
+            }
+        });
+        (results, counters)
+    }
+}
+
+impl Workload for LeakyBinarySearch {
+    fn name(&self) -> String {
+        format!("leaky-bin_{}", size_label(self.inner.size))
+    }
+
+    fn run(&self, m: &mut Machine, strategy: Strategy) -> Run {
+        let (idx, counters) = self.run_full(m, strategy);
+        Run {
+            digest: digest_u64(idx.into_iter().map(u64::from)),
+            counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary_search::reference;
+
+    #[test]
+    fn outputs_match_reference_despite_the_leak() {
+        let wl = LeakyBinarySearch::new(500);
+        let expect = reference(&wl.inner.array(), &wl.inner.keys());
+        let mut m = Machine::insecure();
+        let (idx, _) = wl.run_full(&mut m, Strategy::software_ct());
+        assert_eq!(idx, expect);
+    }
+
+    #[test]
+    fn demand_trace_depends_on_the_secret() {
+        let trace_for = |seed: u64| {
+            let wl = LeakyBinarySearch {
+                inner: BinarySearch {
+                    seed,
+                    ..BinarySearch::new(500)
+                },
+            };
+            let mut m = Machine::insecure();
+            m.enable_observation();
+            let _ = wl.run_full(&mut m, Strategy::software_ct());
+            m.take_observation()
+        };
+        let a = trace_for(1);
+        let b = trace_for(2);
+        assert!(
+            a.first_divergence(&b).is_some(),
+            "different keys must probe different lines"
+        );
+    }
+
+    #[test]
+    fn name_is_distinct() {
+        assert_eq!(LeakyBinarySearch::new(2000).name(), "leaky-bin_2k");
+    }
+}

@@ -37,6 +37,7 @@ pub mod describe;
 pub mod dijkstra;
 pub mod heappop;
 pub mod histogram;
+pub mod leaky;
 pub mod permutation;
 pub mod run;
 pub mod strategy;
@@ -46,6 +47,7 @@ pub use describe::{BenchmarkInfo, TABLE2};
 pub use dijkstra::Dijkstra;
 pub use heappop::HeapPop;
 pub use histogram::Histogram;
+pub use leaky::LeakyBinarySearch;
 pub use permutation::Permutation;
 pub use run::{digest_u64, size_label, InputRng, Run, Workload};
 pub use strategy::Strategy;

@@ -13,6 +13,9 @@
 #   6. ctbia bench --quick    -- sweep-engine smoke run; BENCH_sweep.json
 #                                must exist, be byte-deterministic, and
 #                                show a fully-memoized warm phase
+#   7. ctbia verify --quick   -- leakage-verifier smoke run: the CT grid
+#                                verifies clean and the intentionally
+#                                leaky control is caught (non-zero exit)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,5 +35,13 @@ grep -q '"schema": "ctbia-bench-sweep-v1"' BENCH_sweep.json
 grep -q '"byte_identical": true' BENCH_sweep.json
 grep -q '"executed": 0, "cache_hits": 44' BENCH_sweep.json
 echo "==> BENCH_sweep.json is well-formed and deterministic"
+
+run ./target/release/ctbia verify --quick
+echo "==> ctbia verify leaky-bin 300 (must fail)"
+if ./target/release/ctbia verify leaky-bin 300 >/dev/null 2>&1; then
+    echo "leaky control verified clean — the verifier is blind" >&2
+    exit 1
+fi
+echo "==> verifier catches the leaky control"
 
 echo "==> tier-1 gate passed"

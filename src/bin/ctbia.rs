@@ -26,6 +26,7 @@ use ctbia::harness::{
 use ctbia::machine::{BiaPlacement, Machine};
 use ctbia::sim::fault::{parse_fault_kinds, FaultKind};
 use ctbia::sim::hierarchy::Level;
+use ctbia::verify::{verify_grid, verify_seeds, VerifyCell, VerifyEngine, VerifyReport};
 use ctbia::workloads::{
     BinarySearch, Dijkstra, HeapPop, Histogram, Permutation, Strategy, Workload,
 };
@@ -38,19 +39,25 @@ ctbia — Hardware Support for Constant-Time Programming (MICRO '23), simulated
 USAGE:
     ctbia config
     ctbia list
-    ctbia run <WORKLOAD> [SIZE] [--strategy insecure|ct|ct-avx2|bia] [--placement l1d|l2|llc] [--stats]
+    ctbia run <WORKLOAD> [SIZE] [--strategy insecure|ct|ct-avx2|bia|bia-loads] [--placement l1d|l2|llc] [--stats]
     ctbia compare <WORKLOAD> [SIZE]
     ctbia attack [SECRET]
     ctbia leakage <WORKLOAD> [SIZE]
     ctbia audit <WORKLOAD> [SIZE] [--placement l1d|l2|llc]
     ctbia fuzz [--faults LIST] [--seed N] [--iters K] <WORKLOAD> [SIZE] [--placement l1d|l2|llc]
     ctbia bench [--quick] [--threads N]
+    ctbia verify [--quick] [--threads N]
+    ctbia verify <WORKLOAD> [SIZE] [--strategy insecure|ct|bia|bia-loads] [--placement l1d|l2|llc]
 
 WORKLOADS: dijkstra | histogram | permutation | binary-search | heappop
+           (plus leaky-bin, an intentionally leaky control, for `verify`)
 FAULTS:    drop | dup | delay | corrupt | flip | storm | interfere (comma-separated)
 
-Completed experiment cells are memoized under results/cache/ (safe to
-delete at any time); `ctbia bench` writes BENCH_sweep.json.
+`ctbia verify` runs the taint sanitizer and the trace-equivalence oracle
+over the canonical grid; with a workload argument it verifies one cell
+and exits non-zero if the cell leaks. Completed experiment and verify
+cells are memoized under results/cache/ (safe to delete at any time);
+`ctbia bench` writes BENCH_sweep.json.
 ";
 
 fn make_workload(name: &str, size: usize) -> Result<Box<dyn Workload>, String> {
@@ -300,10 +307,11 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
     let run = wl.run(&mut m, Strategy::bia());
     let robust = m.counters().robust;
     println!(
-        "audit of {} under BIA@{placement}: {} batches, {} violations, {} downgrades",
+        "audit of {} under BIA@{placement}: {} batches, {} violations, {} inline desyncs, {} downgrades",
         wl.name(),
         robust.audit_batches,
         robust.audit_violations,
+        robust.inline_desyncs,
         robust.downgrades
     );
     for v in m
@@ -632,6 +640,136 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Attaches the default memo cache to a verify engine, mirroring
+/// [`attach_default_cache`].
+fn attach_verify_cache(engine: VerifyEngine) -> VerifyEngine {
+    match DiskCache::open_default() {
+        Ok(cache) => engine.with_cache(cache),
+        Err(_) => engine,
+    }
+}
+
+/// Prints one verify verdict with its evidence: sampled violations with
+/// their provenance chains, and the first trace divergence.
+fn print_verify_evidence(report: &VerifyReport) {
+    for v in report.violations.iter().take(3) {
+        // LeakViolation's Display already renders the provenance chain.
+        println!("    {v}");
+    }
+    if report.leak_violations > report.violations.len() as u64 {
+        println!(
+            "    ... and {} more violation(s)",
+            report.leak_violations - report.violations.len() as u64
+        );
+    }
+    if let Some(d) = &report.first_divergence {
+        println!("    trace divergence: {d}");
+    }
+}
+
+/// `ctbia verify [--quick] [--threads N]` — run both analyses over the
+/// canonical grid; or `ctbia verify <WORKLOAD> [SIZE] [--strategy ..]
+/// [--placement ..]` — verify a single cell, exiting non-zero if it
+/// leaks.
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let mut quick = false;
+    let mut threads = None;
+    let mut name = None;
+    let mut size = None;
+    let mut strategy = StrategySpec::Ct;
+    let mut placement = BiaPlacement::L1d;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--threads" => {
+                i += 1;
+                let s = args.get(i).ok_or("--threads needs a value")?;
+                threads = Some(
+                    s.parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("invalid thread count '{s}'"))?,
+                );
+            }
+            "--strategy" => {
+                i += 1;
+                strategy = StrategySpec::parse(args.get(i).ok_or("--strategy needs a value")?)?;
+            }
+            "--placement" => {
+                i += 1;
+                placement = parse_placement(args.get(i).ok_or("--placement needs a value")?)?;
+            }
+            v if name.is_none() && !v.starts_with('-') => name = Some(v.to_string()),
+            v if size.is_none() && !v.starts_with('-') => size = Some(parse_size(v)?),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+        i += 1;
+    }
+
+    if let Some(name) = name {
+        // Single-target mode: verify one cell and report what it does.
+        let size = size.unwrap_or_else(|| default_size(&name).min(500));
+        let spec = CellSpec::new(WorkloadSpec::named(&name, size)?, strategy, placement);
+        let cell = VerifyCell::new(spec, verify_seeds(quick));
+        let engine = attach_verify_cache(VerifyEngine::serial());
+        let report = engine.run_cell(&cell)?;
+        println!("{report}");
+        if !report.clean() {
+            print_verify_evidence(&report);
+            return Err(format!("{} leaks", cell.label()));
+        }
+        println!("clean: no taint violations, traces identical across all secret pairs");
+        return Ok(());
+    }
+
+    // Grid mode: the canonical coverage grid, leaky control included.
+    let grid = verify_grid(quick);
+    let seeds = verify_seeds(quick);
+    let mut engine = VerifyEngine::new();
+    if let Some(n) = threads {
+        engine = engine.with_threads(n);
+    }
+    let engine = attach_verify_cache(engine);
+    println!(
+        "verify sweep: {} cells, {} secret pairs each, {} worker(s)",
+        grid.len(),
+        seeds.len() - 1,
+        engine.threads()
+    );
+    let reports = engine.run(&grid)?;
+    let mut failures = 0u64;
+    for (cell, report) in grid.iter().zip(&reports) {
+        let expect_leak = cell.expects_leak();
+        let ok = report.passed(expect_leak);
+        let verdict = match (ok, expect_leak) {
+            (true, false) => "ok",
+            (true, true) => "ok (leak caught, as intended)",
+            (false, _) => "FAIL",
+        };
+        println!("  {:<40} {verdict}", report.label);
+        if expect_leak && ok {
+            // Show the negative control's evidence: this is what a
+            // caught leak looks like.
+            print_verify_evidence(report);
+        }
+        if !ok {
+            print_verify_evidence(report);
+            failures += 1;
+        }
+    }
+    println!(
+        "{} cell(s): {} verified, {} from results/cache, {failures} failure(s)",
+        grid.len(),
+        engine.cells_executed(),
+        engine.cache_hits()
+    );
+    if failures > 0 {
+        return Err(format!("{failures} cell(s) failed verification"));
+    }
+    Ok(())
+}
+
 fn make_seeded(name: &str, size: usize, seed: u64) -> Box<dyn Workload> {
     match name {
         "dijkstra" | "dij" => Box::new(Dijkstra {
@@ -680,7 +818,8 @@ fn cmd_config() {
 
 fn cmd_list() {
     println!("workloads:  dijkstra histogram permutation binary-search heappop");
-    println!("strategies: insecure ct ct-avx2 bia");
+    println!("            leaky-bin (intentionally leaky control, for `ctbia verify`)");
+    println!("strategies: insecure ct ct-avx2 bia bia-loads");
     println!("placements: l1d l2 llc");
     println!("faults:     drop dup delay corrupt flip storm interfere (for `ctbia fuzz`)");
     println!("crypto kernels (in `ctbia bench` and `fig09_crypto`):");
@@ -705,6 +844,7 @@ fn main() -> ExitCode {
         Some("audit") => cmd_audit(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(())

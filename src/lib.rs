@@ -17,6 +17,7 @@
 //! | [`workloads`] | `ctbia-workloads` | Ghostrider + crypto benchmark kernels |
 //! | [`attacks`] | `ctbia-attacks` | Prime+Probe and distinguishability analysis |
 //! | [`harness`] | `ctbia-harness` | parallel, memoizing experiment sweep engine |
+//! | [`verify`] | `ctbia-verify` | taint sanitizer + trace-equivalence oracle |
 //!
 //! # Quickstart
 //!
@@ -53,4 +54,5 @@ pub use ctbia_core as core;
 pub use ctbia_harness as harness;
 pub use ctbia_machine as machine;
 pub use ctbia_sim as sim;
+pub use ctbia_verify as verify;
 pub use ctbia_workloads as workloads;
