@@ -88,6 +88,28 @@ pub struct CtStore {
     pub dirtiness: u64,
 }
 
+/// One linearization pass over a dataflow group, reported to the machine
+/// through [`CtMemory::note_linearize_pass`] so an observability layer can
+/// attribute the sweep's work (how many lines the BIA bitmap let the pass
+/// skip) without the algorithms knowing anything about tracing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinearizeInfo {
+    /// True for the store algorithm (Algorithm 3), false for the load
+    /// algorithm (Algorithm 2).
+    pub store: bool,
+    /// True for the software fallback, which fetches the whole set.
+    pub software: bool,
+    /// The dataflow group swept (0 for the software fallback, which is
+    /// not group-structured).
+    pub group: u64,
+    /// Lines in the group's dataflow set.
+    pub ds_lines: u32,
+    /// Lines the bitmap allowed the pass to skip.
+    pub skipped: u32,
+    /// Lines the pass streamed in.
+    pub fetched: u32,
+}
+
 /// The machine interface required by the linearization algorithms.
 ///
 /// Implementors: [`ctbia-machine`](https://docs.rs/ctbia-machine)'s
@@ -165,6 +187,13 @@ pub trait CtMemory {
     /// Records a [`crate::taint::LeakViolation`] raised by a taint
     /// checker driving this memory. A no-op by default.
     fn report_leak(&mut self, _violation: crate::taint::LeakViolation) {}
+
+    /// Reports one linearization pass (see [`LinearizeInfo`]). The
+    /// algorithms call this once per swept group, right after the bitmap
+    /// response determines the fetch set; a machine with an observability
+    /// layer turns it into counters and trace events. A no-op by default,
+    /// like the taint hooks.
+    fn note_linearize_pass(&mut self, _info: LinearizeInfo) {}
 }
 
 /// Extracts a `width`-sized value from the aligned 8-byte window containing

@@ -61,7 +61,7 @@ mod testutil;
 
 pub use bia::{Bia, BiaConfig, BiaConfigError, BiaEntrySnapshot, BiaStats, BiaView};
 pub use ctflow::CtCond;
-pub use ctmem::{CtLoad, CtMemory, CtMemoryExt, CtStore, Width};
+pub use ctmem::{CtLoad, CtMemory, CtMemoryExt, CtStore, LinearizeInfo, Width};
 pub use ds::{Bitmask, DataflowSet, DsGroup, DsPage};
 pub use linearize::{ct_load_bia, ct_load_sw, ct_store_bia, ct_store_sw, BiaOptions, SwProfile};
 pub use strategy::Strategy;

@@ -29,7 +29,7 @@
 //! the paper's §3.1 cachegrind profile (≈7 instruction references per
 //! linearized access for the scalar baseline, ≈0.6× that with AVX2).
 
-use crate::ctmem::{extract_word, merge_word, CtMemory, Width};
+use crate::ctmem::{extract_word, merge_word, CtMemory, LinearizeInfo, Width};
 use crate::ds::DataflowSet;
 use crate::predicate::{ct_eq, select};
 use ctbia_sim::addr::PhysAddr;
@@ -145,6 +145,14 @@ pub fn ct_load_sw<M: CtMemory + ?Sized>(
 ) -> u64 {
     check_target(ds, ld_addr, width);
     let offset = ld_addr.line_offset() & !(width.bytes() - 1);
+    m.note_linearize_pass(LinearizeInfo {
+        store: false,
+        software: true,
+        group: 0,
+        ds_lines: ds.lines().len() as u32,
+        skipped: 0,
+        fetched: ds.lines().len() as u32,
+    });
     let mut ret = 0u64;
     for &line in ds.lines() {
         let addr = line.with_offset(offset);
@@ -172,6 +180,14 @@ pub fn ct_store_sw<M: CtMemory + ?Sized>(
 ) {
     check_target(ds, st_addr, width);
     let offset = st_addr.line_offset() & !(width.bytes() - 1);
+    m.note_linearize_pass(LinearizeInfo {
+        store: true,
+        software: true,
+        group: 0,
+        ds_lines: ds.lines().len() as u32,
+        skipped: 0,
+        fetched: ds.lines().len() as u32,
+    });
     for &line in ds.lines() {
         let addr = line.with_offset(offset);
         let old = m.ds_load(addr, width);
@@ -214,6 +230,16 @@ pub fn ct_load_bia<M: CtMemory + ?Sized>(
         let addr_to_read = dg.join(m_log2, aligned.raw() & group_mask);
         let got = m.ct_load(addr_to_read);
         let tofetch = dg.bitmask.bits() & !got.existence;
+        let ds_lines = dg.bitmask.bits().count_ones();
+        let fetched = tofetch.count_ones();
+        m.note_linearize_pass(LinearizeInfo {
+            store: false,
+            software: false,
+            group: dg.index,
+            ds_lines,
+            skipped: ds_lines - fetched,
+            fetched,
+        });
         let dram = opts
             .dram_threshold
             .is_some_and(|t| tofetch.count_ones() > t);
@@ -276,6 +302,16 @@ pub fn ct_store_bia<M: CtMemory + ?Sized>(
         let st_data_tmp = select(in_group, merged, got.data);
         let stored = m.ct_store(addr_to_write, st_data_tmp);
         let tofetch = dg.bitmask.bits() & !stored.dirtiness;
+        let ds_lines = dg.bitmask.bits().count_ones();
+        let fetched = tofetch.count_ones();
+        m.note_linearize_pass(LinearizeInfo {
+            store: true,
+            software: false,
+            group: dg.index,
+            ds_lines,
+            skipped: ds_lines - fetched,
+            fetched,
+        });
         let dram = opts
             .dram_threshold
             .is_some_and(|t| tofetch.count_ones() > t);

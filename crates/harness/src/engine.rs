@@ -12,6 +12,7 @@ use crate::cache::DiskCache;
 use crate::report::CellReport;
 use crate::spec::CellSpec;
 use ctbia_machine::Machine;
+use ctbia_trace::TraceSink;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
@@ -40,6 +41,53 @@ pub fn execute_cell(spec: &CellSpec) -> Result<CellReport, String> {
         digest: run.digest,
         counters: run.counters,
     })
+}
+
+/// Executes one cell with a trace sink attached, returning both the report
+/// and the sink (fed every event the cell emitted).
+///
+/// The report is identical to [`execute_cell`]'s for the same spec — the
+/// sink observes the simulation without perturbing it — which the
+/// observational-inertness suite asserts byte-for-byte.
+///
+/// # Errors
+///
+/// Same conditions as [`execute_cell`].
+///
+/// # Panics
+///
+/// Never in practice: the sink handed to the machine is always recovered
+/// and downcast back to `S`.
+pub fn execute_cell_traced<S: TraceSink + 'static>(
+    spec: &CellSpec,
+    sink: S,
+) -> Result<(CellReport, S), String> {
+    let label = spec.label();
+    let mut m = Machine::new(spec.machine_config()).map_err(|e| format!("{label}: {e}"))?;
+    if spec.audit {
+        m.enable_audit().map_err(|e| format!("{label}: {e}"))?;
+    }
+    if let Some(f) = &spec.faults {
+        m.set_fault_injector(Some(f.to_config()))
+            .map_err(|e| format!("{label}: {e}"))?;
+    }
+    m.set_trace_sink(Box::new(sink));
+    let wl = spec.workload.build();
+    let run = wl.run(&mut m, spec.strategy.to_strategy());
+    let sink = m
+        .take_trace_sink()
+        .expect("machine returns the sink it was given")
+        .into_any()
+        .downcast::<S>()
+        .expect("sink type is preserved");
+    Ok((
+        CellReport {
+            label,
+            digest: run.digest,
+            counters: run.counters,
+        },
+        *sink,
+    ))
 }
 
 /// A worker pool plus optional memo cache for running cell grids.
@@ -212,6 +260,18 @@ mod tests {
         assert_eq!(reports[0].digest, reports[2].digest);
         assert_eq!(engine.cells_executed(), 3);
         assert_eq!(engine.cache_hits(), 0);
+    }
+
+    #[test]
+    fn traced_execution_is_observationally_inert() {
+        let spec = cell(StrategySpec::Bia);
+        let plain = execute_cell(&spec).unwrap();
+        let (traced, sink) = execute_cell_traced(&spec, ctbia_trace::MetricsSink::new()).unwrap();
+        assert_eq!(plain, traced);
+        assert_eq!(plain.to_cache_text(), traced.to_cache_text());
+        assert!(sink.events > 0, "the sink saw the cell's events");
+        // Phase attribution partitions the cycle count exactly.
+        assert_eq!(traced.counters.phases.total(), traced.counters.cycles);
     }
 
     #[test]

@@ -21,6 +21,15 @@ macro_rules! with_counter_fields {
         $m!("insts", insts);
         $m!("ct_loads", ct_loads);
         $m!("ct_stores", ct_stores);
+        $m!("phase.compute", phases.compute);
+        $m!("phase.demand_access", phases.demand_access);
+        $m!("phase.linearize_sweep", phases.linearize_sweep);
+        $m!("phase.bia_maintenance", phases.bia_maintenance);
+        $m!("phase.dram_stall", phases.dram_stall);
+        $m!("phase.degraded", phases.degraded);
+        $m!("linearize.passes", linearize.passes);
+        $m!("linearize.lines_skipped", linearize.lines_skipped);
+        $m!("linearize.lines_fetched", linearize.lines_fetched);
         $m!("l1i.reads", hier.l1i.reads);
         $m!("l1i.writes", hier.l1i.writes);
         $m!("l1i.hits", hier.l1i.hits);
@@ -78,6 +87,20 @@ macro_rules! with_counter_fields {
         $m!("taint.marked_bytes", taint.marked_bytes);
         $m!("taint.leak_violations", taint.leak_violations);
     };
+}
+
+/// Every counter as a `(dotted key, value)` pair, in the canonical cache
+/// order. The same macro drives the cache text format and `--metrics`
+/// documents, so the two encodings can never disagree on field coverage.
+pub fn counter_fields(c: &Counters) -> Vec<(&'static str, u64)> {
+    let mut out = Vec::with_capacity(80);
+    macro_rules! push {
+        ($key:expr, $($f:ident).+) => {
+            out.push(($key, c.$($f).+));
+        };
+    }
+    with_counter_fields!(push);
+    out
 }
 
 /// The result of one executed (or cached) experiment cell.
@@ -167,6 +190,10 @@ mod tests {
         let mut c = Counters::default();
         c.cycles = 123_456;
         c.insts = 999;
+        c.phases.compute = 100_000;
+        c.phases.dram_stall = 23_456;
+        c.linearize.passes = 4;
+        c.linearize.lines_skipped = 120;
         c.hier.l1d.reads = 42;
         c.hier.dram.row_misses = 7;
         c.bia.events_applied = 11;
@@ -191,7 +218,7 @@ mod tests {
         let text = sample().to_cache_text();
         let truncated = &text[..text.len() - 10];
         assert_eq!(CellReport::from_cache_text(truncated), None);
-        let wrong_version = text.replacen("v1", "v0", 1);
+        let wrong_version = text.replacen("v2", "v0", 1);
         assert_eq!(CellReport::from_cache_text(&wrong_version), None);
         let missing_field = text.replacen("cycles", "cyclops", 1);
         assert_eq!(CellReport::from_cache_text(&missing_field), None);

@@ -8,6 +8,7 @@
 
 use ctbia_core::bia::BiaStats;
 use ctbia_sim::stats::HierarchyStats;
+use ctbia_trace::{LinearizeStats, PhaseCycles};
 use std::fmt;
 use std::ops::Sub;
 
@@ -129,6 +130,12 @@ pub struct Counters {
     pub ct_loads: u64,
     /// `CTStore` micro-operations executed.
     pub ct_stores: u64,
+    /// Per-phase cycle attribution. Always sums exactly to `cycles`:
+    /// every cycle charge names its phase, and region deltas subtract
+    /// phases alongside the cycle counter.
+    pub phases: PhaseCycles,
+    /// Linearization-pass aggregates (passes, skipped and fetched lines).
+    pub linearize: LinearizeStats,
     /// Full hierarchy statistics.
     pub hier: HierarchyStats,
     /// BIA statistics (all zero when no BIA is configured).
@@ -173,6 +180,8 @@ impl Sub for Counters {
             insts: self.insts - rhs.insts,
             ct_loads: self.ct_loads - rhs.ct_loads,
             ct_stores: self.ct_stores - rhs.ct_stores,
+            phases: self.phases - rhs.phases,
+            linearize: self.linearize - rhs.linearize,
             hier: self.hier - rhs.hier,
             bia: BiaStats {
                 accesses: self.bia.accesses - rhs.bia.accesses,
@@ -197,6 +206,12 @@ impl fmt::Display for Counters {
         )?;
         writeln!(f, "{}", self.hier)?;
         write!(f, "BIA:  {}", self.bia)?;
+        if !self.phases.is_zero() {
+            write!(f, "\nPhases: {}", self.phases)?;
+        }
+        if !self.linearize.is_zero() {
+            write!(f, "\nLinearize: {}", self.linearize)?;
+        }
         if !self.robust.is_zero() {
             write!(f, "\nAudit: {}", self.robust)?;
         }
@@ -250,6 +265,33 @@ mod tests {
     fn display_mentions_key_counters() {
         let s = Counters::default().to_string();
         assert!(s.contains("cycles") && s.contains("BIA"));
+    }
+
+    #[test]
+    fn phase_and_linearize_stats_subtract_and_gate_display() {
+        use ctbia_trace::Phase;
+        let mut a = Counters::default();
+        a.cycles = 100;
+        a.phases.add(Phase::Compute, 60);
+        a.phases.add(Phase::DramStall, 40);
+        a.linearize.passes = 3;
+        a.linearize.lines_fetched = 12;
+        let mut b = Counters::default();
+        b.cycles = 30;
+        b.phases.add(Phase::Compute, 30);
+        b.linearize.passes = 1;
+        b.linearize.lines_fetched = 5;
+        let d = a - b;
+        assert_eq!(d.phases.get(Phase::Compute), 30);
+        assert_eq!(d.phases.get(Phase::DramStall), 40);
+        assert_eq!(d.phases.total(), d.cycles);
+        assert_eq!(d.linearize.passes, 2);
+        assert_eq!(d.linearize.lines_fetched, 7);
+        // The counters display stays byte-identical when tracing never ran.
+        let zero = Counters::default().to_string();
+        assert!(!zero.contains("Phases") && !zero.contains("Linearize"));
+        let s = a.to_string();
+        assert!(s.contains("Phases") && s.contains("Linearize") && s.contains("passes=3"));
     }
 
     #[test]

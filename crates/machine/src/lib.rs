@@ -60,3 +60,10 @@ pub use machine::{
 pub use memory::{OutOfSimRam, SimRam};
 pub use report::format_report;
 pub use secure::SecureArray;
+
+// Re-export the trace vocabulary the machine speaks, so downstream crates
+// can attach sinks without naming `ctbia-trace` directly.
+pub use ctbia_trace::{
+    EventKind, JsonlSink, LinearizeStats, MemOp, MetricsSink, Phase, PhaseCycles, RingBufferSink,
+    TeeSink, TraceRecord, TraceSink,
+};

@@ -12,12 +12,13 @@ use crate::cost::CostModel;
 use crate::counters::{Counters, RobustnessStats, TaintStats};
 use crate::memory::{OutOfSimRam, SimRam};
 use ctbia_core::bia::{Bia, BiaConfig, BiaConfigError};
-use ctbia_core::ctmem::{CtLoad, CtMemory, CtStore, Width};
+use ctbia_core::ctmem::{CtLoad, CtMemory, CtStore, LinearizeInfo, Width};
 use ctbia_core::taint::{LeakViolation, TaintLabel};
 use ctbia_sim::addr::{LineAddr, PhysAddr};
 use ctbia_sim::config::{ConfigError, HierarchyConfig};
 use ctbia_sim::fault::{FaultConfig, FaultInjector, StructuralFault};
 use ctbia_sim::hierarchy::{AccessFlags, CacheEvent, Hierarchy, Level, MonitorLevel};
+use ctbia_trace::{EventKind, LinearizeStats, MemOp, Phase, PhaseCycles, TraceRecord, TraceSink};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
@@ -216,6 +217,18 @@ pub enum TraceOp {
     DramStore,
 }
 
+/// The structured-trace opcode corresponding to a demand-trace opcode.
+fn memop_of(op: TraceOp) -> MemOp {
+    match op {
+        TraceOp::Load => MemOp::Load,
+        TraceOp::Store => MemOp::Store,
+        TraceOp::DsLoad => MemOp::DsLoad,
+        TraceOp::DsStore => MemOp::DsStore,
+        TraceOp::DramLoad => MemOp::DramLoad,
+        TraceOp::DramStore => MemOp::DramStore,
+    }
+}
+
 impl TraceOp {
     fn code(self) -> u64 {
         match self {
@@ -372,6 +385,12 @@ pub struct Machine {
     insts: u64,
     ct_loads: u64,
     ct_stores: u64,
+    phases: PhaseCycles,
+    linearize: LinearizeStats,
+    /// Structured trace sink. Every emission site is gated on
+    /// `self.sink.is_some()`, so a machine without a sink takes no stats
+    /// snapshots, formats nothing, and allocates nothing for tracing.
+    sink: Option<Box<dyn TraceSink>>,
     trace: Option<Vec<TraceEvent>>,
     probe_slices: Option<Vec<u32>>,
     ct_obs: Option<Vec<CtResponse>>,
@@ -449,6 +468,9 @@ impl Machine {
             insts: 0,
             ct_loads: 0,
             ct_stores: 0,
+            phases: PhaseCycles::default(),
+            linearize: LinearizeStats::default(),
+            sink: None,
             trace: None,
             probe_slices: None,
             ct_obs: None,
@@ -552,6 +574,7 @@ impl Machine {
     fn degrade_group(&mut self, group: u64) {
         if self.degraded.insert(group) {
             self.robust.downgrades += 1;
+            self.emit(EventKind::Degrade { group });
         }
         if let Some(bia) = &mut self.bia {
             bia.reset_group(group);
@@ -629,6 +652,38 @@ impl Machine {
         self.peek(addr, Width::U32) as u32 as i32
     }
 
+    /// Attaches a structured trace sink. From now on every demand access,
+    /// CT micro-operation, linearization pass, robustness transition, and
+    /// fault batch is delivered to the sink as a cycle-stamped
+    /// [`TraceRecord`]. Sinks see the deterministic cycle clock only —
+    /// never wall-clock — so traces are byte-reproducible.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches and returns the structured trace sink, if any. Use
+    /// [`TraceSink::into_any`] to recover the concrete sink type.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
+
+    /// The per-phase cycle attribution so far. Always sums exactly to
+    /// [`Machine::cycles`], sink or no sink.
+    pub fn phase_cycles(&self) -> PhaseCycles {
+        self.phases
+    }
+
+    /// Emits `kind` to the sink, stamped with the current cycle count.
+    #[inline]
+    fn emit(&mut self, kind: EventKind) {
+        if let Some(sink) = &mut self.sink {
+            sink.record(&TraceRecord {
+                cycle: self.cycles,
+                kind,
+            });
+        }
+    }
+
     /// Starts recording the attacker-granularity demand trace. Under an
     /// LLC-resident BIA this also records the slice sequence of CT-op
     /// probes — with a sliced LLC, a CT operation travels over the
@@ -698,6 +753,8 @@ impl Machine {
             insts: self.insts,
             ct_loads: self.ct_loads,
             ct_stores: self.ct_stores,
+            phases: self.phases,
+            linearize: self.linearize,
             hier: self.hier.stats(),
             bia: self.bia.as_ref().map(|b| *b.stats()).unwrap_or_default(),
             robust: {
@@ -806,6 +863,10 @@ impl Machine {
         if !self.hier.has_events() && !delayed_pending {
             return;
         }
+        let faults_before = self
+            .injector
+            .as_ref()
+            .map_or(0, FaultInjector::faults_injected);
         let pristine = self.hier.drain_events();
         // The auditor sees the stream as emitted; the real BIA sees it
         // after the injector had its way.
@@ -841,6 +902,16 @@ impl Machine {
                     }
                 }
                 StructuralFault::Interfere { pick } => self.interfere_fault(pick),
+            }
+        }
+        if self.sink.is_some() {
+            let injected = self
+                .injector
+                .as_ref()
+                .map_or(0, FaultInjector::faults_injected)
+                - faults_before;
+            if injected > 0 {
+                self.emit(EventKind::Faults { injected });
             }
         }
         self.audit_batch();
@@ -883,23 +954,53 @@ impl Machine {
                 // The table survived a full batch fault-free after the
                 // resync: trust it again.
                 self.robust.resyncs += 1;
+                let groups = self.degraded.len() as u64;
                 self.degraded.clear();
+                if let Some(sink) = &mut self.sink {
+                    sink.record(&TraceRecord {
+                        cycle: self.cycles,
+                        kind: EventKind::Repromote { groups },
+                    });
+                }
             }
             return;
         }
         self.robust.audit_violations += fresh.len() as u64;
+        if let Some(sink) = &mut self.sink {
+            sink.record(&TraceRecord {
+                cycle: self.cycles,
+                kind: EventKind::Resync {
+                    violations: fresh.len() as u64,
+                },
+            });
+        }
         bia.copy_state_from(aud.shadow());
         for group in fresh.iter().map(|v| v.group) {
             if self.degraded.insert(group) {
                 self.robust.downgrades += 1;
+                if let Some(sink) = &mut self.sink {
+                    sink.record(&TraceRecord {
+                        cycle: self.cycles,
+                        kind: EventKind::Degrade { group },
+                    });
+                }
             }
         }
+    }
+
+    /// Advances the cycle clock, attributing every cycle to `phase`. All
+    /// cycle mutation goes through here, which is what makes the
+    /// phase-sum == cycle-count invariant structural rather than audited.
+    #[inline]
+    fn charge(&mut self, phase: Phase, n: u64) {
+        self.cycles += n;
+        self.phases.add(phase, n);
     }
 
     #[inline]
     fn charge_inst(&mut self, n: u64) {
         self.insts += n;
-        self.cycles += n * self.cost.cycles_per_inst;
+        self.charge(Phase::Compute, n * self.cost.cycles_per_inst);
     }
 
     fn demand(
@@ -933,6 +1034,11 @@ impl Machine {
                 line: addr.line(),
             });
         }
+        let snap = if self.sink.is_some() {
+            Some(self.hier.stats())
+        } else {
+            None
+        };
         let result = self.hier.access(addr.line(), flags);
         let nearest = if flags.dram_direct {
             false
@@ -943,7 +1049,29 @@ impl Machine {
         } else {
             result.hit_level == Level::L1d
         };
-        self.cycles += self.cost.memory_cycles(result.latency, nearest, ds_stream);
+        let mem_cycles = self.cost.memory_cycles(result.latency, nearest, ds_stream);
+        // Split the charge into the DRAM-stall portion and the
+        // cache-service remainder, which belongs to the linearization
+        // sweep for dataflow-set traffic and to plain demand otherwise.
+        let dram_part = mem_cycles.min(result.dram_latency);
+        self.charge(Phase::DramStall, dram_part);
+        let service_phase = if ds_stream {
+            Phase::LinearizeSweep
+        } else {
+            Phase::DemandAccess
+        };
+        self.charge(service_phase, mem_cycles - dram_part);
+        if let Some(snap) = snap {
+            let delta = self.hier.stats() - snap;
+            self.emit(EventKind::Access {
+                op: memop_of(op),
+                line: addr.line().raw(),
+                hit_level: result.hit_level,
+                latency: result.latency,
+                cycles: mem_cycles,
+                delta,
+            });
+        }
         self.sync_bia();
         match store {
             Some(v) => {
@@ -1029,6 +1157,11 @@ impl CtMemory for Machine {
         if let Some(slices) = &mut self.probe_slices {
             slices.push(self.hier.llc_slice_of(aligned.line()));
         }
+        let snap = if self.sink.is_some() {
+            Some(self.hier.stats())
+        } else {
+            None
+        };
         let (probe, probe_latency) = self.hier.ct_probe(aligned.line(), placement.monitor());
         if let Some(aud) = &mut self.auditor {
             aud.mirror_access(addr);
@@ -1042,12 +1175,13 @@ impl CtMemory for Machine {
             let (group, bit) = bia.locate(aligned.line());
             (view, bia.latency(), group, bit)
         };
-        self.cycles += self.cost.ct_cycles(probe_latency, bia_latency);
+        let mut degraded_view = false;
         if self.robustness_active() {
             if self.degraded.contains(&group) {
                 // Degraded group: a zero view makes Algorithm 2 fetch the
                 // whole dataflow set — full linearization.
                 self.robust.degraded_ct_ops += 1;
+                degraded_view = true;
                 view = ctbia_core::bia::BiaView {
                     existence: 0,
                     dirtiness: 0,
@@ -1057,11 +1191,30 @@ impl CtMemory for Machine {
                 // disagrees — a desync the subset invariant forbids.
                 self.robust.inline_desyncs += 1;
                 self.degrade_group(group);
+                degraded_view = true;
                 view = ctbia_core::bia::BiaView {
                     existence: 0,
                     dirtiness: 0,
                 };
             }
+        }
+        let ct_cycles = self.cost.ct_cycles(probe_latency, bia_latency);
+        let ct_phase = if degraded_view {
+            Phase::Degraded
+        } else {
+            Phase::BiaMaintenance
+        };
+        self.charge(ct_phase, ct_cycles);
+        if let Some(snap) = snap {
+            let delta = self.hier.stats() - snap;
+            self.emit(EventKind::CtOp {
+                store: false,
+                line: aligned.line().raw(),
+                bitmap: view.existence,
+                cycles: ct_cycles,
+                degraded: degraded_view,
+                delta,
+            });
         }
         let data = if probe.resident {
             self.ram.read(aligned, 8)
@@ -1093,6 +1246,11 @@ impl CtMemory for Machine {
         if let Some(aud) = &mut self.auditor {
             aud.mirror_access(addr);
         }
+        let snap = if self.sink.is_some() {
+            Some(self.hier.stats())
+        } else {
+            None
+        };
         let (mut view, bia_latency, group, bit) = {
             let bia = self
                 .bia
@@ -1105,10 +1263,11 @@ impl CtMemory for Machine {
         let (wrote, probe_latency) = self
             .hier
             .ct_write_if_dirty(aligned.line(), placement.monitor());
-        self.cycles += self.cost.ct_cycles(probe_latency, bia_latency);
+        let mut degraded_view = false;
         if self.robustness_active() {
             if self.degraded.contains(&group) {
                 self.robust.degraded_ct_ops += 1;
+                degraded_view = true;
                 view = ctbia_core::bia::BiaView {
                     existence: 0,
                     dirtiness: 0,
@@ -1120,11 +1279,30 @@ impl CtMemory for Machine {
                 // RMW path.
                 self.robust.inline_desyncs += 1;
                 self.degrade_group(group);
+                degraded_view = true;
                 view = ctbia_core::bia::BiaView {
                     existence: 0,
                     dirtiness: 0,
                 };
             }
+        }
+        let ct_cycles = self.cost.ct_cycles(probe_latency, bia_latency);
+        let ct_phase = if degraded_view {
+            Phase::Degraded
+        } else {
+            Phase::BiaMaintenance
+        };
+        self.charge(ct_phase, ct_cycles);
+        if let Some(snap) = snap {
+            let delta = self.hier.stats() - snap;
+            self.emit(EventKind::CtOp {
+                store: true,
+                line: aligned.line().raw(),
+                bitmap: view.dirtiness,
+                cycles: ct_cycles,
+                degraded: degraded_view,
+                delta,
+            });
         }
         self.sync_bia();
         if wrote {
@@ -1143,6 +1321,20 @@ impl CtMemory for Machine {
 
     fn exec(&mut self, insts: u64) {
         self.charge_inst(insts);
+    }
+
+    fn note_linearize_pass(&mut self, info: LinearizeInfo) {
+        self.linearize.passes += 1;
+        self.linearize.lines_skipped += u64::from(info.skipped);
+        self.linearize.lines_fetched += u64::from(info.fetched);
+        self.emit(EventKind::LinearizePass {
+            store: info.store,
+            software: info.software,
+            group: info.group,
+            ds_lines: info.ds_lines,
+            skipped: info.skipped,
+            fetched: info.fetched,
+        });
     }
 
     fn bia_granularity_log2(&self) -> u32 {

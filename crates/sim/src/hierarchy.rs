@@ -191,6 +191,10 @@ pub struct AccessResult {
     pub latency: u64,
     /// Where the line was found.
     pub hit_level: Level,
+    /// The DRAM portion of `latency`: the row-buffer/array time on a full
+    /// miss or DRAM-direct access, 0 on a cache hit. Lets consumers split
+    /// an access into cache-service time and DRAM-stall time.
+    pub dram_latency: u64,
 }
 
 /// The composed memory hierarchy.
@@ -454,6 +458,7 @@ impl Hierarchy {
             return AccessResult {
                 latency,
                 hit_level: Level::Dram,
+                dram_latency: latency,
             };
         }
 
@@ -493,10 +498,12 @@ impl Hierarchy {
             }
         }
 
+        let mut dram_latency = 0;
         let (filled_up_to, hit_level) = match hit_at {
             Some((i, level)) => (i, level),
             None => {
-                latency += self.dram.read(line);
+                dram_latency = self.dram.read(line);
+                latency += dram_latency;
                 (path.len(), Level::Dram)
             }
         };
@@ -535,7 +542,11 @@ impl Hierarchy {
             self.fill_at(Level::L1d, line.offset(1), false);
         }
 
-        AccessResult { latency, hit_level }
+        AccessResult {
+            latency,
+            hit_level,
+            dram_latency,
+        }
     }
 
     /// An instruction fetch: walks L1i → L2 → LLC → DRAM with demand-read
@@ -558,17 +569,23 @@ impl Hierarchy {
                 AccessOutcome::Miss => {}
             }
         }
+        let mut dram_latency = 0;
         let (filled_up_to, hit_level) = match hit_at {
             Some((i, level)) => (i, level),
             None => {
-                latency += self.dram.read(line);
+                dram_latency = self.dram.read(line);
+                latency += dram_latency;
                 (path.len(), Level::Dram)
             }
         };
         for &level in path.iter().take(filled_up_to).rev() {
             self.fill_at(level, line, false);
         }
-        AccessResult { latency, hit_level }
+        AccessResult {
+            latency,
+            hit_level,
+            dram_latency,
+        }
     }
 
     /// The cache-lookup half of `CTLoad`/`CTStore`: a state-free probe at
@@ -671,6 +688,28 @@ mod tests {
         assert_eq!(r.hit_level, Level::L2);
         assert_eq!(r.latency, 2 + 15);
         assert!(h.cache(Level::L1d).is_resident(l));
+    }
+
+    #[test]
+    fn dram_latency_isolates_the_dram_portion() {
+        let mut h = h();
+        let l = LineAddr::new(10);
+        // Full miss: the DRAM portion plus the cache lookups is the total.
+        let cold = h.access(l, AccessFlags::read());
+        assert_eq!(cold.hit_level, Level::Dram);
+        assert_eq!(cold.dram_latency + 2 + 15 + 41, cold.latency);
+        // Cache hit: no DRAM time at all.
+        let warm = h.access(l, AccessFlags::read());
+        assert_eq!(warm.hit_level, Level::L1d);
+        assert_eq!(warm.dram_latency, 0);
+        // DRAM-direct: the whole access is DRAM time.
+        let direct = h.access(LineAddr::new(999), AccessFlags::read().dram_direct());
+        assert_eq!(direct.dram_latency, direct.latency);
+        // Instruction fetch obeys the same split.
+        let inst = h.fetch_inst(LineAddr::new(500));
+        assert_eq!(inst.hit_level, Level::Dram);
+        assert!(inst.dram_latency > 0 && inst.dram_latency < inst.latency);
+        assert_eq!(h.fetch_inst(LineAddr::new(500)).dram_latency, 0);
     }
 
     #[test]

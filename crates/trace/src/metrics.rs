@@ -1,0 +1,210 @@
+//! The versioned `ctbia-metrics-v1` document.
+//!
+//! A metrics document is a deliberately *flat* JSON object — a schema
+//! tag, a cell label, and an ordered list of dotted-key → integer
+//! fields — so that it can be written and parsed by hand (the workspace
+//! has no serde) and grepped in CI. The writer is deterministic: same
+//! fields in, same bytes out.
+
+/// Schema tag of the metrics document format.
+pub const METRICS_SCHEMA: &str = "ctbia-metrics-v1";
+
+/// A flat, versioned metrics document.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsDoc {
+    /// Human-readable label of the cell (or aggregate) the metrics
+    /// describe, e.g. `hist_2k/BIA@L1d`.
+    pub label: String,
+    /// Ordered `dotted.key` → value pairs. Order is preserved by the
+    /// writer and the parser, so round-trips are byte-identical.
+    pub fields: Vec<(String, u64)>,
+}
+
+impl MetricsDoc {
+    /// An empty document for `label`.
+    pub fn new(label: impl Into<String>) -> Self {
+        MetricsDoc {
+            label: label.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Append a field (keys should be unique; the writer does not dedup).
+    pub fn push(&mut self, key: impl Into<String>, value: u64) {
+        self.fields.push((key.into(), value));
+    }
+
+    /// Look up a field by key.
+    pub fn get(&self, key: &str) -> Option<u64> {
+        self.fields.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// Serialize to the canonical `ctbia-metrics-v1` JSON form.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        out.push_str("{\n");
+        writeln!(out, "  \"schema\": \"{METRICS_SCHEMA}\",").unwrap();
+        write!(out, "  \"label\": \"{}\"", escape(&self.label)).unwrap();
+        for (key, value) in &self.fields {
+            write!(out, ",\n  \"{}\": {value}", escape(key)).unwrap();
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parse a document produced by [`MetricsDoc::to_json`].
+    ///
+    /// Returns a description of the first problem on malformed input,
+    /// wrong schema tag, or non-integer field values.
+    pub fn parse(text: &str) -> Result<MetricsDoc, String> {
+        let body = text.trim();
+        let body = body
+            .strip_prefix('{')
+            .and_then(|b| b.strip_suffix('}'))
+            .ok_or("document is not a JSON object")?;
+        let mut schema = None;
+        let mut label = None;
+        let mut fields = Vec::new();
+        for (idx, raw) in body.split(",\n").enumerate() {
+            let line = raw.trim().trim_end_matches(',');
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(':')
+                .ok_or_else(|| format!("entry {idx}: missing ':' in {line:?}"))?;
+            let key = key
+                .trim()
+                .strip_prefix('"')
+                .and_then(|k| k.strip_suffix('"'))
+                .ok_or_else(|| format!("entry {idx}: key is not a JSON string"))?;
+            let value = value.trim();
+            match key {
+                "schema" => schema = Some(unquote(value, idx)?),
+                "label" => label = Some(unquote(value, idx)?),
+                _ => {
+                    let n: u64 = value.parse().map_err(|_| {
+                        format!("field {key:?}: value {value:?} is not a non-negative integer")
+                    })?;
+                    fields.push((unescape(key), n));
+                }
+            }
+        }
+        let schema = schema.ok_or("missing \"schema\" field")?;
+        if schema != METRICS_SCHEMA {
+            return Err(format!(
+                "schema mismatch: expected {METRICS_SCHEMA:?}, found {schema:?}"
+            ));
+        }
+        Ok(MetricsDoc {
+            label: label.ok_or("missing \"label\" field")?,
+            fields,
+        })
+    }
+}
+
+fn unquote(value: &str, idx: usize) -> Result<String, String> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(unescape)
+        .ok_or_else(|| format!("entry {idx}: value is not a JSON string"))
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if c.is_control() => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsDoc {
+        let mut doc = MetricsDoc::new("hist_2k/BIA@L1d");
+        doc.push("cycles", 123_456);
+        doc.push("phase.compute", 100_000);
+        doc.push("phase.dram_stall", 23_456);
+        doc.push("l1d.hits", 999);
+        doc.push("linearize.lines_skipped", 42);
+        doc
+    }
+
+    #[test]
+    fn round_trips_byte_identically() {
+        let doc = sample();
+        let json = doc.to_json();
+        let parsed = MetricsDoc::parse(&json).unwrap();
+        assert_eq!(parsed, doc);
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn writer_is_deterministic_and_versioned() {
+        let json = sample().to_json();
+        assert_eq!(json, sample().to_json());
+        assert!(json.starts_with("{\n  \"schema\": \"ctbia-metrics-v1\",\n"));
+        assert!(json.contains("\"label\": \"hist_2k/BIA@L1d\""));
+        assert!(json.ends_with("\n}\n"));
+    }
+
+    #[test]
+    fn get_finds_fields() {
+        let doc = sample();
+        assert_eq!(doc.get("phase.dram_stall"), Some(23_456));
+        assert_eq!(doc.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_garbage() {
+        let bad = sample().to_json().replace("ctbia-metrics-v1", "v999");
+        assert!(MetricsDoc::parse(&bad).unwrap_err().contains("schema"));
+        assert!(MetricsDoc::parse("not json").is_err());
+        assert!(MetricsDoc::parse("{\n  \"label\": \"x\"\n}\n").is_err());
+        let nonint = sample().to_json().replace("123456", "12.5");
+        assert!(MetricsDoc::parse(&nonint).is_err());
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        let mut doc = MetricsDoc::new("odd \"label\"\\with\nstuff");
+        doc.push("cycles", 1);
+        let parsed = MetricsDoc::parse(&doc.to_json()).unwrap();
+        assert_eq!(parsed.label, doc.label);
+    }
+}

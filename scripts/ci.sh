@@ -10,10 +10,16 @@
 #   3. cargo build --release  -- the release artifacts build
 #   4. cargo test -q          -- the full unit/property/integration suite
 #   5. cargo bench --no-run   -- the criterion microbenches still compile
-#   6. ctbia bench --quick    -- sweep-engine smoke run; BENCH_sweep.json
+#   6. golden-trace suite     -- regenerated JSONL traces byte-match the
+#                                committed fixtures under tests/golden/
+#   7. ctbia bench --quick --metrics
+#                             -- sweep-engine smoke run; BENCH_sweep.json
 #                                must exist, be byte-deterministic, and
-#                                show a fully-memoized warm phase
-#   7. ctbia verify --quick   -- leakage-verifier smoke run: the CT grid
+#                                show a fully-memoized warm phase;
+#                                BENCH_metrics.json must round-trip
+#   8. ctbia trace smoke      -- cycle attribution reconciles (the command
+#                                exits non-zero if phases don't sum)
+#   9. ctbia verify --quick   -- leakage-verifier smoke run: the CT grid
 #                                verifies clean and the intentionally
 #                                leaky control is caught (non-zero exit)
 set -euo pipefail
@@ -30,11 +36,20 @@ run cargo build --workspace --release
 run cargo test --workspace -q
 run cargo bench --workspace --no-run
 
-run ./target/release/ctbia bench --quick
+run cargo test -q --test golden_traces
+echo "==> golden traces byte-match their fixtures"
+
+run ./target/release/ctbia bench --quick --metrics
 grep -q '"schema": "ctbia-bench-sweep-v1"' BENCH_sweep.json
 grep -q '"byte_identical": true' BENCH_sweep.json
 grep -q '"executed": 0, "cache_hits": 44' BENCH_sweep.json
 echo "==> BENCH_sweep.json is well-formed and deterministic"
+grep -q '"schema": "ctbia-metrics-v1"' BENCH_metrics.json
+grep -q '"phase.compute":' BENCH_metrics.json
+echo "==> BENCH_metrics.json is versioned and round-trip verified"
+
+run ./target/release/ctbia trace histogram 400 --top 5
+echo "==> trace cycle attribution reconciles"
 
 run ./target/release/ctbia verify --quick
 echo "==> ctbia verify leaky-bin 300 (must fail)"

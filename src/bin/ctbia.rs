@@ -20,12 +20,13 @@ use ctbia::attacks::{empirical_leakage_bits, set_access_profiles, PrimeProbe};
 use ctbia::core::ctmem::Width;
 use ctbia::core::ds::DataflowSet;
 use ctbia::harness::{
-    CellReport, CellSpec, CryptoKernel, DiskCache, FaultSpec, StrategySpec, SweepEngine,
-    WorkloadSpec,
+    counter_fields, execute_cell_traced, CellReport, CellSpec, CryptoKernel, DiskCache, FaultSpec,
+    StrategySpec, SweepEngine, WorkloadSpec,
 };
 use ctbia::machine::{BiaPlacement, Machine};
 use ctbia::sim::fault::{parse_fault_kinds, FaultKind};
 use ctbia::sim::hierarchy::Level;
+use ctbia::trace::{JsonlSink, MetricsDoc, MetricsSink, Phase, TeeSink};
 use ctbia::verify::{verify_grid, verify_seeds, VerifyCell, VerifyEngine, VerifyReport};
 use ctbia::workloads::{
     BinarySearch, Dijkstra, HeapPop, Histogram, Permutation, Strategy, Workload,
@@ -39,13 +40,14 @@ ctbia — Hardware Support for Constant-Time Programming (MICRO '23), simulated
 USAGE:
     ctbia config
     ctbia list
-    ctbia run <WORKLOAD> [SIZE] [--strategy insecure|ct|ct-avx2|bia|bia-loads] [--placement l1d|l2|llc] [--stats]
+    ctbia run <WORKLOAD> [SIZE] [--strategy insecure|ct|ct-avx2|bia|bia-loads] [--placement l1d|l2|llc] [--stats] [--metrics]
+    ctbia trace <WORKLOAD> [SIZE] [--strategy insecure|ct|ct-avx2|bia|bia-loads] [--placement l1d|l2|llc] [--jsonl PATH] [--top N]
     ctbia compare <WORKLOAD> [SIZE]
     ctbia attack [SECRET]
     ctbia leakage <WORKLOAD> [SIZE]
     ctbia audit <WORKLOAD> [SIZE] [--placement l1d|l2|llc]
     ctbia fuzz [--faults LIST] [--seed N] [--iters K] <WORKLOAD> [SIZE] [--placement l1d|l2|llc]
-    ctbia bench [--quick] [--threads N]
+    ctbia bench [--quick] [--threads N] [--metrics]
     ctbia verify [--quick] [--threads N]
     ctbia verify <WORKLOAD> [SIZE] [--strategy insecure|ct|bia|bia-loads] [--placement l1d|l2|llc]
 
@@ -58,6 +60,12 @@ over the canonical grid; with a workload argument it verifies one cell
 and exits non-zero if the cell leaks. Completed experiment and verify
 cells are memoized under results/cache/ (safe to delete at any time);
 `ctbia bench` writes BENCH_sweep.json.
+
+`ctbia trace` re-runs one cell with the observability layer attached and
+prints a cycle-attribution profile (per-phase cycles reconciled exactly
+against the counters) plus the hottest cache lines; `--jsonl` captures
+the full event stream. `--metrics` on run/bench writes a versioned
+ctbia-metrics-v1 document (RUN_metrics.json / BENCH_metrics.json).
 ";
 
 fn make_workload(name: &str, size: usize) -> Result<Box<dyn Workload>, String> {
@@ -120,16 +128,35 @@ fn print_report(label: &str, report: &CellReport, baseline: Option<u64>) {
     );
 }
 
+/// Serializes `doc`, verifies the writer/parser round-trip byte-for-byte,
+/// then writes `path`. A round-trip failure is a bug, not an I/O problem.
+fn write_metrics_doc(path: &str, doc: &MetricsDoc) -> Result<(), String> {
+    let json = doc.to_json();
+    let parsed = MetricsDoc::parse(&json)
+        .map_err(|e| format!("{path}: metrics round-trip self-check failed: {e}"))?;
+    if parsed.to_json() != json {
+        return Err(format!("{path}: metrics round-trip is not byte-identical"));
+    }
+    std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!(
+        "wrote {path} ({} fields, round-trip verified)",
+        doc.fields.len()
+    );
+    Ok(())
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let name = args.first().ok_or("run: missing workload name")?;
     let mut size = None;
     let mut strategy = StrategySpec::Bia;
     let mut placement = BiaPlacement::L1d;
     let mut stats = false;
+    let mut metrics = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--stats" => stats = true,
+            "--metrics" => metrics = true,
             "--strategy" => {
                 i += 1;
                 strategy = StrategySpec::parse(args.get(i).ok_or("--strategy needs a value")?)?;
@@ -157,6 +184,104 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     if stats {
         println!("\n{}", ctbia::machine::format_report(&report.counters));
+    }
+    if metrics {
+        let mut doc = MetricsDoc::new(&report.label);
+        doc.push("digest", report.digest);
+        for (key, value) in counter_fields(&report.counters) {
+            doc.push(key, value);
+        }
+        write_metrics_doc("RUN_metrics.json", &doc)?;
+    }
+    Ok(())
+}
+
+/// `ctbia trace <WORKLOAD> [SIZE] [--jsonl PATH] [--top N]` — re-run one
+/// cell with a tee of a JSONL capture and a metrics aggregator attached,
+/// then print the cycle-attribution profile and hottest cache lines.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("trace: missing workload name")?;
+    let mut size = None;
+    let mut strategy = StrategySpec::Bia;
+    let mut placement = BiaPlacement::L1d;
+    let mut jsonl_path: Option<String> = None;
+    let mut top = 5usize;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--strategy" => {
+                i += 1;
+                strategy = StrategySpec::parse(args.get(i).ok_or("--strategy needs a value")?)?;
+            }
+            "--placement" => {
+                i += 1;
+                placement = parse_placement(args.get(i).ok_or("--placement needs a value")?)?;
+            }
+            "--jsonl" => {
+                i += 1;
+                jsonl_path = Some(args.get(i).ok_or("--jsonl needs a path")?.clone());
+            }
+            "--top" => {
+                i += 1;
+                let s = args.get(i).ok_or("--top needs a value")?;
+                top =
+                    s.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        format!("invalid --top '{s}' (expected a positive integer)")
+                    })?;
+            }
+            v if size.is_none() && !v.starts_with('-') => size = Some(parse_size(v)?),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+        i += 1;
+    }
+    let size = size.unwrap_or_else(|| default_size(name));
+    let spec = CellSpec::new(WorkloadSpec::named(name, size)?, strategy, placement);
+    let sink = TeeSink::new(JsonlSink::new(), MetricsSink::new());
+    let (report, sink) = execute_cell_traced(&spec, sink)?;
+    let (jsonl, agg) = (sink.a, sink.b);
+    let c = &report.counters;
+    println!(
+        "trace of {} ({} events, {} cycles):",
+        report.label, agg.events, c.cycles
+    );
+    println!("  {:<18} {:>12}   {:>6}", "phase", "cycles", "share");
+    for phase in Phase::ALL {
+        let cycles = c.phases.get(phase);
+        if cycles == 0 {
+            continue;
+        }
+        println!(
+            "  {:<18} {:>12}   {:>5.1}%",
+            phase.name(),
+            cycles,
+            100.0 * cycles as f64 / c.cycles.max(1) as f64
+        );
+    }
+    let total = c.phases.total();
+    println!("  {:<18} {:>12}   {:>5.1}%", "total", total, 100.0);
+    if total != c.cycles {
+        return Err(format!(
+            "phase totals ({total}) do not sum to cycles ({}) — attribution bug",
+            c.cycles
+        ));
+    }
+    if !c.linearize.is_zero() {
+        println!("linearize: {}", c.linearize);
+    }
+    let hottest = agg.hottest_lines(top);
+    if !hottest.is_empty() {
+        println!(
+            "hottest lines (top {} of {} distinct):",
+            hottest.len(),
+            agg.distinct_lines()
+        );
+        for (line, count) in hottest {
+            println!("  line {line:#x}: {count} accesses");
+        }
+    }
+    if let Some(path) = jsonl_path {
+        std::fs::write(&path, jsonl.as_str()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path} ({} events)", jsonl.lines());
     }
     Ok(())
 }
@@ -502,15 +627,25 @@ fn simulated_accesses(report: &CellReport) -> u64 {
 }
 
 /// One phase object of `BENCH_sweep.json`, on a single line so shell
-/// tooling can grep it.
-fn phase_json(wall_s: f64, cells: usize, sim_accesses: u64, executed: u64, hits: u64) -> String {
+/// tooling can grep it. Phases that simulate nothing (the warm phase
+/// serves everything from cache) pass `None` and the misleading
+/// `sim_accesses_per_sec` key is omitted rather than reported as 0.
+fn phase_json(
+    wall_s: f64,
+    cells: usize,
+    sim_accesses: Option<u64>,
+    executed: u64,
+    hits: u64,
+) -> String {
     let wall = wall_s.max(1e-9);
+    let access_rate = sim_accesses
+        .map(|a| format!("\"sim_accesses_per_sec\": {:.0}, ", a as f64 / wall))
+        .unwrap_or_default();
     format!(
-        "{{ \"wall_ms\": {:.3}, \"cells_per_sec\": {:.2}, \"sim_accesses_per_sec\": {:.0}, \
+        "{{ \"wall_ms\": {:.3}, \"cells_per_sec\": {:.2}, {access_rate}\
          \"executed\": {executed}, \"cache_hits\": {hits} }}",
         wall_s * 1000.0,
         cells as f64 / wall,
-        sim_accesses as f64 / wall,
     )
 }
 
@@ -519,12 +654,14 @@ fn phase_json(wall_s: f64, cells: usize, sim_accesses: u64, executed: u64, hits:
 /// parallel over a warm cache. Writes `BENCH_sweep.json`.
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let mut quick = false;
+    let mut metrics = false;
     let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let cores = threads;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--metrics" => metrics = true,
             "--threads" => {
                 i += 1;
                 let s = args.get(i).ok_or("--threads needs a value")?;
@@ -609,18 +746,24 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
          \"serial\": {},\n  \"parallel\": {},\n  \"warm\": {},\n  \
          \"speedup\": {{ \"parallel_over_serial\": {speedup_parallel:.3}, \
          \"warm_over_serial\": {speedup_warm:.3} }}\n}}\n",
-        phase_json(serial_s, n, sim_accesses, serial_engine.cells_executed(), 0),
+        phase_json(
+            serial_s,
+            n,
+            Some(sim_accesses),
+            serial_engine.cells_executed(),
+            0
+        ),
         phase_json(
             parallel_s,
             n,
-            sim_accesses,
+            Some(sim_accesses),
             parallel_engine.cells_executed(),
             0
         ),
         phase_json(
             warm_s,
             n,
-            0,
+            None,
             warm_engine.cells_executed(),
             warm_engine.cache_hits()
         ),
@@ -628,6 +771,32 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     std::fs::write("BENCH_sweep.json", &json)
         .map_err(|e| format!("cannot write BENCH_sweep.json: {e}"))?;
     println!("wrote BENCH_sweep.json");
+    if metrics {
+        let mut doc = MetricsDoc::new(if quick {
+            "bench_sweep/quick"
+        } else {
+            "bench_sweep/full"
+        });
+        doc.push("cells", n as u64);
+        doc.push("sim_accesses", sim_accesses);
+        // Sum every counter over the serial (reference) reports, keeping
+        // the canonical field order.
+        let mut sums: Vec<(&'static str, u64)> = Vec::new();
+        for report in &serial {
+            let fields = counter_fields(&report.counters);
+            if sums.is_empty() {
+                sums = fields;
+            } else {
+                for (acc, field) in sums.iter_mut().zip(fields) {
+                    acc.1 += field.1;
+                }
+            }
+        }
+        for (key, value) in sums {
+            doc.push(key, value);
+        }
+        write_metrics_doc("BENCH_metrics.json", &doc)?;
+    }
     if !byte_identical {
         return Err("parallel or cached reports differ from serial — determinism bug".into());
     }
@@ -838,6 +1007,7 @@ fn main() -> ExitCode {
             Ok(())
         }
         Some("run") => cmd_run(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("attack") => cmd_attack(&args[1..]),
         Some("leakage") => cmd_leakage(&args[1..]),
@@ -857,5 +1027,50 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_json_omits_access_rate_when_nothing_simulated() {
+        let warm = phase_json(0.5, 44, None, 0, 44);
+        assert!(!warm.contains("sim_accesses_per_sec"), "{warm}");
+        // ci.sh greps this exact warm-phase signature.
+        assert!(
+            warm.contains("\"executed\": 0, \"cache_hits\": 44"),
+            "{warm}"
+        );
+    }
+
+    #[test]
+    fn phase_json_reports_access_rate_when_measured() {
+        let hot = phase_json(0.5, 44, Some(1000), 44, 0);
+        assert!(hot.contains("\"sim_accesses_per_sec\": 2000"), "{hot}");
+        assert!(hot.contains("\"executed\": 44, \"cache_hits\": 0"), "{hot}");
+    }
+
+    #[test]
+    fn metrics_doc_from_counters_round_trips() {
+        let report = ctbia::harness::execute_cell(&CellSpec::new(
+            WorkloadSpec::named("hist", 64).unwrap(),
+            StrategySpec::Bia,
+            BiaPlacement::L1d,
+        ))
+        .unwrap();
+        let mut doc = MetricsDoc::new(&report.label);
+        doc.push("digest", report.digest);
+        for (key, value) in counter_fields(&report.counters) {
+            doc.push(key, value);
+        }
+        let parsed = MetricsDoc::parse(&doc.to_json()).unwrap();
+        assert_eq!(parsed, doc);
+        assert_eq!(parsed.get("cycles"), Some(report.counters.cycles));
+        assert_eq!(
+            parsed.get("phase.compute"),
+            Some(report.counters.phases.compute)
+        );
     }
 }

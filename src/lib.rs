@@ -14,6 +14,7 @@
 //! | [`sim`] | `ctbia-sim` | cache hierarchy substrate (L1i/L1d/L2/LLC/DRAM) |
 //! | [`core`] | `ctbia-core` | BIA, `CtMemory`, dataflow sets, Algorithms 2 & 3 |
 //! | [`machine`] | `ctbia-machine` | execution engine and cost model |
+//! | [`trace`] | `ctbia-trace` | structured trace events, sinks, cycle attribution |
 //! | [`workloads`] | `ctbia-workloads` | Ghostrider + crypto benchmark kernels |
 //! | [`attacks`] | `ctbia-attacks` | Prime+Probe and distinguishability analysis |
 //! | [`harness`] | `ctbia-harness` | parallel, memoizing experiment sweep engine |
@@ -54,5 +55,6 @@ pub use ctbia_core as core;
 pub use ctbia_harness as harness;
 pub use ctbia_machine as machine;
 pub use ctbia_sim as sim;
+pub use ctbia_trace as trace;
 pub use ctbia_verify as verify;
 pub use ctbia_workloads as workloads;

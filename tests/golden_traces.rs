@@ -1,0 +1,155 @@
+//! Golden-trace suite: the observability layer's event stream is part of
+//! the repo's deterministic contract. Each fixture under `tests/golden/`
+//! is the byte-exact JSONL trace of one small cell under the CLI-default
+//! configuration; regenerating it must reproduce the fixture exactly, on
+//! any machine, under any thread schedule.
+//!
+//! To regenerate after an intentional simulator change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_traces
+//! ```
+
+use ctbia::harness::{execute_cell_traced, CellSpec, StrategySpec, SweepEngine, WorkloadSpec};
+use ctbia::machine::BiaPlacement;
+use ctbia::trace::JsonlSink;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The golden grid: all five Ghostrider workloads at fixture-friendly
+/// sizes, each under the paper's skip-aware BIA linearization and the
+/// software full-linearization baseline.
+fn golden_cells() -> Vec<(String, CellSpec)> {
+    let mut workloads: Vec<(String, WorkloadSpec)> = [
+        ("dijkstra", 5),
+        ("histogram", 24),
+        ("permutation", 24),
+        ("binary-search", 32),
+    ]
+    .into_iter()
+    .map(|(name, size)| {
+        (
+            format!("{name}_{size}"),
+            WorkloadSpec::named(name, size).expect("built-in workload"),
+        )
+    })
+    .collect();
+    // `heappop` pops 32 by default, forcing size >= 32 and a trace too
+    // large to commit; pin a smaller pop count explicitly.
+    workloads.push((
+        "heappop_16x8".into(),
+        WorkloadSpec::HeapPop {
+            size: 16,
+            pops: 8,
+            seed: 0x4ea9,
+        },
+    ));
+    let mut cells = Vec::new();
+    for (stem, workload) in workloads {
+        for (tag, strategy) in [("bia", StrategySpec::Bia), ("ct", StrategySpec::Ct)] {
+            cells.push((
+                format!("{stem}_{tag}"),
+                CellSpec::new(workload, strategy, BiaPlacement::L1d),
+            ));
+        }
+    }
+    cells
+}
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn generate_trace(spec: &CellSpec) -> String {
+    let (_, sink) = execute_cell_traced(spec, JsonlSink::new()).expect("golden cell executes");
+    sink.into_string()
+}
+
+/// Pinpoints the first divergent event so a failure reads as a diff, not
+/// a wall of JSONL.
+fn first_divergence(golden: &str, actual: &str) -> String {
+    for (i, (g, a)) in golden.lines().zip(actual.lines()).enumerate() {
+        if g != a {
+            return format!(
+                "first divergent event at line {}:\n  golden: {g}\n  actual: {a}",
+                i + 1
+            );
+        }
+    }
+    format!(
+        "common prefix matches; line counts differ: golden {} vs actual {}",
+        golden.lines().count(),
+        actual.lines().count()
+    )
+}
+
+#[test]
+fn golden_traces_match_fixtures() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let dir = golden_dir();
+    let mut missing = Vec::new();
+    for (stem, spec) in golden_cells() {
+        let actual = generate_trace(&spec);
+        assert!(
+            actual.ends_with('\n') && !actual.is_empty(),
+            "{stem}: trace is newline-terminated and non-empty"
+        );
+        let path = dir.join(format!("{stem}.jsonl"));
+        if update {
+            fs::create_dir_all(&dir).expect("create tests/golden");
+            fs::write(&path, &actual).expect("write fixture");
+            continue;
+        }
+        let golden = match fs::read_to_string(&path) {
+            Ok(g) => g,
+            Err(_) => {
+                missing.push(stem);
+                continue;
+            }
+        };
+        assert!(
+            golden == actual,
+            "{stem}: regenerated trace diverges from {}\n{}",
+            path.display(),
+            first_divergence(&golden, &actual)
+        );
+    }
+    assert!(
+        missing.is_empty(),
+        "missing golden fixtures {missing:?} — run `UPDATE_GOLDEN=1 cargo test --test golden_traces`"
+    );
+}
+
+#[test]
+fn traces_deterministic_across_serial_and_threaded_generation() {
+    let cells = golden_cells();
+    let serial: Vec<String> = cells.iter().map(|(_, spec)| generate_trace(spec)).collect();
+    let threaded: Vec<String> = std::thread::scope(|s| {
+        let handles: Vec<_> = cells
+            .iter()
+            .map(|(_, spec)| s.spawn(|| generate_trace(spec)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for ((stem, _), (a, b)) in cells.iter().zip(serial.iter().zip(&threaded)) {
+        assert!(
+            a == b,
+            "{stem}: trace differs between serial and threaded generation\n{}",
+            first_divergence(a, b)
+        );
+    }
+}
+
+#[test]
+fn traced_reports_match_the_parallel_sweep() {
+    let cells = golden_cells();
+    let grid: Vec<CellSpec> = cells.iter().map(|(_, spec)| spec.clone()).collect();
+    let swept = SweepEngine::new().with_threads(4).run(&grid).unwrap();
+    for ((stem, spec), swept) in cells.iter().zip(&swept) {
+        let (traced, _) = execute_cell_traced(spec, JsonlSink::new()).unwrap();
+        assert_eq!(
+            &traced, swept,
+            "{stem}: traced report differs from the (untraced) parallel sweep"
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Reconciliation suite: trace-derived aggregates are not estimates —
+//! every number a [`MetricsSink`] accumulates must equal the machine's own
+//! counter snapshot *exactly*, and the cycle-attribution phases must
+//! partition the cycle count with no remainder. Checked exhaustively over
+//! the Ghostrider grid and property-tested over random cells (including
+//! audited and fault-injected ones).
+
+use ctbia::harness::{
+    execute_cell, execute_cell_traced, CellSpec, FaultSpec, StrategySpec, WorkloadSpec,
+};
+use ctbia::machine::BiaPlacement;
+use ctbia::sim::fault::FaultKind;
+use ctbia::trace::{MemOp, MetricsSink};
+use proptest::prelude::*;
+
+/// Runs `spec` twice — bare and with a [`MetricsSink`] attached — and
+/// asserts byte-level inertness plus exact aggregate reconciliation.
+fn check_cell(spec: &CellSpec) {
+    let label = spec.label();
+    let plain = execute_cell(spec).unwrap();
+    let (traced, m) = execute_cell_traced(spec, MetricsSink::new()).unwrap();
+    // Attaching a sink must not perturb the simulation in any observable
+    // way: same digest, same counters, same cache-text bytes.
+    assert_eq!(plain, traced, "{label}: tracing perturbed the report");
+    assert_eq!(
+        plain.to_cache_text(),
+        traced.to_cache_text(),
+        "{label}: tracing perturbed the cache encoding"
+    );
+
+    let c = &traced.counters;
+    // Phases partition the cycle count exactly.
+    assert_eq!(
+        c.phases.total(),
+        c.cycles,
+        "{label}: phase totals do not sum to cycles"
+    );
+    // Hierarchy deltas summed over every event equal the counter snapshot.
+    assert_eq!(m.hier, c.hier, "{label}: hierarchy deltas do not reconcile");
+    // CT micro-op counts.
+    assert_eq!(m.ct_loads, c.ct_loads, "{label}: ct_loads");
+    assert_eq!(m.ct_stores, c.ct_stores, "{label}: ct_stores");
+    // A CT op serves a zeroed (degraded) view on two paths: its group
+    // was already degraded, or this very op tripped the inline desync
+    // check and degraded it. The counters split those; the event does not.
+    assert_eq!(
+        m.ct_degraded,
+        c.robust.degraded_ct_ops + c.robust.inline_desyncs,
+        "{label}: degraded CT ops"
+    );
+    // Linearization-pass aggregates.
+    assert_eq!(m.linearize, c.linearize, "{label}: linearize stats");
+    // Robustness events.
+    assert_eq!(m.degrades, c.robust.downgrades, "{label}: downgrades");
+    assert_eq!(
+        m.resync_violations, c.robust.audit_violations,
+        "{label}: audit violations"
+    );
+    assert_eq!(m.repromotes, c.robust.resyncs, "{label}: resyncs");
+    assert_eq!(
+        m.faults_injected, c.robust.faults_injected,
+        "{label}: injected faults"
+    );
+    // The sink saw at least every demand access and CT micro-op (one
+    // event each), so a non-trivial cell always produces events.
+    let demand: u64 = MemOp::ALL.iter().map(|&op| m.op_count(op)).sum();
+    assert!(
+        m.events >= demand + m.ct_loads + m.ct_stores,
+        "{label}: event total is at least one per access and CT op"
+    );
+    assert!(m.events > 0, "{label}: cell produced no events");
+}
+
+const GHOSTRIDER: &[(&str, usize)] = &[
+    ("dijkstra", 8),
+    ("histogram", 60),
+    ("permutation", 60),
+    ("binary-search", 80),
+    ("heappop", 64),
+];
+
+const STRATEGIES: &[StrategySpec] = &[
+    StrategySpec::Insecure,
+    StrategySpec::Ct,
+    StrategySpec::CtAvx2,
+    StrategySpec::Bia,
+    StrategySpec::BiaLoads,
+];
+
+/// The headline acceptance check: for every Ghostrider workload under
+/// every strategy, phase totals sum exactly to total cycles and the trace
+/// aggregates reconcile exactly with the counters.
+#[test]
+fn ghostrider_grid_reconciles_exactly() {
+    for &(name, size) in GHOSTRIDER {
+        for &strategy in STRATEGIES {
+            let spec = CellSpec::new(
+                WorkloadSpec::named(name, size).unwrap(),
+                strategy,
+                BiaPlacement::L1d,
+            );
+            check_cell(&spec);
+        }
+    }
+}
+
+/// Audited and fault-injected cells reconcile too: degrade, resync,
+/// re-promotion and fault events mirror the robustness counters one for
+/// one. (`Interfere` is excluded — co-runner traffic bypasses the demand
+/// path by design, so it is invisible to the event stream.)
+#[test]
+fn audited_faulted_cells_reconcile() {
+    for (kinds, seed) in [
+        (vec![FaultKind::Drop, FaultKind::Dup, FaultKind::Flip], 7u64),
+        (vec![FaultKind::Corrupt, FaultKind::Delay], 11),
+        (vec![FaultKind::Storm], 13),
+    ] {
+        let mut spec = CellSpec::new(
+            WorkloadSpec::named("histogram", 120).unwrap(),
+            StrategySpec::Bia,
+            BiaPlacement::L1d,
+        );
+        spec.audit = true;
+        spec.faults = Some(FaultSpec {
+            kinds,
+            seed,
+            rate_ppm: 120_000,
+            batch_rate_ppm: 60_000,
+        });
+        check_cell(&spec);
+    }
+}
+
+fn arb_spec() -> impl Strategy<Value = CellSpec> {
+    (
+        0..GHOSTRIDER.len(),
+        0..STRATEGIES.len(),
+        0..3usize,
+        any::<bool>(),
+        any::<bool>(),
+        any::<u64>(),
+    )
+        .prop_map(|(w, s, p, audit, faults, seed)| {
+            let (name, base) = GHOSTRIDER[w];
+            // Sizes stay small (the base grid already covers bigger runs)
+            // but vary with the seed so cells differ meaningfully.
+            let size = base / 2 + (seed % 17) as usize;
+            let placement = [BiaPlacement::L1d, BiaPlacement::L2, BiaPlacement::Llc][p];
+            let mut spec = CellSpec::new(
+                WorkloadSpec::named(name, size.max(34)).unwrap(),
+                STRATEGIES[s],
+                placement,
+            );
+            // Auditing and fault injection both require a BIA-backed
+            // machine; the other strategies run without one.
+            let has_bia = matches!(STRATEGIES[s], StrategySpec::Bia | StrategySpec::BiaLoads);
+            spec.audit = audit && has_bia;
+            if faults && has_bia {
+                spec.faults = Some(FaultSpec {
+                    kinds: vec![FaultKind::Drop, FaultKind::Dup, FaultKind::Flip],
+                    seed,
+                    rate_ppm: 100_000,
+                    batch_rate_ppm: 50_000,
+                });
+            }
+            spec
+        })
+}
+
+/// Tracing compiled in but *off* must be free: the disabled path is a
+/// handful of `sink.is_some()` branches and two u64 adds per charge, and
+/// in particular takes no hierarchy-stats snapshots. If someone breaks
+/// the gating, the untraced path inherits the traced path's snapshot
+/// cost and this tripwire fires. Ignored by default (timing-sensitive):
+/// run explicitly with `cargo test --release -- --ignored` on a quiet
+/// machine.
+#[test]
+#[ignore = "timing-sensitive; run explicitly with -- --ignored"]
+fn disabled_tracing_is_not_slower_than_enabled() {
+    use std::time::Instant;
+    let spec = CellSpec::new(
+        WorkloadSpec::named("histogram", 600).unwrap(),
+        StrategySpec::Bia,
+        BiaPlacement::L1d,
+    );
+    let median = |mut samples: Vec<u128>| {
+        samples.sort_unstable();
+        samples[samples.len() / 2]
+    };
+    let rounds = 7;
+    let off = median(
+        (0..rounds)
+            .map(|_| {
+                let t = Instant::now();
+                execute_cell(&spec).unwrap();
+                t.elapsed().as_nanos()
+            })
+            .collect(),
+    );
+    let on = median(
+        (0..rounds)
+            .map(|_| {
+                let t = Instant::now();
+                execute_cell_traced(&spec, MetricsSink::new()).unwrap();
+                t.elapsed().as_nanos()
+            })
+            .collect(),
+    );
+    // 2% grace for timer noise: the disabled path must never cost more
+    // than the enabled one, which pays for snapshots and aggregation.
+    assert!(
+        off as f64 <= on as f64 * 1.02,
+        "disabled tracing ({off} ns) slower than enabled tracing ({on} ns)"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random cells — any workload, strategy, placement, audit setting
+    /// and fault schedule — always reconcile exactly.
+    #[test]
+    fn random_cells_reconcile(spec in arb_spec()) {
+        check_cell(&spec);
+    }
+}
