@@ -90,6 +90,20 @@ pub fn execute_cell_traced<S: TraceSink + 'static>(
     ))
 }
 
+/// The result of resolving one cell, with its provenance: whether the
+/// report was served from the memo cache or freshly simulated.
+///
+/// Long-running callers (the `ctbia-serve` daemon, `ctbia submit`) surface
+/// the flag to their clients; batch callers that only want the report can
+/// keep using [`SweepEngine::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellOutcome {
+    /// The cell's report — identical whether cached or simulated.
+    pub report: CellReport,
+    /// `true` when the report came from the memo cache without simulating.
+    pub cached: bool,
+}
+
 /// A worker pool plus optional memo cache for running cell grids.
 #[derive(Debug)]
 pub struct SweepEngine {
@@ -161,11 +175,25 @@ impl SweepEngine {
     ///
     /// Propagates [`execute_cell`] errors.
     pub fn run_cell(&self, spec: &CellSpec) -> Result<CellReport, String> {
+        self.run_cell_outcome(spec).map(|o| o.report)
+    }
+
+    /// Like [`SweepEngine::run_cell`], but also reports whether the cell was
+    /// served from the memo cache — the provenance a serving front end
+    /// forwards to its clients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`execute_cell`] errors.
+    pub fn run_cell_outcome(&self, spec: &CellSpec) -> Result<CellOutcome, String> {
         let key = spec.digest_hex();
         if let Some(cache) = &self.cache {
             if let Some(hit) = cache.load(&key) {
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(hit);
+                return Ok(CellOutcome {
+                    report: hit,
+                    cached: true,
+                });
             }
         }
         let report = execute_cell(spec)?;
@@ -173,7 +201,10 @@ impl SweepEngine {
         if let Some(cache) = &self.cache {
             let _ = cache.store(&key, &report);
         }
-        Ok(report)
+        Ok(CellOutcome {
+            report,
+            cached: false,
+        })
     }
 
     /// Runs every cell of `cells`, returning reports **ordered by grid
@@ -184,13 +215,28 @@ impl SweepEngine {
     /// Returns the error of the lowest-indexed failing cell; the sweep does
     /// not short-circuit cells already claimed by other workers.
     pub fn run(&self, cells: &[CellSpec]) -> Result<Vec<CellReport>, String> {
+        self.run_batch(cells)
+            .into_iter()
+            .map(|r| r.map(|o| o.report))
+            .collect()
+    }
+
+    /// The batch-submit API: runs every cell of `cells` on the pool and
+    /// returns one result **per cell**, ordered by grid index, without
+    /// short-circuiting on failures. A serving front end uses this to
+    /// answer each request in a batch independently — one infeasible cell
+    /// yields one typed error, not a failed batch.
+    pub fn run_batch(&self, cells: &[CellSpec]) -> Vec<Result<CellOutcome, String>> {
         let n = cells.len();
         let workers = self.threads.min(n.max(1));
         if workers <= 1 {
-            return cells.iter().map(|spec| self.run_cell(spec)).collect();
+            return cells
+                .iter()
+                .map(|spec| self.run_cell_outcome(spec))
+                .collect();
         }
         let next = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<Result<CellReport, String>>>> =
+        let slots: Mutex<Vec<Option<Result<CellOutcome, String>>>> =
             Mutex::new((0..n).map(|_| None).collect());
         thread::scope(|s| {
             for _ in 0..workers {
@@ -199,7 +245,7 @@ impl SweepEngine {
                     if i >= n {
                         break;
                     }
-                    let result = self.run_cell(&cells[i]);
+                    let result = self.run_cell_outcome(&cells[i]);
                     slots.lock().unwrap()[i] = Some(result);
                 });
             }
@@ -272,6 +318,39 @@ mod tests {
         assert!(sink.events > 0, "the sink saw the cell's events");
         // Phase attribution partitions the cycle count exactly.
         assert_eq!(traced.counters.phases.total(), traced.counters.cycles);
+    }
+
+    #[test]
+    fn run_cell_outcome_reports_cache_provenance() {
+        let dir = std::env::temp_dir().join(format!("ctbia-engine-outcome-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = crate::cache::DiskCache::open(&dir).unwrap();
+        let engine = SweepEngine::serial().with_cache(cache);
+        let spec = cell(StrategySpec::Bia);
+        let first = engine.run_cell_outcome(&spec).unwrap();
+        assert!(!first.cached, "cold cache simulates");
+        let second = engine.run_cell_outcome(&spec).unwrap();
+        assert!(second.cached, "warm cache memo-hits");
+        assert_eq!(first.report, second.report);
+        assert_eq!(engine.cells_executed(), 1);
+        assert_eq!(engine.cache_hits(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_batch_does_not_short_circuit_on_failures() {
+        let mut bad = cell(StrategySpec::Bia);
+        bad.placement = BiaPlacement::Llc;
+        bad.config.hierarchy = ctbia_sim::config::HierarchyConfig::sliced_llc(8, 6);
+        let grid = [cell(StrategySpec::Insecure), bad, cell(StrategySpec::Bia)];
+        let results = SweepEngine::serial().run_batch(&grid);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err(), "infeasible cell fails alone");
+        assert!(results[2].is_ok(), "later cells still run");
+        // Batch results agree with the plain grid runner cell-for-cell.
+        let solo = execute_cell(&grid[2]).unwrap();
+        assert_eq!(results[2].as_ref().unwrap().report, solo);
     }
 
     #[test]

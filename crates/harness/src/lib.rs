@@ -44,6 +44,6 @@ pub mod spec;
 
 pub use cache::DiskCache;
 pub use digest::Digest;
-pub use engine::{execute_cell, execute_cell_traced, SweepEngine};
+pub use engine::{execute_cell, execute_cell_traced, CellOutcome, SweepEngine};
 pub use report::{counter_fields, CellReport};
 pub use spec::{CellSpec, CryptoKernel, FaultSpec, SimConfig, StrategySpec, WorkloadSpec};

@@ -1,0 +1,129 @@
+//! A small blocking client for the `ctbia-serve-v1` protocol — what
+//! `ctbia submit` and `ctbia status` are built on, and what the e2e tests
+//! drive concurrently.
+
+use crate::proto::{parse_response, ping_line, status_line, submit_line, Response, SubmitRequest};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// One connection to a running `ctbia serve` daemon.
+#[derive(Debug)]
+pub struct Client {
+    writer: UnixStream,
+    reader: BufReader<UnixStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to the daemon at `socket`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the socket is absent or refuses.
+    pub fn connect(socket: impl AsRef<Path>) -> std::io::Result<Client> {
+        let stream = UnixStream::connect(socket)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+            next_id: 1,
+        })
+    }
+
+    /// Allocates the next request id.
+    pub fn fresh_id(&mut self) -> String {
+        let id = self.next_id;
+        self.next_id += 1;
+        id.to_string()
+    }
+
+    /// Sends one raw line (appending the newline). Exposed so tests can
+    /// feed the server arbitrary bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error on a broken connection.
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    /// Reads one response line; `None` on a clean EOF.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error on a broken connection.
+    pub fn recv_line(&mut self) -> std::io::Result<Option<String>> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        if line.ends_with('\n') {
+            line.pop();
+        }
+        Ok(Some(line))
+    }
+
+    /// Reads and parses one response envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on EOF, I/O failure, or a malformed envelope.
+    pub fn recv_response(&mut self) -> Result<Response, String> {
+        let line = self
+            .recv_line()
+            .map_err(|e| format!("connection lost: {e}"))?
+            .ok_or("server closed the connection")?;
+        parse_response(&line)
+    }
+
+    /// Pipelines a submit without waiting for the response; returns the
+    /// request id to correlate with.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a broken connection.
+    pub fn send_submit(&mut self, req: &SubmitRequest) -> Result<String, String> {
+        let id = self.fresh_id();
+        self.send_line(&submit_line(&id, req))
+            .map_err(|e| format!("cannot submit: {e}"))?;
+        Ok(id)
+    }
+
+    /// Submits one cell and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on connection or envelope failure (a typed server
+    /// rejection is returned as `Ok(Response::Error { .. })`, not `Err`).
+    pub fn submit(&mut self, req: &SubmitRequest) -> Result<Response, String> {
+        self.send_submit(req)?;
+        self.recv_response()
+    }
+
+    /// Queries server status.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on connection or envelope failure.
+    pub fn status(&mut self, metrics: bool) -> Result<Response, String> {
+        let id = self.fresh_id();
+        self.send_line(&status_line(&id, metrics))
+            .map_err(|e| format!("cannot query status: {e}"))?;
+        self.recv_response()
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on connection or envelope failure.
+    pub fn ping(&mut self) -> Result<Response, String> {
+        let id = self.fresh_id();
+        self.send_line(&ping_line(&id))
+            .map_err(|e| format!("cannot ping: {e}"))?;
+        self.recv_response()
+    }
+}

@@ -1,0 +1,344 @@
+//! A minimal, strict parser and writer for the flat JSON objects the
+//! `ctbia-serve-v1` protocol exchanges.
+//!
+//! The workspace has no serde, so — like the `ctbia-metrics-v1` documents —
+//! protocol envelopes are deliberately *flat*: one JSON object whose values
+//! are strings, non-negative integers, or booleans. That is exactly enough
+//! for request/response envelopes, and small enough that the parser can be
+//! strict: anything else (nesting, floats, negatives, duplicate keys,
+//! trailing garbage) is rejected with a description of the first problem,
+//! which the server turns into a typed error envelope instead of dropping
+//! the connection.
+
+use std::fmt;
+
+/// One field value of a flat protocol object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A JSON string (unescaped).
+    Str(String),
+    /// A non-negative integer (the protocol never needs more).
+    Num(u64),
+    /// `true` or `false`.
+    Bool(bool),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "\"{}\"", escape(s)),
+            Value::Num(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// An ordered flat JSON object: the envelope currency of the protocol.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Object {
+    fields: Vec<(String, Value)>,
+}
+
+impl Object {
+    /// An empty object.
+    pub fn new() -> Object {
+        Object::default()
+    }
+
+    /// Appends a string field.
+    pub fn push_str(&mut self, key: &str, value: impl Into<String>) -> &mut Self {
+        self.fields.push((key.into(), Value::Str(value.into())));
+        self
+    }
+
+    /// Appends an integer field.
+    pub fn push_num(&mut self, key: &str, value: u64) -> &mut Self {
+        self.fields.push((key.into(), Value::Num(value)));
+        self
+    }
+
+    /// Appends a boolean field.
+    pub fn push_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.fields.push((key.into(), Value::Bool(value)));
+        self
+    }
+
+    /// Looks a field up by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The string value of `key`, if present and a string.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer value of `key`, if present and an integer.
+    pub fn get_num(&self, key: &str) -> Option<u64> {
+        match self.get(key) {
+            Some(Value::Num(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean value of `key`, if present and a boolean.
+    pub fn get_bool(&self, key: &str) -> Option<bool> {
+        match self.get(key) {
+            Some(Value::Bool(b)) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The fields in insertion order.
+    pub fn fields(&self) -> &[(String, Value)] {
+        &self.fields
+    }
+
+    /// Serializes the object on one line — the wire form of an envelope.
+    pub fn to_line(&self) -> String {
+        let mut out = String::with_capacity(64);
+        out.push('{');
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('"');
+            out.push_str(&escape(key));
+            out.push_str("\": ");
+            out.push_str(&value.to_string());
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if c.is_control() => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses one flat JSON object. Strict by design: the input must be a
+/// single object of string/integer/boolean values with no duplicate keys
+/// and nothing but whitespace around it.
+///
+/// # Errors
+///
+/// Returns a description of the first problem found.
+pub fn parse_object(input: &str) -> Result<Object, String> {
+    let mut p = Parser {
+        chars: input.chars().collect(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut obj = Object::new();
+    p.skip_ws();
+    if p.peek() == Some('}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            if obj.get(&key).is_some() {
+                return Err(format!("duplicate key {key:?}"));
+            }
+            p.skip_ws();
+            p.expect(':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            obj.fields.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(',') => continue,
+                Some('}') => break,
+                Some(c) => return Err(format!("expected ',' or '}}', found {c:?}")),
+                None => return Err("unterminated object".into()),
+            }
+        }
+    }
+    p.skip_ws();
+    if let Some(c) = p.next() {
+        return Err(format!("trailing content after object: {c:?}"));
+    }
+    Ok(obj)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\r' | '\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.next() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(format!("expected {want:?}, found {c:?}")),
+            None => Err(format!("expected {want:?}, found end of input")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('u') => {
+                        let mut hex = String::new();
+                        for _ in 0..4 {
+                            hex.push(self.next().ok_or("truncated \\u escape")?);
+                        }
+                        let code = u32::from_str_radix(&hex, 16)
+                            .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    Some(c) => return Err(format!("unknown escape \\{c}")),
+                    None => return Err("unterminated string escape".into()),
+                },
+                Some(c) if (c as u32) < 0x20 => {
+                    return Err("raw control character in string".into());
+                }
+                Some(c) => out.push(c),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some('"') => Ok(Value::Str(self.string()?)),
+            Some('t') | Some('f') => {
+                let word: String = self
+                    .chars
+                    .iter()
+                    .skip(self.pos)
+                    .take_while(|c| c.is_ascii_alphabetic())
+                    .collect();
+                self.pos += word.len();
+                match word.as_str() {
+                    "true" => Ok(Value::Bool(true)),
+                    "false" => Ok(Value::Bool(false)),
+                    other => Err(format!("unknown literal {other:?}")),
+                }
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some(c) = self.peek() {
+                    if !c.is_ascii_digit() {
+                        break;
+                    }
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add(c as u64 - '0' as u64))
+                        .ok_or("integer overflows u64")?;
+                    self.pos += 1;
+                }
+                if matches!(self.peek(), Some('.' | 'e' | 'E')) {
+                    return Err("floating-point values are not part of the protocol".into());
+                }
+                Ok(Value::Num(n))
+            }
+            Some('{') | Some('[') => {
+                Err("nested objects and arrays are not part of the protocol".into())
+            }
+            Some(c) => Err(format!("unexpected character {c:?}")),
+            None => Err("expected a value, found end of input".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_value_kinds() {
+        let mut obj = Object::new();
+        obj.push_str("schema", "ctbia-serve-v1")
+            .push_num("size", 2000)
+            .push_bool("eval", true)
+            .push_str("label", "odd \"label\"\\with\nstuff");
+        let line = obj.to_line();
+        assert!(!line.contains('\n'), "wire form is one line: {line}");
+        assert_eq!(parse_object(&line).unwrap(), obj);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "not json",
+            "{",
+            "{}x",
+            "{\"a\": }",
+            "{\"a\": -1}",
+            "{\"a\": 1.5}",
+            "{\"a\": 1e9}",
+            "{\"a\": {\"b\": 1}}",
+            "{\"a\": [1]}",
+            "{\"a\": null}",
+            "{\"a\": 1, \"a\": 2}",
+            "{\"a\": \"unterminated}",
+            "{\"a\": 99999999999999999999999999}",
+        ] {
+            assert!(parse_object(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn empty_object_and_whitespace_are_fine() {
+        assert_eq!(parse_object(" {} ").unwrap(), Object::new());
+        let obj = parse_object("  { \"op\" :\t\"status\" }  ").unwrap();
+        assert_eq!(obj.get_str("op"), Some("status"));
+    }
+
+    #[test]
+    fn typed_getters_check_types() {
+        let obj = parse_object("{\"n\": 7, \"s\": \"x\", \"b\": false}").unwrap();
+        assert_eq!(obj.get_num("n"), Some(7));
+        assert_eq!(obj.get_str("n"), None);
+        assert_eq!(obj.get_str("s"), Some("x"));
+        assert_eq!(obj.get_bool("b"), Some(false));
+        assert_eq!(obj.get_num("missing"), None);
+    }
+}

@@ -1,0 +1,35 @@
+//! # ctbia-serve — the concurrent batch-simulation service
+//!
+//! Every sweep, verify, and trace run used to pay full process startup and
+//! could only be driven by one local CLI invocation at a time. This crate
+//! turns the PR 2 sweep engine and content-addressed memo cache into a
+//! long-running daemon:
+//!
+//! * [`Server`] — `ctbia serve --socket PATH`: a Unix-domain-socket
+//!   service speaking the newline-delimited JSON [`proto`] (versioned
+//!   `ctbia-serve-v1` envelopes), with a shared job queue, duplicate-cell
+//!   coalescing, per-connection backpressure, typed error responses, and
+//!   graceful drain on shutdown or SIGTERM.
+//! * [`Client`] — the blocking client `ctbia submit` / `ctbia status` use,
+//!   and the instrument the e2e/stress suites drive concurrently.
+//!
+//! The determinism contract is inherited, not re-proved: a served report
+//! is the cell's full versioned cache text, so it is byte-identical to
+//! what a direct [`ctbia_harness::SweepEngine`] sweep produces — the
+//! `serve_e2e` suite asserts exactly that under ≥4 concurrent clients.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod json;
+pub mod proto;
+pub mod server;
+pub mod signal;
+
+pub use client::Client;
+pub use proto::{
+    ErrorCode, ProtoError, Request, Response, StatusSnapshot, SubmitRequest, MAX_LINE, SERVE_SCHEMA,
+};
+pub use server::{Server, ServerConfig, ServerHandle};

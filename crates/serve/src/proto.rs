@@ -1,0 +1,836 @@
+//! The `ctbia-serve-v1` wire protocol.
+//!
+//! Requests and responses are *envelopes*: one flat JSON object per line
+//! (see [`crate::json`]), newline-delimited, over a Unix domain socket.
+//! Every request carries a client-chosen `id` that the matching response
+//! echoes, so clients may pipeline requests and correlate out-of-order
+//! completions. Malformed input of any kind is answered with a typed
+//! [`ErrorCode`] envelope — the server never drops a connection over bad
+//! bytes.
+//!
+//! ```text
+//! -> {"schema": "ctbia-serve-v1", "id": "1", "op": "submit", "workload": "hist", "size": 400, "strategy": "bia", "placement": "l1d"}
+//! <- {"schema": "ctbia-serve-v1", "id": "1", "ok": true, "kind": "report", "cached": false, "coalesced": false, "report": "ctbia-cell-v2\n..."}
+//! -> {"schema": "ctbia-serve-v1", "id": "2", "op": "status"}
+//! <- {"schema": "ctbia-serve-v1", "id": "2", "ok": true, "kind": "status", "jobs_submitted": 1, ...}
+//! -> garbage
+//! <- {"schema": "ctbia-serve-v1", "id": "-", "ok": false, "kind": "error", "code": "bad-json", "message": "..."}
+//! ```
+//!
+//! A report envelope embeds the cell's full versioned cache text (the PR 2
+//! on-disk format) as an escaped string, so a served report carries exactly
+//! the bytes a direct sweep would have produced — byte-identity is a
+//! protocol property, not an approximation.
+
+use crate::json::{parse_object, Object};
+use ctbia_harness::{CellReport, CellSpec, CryptoKernel, StrategySpec, WorkloadSpec};
+use ctbia_machine::BiaPlacement;
+use std::fmt;
+
+/// Schema tag carried by every request and response envelope.
+pub const SERVE_SCHEMA: &str = "ctbia-serve-v1";
+
+/// Hard cap on one request line, in bytes. Longer lines are answered with
+/// an [`ErrorCode::OversizedLine`] envelope and skipped to the next
+/// newline.
+pub const MAX_LINE: usize = 64 * 1024;
+
+/// Longest accepted request `id`, in characters.
+pub const MAX_ID_LEN: usize = 128;
+
+/// The `id` echoed when a request was too malformed to carry one.
+pub const UNKNOWN_ID: &str = "-";
+
+/// Typed protocol error codes. Every failure mode a client can provoke has
+/// a stable code, so tests (and clients) can dispatch on the *kind* of
+/// rejection rather than parsing prose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line exceeded [`MAX_LINE`] bytes.
+    OversizedLine,
+    /// The line was not a flat JSON object.
+    BadJson,
+    /// The `schema` field was missing or not `ctbia-serve-v1`.
+    BadSchema,
+    /// A required field was missing, mistyped, or out of range.
+    BadRequest,
+    /// The `op` field named no known operation.
+    UnknownOp,
+    /// The submitted cell description was invalid (unknown workload,
+    /// strategy, or placement).
+    BadCell,
+    /// The client exceeded its `--max-inflight` budget; resubmit after a
+    /// response arrives.
+    Backpressure,
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+    /// The cell was accepted but simulation failed (infeasible config).
+    CellFailed,
+}
+
+impl ErrorCode {
+    /// The stable wire form of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::OversizedLine => "oversized-line",
+            ErrorCode::BadJson => "bad-json",
+            ErrorCode::BadSchema => "bad-schema",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::UnknownOp => "unknown-op",
+            ErrorCode::BadCell => "bad-cell",
+            ErrorCode::Backpressure => "backpressure",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::CellFailed => "cell-failed",
+        }
+    }
+
+    /// Parses a wire code (the client side of [`ErrorCode::as_str`]).
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "oversized-line" => ErrorCode::OversizedLine,
+            "bad-json" => ErrorCode::BadJson,
+            "bad-schema" => ErrorCode::BadSchema,
+            "bad-request" => ErrorCode::BadRequest,
+            "unknown-op" => ErrorCode::UnknownOp,
+            "bad-cell" => ErrorCode::BadCell,
+            "backpressure" => ErrorCode::Backpressure,
+            "shutting-down" => ErrorCode::ShuttingDown,
+            "cell-failed" => ErrorCode::CellFailed,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A request rejection: which code, with what prose, attributed to which
+/// request id (when one could be recovered from the line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// The request id, if the line carried a parseable one.
+    pub id: Option<String>,
+    /// The typed rejection code.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ProtoError {
+    fn new(id: Option<String>, code: ErrorCode, message: impl Into<String>) -> ProtoError {
+        ProtoError {
+            id,
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+/// One cell-submission request: the pure-data description a client sends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitRequest {
+    /// Workload name (`hist`, `dijkstra`, ... or a crypto kernel tag).
+    pub workload: String,
+    /// Element count; defaults per workload when absent.
+    pub size: Option<u64>,
+    /// Strategy name; defaults to `bia`.
+    pub strategy: Option<String>,
+    /// BIA placement name; defaults to `l1d`.
+    pub placement: Option<String>,
+    /// Run under the figure-harness (`o3_approx`) configuration.
+    pub eval: bool,
+}
+
+impl SubmitRequest {
+    /// Resolves the request into an executable [`CellSpec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the invalid field (unknown workload,
+    /// strategy, or placement; zero size).
+    pub fn to_spec(&self) -> Result<CellSpec, String> {
+        let strategy = StrategySpec::parse(self.strategy.as_deref().unwrap_or("bia"))?;
+        let placement = match self.placement.as_deref().unwrap_or("l1d") {
+            "l1d" => BiaPlacement::L1d,
+            "l2" => BiaPlacement::L2,
+            "llc" => BiaPlacement::Llc,
+            other => return Err(format!("unknown placement '{other}' (l1d, l2 or llc)")),
+        };
+        let workload = self.workload_spec()?;
+        let mut spec = CellSpec::new(workload, strategy, placement);
+        if self.eval {
+            spec = spec.with_eval_config();
+        }
+        Ok(spec)
+    }
+
+    fn workload_spec(&self) -> Result<WorkloadSpec, String> {
+        // Crypto kernels are named by tag and take no size parameter.
+        for kernel in CryptoKernel::ALL {
+            if kernel_tag(kernel) == self.workload {
+                return Ok(WorkloadSpec::Crypto(kernel));
+            }
+        }
+        let size = match self.size {
+            Some(0) => return Err("size must be at least 1".into()),
+            Some(n) => usize::try_from(n).map_err(|_| "size does not fit usize".to_string())?,
+            None => default_size(&self.workload),
+        };
+        WorkloadSpec::named(&self.workload, size)
+    }
+}
+
+/// The workload sizes `ctbia run` uses when none is given; the server
+/// mirrors them so a size-less submit simulates the same cell.
+pub fn default_size(name: &str) -> usize {
+    match name {
+        "dijkstra" | "dij" => 64,
+        _ => 2000,
+    }
+}
+
+fn kernel_tag(k: CryptoKernel) -> &'static str {
+    match k {
+        CryptoKernel::Aes => "aes",
+        CryptoKernel::Rc2 => "rc2",
+        CryptoKernel::Rc4 => "rc4",
+        CryptoKernel::Blowfish => "blowfish",
+        CryptoKernel::Cast => "cast",
+        CryptoKernel::Des => "des",
+        CryptoKernel::Des3 => "des3",
+        CryptoKernel::Xor => "xor",
+    }
+}
+
+/// A parsed, validated request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Submit one cell for execution.
+    Submit(SubmitRequest),
+    /// Query server counters; `metrics` additionally requests the
+    /// aggregated `ctbia-metrics-v1` document over all served jobs.
+    Status {
+        /// Include the aggregated metrics document in the response.
+        metrics: bool,
+    },
+    /// Liveness probe.
+    Ping,
+}
+
+const SUBMIT_KEYS: &[&str] = &[
+    "schema",
+    "id",
+    "op",
+    "workload",
+    "size",
+    "strategy",
+    "placement",
+    "eval",
+];
+const STATUS_KEYS: &[&str] = &["schema", "id", "op", "metrics"];
+const PING_KEYS: &[&str] = &["schema", "id", "op"];
+
+/// Parses and validates one request line into `(id, request)`.
+///
+/// # Errors
+///
+/// Returns a [`ProtoError`] carrying the typed code (and the request id
+/// when the line was well-formed enough to have one) for any violation:
+/// non-JSON, wrong schema, missing or mistyped fields, unknown operations,
+/// unknown envelope keys.
+pub fn parse_request(line: &str) -> Result<(String, Request), ProtoError> {
+    let obj = parse_object(line)
+        .map_err(|e| ProtoError::new(None, ErrorCode::BadJson, format!("not a request: {e}")))?;
+    // Recover the id as early as possible so even schema errors correlate.
+    let id = obj.get_str("id").map(str::to_string);
+    let id = match id {
+        Some(s) if !s.is_empty() && s.chars().count() <= MAX_ID_LEN => s,
+        Some(_) => {
+            return Err(ProtoError::new(
+                None,
+                ErrorCode::BadRequest,
+                format!("\"id\" must be a non-empty string of at most {MAX_ID_LEN} characters"),
+            ))
+        }
+        None => {
+            return Err(ProtoError::new(
+                None,
+                ErrorCode::BadRequest,
+                "missing string field \"id\"",
+            ))
+        }
+    };
+    let fail = |code: ErrorCode, msg: String| Err(ProtoError::new(Some(id.clone()), code, msg));
+    match obj.get_str("schema") {
+        Some(SERVE_SCHEMA) => {}
+        Some(other) => {
+            return fail(
+                ErrorCode::BadSchema,
+                format!("schema {other:?} is not {SERVE_SCHEMA:?}"),
+            )
+        }
+        None => {
+            return fail(
+                ErrorCode::BadSchema,
+                "missing string field \"schema\"".into(),
+            )
+        }
+    }
+    let op = match obj.get_str("op") {
+        Some(op) => op,
+        None => return fail(ErrorCode::BadRequest, "missing string field \"op\"".into()),
+    };
+    let allowed = match op {
+        "submit" => SUBMIT_KEYS,
+        "status" => STATUS_KEYS,
+        "ping" => PING_KEYS,
+        other => {
+            return fail(
+                ErrorCode::UnknownOp,
+                format!("unknown op {other:?} (submit, status or ping)"),
+            )
+        }
+    };
+    for (key, _) in obj.fields() {
+        if !allowed.contains(&key.as_str()) {
+            return fail(
+                ErrorCode::BadRequest,
+                format!("unknown field {key:?} for op {op:?}"),
+            );
+        }
+    }
+    let request = match op {
+        "submit" => {
+            let workload = match obj.get_str("workload") {
+                Some(w) => w.to_string(),
+                None => {
+                    return fail(
+                        ErrorCode::BadRequest,
+                        "submit requires a string field \"workload\"".into(),
+                    )
+                }
+            };
+            let typed = |key: &str| -> Result<(), ProtoError> {
+                match key {
+                    "size" if obj.get("size").is_some() && obj.get_num("size").is_none() => {
+                        Err(ProtoError::new(
+                            Some(id.clone()),
+                            ErrorCode::BadRequest,
+                            "\"size\" must be a non-negative integer".to_string(),
+                        ))
+                    }
+                    "strategy" | "placement"
+                        if obj.get(key).is_some() && obj.get_str(key).is_none() =>
+                    {
+                        Err(ProtoError::new(
+                            Some(id.clone()),
+                            ErrorCode::BadRequest,
+                            format!("{key:?} must be a string"),
+                        ))
+                    }
+                    "eval" if obj.get("eval").is_some() && obj.get_bool("eval").is_none() => {
+                        Err(ProtoError::new(
+                            Some(id.clone()),
+                            ErrorCode::BadRequest,
+                            "\"eval\" must be a boolean".to_string(),
+                        ))
+                    }
+                    _ => Ok(()),
+                }
+            };
+            for key in ["size", "strategy", "placement", "eval"] {
+                typed(key)?;
+            }
+            Request::Submit(SubmitRequest {
+                workload,
+                size: obj.get_num("size"),
+                strategy: obj.get_str("strategy").map(str::to_string),
+                placement: obj.get_str("placement").map(str::to_string),
+                eval: obj.get_bool("eval").unwrap_or(false),
+            })
+        }
+        "status" => {
+            if obj.get("metrics").is_some() && obj.get_bool("metrics").is_none() {
+                return fail(
+                    ErrorCode::BadRequest,
+                    "\"metrics\" must be a boolean".into(),
+                );
+            }
+            Request::Status {
+                metrics: obj.get_bool("metrics").unwrap_or(false),
+            }
+        }
+        _ => Request::Ping,
+    };
+    Ok((id, request))
+}
+
+/// Builds a submit request envelope (the client side of
+/// [`parse_request`]).
+pub fn submit_line(id: &str, req: &SubmitRequest) -> String {
+    let mut obj = Object::new();
+    obj.push_str("schema", SERVE_SCHEMA)
+        .push_str("id", id)
+        .push_str("op", "submit")
+        .push_str("workload", &req.workload);
+    if let Some(size) = req.size {
+        obj.push_num("size", size);
+    }
+    if let Some(strategy) = &req.strategy {
+        obj.push_str("strategy", strategy);
+    }
+    if let Some(placement) = &req.placement {
+        obj.push_str("placement", placement);
+    }
+    if req.eval {
+        obj.push_bool("eval", true);
+    }
+    obj.to_line()
+}
+
+/// Builds a status request envelope.
+pub fn status_line(id: &str, metrics: bool) -> String {
+    let mut obj = Object::new();
+    obj.push_str("schema", SERVE_SCHEMA)
+        .push_str("id", id)
+        .push_str("op", "status");
+    if metrics {
+        obj.push_bool("metrics", true);
+    }
+    obj.to_line()
+}
+
+/// Builds a ping request envelope.
+pub fn ping_line(id: &str) -> String {
+    let mut obj = Object::new();
+    obj.push_str("schema", SERVE_SCHEMA)
+        .push_str("id", id)
+        .push_str("op", "ping");
+    obj.to_line()
+}
+
+/// A point-in-time snapshot of the server's counters, as carried by a
+/// status response.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatusSnapshot {
+    /// Submit requests accepted (including coalesced attachments).
+    pub jobs_submitted: u64,
+    /// Jobs resolved (one per distinct digest, cached or simulated).
+    pub jobs_completed: u64,
+    /// Jobs that failed simulation.
+    pub jobs_failed: u64,
+    /// Jobs resolved by simulating the cell.
+    pub executed: u64,
+    /// Jobs resolved from the memo cache.
+    pub cache_hits: u64,
+    /// Submits that attached to an already-in-flight duplicate digest.
+    pub coalesced: u64,
+    /// Submits rejected for exceeding the per-connection in-flight cap.
+    pub backpressure_rejections: u64,
+    /// Request lines answered with a protocol error envelope.
+    pub protocol_errors: u64,
+    /// Jobs currently queued or executing.
+    pub inflight_jobs: u64,
+    /// Worker threads serving the job queue.
+    pub threads: u64,
+    /// Per-connection in-flight request cap.
+    pub max_inflight: u64,
+}
+
+/// The `(wire key, field)` list of a status snapshot; one table drives the
+/// encoder, the parser, and the status display so they cannot disagree.
+pub const STATUS_FIELDS: &[&str] = &[
+    "jobs_submitted",
+    "jobs_completed",
+    "jobs_failed",
+    "executed",
+    "cache_hits",
+    "coalesced",
+    "backpressure_rejections",
+    "protocol_errors",
+    "inflight_jobs",
+    "threads",
+    "max_inflight",
+];
+
+impl StatusSnapshot {
+    /// The snapshot's fields in canonical wire order.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("jobs_submitted", self.jobs_submitted),
+            ("jobs_completed", self.jobs_completed),
+            ("jobs_failed", self.jobs_failed),
+            ("executed", self.executed),
+            ("cache_hits", self.cache_hits),
+            ("coalesced", self.coalesced),
+            ("backpressure_rejections", self.backpressure_rejections),
+            ("protocol_errors", self.protocol_errors),
+            ("inflight_jobs", self.inflight_jobs),
+            ("threads", self.threads),
+            ("max_inflight", self.max_inflight),
+        ]
+    }
+
+    fn from_object(obj: &Object) -> Result<StatusSnapshot, String> {
+        let get = |key: &str| -> Result<u64, String> {
+            obj.get_num(key)
+                .ok_or_else(|| format!("status response missing integer field {key:?}"))
+        };
+        Ok(StatusSnapshot {
+            jobs_submitted: get("jobs_submitted")?,
+            jobs_completed: get("jobs_completed")?,
+            jobs_failed: get("jobs_failed")?,
+            executed: get("executed")?,
+            cache_hits: get("cache_hits")?,
+            coalesced: get("coalesced")?,
+            backpressure_rejections: get("backpressure_rejections")?,
+            protocol_errors: get("protocol_errors")?,
+            inflight_jobs: get("inflight_jobs")?,
+            threads: get("threads")?,
+            max_inflight: get("max_inflight")?,
+        })
+    }
+}
+
+/// A parsed response envelope (the client side of the protocol).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// A served cell report.
+    Report {
+        /// Echoed request id.
+        id: String,
+        /// Served from the memo cache without simulating.
+        cached: bool,
+        /// Attached to another client's in-flight execution.
+        coalesced: bool,
+        /// The report, decoded from its embedded cache text (boxed: a
+        /// `CellReport` dwarfs every other variant).
+        report: Box<CellReport>,
+    },
+    /// A typed rejection.
+    Error {
+        /// Echoed request id, or [`UNKNOWN_ID`].
+        id: String,
+        /// The typed code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Server counters.
+    Status {
+        /// Echoed request id.
+        id: String,
+        /// The counter snapshot.
+        snapshot: StatusSnapshot,
+        /// The aggregated metrics document (JSON text), when requested.
+        metrics: Option<String>,
+    },
+    /// Liveness reply.
+    Pong {
+        /// Echoed request id.
+        id: String,
+    },
+}
+
+impl Response {
+    /// The echoed request id of any response kind.
+    pub fn id(&self) -> &str {
+        match self {
+            Response::Report { id, .. }
+            | Response::Error { id, .. }
+            | Response::Status { id, .. }
+            | Response::Pong { id } => id,
+        }
+    }
+}
+
+fn envelope(id: &str, ok: bool, kind: &str) -> Object {
+    let mut obj = Object::new();
+    obj.push_str("schema", SERVE_SCHEMA)
+        .push_str("id", id)
+        .push_bool("ok", ok)
+        .push_str("kind", kind);
+    obj
+}
+
+/// Encodes a report response. The report travels as its full versioned
+/// cache text, escaped into one JSON string.
+pub fn report_response(id: &str, cached: bool, coalesced: bool, report: &CellReport) -> String {
+    let mut obj = envelope(id, true, "report");
+    obj.push_bool("cached", cached)
+        .push_bool("coalesced", coalesced)
+        .push_str("report", report.to_cache_text());
+    obj.to_line()
+}
+
+/// Encodes a typed error response.
+pub fn error_response(id: Option<&str>, code: ErrorCode, message: &str) -> String {
+    let mut obj = envelope(id.unwrap_or(UNKNOWN_ID), false, "error");
+    obj.push_str("code", code.as_str())
+        .push_str("message", message);
+    obj.to_line()
+}
+
+/// Encodes a status response; `metrics` carries an aggregated
+/// `ctbia-metrics-v1` document when the request asked for one.
+pub fn status_response(id: &str, snapshot: &StatusSnapshot, metrics: Option<&str>) -> String {
+    let mut obj = envelope(id, true, "status");
+    for (key, value) in snapshot.fields() {
+        obj.push_num(key, value);
+    }
+    if let Some(doc) = metrics {
+        obj.push_str("metrics", doc);
+    }
+    obj.to_line()
+}
+
+/// Encodes a pong response.
+pub fn pong_response(id: &str) -> String {
+    envelope(id, true, "pong").to_line()
+}
+
+/// Parses one response line.
+///
+/// # Errors
+///
+/// Returns a message when the line is not a well-formed `ctbia-serve-v1`
+/// response envelope (which would indicate a server bug, not bad luck).
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let obj = parse_object(line).map_err(|e| format!("not a response envelope: {e}"))?;
+    match obj.get_str("schema") {
+        Some(SERVE_SCHEMA) => {}
+        other => return Err(format!("response schema {other:?} is not {SERVE_SCHEMA:?}")),
+    }
+    let id = obj
+        .get_str("id")
+        .ok_or("response missing \"id\"")?
+        .to_string();
+    match obj.get_str("kind") {
+        Some("report") => {
+            let text = obj
+                .get_str("report")
+                .ok_or("report response missing body")?;
+            let report =
+                CellReport::from_cache_text(text).ok_or("report response body failed to decode")?;
+            Ok(Response::Report {
+                id,
+                cached: obj.get_bool("cached").ok_or("report missing \"cached\"")?,
+                coalesced: obj
+                    .get_bool("coalesced")
+                    .ok_or("report missing \"coalesced\"")?,
+                report: Box::new(report),
+            })
+        }
+        Some("error") => {
+            let code = obj.get_str("code").ok_or("error response missing code")?;
+            let code =
+                ErrorCode::parse(code).ok_or_else(|| format!("unknown error code {code:?}"))?;
+            Ok(Response::Error {
+                id,
+                code,
+                message: obj
+                    .get_str("message")
+                    .ok_or("error response missing message")?
+                    .to_string(),
+            })
+        }
+        Some("status") => Ok(Response::Status {
+            id,
+            snapshot: StatusSnapshot::from_object(&obj)?,
+            metrics: obj.get_str("metrics").map(str::to_string),
+        }),
+        Some("pong") => Ok(Response::Pong { id }),
+        other => Err(format!("unknown response kind {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctbia_machine::Counters;
+
+    fn sample_report() -> CellReport {
+        let counters = Counters {
+            cycles: 987,
+            insts: 55,
+            ..Default::default()
+        };
+        CellReport {
+            label: "hist_400/BIA@L1d".into(),
+            digest: 0x1234_5678,
+            counters,
+        }
+    }
+
+    #[test]
+    fn submit_round_trips() {
+        let req = SubmitRequest {
+            workload: "hist".into(),
+            size: Some(400),
+            strategy: Some("bia".into()),
+            placement: Some("l1d".into()),
+            eval: true,
+        };
+        let line = submit_line("42", &req);
+        let (id, parsed) = parse_request(&line).unwrap();
+        assert_eq!(id, "42");
+        assert_eq!(parsed, Request::Submit(req));
+    }
+
+    #[test]
+    fn status_and_ping_round_trip() {
+        assert_eq!(
+            parse_request(&status_line("s", true)).unwrap(),
+            ("s".into(), Request::Status { metrics: true })
+        );
+        assert_eq!(
+            parse_request(&ping_line("p")).unwrap(),
+            ("p".into(), Request::Ping)
+        );
+    }
+
+    #[test]
+    fn typed_errors_cover_the_failure_modes() {
+        let cases: &[(&str, ErrorCode)] = &[
+            ("nonsense", ErrorCode::BadJson),
+            ("{\"id\": \"1\"}", ErrorCode::BadSchema),
+            (
+                "{\"schema\": \"ctbia-serve-v0\", \"id\": \"1\", \"op\": \"ping\"}",
+                ErrorCode::BadSchema,
+            ),
+            (
+                "{\"schema\": \"ctbia-serve-v1\", \"op\": \"ping\"}",
+                ErrorCode::BadRequest,
+            ),
+            (
+                "{\"schema\": \"ctbia-serve-v1\", \"id\": \"1\", \"op\": \"dance\"}",
+                ErrorCode::UnknownOp,
+            ),
+            (
+                "{\"schema\": \"ctbia-serve-v1\", \"id\": \"1\", \"op\": \"submit\"}",
+                ErrorCode::BadRequest,
+            ),
+            (
+                "{\"schema\": \"ctbia-serve-v1\", \"id\": \"1\", \"op\": \"submit\", \
+                 \"workload\": \"hist\", \"size\": \"big\"}",
+                ErrorCode::BadRequest,
+            ),
+            (
+                "{\"schema\": \"ctbia-serve-v1\", \"id\": \"1\", \"op\": \"ping\", \
+                 \"extra\": 1}",
+                ErrorCode::BadRequest,
+            ),
+        ];
+        for (line, want) in cases {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.code, *want, "line {line:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn submit_resolves_cells_like_the_cli() {
+        let req = SubmitRequest {
+            workload: "hist".into(),
+            size: None,
+            strategy: None,
+            placement: None,
+            eval: false,
+        };
+        let spec = req.to_spec().unwrap();
+        // Defaults mirror `ctbia run hist`: size 2000, BIA at L1d.
+        assert_eq!(spec.label(), "hist_2k/BIA@L1d");
+        let crypto = SubmitRequest {
+            workload: "aes".into(),
+            size: None,
+            strategy: Some("insecure".into()),
+            placement: None,
+            eval: false,
+        };
+        assert_eq!(crypto.to_spec().unwrap().label(), "AES/insecure");
+        let bad = SubmitRequest {
+            workload: "nope".into(),
+            size: None,
+            strategy: None,
+            placement: None,
+            eval: false,
+        };
+        assert!(bad.to_spec().is_err());
+    }
+
+    #[test]
+    fn report_response_round_trips_byte_identically() {
+        let report = sample_report();
+        let line = report_response("7", true, false, &report);
+        match parse_response(&line).unwrap() {
+            Response::Report {
+                id,
+                cached,
+                coalesced,
+                report: parsed,
+            } => {
+                assert_eq!(id, "7");
+                assert!(cached);
+                assert!(!coalesced);
+                assert_eq!(parsed.to_cache_text(), report.to_cache_text());
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_and_status_responses_round_trip() {
+        let line = error_response(None, ErrorCode::BadJson, "zap");
+        match parse_response(&line).unwrap() {
+            Response::Error { id, code, message } => {
+                assert_eq!(id, UNKNOWN_ID);
+                assert_eq!(code, ErrorCode::BadJson);
+                assert_eq!(message, "zap");
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        let snapshot = StatusSnapshot {
+            jobs_submitted: 9,
+            jobs_completed: 8,
+            executed: 5,
+            cache_hits: 3,
+            coalesced: 1,
+            threads: 4,
+            max_inflight: 32,
+            ..StatusSnapshot::default()
+        };
+        let line = status_response("s", &snapshot, Some("{\"schema\": \"x\"}\n"));
+        match parse_response(&line).unwrap() {
+            Response::Status {
+                id,
+                snapshot: parsed,
+                metrics,
+            } => {
+                assert_eq!(id, "s");
+                assert_eq!(parsed, snapshot);
+                assert_eq!(metrics.as_deref(), Some("{\"schema\": \"x\"}\n"));
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_error_code_round_trips() {
+        for code in [
+            ErrorCode::OversizedLine,
+            ErrorCode::BadJson,
+            ErrorCode::BadSchema,
+            ErrorCode::BadRequest,
+            ErrorCode::UnknownOp,
+            ErrorCode::BadCell,
+            ErrorCode::Backpressure,
+            ErrorCode::ShuttingDown,
+            ErrorCode::CellFailed,
+        ] {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrorCode::parse("nope"), None);
+    }
+}

@@ -1,0 +1,558 @@
+//! The `ctbia serve` daemon: a Unix-domain-socket front end over the
+//! sweep engine and memo cache.
+//!
+//! Architecture, one connection at a time:
+//!
+//! ```text
+//!   accept thread ──spawns──> connection reader ──submit──> shared job queue
+//!                                   │                            │
+//!                                   │ status/ping/errors         │ worker pool
+//!                                   v                            v
+//!                             response channel <──report── job completion
+//!                                   │
+//!                                   v
+//!                             connection writer (one line per response)
+//! ```
+//!
+//! * **One queue, many clients.** Every accepted submit becomes (or joins)
+//!   a [`Job`] keyed by the cell's content digest. Workers claim jobs FIFO
+//!   and resolve them through [`SweepEngine::run_cell_outcome`] — memo
+//!   cache first, simulation on a miss — so the daemon shares one warm
+//!   result store across all clients and with the batch CLI.
+//! * **Coalescing.** A submit whose digest is already in flight attaches
+//!   to the existing job instead of enqueueing a duplicate; both clients
+//!   get their own response from the single execution.
+//! * **Backpressure.** Each connection may have at most `max_inflight`
+//!   unanswered submits; excess submits are *answered* (typed
+//!   `backpressure` error), never dropped or blocked.
+//! * **Graceful shutdown.** [`ServerHandle::shutdown`] (or SIGTERM in the
+//!   CLI) stops accepting work, lets the workers drain every queued and
+//!   executing job, flushes the responses, then closes connections — no
+//!   accepted request goes unanswered.
+
+use crate::proto::{
+    error_response, parse_request, pong_response, report_response, status_response, ErrorCode,
+    Request, StatusSnapshot, MAX_LINE,
+};
+use ctbia_harness::{counter_fields, CellOutcome, CellSpec, DiskCache, SweepEngine};
+use ctbia_trace::MetricsDoc;
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// How often blocked loops (accept, idle readers) poll the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Configuration of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Path of the Unix domain socket to bind (created; any stale file is
+    /// removed first).
+    pub socket: PathBuf,
+    /// Worker threads draining the job queue.
+    pub threads: usize,
+    /// Per-connection cap on unanswered submits.
+    pub max_inflight: usize,
+    /// Memo-cache directory; `None` serves uncached.
+    pub cache_dir: Option<PathBuf>,
+    /// Artificial per-job delay, for stress tests and load drills (0 in
+    /// production use).
+    pub worker_delay_ms: u64,
+}
+
+impl ServerConfig {
+    /// A config on `socket` with defaults: all cores, a 32-deep
+    /// per-connection window, the default `results/cache/` memo directory.
+    pub fn new(socket: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            socket: socket.into(),
+            threads: thread::available_parallelism().map_or(1, |n| n.get()),
+            max_inflight: 32,
+            cache_dir: Some(PathBuf::from(ctbia_harness::cache::DEFAULT_DIR)),
+            worker_delay_ms: 0,
+        }
+    }
+}
+
+/// One response consumer of a job: which connection, which request id,
+/// and whether it coalesced onto an execution another submit started.
+#[derive(Debug)]
+struct Waiter {
+    tx: mpsc::Sender<String>,
+    id: String,
+    coalesced: bool,
+    conn_inflight: Arc<AtomicUsize>,
+}
+
+/// One in-flight cell resolution, shared by every submit that asked for
+/// the same digest.
+#[derive(Debug)]
+struct Job {
+    spec: CellSpec,
+    digest: u128,
+    waiters: Mutex<Vec<Waiter>>,
+}
+
+#[derive(Debug, Default)]
+struct Stats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    coalesced: AtomicU64,
+    backpressure: AtomicU64,
+    protocol_errors: AtomicU64,
+    inflight_jobs: AtomicU64,
+}
+
+/// Shared server state: the queue, the coalescing map, the engine, the
+/// counters, and the shutdown latch.
+#[derive(Debug)]
+struct Core {
+    engine: SweepEngine,
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    queue_cv: Condvar,
+    inflight: Mutex<HashMap<u128, Arc<Job>>>,
+    stats: Stats,
+    /// Running sums of every counter field over completed jobs, in the
+    /// canonical `counter_fields` order — the `--metrics` aggregate.
+    sums: Mutex<Vec<(&'static str, u64)>>,
+    shutdown: AtomicBool,
+    threads: usize,
+    max_inflight: usize,
+    worker_delay_ms: u64,
+}
+
+impl Core {
+    fn snapshot(&self) -> StatusSnapshot {
+        StatusSnapshot {
+            jobs_submitted: self.stats.submitted.load(Ordering::Relaxed),
+            jobs_completed: self.stats.completed.load(Ordering::Relaxed),
+            jobs_failed: self.stats.failed.load(Ordering::Relaxed),
+            executed: self.engine.cells_executed(),
+            cache_hits: self.engine.cache_hits(),
+            coalesced: self.stats.coalesced.load(Ordering::Relaxed),
+            backpressure_rejections: self.stats.backpressure.load(Ordering::Relaxed),
+            protocol_errors: self.stats.protocol_errors.load(Ordering::Relaxed),
+            inflight_jobs: self.stats.inflight_jobs.load(Ordering::Relaxed),
+            threads: self.threads as u64,
+            max_inflight: self.max_inflight as u64,
+        }
+    }
+
+    /// The aggregated `ctbia-metrics-v1` document over every completed job
+    /// (cache hits included; coalesced waiters count once per job, not per
+    /// response).
+    fn metrics_doc(&self) -> MetricsDoc {
+        let snapshot = self.snapshot();
+        let mut doc = MetricsDoc::new("serve");
+        for (key, value) in snapshot.fields() {
+            doc.push(format!("serve.{key}"), value);
+        }
+        for (key, value) in self.sums.lock().unwrap().iter() {
+            doc.push(*key, *value);
+        }
+        doc
+    }
+
+    /// Registers one submit: coalesce onto an in-flight duplicate digest,
+    /// or create and enqueue a fresh job.
+    fn submit(
+        &self,
+        spec: CellSpec,
+        tx: mpsc::Sender<String>,
+        id: String,
+        conn_inflight: Arc<AtomicUsize>,
+    ) {
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let digest = spec.digest();
+        let mut map = self.inflight.lock().unwrap();
+        if let Some(job) = map.get(&digest) {
+            // Duplicate of an in-flight cell: share its execution. A job
+            // leaves the map strictly before its waiters are notified, so
+            // a map-resident job is guaranteed to flush this waiter.
+            self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+            job.waiters.lock().unwrap().push(Waiter {
+                tx,
+                id,
+                coalesced: true,
+                conn_inflight,
+            });
+            return;
+        }
+        let job = Arc::new(Job {
+            spec,
+            digest,
+            waiters: Mutex::new(vec![Waiter {
+                tx,
+                id,
+                coalesced: false,
+                conn_inflight,
+            }]),
+        });
+        map.insert(digest, Arc::clone(&job));
+        drop(map);
+        self.stats.inflight_jobs.fetch_add(1, Ordering::Relaxed);
+        self.queue.lock().unwrap().push_back(job);
+        self.queue_cv.notify_one();
+    }
+
+    /// Publishes a finished job: removes it from the coalescing map, rolls
+    /// the aggregates, and answers every waiter.
+    fn complete(&self, job: &Job, outcome: Result<CellOutcome, String>) {
+        self.inflight.lock().unwrap().remove(&job.digest);
+        match &outcome {
+            Ok(o) => {
+                self.stats.completed.fetch_add(1, Ordering::Relaxed);
+                let fields = counter_fields(&o.report.counters);
+                let mut sums = self.sums.lock().unwrap();
+                if sums.is_empty() {
+                    *sums = fields;
+                } else {
+                    for (acc, field) in sums.iter_mut().zip(fields) {
+                        acc.1 += field.1;
+                    }
+                }
+            }
+            Err(_) => {
+                self.stats.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let waiters = std::mem::take(&mut *job.waiters.lock().unwrap());
+        for w in waiters {
+            let line = match &outcome {
+                Ok(o) => report_response(&w.id, o.cached, w.coalesced, &o.report),
+                Err(msg) => error_response(Some(&w.id), ErrorCode::CellFailed, msg),
+            };
+            // A send failure means the client hung up; its loss.
+            let _ = w.tx.send(line);
+            w.conn_inflight.fetch_sub(1, Ordering::Release);
+        }
+        self.stats.inflight_jobs.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn worker_loop(self: Arc<Core>) {
+        loop {
+            let job = {
+                let mut queue = self.queue.lock().unwrap();
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        break job;
+                    }
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    queue = self.queue_cv.wait(queue).unwrap();
+                }
+            };
+            if self.worker_delay_ms > 0 {
+                thread::sleep(Duration::from_millis(self.worker_delay_ms));
+            }
+            let outcome = self.engine.run_cell_outcome(&job.spec);
+            self.complete(&job, outcome);
+        }
+    }
+}
+
+/// Namespace for starting servers; see [`Server::start`].
+#[derive(Debug)]
+pub struct Server;
+
+impl Server {
+    /// Binds `config.socket`, spawns the worker pool and the accept loop,
+    /// and returns the handle controlling the running server.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the socket cannot be bound or the cache
+    /// directory cannot be created.
+    pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let _ = std::fs::remove_file(&config.socket);
+        let listener = UnixListener::bind(&config.socket)?;
+        listener.set_nonblocking(true)?;
+        let mut engine = SweepEngine::new().with_threads(1);
+        if let Some(dir) = &config.cache_dir {
+            engine = engine.with_cache(DiskCache::open(dir)?);
+        }
+        let core = Arc::new(Core {
+            engine,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            inflight: Mutex::new(HashMap::new()),
+            stats: Stats::default(),
+            sums: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            threads: config.threads.max(1),
+            max_inflight: config.max_inflight.max(1),
+            worker_delay_ms: config.worker_delay_ms,
+        });
+        let workers = (0..core.threads)
+            .map(|_| {
+                let core = Arc::clone(&core);
+                thread::spawn(move || core.worker_loop())
+            })
+            .collect();
+        let accept = {
+            let core = Arc::clone(&core);
+            thread::spawn(move || accept_loop(listener, core))
+        };
+        Ok(ServerHandle {
+            core,
+            accept: Some(accept),
+            workers,
+            socket: config.socket,
+        })
+    }
+}
+
+/// Control handle of a running server.
+#[derive(Debug)]
+pub struct ServerHandle {
+    core: Arc<Core>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    socket: PathBuf,
+}
+
+impl ServerHandle {
+    /// The socket path the server listens on.
+    pub fn socket(&self) -> &Path {
+        &self.socket
+    }
+
+    /// A point-in-time snapshot of the server counters.
+    pub fn status(&self) -> StatusSnapshot {
+        self.core.snapshot()
+    }
+
+    /// Begins a graceful shutdown: stop accepting connections, reject new
+    /// submits with a typed error, drain every queued and executing job,
+    /// deliver all responses. Idempotent; returns immediately — call
+    /// [`ServerHandle::join`] to wait for the drain.
+    pub fn shutdown(&self) {
+        self.core.shutdown.store(true, Ordering::Release);
+        self.core.queue_cv.notify_all();
+    }
+
+    /// Whether a shutdown has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.core.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Waits for the accept loop, workers, and connections to finish, then
+    /// removes the socket file and returns the final counter snapshot.
+    /// Implies [`ServerHandle::shutdown`].
+    pub fn join(mut self) -> StatusSnapshot {
+        self.shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // A submit can race the shutdown flag and land in the queue after
+        // the workers drained it; resolve stragglers inline so the drain
+        // guarantee — every accepted request gets answered — is absolute.
+        loop {
+            let job = self.core.queue.lock().unwrap().pop_front();
+            match job {
+                Some(job) => {
+                    let outcome = self.core.engine.run_cell_outcome(&job.spec);
+                    self.core.complete(&job, outcome);
+                }
+                None if self.core.stats.inflight_jobs.load(Ordering::Acquire) == 0 => break,
+                None => thread::sleep(Duration::from_millis(1)),
+            }
+        }
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let _ = std::fs::remove_file(&self.socket);
+        self.core.snapshot()
+    }
+}
+
+fn accept_loop(listener: UnixListener, core: Arc<Core>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if core.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let core = Arc::clone(&core);
+                connections.push(thread::spawn(move || handle_connection(stream, core)));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => break,
+        }
+    }
+    for conn in connections {
+        let _ = conn.join();
+    }
+}
+
+/// Serves one connection: a reader loop that answers or enqueues each
+/// request line, plus a writer thread serializing responses (from this
+/// reader *and* from worker completions) onto the stream one line at a
+/// time.
+fn handle_connection(stream: UnixStream, core: Arc<Core>) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::channel::<String>();
+    let writer = thread::spawn(move || writer_loop(write_half, rx));
+    let conn_inflight = Arc::new(AtomicUsize::new(0));
+    reader_loop(stream, &core, &tx, &conn_inflight);
+    // Writer exits once every sender is gone: ours now, the workers' when
+    // the last pending job for this connection has responded.
+    drop(tx);
+    let _ = writer.join();
+}
+
+fn writer_loop(mut stream: UnixStream, rx: mpsc::Receiver<String>) {
+    for line in rx {
+        if stream.write_all(line.as_bytes()).is_err() || stream.write_all(b"\n").is_err() {
+            // Client hung up; keep draining the channel so senders never
+            // see it as an inflight leak.
+        }
+    }
+    let _ = stream.flush();
+}
+
+fn reader_loop(
+    mut stream: UnixStream,
+    core: &Arc<Core>,
+    tx: &mpsc::Sender<String>,
+    conn_inflight: &Arc<AtomicUsize>,
+) {
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 4096];
+    let mut skipping_oversized = false;
+    loop {
+        // Drain any complete lines already buffered.
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            if skipping_oversized {
+                skipping_oversized = false;
+                continue;
+            }
+            let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+            handle_line(&line, core, tx, conn_inflight);
+        }
+        if !skipping_oversized && buf.len() > MAX_LINE {
+            respond_error(
+                core,
+                tx,
+                None,
+                ErrorCode::OversizedLine,
+                &format!("request line exceeds {MAX_LINE} bytes"),
+            );
+            buf.clear();
+            skipping_oversized = true;
+        }
+        if core.shutdown.load(Ordering::Acquire) && conn_inflight.load(Ordering::Acquire) == 0 {
+            // Drained: every accepted request has been answered.
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                // EOF. A trailing unterminated line is still a request.
+                if !buf.is_empty() && !skipping_oversized {
+                    let line = String::from_utf8_lossy(&buf).into_owned();
+                    handle_line(&line, core, tx, conn_inflight);
+                }
+                return;
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn respond_error(
+    core: &Arc<Core>,
+    tx: &mpsc::Sender<String>,
+    id: Option<&str>,
+    code: ErrorCode,
+    message: &str,
+) {
+    core.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    if code == ErrorCode::Backpressure {
+        core.stats.backpressure.fetch_add(1, Ordering::Relaxed);
+    }
+    let _ = tx.send(error_response(id, code, message));
+}
+
+fn handle_line(
+    line: &str,
+    core: &Arc<Core>,
+    tx: &mpsc::Sender<String>,
+    conn_inflight: &Arc<AtomicUsize>,
+) {
+    if line.trim().is_empty() {
+        respond_error(core, tx, None, ErrorCode::BadJson, "empty request line");
+        return;
+    }
+    let (id, request) = match parse_request(line) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            respond_error(core, tx, e.id.as_deref(), e.code, &e.message);
+            return;
+        }
+    };
+    match request {
+        Request::Ping => {
+            let _ = tx.send(pong_response(&id));
+        }
+        Request::Status { metrics } => {
+            let doc = metrics.then(|| core.metrics_doc().to_json());
+            let _ = tx.send(status_response(&id, &core.snapshot(), doc.as_deref()));
+        }
+        Request::Submit(req) => {
+            if core.shutdown.load(Ordering::Acquire) {
+                respond_error(
+                    core,
+                    tx,
+                    Some(&id),
+                    ErrorCode::ShuttingDown,
+                    "server is draining; resubmit elsewhere",
+                );
+                return;
+            }
+            let spec = match req.to_spec() {
+                Ok(spec) => spec,
+                Err(msg) => {
+                    respond_error(core, tx, Some(&id), ErrorCode::BadCell, &msg);
+                    return;
+                }
+            };
+            if conn_inflight.load(Ordering::Acquire) >= core.max_inflight {
+                respond_error(
+                    core,
+                    tx,
+                    Some(&id),
+                    ErrorCode::Backpressure,
+                    &format!(
+                        "connection already has {} submit(s) in flight (cap {})",
+                        conn_inflight.load(Ordering::Acquire),
+                        core.max_inflight
+                    ),
+                );
+                return;
+            }
+            conn_inflight.fetch_add(1, Ordering::AcqRel);
+            core.submit(spec, tx.clone(), id, Arc::clone(conn_inflight));
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! End-to-end service guarantees, asserted against a real in-process
+//! server on a real Unix domain socket:
+//!
+//! * four concurrent clients each submit the full quick Ghostrider grid
+//!   (5 workloads × 4 strategies) and every served report is
+//!   **byte-identical** to what a direct serial [`SweepEngine`] sweep
+//!   produces — the determinism contract survives the network hop, the
+//!   shared queue, coalescing and the memo cache;
+//! * across all 80 submits each distinct cell simulates **exactly once**
+//!   (coalescing while in flight, the memo cache afterwards);
+//! * shutdown mid-run drains every in-flight job: no submit is lost, none
+//!   is answered twice, and submits arriving after the drain started get
+//!   a typed `shutting_down` rejection instead of a dropped connection;
+//! * a second server over the same cache directory serves the previous
+//!   run's cells from disk without re-simulating.
+
+use ctbia_harness::{CellSpec, StrategySpec, SweepEngine, WorkloadSpec};
+use ctbia_machine::BiaPlacement;
+use ctbia_serve::{Client, ErrorCode, Response, Server, ServerConfig, SubmitRequest};
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::thread;
+use std::time::Duration;
+
+/// A scratch directory namespaced by pid and tag; holds the socket and
+/// (when used) the memo cache, and is removed by the test that made it.
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ctbia-serve-e2e-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The quick Ghostrider grid as (wire request, equivalent local spec)
+/// pairs: every workload at a small size under every strategy.
+fn quick_grid() -> Vec<(SubmitRequest, CellSpec)> {
+    let workloads = [
+        ("dijkstra", 16),
+        ("histogram", 300),
+        ("permutation", 200),
+        ("binary-search", 400),
+        ("heappop", 300),
+    ];
+    let strategies = ["insecure", "ct", "bia", "bia-loads"];
+    let mut grid = Vec::new();
+    for (name, size) in workloads {
+        for strategy in strategies {
+            let request = SubmitRequest {
+                workload: name.to_string(),
+                size: Some(size as u64),
+                strategy: Some(strategy.to_string()),
+                placement: Some("l1d".to_string()),
+                eval: false,
+            };
+            let spec = CellSpec::new(
+                WorkloadSpec::named(name, size).unwrap(),
+                StrategySpec::parse(strategy).unwrap(),
+                BiaPlacement::L1d,
+            );
+            grid.push((request, spec));
+        }
+    }
+    grid
+}
+
+/// Submits the whole grid pipelined, then collects one response per
+/// submit, matched back to its grid index by request id.
+fn run_grid_client(socket: PathBuf, grid: Vec<SubmitRequest>) -> Vec<String> {
+    let mut client = Client::connect(&socket).unwrap();
+    let mut index_of: HashMap<String, usize> = HashMap::new();
+    for (i, request) in grid.iter().enumerate() {
+        let id = client.send_submit(request).unwrap();
+        assert!(index_of.insert(id, i).is_none(), "duplicate request id");
+    }
+    let mut texts: Vec<Option<String>> = vec![None; grid.len()];
+    for _ in 0..grid.len() {
+        let response = client.recv_response().unwrap();
+        let i = index_of.remove(response.id()).expect("unknown response id");
+        match response {
+            Response::Report { report, .. } => {
+                assert!(texts[i].is_none(), "cell {i} answered twice");
+                texts[i] = Some(report.to_cache_text());
+            }
+            other => panic!("cell {i}: expected a report, got {other:?}"),
+        }
+    }
+    texts.into_iter().map(Option::unwrap).collect()
+}
+
+#[test]
+fn four_concurrent_clients_get_byte_identical_reports() {
+    let dir = tmp_dir("concurrent");
+    let socket = dir.join("ctbia.sock");
+    let cache = dir.join("cache");
+
+    let grid = quick_grid();
+    let cells = grid.len();
+    assert_eq!(cells, 20, "5 workloads x 4 strategies");
+
+    // Ground truth: a direct, uncached, serial sweep of the same grid.
+    let specs: Vec<CellSpec> = grid.iter().map(|(_, spec)| spec.clone()).collect();
+    let expected: Vec<String> = SweepEngine::serial()
+        .run(&specs)
+        .unwrap()
+        .iter()
+        .map(|r| r.to_cache_text())
+        .collect();
+
+    let mut config = ServerConfig::new(&socket);
+    config.threads = 4;
+    config.cache_dir = Some(cache);
+    let handle = Server::start(config).unwrap();
+
+    let requests: Vec<SubmitRequest> = grid.iter().map(|(req, _)| req.clone()).collect();
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let socket = socket.clone();
+            let requests = requests.clone();
+            thread::spawn(move || run_grid_client(socket, requests))
+        })
+        .collect();
+    for client in clients {
+        let served = client.join().unwrap();
+        assert_eq!(served.len(), cells);
+        for (i, (served_text, expected_text)) in served.iter().zip(&expected).enumerate() {
+            assert_eq!(
+                served_text, expected_text,
+                "cell {i}: served report is not byte-identical to the direct sweep"
+            );
+        }
+    }
+
+    let snapshot = handle.join();
+    assert_eq!(snapshot.jobs_submitted, 4 * cells as u64);
+    assert_eq!(snapshot.jobs_failed, 0);
+    assert_eq!(
+        snapshot.executed, cells as u64,
+        "each distinct cell must simulate exactly once across all clients"
+    );
+    assert_eq!(
+        snapshot.cache_hits + snapshot.coalesced,
+        3 * cells as u64,
+        "every duplicate submit must coalesce or hit the cache"
+    );
+    assert_eq!(snapshot.inflight_jobs, 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_drains_inflight_jobs_without_losing_responses() {
+    let dir = tmp_dir("drain");
+    let socket = dir.join("ctbia.sock");
+
+    // One slow worker so a burst of submits is still queued when the
+    // shutdown lands.
+    let mut config = ServerConfig::new(&socket);
+    config.threads = 1;
+    config.cache_dir = None;
+    config.worker_delay_ms = 50;
+    let handle = Server::start(config).unwrap();
+
+    let mut client = Client::connect(&socket).unwrap();
+    let mut pending: Vec<String> = Vec::new();
+    for size in [101u64, 102, 103, 104, 105, 106] {
+        let id = client
+            .send_submit(&SubmitRequest {
+                workload: "hist".to_string(),
+                size: Some(size),
+                strategy: Some("insecure".to_string()),
+                placement: None,
+                eval: false,
+            })
+            .unwrap();
+        pending.push(id);
+    }
+    // Let the reader enqueue all six, then start the drain while the slow
+    // worker still has most of them queued.
+    thread::sleep(Duration::from_millis(100));
+    handle.shutdown();
+    let late_id = client
+        .send_submit(&SubmitRequest {
+            workload: "hist".to_string(),
+            size: Some(999),
+            strategy: None,
+            placement: None,
+            eval: false,
+        })
+        .unwrap();
+
+    let snapshot = handle.join();
+    assert_eq!(snapshot.jobs_completed, 6, "drain must finish queued jobs");
+    assert_eq!(snapshot.inflight_jobs, 0);
+
+    // Exactly one response per submit: six reports and one typed
+    // shutting-down rejection, no losses, no duplicates.
+    let mut reports: Vec<String> = Vec::new();
+    let mut rejected: Vec<String> = Vec::new();
+    for _ in 0..7 {
+        match client.recv_response().unwrap() {
+            Response::Report { id, .. } => reports.push(id),
+            Response::Error { id, code, .. } => {
+                assert_eq!(code, ErrorCode::ShuttingDown);
+                rejected.push(id);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    reports.sort();
+    pending.sort();
+    assert_eq!(
+        reports, pending,
+        "every pre-shutdown submit gets its report"
+    );
+    assert_eq!(rejected, vec![late_id]);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_survives_a_server_restart() {
+    let dir = tmp_dir("restart");
+    let cache = dir.join("cache");
+    let request = SubmitRequest {
+        workload: "permutation".to_string(),
+        size: Some(150),
+        strategy: Some("bia".to_string()),
+        placement: Some("l2".to_string()),
+        eval: false,
+    };
+
+    let first_socket = dir.join("first.sock");
+    let mut config = ServerConfig::new(&first_socket);
+    config.threads = 1;
+    config.cache_dir = Some(cache.clone());
+    let first = Server::start(config).unwrap();
+    let first_text = {
+        let mut client = Client::connect(&first_socket).unwrap();
+        match client.submit(&request).unwrap() {
+            Response::Report { report, cached, .. } => {
+                assert!(!cached, "cold cache must simulate");
+                report.to_cache_text()
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    };
+    let snapshot = first.join();
+    assert_eq!(snapshot.executed, 1);
+
+    // A brand-new server over the same directory serves the cell from
+    // disk, byte-identical, without touching the simulator.
+    let second_socket = dir.join("second.sock");
+    let mut config = ServerConfig::new(&second_socket);
+    config.threads = 1;
+    config.cache_dir = Some(cache);
+    let second = Server::start(config).unwrap();
+    {
+        let mut client = Client::connect(&second_socket).unwrap();
+        match client.submit(&request).unwrap() {
+            Response::Report { report, cached, .. } => {
+                assert!(cached, "warm cache must not simulate");
+                assert_eq!(report.to_cache_text(), first_text);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    let snapshot = second.join();
+    assert_eq!(snapshot.executed, 0);
+    assert_eq!(snapshot.cache_hits, 1);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,133 @@
+//! Protocol robustness: no request line, however mangled, may crash the
+//! server or drop the connection. Every malformed line must be answered
+//! with exactly one typed `ctbia-serve-v1` error envelope, after which
+//! the same connection still serves a ping.
+//!
+//! The malformed lines are property-generated: random printable garbage,
+//! truncated prefixes of a valid submit, wrong schema tags, unknown ops,
+//! wrong field types, nested JSON, and missing required fields. A
+//! non-property test covers the oversized-line path (> [`MAX_LINE`]
+//! bytes), which is handled before parsing even starts.
+
+use ctbia_serve::proto::submit_line;
+use ctbia_serve::{Client, Response, Server, ServerConfig, ServerHandle, SubmitRequest, MAX_LINE};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::BoxedStrategy;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+/// One server shared by every case in this file; never joined — the
+/// process exit tears it down, and no test here asserts on its counters.
+static SERVER: OnceLock<(PathBuf, ServerHandle)> = OnceLock::new();
+
+fn server_socket() -> &'static Path {
+    let (socket, _) = SERVER.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("ctbia-serve-proto-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let socket = dir.join("ctbia.sock");
+        let mut config = ServerConfig::new(&socket);
+        config.threads = 1;
+        config.cache_dir = None;
+        let handle = Server::start(config).unwrap();
+        (socket, handle)
+    });
+    socket
+}
+
+/// A canonical valid submit line, the donor for the truncation strategy.
+fn donor_line() -> String {
+    submit_line(
+        "donor",
+        &SubmitRequest {
+            workload: "histogram".to_string(),
+            size: Some(250),
+            strategy: Some("bia".to_string()),
+            placement: Some("l1d".to_string()),
+            eval: false,
+        },
+    )
+}
+
+/// Sends `line` raw, asserts the server answers with one typed error
+/// envelope, then proves the connection survived by pinging over it.
+fn assert_rejected_but_alive(line: &str) {
+    let mut client = Client::connect(server_socket()).unwrap();
+    client.send_line(line).unwrap();
+    match client.recv_response().unwrap() {
+        Response::Error { .. } => {}
+        other => panic!("line {line:?}: expected a typed error, got {other:?}"),
+    }
+    match client.ping().unwrap() {
+        Response::Pong { .. } => {}
+        other => panic!("server unhealthy after rejecting {line:?}: {other:?}"),
+    }
+}
+
+/// Malformed request lines. None of these arms can emit a valid request:
+/// garbage is structurally broken, truncations lose the closing brace,
+/// and the structured arms each violate exactly one protocol rule.
+fn malformed_line() -> BoxedStrategy<String> {
+    prop_oneof![
+        // Printable ASCII garbage (including the empty line).
+        vec(0u8..95, 0..80).prop_map(|bytes| bytes.iter().map(|b| (b + 0x20) as char).collect()),
+        // A valid submit truncated mid-envelope.
+        (1usize..donor_line().len()).prop_map(|cut| donor_line()[..cut].to_string()),
+        // Right shape, wrong protocol version.
+        (2u64..100).prop_map(|v| {
+            format!(r#"{{"schema": "ctbia-serve-v{v}", "id": "x", "op": "ping"}}"#)
+        }),
+        // Unknown operation.
+        Just(r#"{"schema": "ctbia-serve-v1", "id": "x", "op": "frobnicate"}"#.to_string()),
+        // Wrong field type: workload must be a string.
+        (0u64..1000).prop_map(|n| {
+            format!(r#"{{"schema": "ctbia-serve-v1", "id": "x", "op": "submit", "workload": {n}}}"#)
+        }),
+        // Nested JSON is outside the flat-envelope grammar.
+        Just(r#"{"schema": "ctbia-serve-v1", "id": "x", "op": {"nested": true}}"#.to_string()),
+        // Missing required fields.
+        Just(r#"{"schema": "ctbia-serve-v1"}"#.to_string()),
+        Just(r#"{"schema": "ctbia-serve-v1", "id": "x", "op": "submit"}"#.to_string()),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn malformed_lines_get_typed_errors_and_the_server_survives(
+        line in malformed_line(),
+    ) {
+        assert_rejected_but_alive(&line);
+    }
+}
+
+#[test]
+fn oversized_line_is_rejected_and_skipped() {
+    // An oversized line is rejected before parsing; the reader discards
+    // up to the newline so the next line parses cleanly.
+    let line = "a".repeat(MAX_LINE + 1);
+    assert_rejected_but_alive(&line);
+}
+
+#[test]
+fn valid_request_still_works_on_the_shared_server() {
+    // Sanity: the shared server is not rejecting everything — a
+    // well-formed submit round-trips into a report.
+    let mut client = Client::connect(server_socket()).unwrap();
+    let response = client
+        .submit(&SubmitRequest {
+            workload: "xor".to_string(),
+            size: None,
+            strategy: Some("bia".to_string()),
+            placement: None,
+            eval: false,
+        })
+        .unwrap();
+    match response {
+        Response::Report { report, .. } => assert_eq!(report.label, "XOR/BIA@L1d"),
+        other => panic!("unexpected response {other:?}"),
+    }
+}

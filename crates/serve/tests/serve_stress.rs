@@ -1,0 +1,190 @@
+//! Contention and resource-limit stress tests:
+//!
+//! * two clients racing **identical digests** share one execution — the
+//!   coalescing map catches the overlap in flight, the memo cache catches
+//!   anything slower, and either way the simulator runs once;
+//! * a cache entry **corrupted mid-run** silently re-simulates: both
+//!   clients asking for the poisoned digest get correct, byte-identical
+//!   reports and the entry is repaired on disk;
+//! * the per-connection in-flight cap turns excess pipelined submits into
+//!   typed `backpressure` rejections instead of unbounded queueing.
+//!
+//! Timing knobs (`worker_delay_ms`, single-thread pools) make the races
+//! deterministic rather than probabilistic.
+
+use ctbia_harness::{CellSpec, StrategySpec, WorkloadSpec};
+use ctbia_machine::BiaPlacement;
+use ctbia_serve::{Client, ErrorCode, Response, Server, ServerConfig, SubmitRequest};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ctbia-serve-stress-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The cell every contention test fights over, in both wire and local form.
+fn contended_request() -> SubmitRequest {
+    SubmitRequest {
+        workload: "histogram".to_string(),
+        size: Some(350),
+        strategy: Some("bia".to_string()),
+        placement: Some("l1d".to_string()),
+        eval: false,
+    }
+}
+
+fn contended_spec() -> CellSpec {
+    CellSpec::new(
+        WorkloadSpec::named("histogram", 350).unwrap(),
+        StrategySpec::Bia,
+        BiaPlacement::L1d,
+    )
+}
+
+fn expect_report(response: Response) -> String {
+    match response {
+        Response::Report { report, .. } => report.to_cache_text(),
+        other => panic!("expected a report, got {other:?}"),
+    }
+}
+
+#[test]
+fn racing_identical_digests_share_one_execution() {
+    let dir = tmp_dir("race");
+    let socket = dir.join("ctbia.sock");
+    let mut config = ServerConfig::new(&socket);
+    config.threads = 2;
+    config.cache_dir = Some(dir.join("cache"));
+    // Hold each job long enough that the second submit lands while the
+    // first is still executing.
+    config.worker_delay_ms = 100;
+    let handle = Server::start(config).unwrap();
+
+    let barrier = Arc::new(Barrier::new(2));
+    let racers: Vec<_> = (0..2)
+        .map(|_| {
+            let socket = socket.clone();
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let mut client = Client::connect(&socket).unwrap();
+                barrier.wait();
+                expect_report(client.submit(&contended_request()).unwrap())
+            })
+        })
+        .collect();
+    let texts: Vec<String> = racers.into_iter().map(|r| r.join().unwrap()).collect();
+    assert_eq!(texts[0], texts[1], "racers must see the same report bytes");
+
+    let snapshot = handle.join();
+    assert_eq!(snapshot.jobs_submitted, 2);
+    assert_eq!(
+        snapshot.executed, 1,
+        "identical digests must share one execution"
+    );
+    assert_eq!(
+        snapshot.cache_hits + snapshot.coalesced,
+        1,
+        "the loser must coalesce onto the winner or hit its cached result"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_cache_entry_mid_run_is_resimulated_for_both_clients() {
+    let dir = tmp_dir("corrupt");
+    let socket = dir.join("ctbia.sock");
+    let cache_dir = dir.join("cache");
+    let mut config = ServerConfig::new(&socket);
+    config.threads = 2;
+    config.cache_dir = Some(cache_dir.clone());
+    let handle = Server::start(config).unwrap();
+
+    // Prime the cache with the genuine article, then poison the entry the
+    // way a torn write or bit flip would.
+    let mut client = Client::connect(&socket).unwrap();
+    let pristine = expect_report(client.submit(&contended_request()).unwrap());
+    let entry = cache_dir.join(contended_spec().digest_hex());
+    assert!(entry.is_file(), "expected a cache entry at {entry:?}");
+    fs::write(&entry, "scrambled mid-run").unwrap();
+
+    // Two clients ask for the poisoned digest concurrently. The load
+    // fails closed, the cell re-simulates (once, thanks to coalescing),
+    // and both get bytes identical to the pristine report.
+    let clients: Vec<_> = (0..2)
+        .map(|_| {
+            let socket = socket.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(&socket).unwrap();
+                expect_report(client.submit(&contended_request()).unwrap())
+            })
+        })
+        .collect();
+    for client in clients {
+        assert_eq!(
+            client.join().unwrap(),
+            pristine,
+            "a corrupt cache entry must re-simulate to the same bytes"
+        );
+    }
+
+    let snapshot = handle.join();
+    assert_eq!(snapshot.jobs_failed, 0);
+    assert_eq!(
+        snapshot.executed, 2,
+        "prime + one re-simulation after corruption; never a third"
+    );
+    // The re-simulation repaired the on-disk entry.
+    let repaired = fs::read_to_string(&entry).unwrap();
+    assert_eq!(repaired, pristine);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn excess_pipelined_submits_get_backpressure_rejections() {
+    let dir = tmp_dir("backpressure");
+    let socket = dir.join("ctbia.sock");
+    let mut config = ServerConfig::new(&socket);
+    config.threads = 1;
+    config.max_inflight = 1;
+    config.cache_dir = None;
+    // The first job occupies the single worker long enough for the other
+    // two submits to be read and judged while it is still in flight.
+    config.worker_delay_ms = 300;
+    let handle = Server::start(config).unwrap();
+
+    let mut client = Client::connect(&socket).unwrap();
+    for size in [201u64, 202, 203] {
+        client
+            .send_submit(&SubmitRequest {
+                workload: "hist".to_string(),
+                size: Some(size),
+                strategy: Some("insecure".to_string()),
+                placement: None,
+                eval: false,
+            })
+            .unwrap();
+    }
+    let mut reports = 0;
+    let mut rejections = 0;
+    for _ in 0..3 {
+        match client.recv_response().unwrap() {
+            Response::Report { .. } => reports += 1,
+            Response::Error { code, .. } => {
+                assert_eq!(code, ErrorCode::Backpressure);
+                rejections += 1;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!((reports, rejections), (1, 2));
+
+    let snapshot = handle.join();
+    assert_eq!(snapshot.backpressure_rejections, 2);
+    assert_eq!(snapshot.jobs_completed, 1);
+    let _ = fs::remove_dir_all(&dir);
+}

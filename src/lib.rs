@@ -19,6 +19,7 @@
 //! | [`attacks`] | `ctbia-attacks` | Prime+Probe and distinguishability analysis |
 //! | [`harness`] | `ctbia-harness` | parallel, memoizing experiment sweep engine |
 //! | [`verify`] | `ctbia-verify` | taint sanitizer + trace-equivalence oracle |
+//! | [`serve`] | `ctbia-serve` | concurrent batch-simulation daemon + protocol client |
 //!
 //! # Quickstart
 //!
@@ -54,6 +55,7 @@ pub use ctbia_attacks as attacks;
 pub use ctbia_core as core;
 pub use ctbia_harness as harness;
 pub use ctbia_machine as machine;
+pub use ctbia_serve as serve;
 pub use ctbia_sim as sim;
 pub use ctbia_trace as trace;
 pub use ctbia_verify as verify;
