@@ -111,6 +111,7 @@ pub struct SweepEngine {
     cache: Option<DiskCache>,
     executed: AtomicU64,
     cache_hits: AtomicU64,
+    store_failures: AtomicU64,
 }
 
 impl SweepEngine {
@@ -123,6 +124,7 @@ impl SweepEngine {
             cache: None,
             executed: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            store_failures: AtomicU64::new(0),
         }
     }
 
@@ -167,6 +169,13 @@ impl SweepEngine {
         self.cache_hits.load(Ordering::Relaxed)
     }
 
+    /// Memo-cache stores that failed. Each failure costs a future
+    /// re-simulation, never correctness, but a serving front end surfaces
+    /// the count so a sick disk is visible instead of silent.
+    pub fn cache_store_failures(&self) -> u64 {
+        self.store_failures.load(Ordering::Relaxed)
+    }
+
     /// Runs one cell: cache lookup, then simulation on a miss, then a
     /// best-effort store (a failed store costs a future re-simulation, not
     /// correctness).
@@ -199,7 +208,9 @@ impl SweepEngine {
         let report = execute_cell(spec)?;
         self.executed.fetch_add(1, Ordering::Relaxed);
         if let Some(cache) = &self.cache {
-            let _ = cache.store(&key, &report);
+            if cache.store(&key, &report).is_err() {
+                self.store_failures.fetch_add(1, Ordering::Relaxed);
+            }
         }
         Ok(CellOutcome {
             report,

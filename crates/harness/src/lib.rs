@@ -42,7 +42,7 @@ pub mod engine;
 pub mod report;
 pub mod spec;
 
-pub use cache::DiskCache;
+pub use cache::{DiskCache, RecoveryReport};
 pub use digest::Digest;
 pub use engine::{execute_cell, execute_cell_traced, CellOutcome, SweepEngine};
 pub use report::{counter_fields, CellReport};

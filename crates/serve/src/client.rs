@@ -1,11 +1,23 @@
 //! A small blocking client for the `ctbia-serve-v1` protocol — what
 //! `ctbia submit` and `ctbia status` are built on, and what the e2e tests
 //! drive concurrently.
+//!
+//! [`submit_with_retry`] adds the resilience layer `ctbia submit
+//! --retries` uses: transient failures — a connect refused while the
+//! daemon restarts, a typed `backpressure`/`overloaded`/`shutting-down`
+//! rejection — are retried under an exponential-backoff
+//! [`RetryPolicy`] with deterministic seeded jitter, while permanent
+//! errors (`bad-cell`, `cell_failed`, `deadline-exceeded`, …) surface
+//! immediately. The retry loop reconnects per attempt, so it spans a
+//! daemon restart.
 
-use crate::proto::{parse_response, ping_line, status_line, submit_line, Response, SubmitRequest};
-use std::io::{BufRead, BufReader, Write};
+use crate::proto::{
+    health_line, parse_response, ping_line, status_line, submit_line, Response, SubmitRequest,
+};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::Duration;
 
 /// One connection to a running `ctbia serve` daemon.
 #[derive(Debug)]
@@ -125,5 +137,179 @@ impl Client {
         self.send_line(&ping_line(&id))
             .map_err(|e| format!("cannot ping: {e}"))?;
         self.recv_response()
+    }
+
+    /// Queries the supervision snapshot (queue depth, workers, restarts).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on connection or envelope failure.
+    pub fn health(&mut self) -> Result<Response, String> {
+        let id = self.fresh_id();
+        self.send_line(&health_line(&id))
+            .map_err(|e| format!("cannot query health: {e}"))?;
+        self.recv_response()
+    }
+}
+
+/// How [`submit_with_retry`] behaves across attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = a single attempt, no retry).
+    pub retries: u32,
+    /// Base backoff before the first retry, in milliseconds; each further
+    /// retry doubles it.
+    pub backoff_ms: u64,
+    /// Ceiling on any single backoff sleep, in milliseconds.
+    pub max_backoff_ms: u64,
+    /// Seed of the jitter RNG. Deterministic given the seed, so tests can
+    /// pin the exact sleep schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            retries: 0,
+            backoff_ms: 50,
+            max_backoff_ms: 2_000,
+            seed: 1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The full jittered backoff schedule: one sleep per retry, attempt
+    /// `k` (0-based) backing off `backoff_ms << k`, capped at
+    /// `max_backoff_ms`, scaled by a jitter factor in [0.5, 1.0].
+    pub fn schedule(&self) -> Vec<Duration> {
+        let mut rng = self.seed.max(1);
+        (0..self.retries)
+            .map(|k| {
+                let base = self
+                    .backoff_ms
+                    .checked_shl(k.min(32))
+                    .unwrap_or(self.max_backoff_ms)
+                    .min(self.max_backoff_ms);
+                // xorshift64 jitter: halve-to-full spread de-synchronizes
+                // clients that all saw the same rejection.
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                let jittered = base / 2 + rng % (base / 2 + 1);
+                Duration::from_millis(jittered)
+            })
+            .collect()
+    }
+}
+
+/// Whether an I/O failure is the transient face of a restarting daemon:
+/// the socket file is momentarily gone (unlinked by the old process) or
+/// present but unserved (`ECONNREFUSED` before the new bind).
+fn connect_error_is_transient(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::ConnectionRefused | ErrorKind::NotFound)
+}
+
+/// Submits one cell, retrying transient failures per `policy` on a fresh
+/// connection each attempt. Retried: a refused/absent socket and typed
+/// `backpressure` / `overloaded` / `shutting-down` rejections (see
+/// [`crate::proto::ErrorCode::retryable`]). Everything else — including a
+/// successful response carrying a permanent typed error — is returned
+/// as-is from the attempt that produced it.
+///
+/// # Errors
+///
+/// Returns the final attempt's failure message once the budget is spent.
+pub fn submit_with_retry(
+    socket: impl AsRef<Path>,
+    req: &SubmitRequest,
+    policy: &RetryPolicy,
+) -> Result<Response, String> {
+    let socket = socket.as_ref();
+    let mut sleeps = policy.schedule().into_iter();
+    loop {
+        let (attempt, retryable) = match Client::connect(socket) {
+            Ok(mut client) => {
+                // A failure *after* the connect (broken mid-submit) is
+                // never retried: the request may already be executing, and
+                // resubmitting would break the at-most-once send contract.
+                let attempt = client.submit(req);
+                let retryable =
+                    matches!(&attempt, Ok(Response::Error { code, .. }) if code.retryable());
+                (attempt, retryable)
+            }
+            Err(e) => {
+                let retryable = connect_error_is_transient(&e);
+                let msg = format!("cannot connect to {}: {e}", socket.display());
+                (Err(msg), retryable)
+            }
+        };
+        if !retryable {
+            return attempt;
+        }
+        match sleeps.next() {
+            Some(sleep) => std::thread::sleep(sleep),
+            None => return attempt,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_jittered_and_capped() {
+        let policy = RetryPolicy {
+            retries: 6,
+            backoff_ms: 50,
+            max_backoff_ms: 400,
+            seed: 42,
+        };
+        let a = policy.schedule();
+        let b = policy.schedule();
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.len(), 6);
+        for (k, sleep) in a.iter().enumerate() {
+            let base = (50u64 << k).min(400);
+            let ms = sleep.as_millis() as u64;
+            assert!(
+                ms >= base / 2 && ms <= base,
+                "sleep {k} = {ms}ms outside [{}, {base}]",
+                base / 2
+            );
+        }
+        let other = RetryPolicy { seed: 43, ..policy };
+        assert_ne!(a, other.schedule(), "different seeds de-synchronize");
+    }
+
+    #[test]
+    fn zero_retries_means_one_attempt() {
+        assert!(RetryPolicy::default().schedule().is_empty());
+    }
+
+    #[test]
+    fn retry_gives_up_after_the_budget_on_a_dead_socket() {
+        let socket = std::env::temp_dir().join(format!(
+            "ctbia-retry-test-{}-nobody-home.sock",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&socket);
+        let policy = RetryPolicy {
+            retries: 2,
+            backoff_ms: 1,
+            max_backoff_ms: 2,
+            seed: 7,
+        };
+        let req = SubmitRequest {
+            workload: "hist".into(),
+            size: Some(200),
+            strategy: None,
+            placement: None,
+            eval: false,
+            deadline_ms: None,
+        };
+        let err = submit_with_retry(&socket, &req, &policy).unwrap_err();
+        assert!(err.contains("cannot connect"), "final failure: {err}");
     }
 }

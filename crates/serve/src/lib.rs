@@ -11,7 +11,17 @@
 //!   coalescing, per-connection backpressure, typed error responses, and
 //!   graceful drain on shutdown or SIGTERM.
 //! * [`Client`] — the blocking client `ctbia submit` / `ctbia status` use,
-//!   and the instrument the e2e/stress suites drive concurrently.
+//!   and the instrument the e2e/stress suites drive concurrently, with a
+//!   [`client::RetryPolicy`] retrying typed-transient failures with
+//!   exponential backoff.
+//!
+//! The daemon is supervised end to end: jobs execute under
+//! `catch_unwind` with poisoned workers respawned (the supervisor),
+//! overdue jobs are answered `deadline-exceeded` by a watchdog, the
+//! global queue sheds load past its high-water mark (`overloaded`), the
+//! memo cache recovers from torn writes at startup, and a seeded
+//! [`chaos`] harness injects all of those faults deterministically so the
+//! `serve_chaos` suite can assert survival byte-for-byte.
 //!
 //! The determinism contract is inherited, not re-proved: a served report
 //! is the cell's full versioned cache text, so it is byte-identical to
@@ -22,14 +32,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod client;
 pub mod json;
 pub mod proto;
 pub mod server;
 pub mod signal;
+mod supervisor;
 
-pub use client::Client;
+pub use chaos::{ChaosKind, ChaosSpec, ChaosState};
+pub use client::{submit_with_retry, Client, RetryPolicy};
 pub use proto::{
-    ErrorCode, ProtoError, Request, Response, StatusSnapshot, SubmitRequest, MAX_LINE, SERVE_SCHEMA,
+    ErrorCode, HealthSnapshot, ProtoError, Request, Response, StatusSnapshot, SubmitRequest,
+    MAX_LINE, SERVE_SCHEMA,
 };
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -62,10 +62,18 @@ pub enum ErrorCode {
     /// The client exceeded its `--max-inflight` budget; resubmit after a
     /// response arrives.
     Backpressure,
+    /// The global queue-depth high-water mark was hit; the server is
+    /// shedding load. Distinct from [`ErrorCode::Backpressure`]: that is
+    /// one connection over its window, this is the whole daemon saturated.
+    Overloaded,
     /// The server is draining and accepts no new work.
     ShuttingDown,
-    /// The cell was accepted but simulation failed (infeasible config).
+    /// The cell was accepted but simulation failed (infeasible config, or
+    /// a worker panic isolated by the supervisor).
     CellFailed,
+    /// The job did not complete within its deadline; the submit slot was
+    /// released and the cell may be resubmitted.
+    DeadlineExceeded,
 }
 
 impl ErrorCode {
@@ -79,9 +87,25 @@ impl ErrorCode {
             ErrorCode::UnknownOp => "unknown-op",
             ErrorCode::BadCell => "bad-cell",
             ErrorCode::Backpressure => "backpressure",
+            ErrorCode::Overloaded => "overloaded",
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::CellFailed => "cell-failed",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
         }
+    }
+
+    /// Whether a client may safely retry the same submit after seeing this
+    /// code. Submits are idempotent (content-addressed), so retryability is
+    /// purely about whether the condition is transient: `backpressure`,
+    /// `overloaded`, and `shutting-down` (another instance may be binding)
+    /// clear on their own; the rest are caused by the request itself
+    /// (malformed, infeasible) or consumed real work (`deadline-exceeded`,
+    /// `cell-failed`), where blind retry would loop.
+    pub fn retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Backpressure | ErrorCode::Overloaded | ErrorCode::ShuttingDown
+        )
     }
 
     /// Parses a wire code (the client side of [`ErrorCode::as_str`]).
@@ -94,8 +118,10 @@ impl ErrorCode {
             "unknown-op" => ErrorCode::UnknownOp,
             "bad-cell" => ErrorCode::BadCell,
             "backpressure" => ErrorCode::Backpressure,
+            "overloaded" => ErrorCode::Overloaded,
             "shutting-down" => ErrorCode::ShuttingDown,
             "cell-failed" => ErrorCode::CellFailed,
+            "deadline-exceeded" => ErrorCode::DeadlineExceeded,
             _ => return None,
         })
     }
@@ -142,6 +168,9 @@ pub struct SubmitRequest {
     pub placement: Option<String>,
     /// Run under the figure-harness (`o3_approx`) configuration.
     pub eval: bool,
+    /// Per-job deadline in milliseconds, overriding the server's
+    /// `--deadline-ms` default (`None` keeps the server default).
+    pub deadline_ms: Option<u64>,
 }
 
 impl SubmitRequest {
@@ -218,6 +247,9 @@ pub enum Request {
     },
     /// Liveness probe.
     Ping,
+    /// Supervision probe: queue depth, workers alive, restart and
+    /// fault-handling counters — the load balancer's view of the daemon.
+    Health,
 }
 
 const SUBMIT_KEYS: &[&str] = &[
@@ -229,9 +261,11 @@ const SUBMIT_KEYS: &[&str] = &[
     "strategy",
     "placement",
     "eval",
+    "deadline_ms",
 ];
 const STATUS_KEYS: &[&str] = &["schema", "id", "op", "metrics"];
 const PING_KEYS: &[&str] = &["schema", "id", "op"];
+const HEALTH_KEYS: &[&str] = &["schema", "id", "op"];
 
 /// Parses and validates one request line into `(id, request)`.
 ///
@@ -287,10 +321,11 @@ pub fn parse_request(line: &str) -> Result<(String, Request), ProtoError> {
         "submit" => SUBMIT_KEYS,
         "status" => STATUS_KEYS,
         "ping" => PING_KEYS,
+        "health" => HEALTH_KEYS,
         other => {
             return fail(
                 ErrorCode::UnknownOp,
-                format!("unknown op {other:?} (submit, status or ping)"),
+                format!("unknown op {other:?} (submit, status, ping or health)"),
             )
         }
     };
@@ -315,11 +350,13 @@ pub fn parse_request(line: &str) -> Result<(String, Request), ProtoError> {
             };
             let typed = |key: &str| -> Result<(), ProtoError> {
                 match key {
-                    "size" if obj.get("size").is_some() && obj.get_num("size").is_none() => {
+                    "size" | "deadline_ms"
+                        if obj.get(key).is_some() && obj.get_num(key).is_none() =>
+                    {
                         Err(ProtoError::new(
                             Some(id.clone()),
                             ErrorCode::BadRequest,
-                            "\"size\" must be a non-negative integer".to_string(),
+                            format!("{key:?} must be a non-negative integer"),
                         ))
                     }
                     "strategy" | "placement"
@@ -341,7 +378,7 @@ pub fn parse_request(line: &str) -> Result<(String, Request), ProtoError> {
                     _ => Ok(()),
                 }
             };
-            for key in ["size", "strategy", "placement", "eval"] {
+            for key in ["size", "strategy", "placement", "eval", "deadline_ms"] {
                 typed(key)?;
             }
             Request::Submit(SubmitRequest {
@@ -350,6 +387,7 @@ pub fn parse_request(line: &str) -> Result<(String, Request), ProtoError> {
                 strategy: obj.get_str("strategy").map(str::to_string),
                 placement: obj.get_str("placement").map(str::to_string),
                 eval: obj.get_bool("eval").unwrap_or(false),
+                deadline_ms: obj.get_num("deadline_ms"),
             })
         }
         "status" => {
@@ -363,6 +401,7 @@ pub fn parse_request(line: &str) -> Result<(String, Request), ProtoError> {
                 metrics: obj.get_bool("metrics").unwrap_or(false),
             }
         }
+        "health" => Request::Health,
         _ => Request::Ping,
     };
     Ok((id, request))
@@ -388,6 +427,9 @@ pub fn submit_line(id: &str, req: &SubmitRequest) -> String {
     if req.eval {
         obj.push_bool("eval", true);
     }
+    if let Some(deadline) = req.deadline_ms {
+        obj.push_num("deadline_ms", deadline);
+    }
     obj.to_line()
 }
 
@@ -410,6 +452,72 @@ pub fn ping_line(id: &str) -> String {
         .push_str("id", id)
         .push_str("op", "ping");
     obj.to_line()
+}
+
+/// Builds a health request envelope.
+pub fn health_line(id: &str) -> String {
+    let mut obj = Object::new();
+    obj.push_str("schema", SERVE_SCHEMA)
+        .push_str("id", id)
+        .push_str("op", "health");
+    obj.to_line()
+}
+
+/// The supervision view of a running server, as carried by a health
+/// response: is the daemon keeping up, and what has it survived so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Jobs currently queued or executing.
+    pub queue_depth: u64,
+    /// Global queue-depth high-water mark; submits past it are shed.
+    pub queue_limit: u64,
+    /// Worker threads currently alive.
+    pub workers_alive: u64,
+    /// Workers respawned by the supervisor after a panic.
+    pub worker_restarts: u64,
+    /// Jobs killed for exceeding their deadline.
+    pub deadline_kills: u64,
+    /// Submits shed by admission control (`overloaded`).
+    pub shed_submits: u64,
+    /// Torn cache entries quarantined by the startup recovery scan.
+    pub cache_quarantined: u64,
+    /// Whether a graceful drain is in progress.
+    pub shutting_down: bool,
+}
+
+impl HealthSnapshot {
+    /// The snapshot's numeric fields in canonical wire order (the boolean
+    /// `shutting_down` is encoded separately).
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("queue_depth", self.queue_depth),
+            ("queue_limit", self.queue_limit),
+            ("workers_alive", self.workers_alive),
+            ("worker_restarts", self.worker_restarts),
+            ("deadline_kills", self.deadline_kills),
+            ("shed_submits", self.shed_submits),
+            ("cache_quarantined", self.cache_quarantined),
+        ]
+    }
+
+    fn from_object(obj: &Object) -> Result<HealthSnapshot, String> {
+        let get = |key: &str| -> Result<u64, String> {
+            obj.get_num(key)
+                .ok_or_else(|| format!("health response missing integer field {key:?}"))
+        };
+        Ok(HealthSnapshot {
+            queue_depth: get("queue_depth")?,
+            queue_limit: get("queue_limit")?,
+            workers_alive: get("workers_alive")?,
+            worker_restarts: get("worker_restarts")?,
+            deadline_kills: get("deadline_kills")?,
+            shed_submits: get("shed_submits")?,
+            cache_quarantined: get("cache_quarantined")?,
+            shutting_down: obj
+                .get_bool("shutting_down")
+                .ok_or("health response missing boolean field \"shutting_down\"")?,
+        })
+    }
 }
 
 /// A point-in-time snapshot of the server's counters, as carried by a
@@ -438,6 +546,21 @@ pub struct StatusSnapshot {
     pub threads: u64,
     /// Per-connection in-flight request cap.
     pub max_inflight: u64,
+    /// Worker threads currently alive (== `threads` unless one is being
+    /// respawned right now).
+    pub workers_alive: u64,
+    /// Workers respawned by the supervisor after a panic.
+    pub worker_restarts: u64,
+    /// Jobs killed for exceeding their deadline.
+    pub deadline_kills: u64,
+    /// Submits shed by admission control with a typed `overloaded` error.
+    pub shed_submits: u64,
+    /// Torn cache entries quarantined by the startup recovery scan.
+    pub cache_quarantined: u64,
+    /// Memo-cache stores that failed (memoization lost, correctness kept).
+    pub cache_store_failures: u64,
+    /// Chaos injections fired so far (0 outside chaos drills).
+    pub chaos_injections: u64,
 }
 
 /// The `(wire key, field)` list of a status snapshot; one table drives the
@@ -454,6 +577,13 @@ pub const STATUS_FIELDS: &[&str] = &[
     "inflight_jobs",
     "threads",
     "max_inflight",
+    "workers_alive",
+    "worker_restarts",
+    "deadline_kills",
+    "shed_submits",
+    "cache_quarantined",
+    "cache_store_failures",
+    "chaos_injections",
 ];
 
 impl StatusSnapshot {
@@ -471,6 +601,13 @@ impl StatusSnapshot {
             ("inflight_jobs", self.inflight_jobs),
             ("threads", self.threads),
             ("max_inflight", self.max_inflight),
+            ("workers_alive", self.workers_alive),
+            ("worker_restarts", self.worker_restarts),
+            ("deadline_kills", self.deadline_kills),
+            ("shed_submits", self.shed_submits),
+            ("cache_quarantined", self.cache_quarantined),
+            ("cache_store_failures", self.cache_store_failures),
+            ("chaos_injections", self.chaos_injections),
         ]
     }
 
@@ -491,6 +628,13 @@ impl StatusSnapshot {
             inflight_jobs: get("inflight_jobs")?,
             threads: get("threads")?,
             max_inflight: get("max_inflight")?,
+            workers_alive: get("workers_alive")?,
+            worker_restarts: get("worker_restarts")?,
+            deadline_kills: get("deadline_kills")?,
+            shed_submits: get("shed_submits")?,
+            cache_quarantined: get("cache_quarantined")?,
+            cache_store_failures: get("cache_store_failures")?,
+            chaos_injections: get("chaos_injections")?,
         })
     }
 }
@@ -533,6 +677,13 @@ pub enum Response {
         /// Echoed request id.
         id: String,
     },
+    /// Supervision reply.
+    Health {
+        /// Echoed request id.
+        id: String,
+        /// The supervision snapshot.
+        health: HealthSnapshot,
+    },
 }
 
 impl Response {
@@ -542,7 +693,8 @@ impl Response {
             Response::Report { id, .. }
             | Response::Error { id, .. }
             | Response::Status { id, .. }
-            | Response::Pong { id } => id,
+            | Response::Pong { id }
+            | Response::Health { id, .. } => id,
         }
     }
 }
@@ -590,6 +742,16 @@ pub fn status_response(id: &str, snapshot: &StatusSnapshot, metrics: Option<&str
 /// Encodes a pong response.
 pub fn pong_response(id: &str) -> String {
     envelope(id, true, "pong").to_line()
+}
+
+/// Encodes a health response.
+pub fn health_response(id: &str, health: &HealthSnapshot) -> String {
+    let mut obj = envelope(id, true, "health");
+    for (key, value) in health.fields() {
+        obj.push_num(key, value);
+    }
+    obj.push_bool("shutting_down", health.shutting_down);
+    obj.to_line()
 }
 
 /// Parses one response line.
@@ -643,6 +805,10 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
             metrics: obj.get_str("metrics").map(str::to_string),
         }),
         Some("pong") => Ok(Response::Pong { id }),
+        Some("health") => Ok(Response::Health {
+            id,
+            health: HealthSnapshot::from_object(&obj)?,
+        }),
         other => Err(format!("unknown response kind {other:?}")),
     }
 }
@@ -673,6 +839,7 @@ mod tests {
             strategy: Some("bia".into()),
             placement: Some("l1d".into()),
             eval: true,
+            deadline_ms: Some(250),
         };
         let line = submit_line("42", &req);
         let (id, parsed) = parse_request(&line).unwrap();
@@ -738,6 +905,7 @@ mod tests {
             strategy: None,
             placement: None,
             eval: false,
+            deadline_ms: None,
         };
         let spec = req.to_spec().unwrap();
         // Defaults mirror `ctbia run hist`: size 2000, BIA at L1d.
@@ -748,6 +916,7 @@ mod tests {
             strategy: Some("insecure".into()),
             placement: None,
             eval: false,
+            deadline_ms: None,
         };
         assert_eq!(crypto.to_spec().unwrap().label(), "AES/insecure");
         let bad = SubmitRequest {
@@ -756,6 +925,7 @@ mod tests {
             strategy: None,
             placement: None,
             eval: false,
+            deadline_ms: None,
         };
         assert!(bad.to_spec().is_err());
     }
@@ -828,9 +998,57 @@ mod tests {
             ErrorCode::Backpressure,
             ErrorCode::ShuttingDown,
             ErrorCode::CellFailed,
+            ErrorCode::Overloaded,
+            ErrorCode::DeadlineExceeded,
         ] {
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
         }
         assert_eq!(ErrorCode::parse("nope"), None);
+    }
+
+    #[test]
+    fn only_transient_codes_are_retryable() {
+        for code in [
+            ErrorCode::Backpressure,
+            ErrorCode::Overloaded,
+            ErrorCode::ShuttingDown,
+        ] {
+            assert!(code.retryable(), "{code:?} should be retryable");
+        }
+        for code in [
+            ErrorCode::BadJson,
+            ErrorCode::BadRequest,
+            ErrorCode::BadCell,
+            ErrorCode::CellFailed,
+            ErrorCode::DeadlineExceeded,
+        ] {
+            assert!(!code.retryable(), "{code:?} must not be retryable");
+        }
+    }
+
+    #[test]
+    fn health_round_trips() {
+        assert_eq!(
+            parse_request(&health_line("h")).unwrap(),
+            ("h".into(), Request::Health)
+        );
+        let health = HealthSnapshot {
+            queue_depth: 3,
+            queue_limit: 1024,
+            workers_alive: 4,
+            worker_restarts: 2,
+            deadline_kills: 1,
+            shed_submits: 5,
+            cache_quarantined: 7,
+            shutting_down: true,
+        };
+        let line = health_response("h", &health);
+        match parse_response(&line).unwrap() {
+            Response::Health { id, health: parsed } => {
+                assert_eq!(id, "h");
+                assert_eq!(parsed, health);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
     }
 }

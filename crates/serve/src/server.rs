@@ -7,7 +7,7 @@
 //!   accept thread ──spawns──> connection reader ──submit──> shared job queue
 //!                                   │                            │
 //!                                   │ status/ping/errors         │ worker pool
-//!                                   v                            v
+//!                                   v                            v   (supervised)
 //!                             response channel <──report── job completion
 //!                                   │
 //!                                   v
@@ -22,18 +22,32 @@
 //! * **Coalescing.** A submit whose digest is already in flight attaches
 //!   to the existing job instead of enqueueing a duplicate; both clients
 //!   get their own response from the single execution.
-//! * **Backpressure.** Each connection may have at most `max_inflight`
-//!   unanswered submits; excess submits are *answered* (typed
-//!   `backpressure` error), never dropped or blocked.
+//! * **Backpressure and admission control.** Each connection may have at
+//!   most `max_inflight` unanswered submits (typed `backpressure` error),
+//!   and the global queue sheds fresh jobs past `queue_limit` (typed
+//!   `overloaded` error). Excess submits are *answered*, never dropped or
+//!   blocked; coalescing onto an in-flight digest is always admitted
+//!   because it costs no new execution.
+//! * **Supervision.** Jobs execute under `catch_unwind`; a panicking cell
+//!   answers its waiters with `cell_failed` and the supervisor respawns
+//!   the poisoned worker (see [`crate::supervisor`]). The same thread is
+//!   the deadline watchdog: a job past its deadline is answered
+//!   `deadline-exceeded` and unhooked without blocking the queue.
+//! * **Crash recovery.** At startup the memo cache is scanned
+//!   ([`DiskCache::recover`]): orphaned write-ahead temps are deleted and
+//!   torn entries quarantined, so a `kill -9` mid-write costs at most a
+//!   re-simulation, never a wrong or wedged result.
 //! * **Graceful shutdown.** [`ServerHandle::shutdown`] (or SIGTERM in the
 //!   CLI) stops accepting work, lets the workers drain every queued and
 //!   executing job, flushes the responses, then closes connections — no
 //!   accepted request goes unanswered.
 
+use crate::chaos::{ChaosKind, ChaosSpec, ChaosState};
 use crate::proto::{
-    error_response, parse_request, pong_response, report_response, status_response, ErrorCode,
-    Request, StatusSnapshot, MAX_LINE,
+    error_response, health_response, parse_request, pong_response, report_response,
+    status_response, ErrorCode, HealthSnapshot, Request, StatusSnapshot, MAX_LINE,
 };
+use crate::supervisor::{execute_guarded, spawn_worker, supervisor_loop};
 use ctbia_harness::{counter_fields, CellOutcome, CellSpec, DiskCache, SweepEngine};
 use ctbia_trace::MetricsDoc;
 use std::collections::{HashMap, VecDeque};
@@ -44,38 +58,52 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// How often blocked loops (accept, idle readers) poll the shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(25);
+/// How often blocked loops (accept, idle readers, the supervisor) poll
+/// the shutdown flag and the deadline watchdog sweeps for overdue jobs.
+pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(25);
 
 /// Configuration of one server instance.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Path of the Unix domain socket to bind (created; any stale file is
-    /// removed first).
+    /// Path of the Unix domain socket to bind. A stale file left by a
+    /// dead daemon is detected (connect probe) and replaced; a path owned
+    /// by a live daemon fails the bind.
     pub socket: PathBuf,
     /// Worker threads draining the job queue.
     pub threads: usize,
     /// Per-connection cap on unanswered submits.
     pub max_inflight: usize,
+    /// Global cap on in-flight jobs; fresh submits past it are shed with
+    /// a typed `overloaded` error.
+    pub queue_limit: usize,
+    /// Default per-job deadline in milliseconds (`None`: no deadline).
+    /// A submit's own `deadline_ms` field overrides it per job.
+    pub deadline_ms: Option<u64>,
     /// Memo-cache directory; `None` serves uncached.
     pub cache_dir: Option<PathBuf>,
     /// Artificial per-job delay, for stress tests and load drills (0 in
     /// production use).
     pub worker_delay_ms: u64,
+    /// Seeded fault-injection budget; `None` serves faithfully.
+    pub chaos: Option<ChaosSpec>,
 }
 
 impl ServerConfig {
     /// A config on `socket` with defaults: all cores, a 32-deep
-    /// per-connection window, the default `results/cache/` memo directory.
+    /// per-connection window, a 1024-job global queue, no deadline, the
+    /// default `results/cache/` memo directory, no chaos.
     pub fn new(socket: impl Into<PathBuf>) -> ServerConfig {
         ServerConfig {
             socket: socket.into(),
             threads: thread::available_parallelism().map_or(1, |n| n.get()),
             max_inflight: 32,
+            queue_limit: 1024,
+            deadline_ms: None,
             cache_dir: Some(PathBuf::from(ctbia_harness::cache::DEFAULT_DIR)),
             worker_delay_ms: 0,
+            chaos: None,
         }
     }
 }
@@ -93,10 +121,34 @@ struct Waiter {
 /// One in-flight cell resolution, shared by every submit that asked for
 /// the same digest.
 #[derive(Debug)]
-struct Job {
+pub(crate) struct Job {
     spec: CellSpec,
     digest: u128,
     waiters: Mutex<Vec<Waiter>>,
+    created: Instant,
+    /// Effective deadline (submit override, else the server default).
+    /// Coalescers inherit the creating submit's deadline.
+    deadline: Option<Duration>,
+    /// Claimed exactly once — by normal completion or by deadline expiry —
+    /// so each job's waiters are answered exactly once.
+    resolved: AtomicBool,
+    /// The fault this job drew from the chaos budget, if any.
+    chaos: Option<ChaosKind>,
+}
+
+impl Job {
+    /// Whether this job has already been answered (completed or expired).
+    pub(crate) fn is_resolved(&self) -> bool {
+        self.resolved.load(Ordering::Acquire)
+    }
+}
+
+/// Whether `submit` accepted a request into the system.
+enum Admission {
+    /// Enqueued fresh or coalesced onto an in-flight digest.
+    Accepted,
+    /// Shed by the global queue-depth limit; nothing was registered.
+    Shed,
 }
 
 #[derive(Debug, Default)]
@@ -108,12 +160,19 @@ struct Stats {
     backpressure: AtomicU64,
     protocol_errors: AtomicU64,
     inflight_jobs: AtomicU64,
+    deadline_kills: AtomicU64,
+    shed_submits: AtomicU64,
+    worker_restarts: AtomicU64,
+    /// Maintained by the supervisor; stale by at most one poll tick
+    /// between a worker's death and its reap.
+    workers_alive: AtomicU64,
+    cache_quarantined: AtomicU64,
 }
 
 /// Shared server state: the queue, the coalescing map, the engine, the
 /// counters, and the shutdown latch.
 #[derive(Debug)]
-struct Core {
+pub(crate) struct Core {
     engine: SweepEngine,
     queue: Mutex<VecDeque<Arc<Job>>>,
     queue_cv: Condvar,
@@ -125,7 +184,10 @@ struct Core {
     shutdown: AtomicBool,
     threads: usize,
     max_inflight: usize,
+    queue_limit: usize,
+    default_deadline: Option<Duration>,
     worker_delay_ms: u64,
+    chaos: Option<ChaosState>,
 }
 
 impl Core {
@@ -142,6 +204,26 @@ impl Core {
             inflight_jobs: self.stats.inflight_jobs.load(Ordering::Relaxed),
             threads: self.threads as u64,
             max_inflight: self.max_inflight as u64,
+            workers_alive: self.stats.workers_alive.load(Ordering::Relaxed),
+            worker_restarts: self.stats.worker_restarts.load(Ordering::Relaxed),
+            deadline_kills: self.stats.deadline_kills.load(Ordering::Relaxed),
+            shed_submits: self.stats.shed_submits.load(Ordering::Relaxed),
+            cache_quarantined: self.stats.cache_quarantined.load(Ordering::Relaxed),
+            cache_store_failures: self.engine.cache_store_failures(),
+            chaos_injections: self.chaos.as_ref().map_or(0, |c| c.injected()),
+        }
+    }
+
+    fn health(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            queue_depth: self.stats.inflight_jobs.load(Ordering::Relaxed),
+            queue_limit: self.queue_limit as u64,
+            workers_alive: self.stats.workers_alive.load(Ordering::Relaxed),
+            worker_restarts: self.stats.worker_restarts.load(Ordering::Relaxed),
+            deadline_kills: self.stats.deadline_kills.load(Ordering::Relaxed),
+            shed_submits: self.stats.shed_submits.load(Ordering::Relaxed),
+            cache_quarantined: self.stats.cache_quarantined.load(Ordering::Relaxed),
+            shutting_down: self.shutdown.load(Ordering::Acquire),
         }
     }
 
@@ -160,22 +242,38 @@ impl Core {
         doc
     }
 
+    pub(crate) fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn note_worker_exit(&self) {
+        self.stats.workers_alive.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_worker_restart(&self) {
+        self.stats.worker_restarts.fetch_add(1, Ordering::Relaxed);
+        self.stats.workers_alive.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Registers one submit: coalesce onto an in-flight duplicate digest,
-    /// or create and enqueue a fresh job.
+    /// shed when the global queue is full, or create and enqueue a fresh
+    /// job (with its effective deadline and its draw from the chaos
+    /// budget).
     fn submit(
         &self,
         spec: CellSpec,
+        deadline_ms: Option<u64>,
         tx: mpsc::Sender<String>,
         id: String,
         conn_inflight: Arc<AtomicUsize>,
-    ) {
-        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+    ) -> Admission {
         let digest = spec.digest();
         let mut map = self.inflight.lock().unwrap();
         if let Some(job) = map.get(&digest) {
             // Duplicate of an in-flight cell: share its execution. A job
             // leaves the map strictly before its waiters are notified, so
             // a map-resident job is guaranteed to flush this waiter.
+            self.stats.submitted.fetch_add(1, Ordering::Relaxed);
             self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
             job.waiters.lock().unwrap().push(Waiter {
                 tx,
@@ -183,8 +281,18 @@ impl Core {
                 coalesced: true,
                 conn_inflight,
             });
-            return;
+            return Admission::Accepted;
         }
+        if self.stats.inflight_jobs.load(Ordering::Acquire) >= self.queue_limit as u64 {
+            // Admission control: a fresh job would grow the queue past the
+            // high-water mark. Shed it before registering anything.
+            self.stats.shed_submits.fetch_add(1, Ordering::Relaxed);
+            return Admission::Shed;
+        }
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let deadline = deadline_ms
+            .map(Duration::from_millis)
+            .or(self.default_deadline);
         let job = Arc::new(Job {
             spec,
             digest,
@@ -194,17 +302,28 @@ impl Core {
                 coalesced: false,
                 conn_inflight,
             }]),
+            created: Instant::now(),
+            deadline,
+            resolved: AtomicBool::new(false),
+            chaos: self.chaos.as_ref().and_then(|c| c.next_injection()),
         });
         map.insert(digest, Arc::clone(&job));
         drop(map);
         self.stats.inflight_jobs.fetch_add(1, Ordering::Relaxed);
         self.queue.lock().unwrap().push_back(job);
         self.queue_cv.notify_one();
+        Admission::Accepted
     }
 
     /// Publishes a finished job: removes it from the coalescing map, rolls
-    /// the aggregates, and answers every waiter.
-    fn complete(&self, job: &Job, outcome: Result<CellOutcome, String>) {
+    /// the aggregates, and answers every waiter. A no-op if the deadline
+    /// watchdog already claimed the job — its waiters were answered
+    /// `deadline-exceeded` and the result (already memoized if it stored)
+    /// has nobody left to read it.
+    pub(crate) fn complete(&self, job: &Job, outcome: Result<CellOutcome, String>) {
+        if job.resolved.swap(true, Ordering::AcqRel) {
+            return;
+        }
         self.inflight.lock().unwrap().remove(&job.digest);
         match &outcome {
             Ok(o) => {
@@ -236,26 +355,126 @@ impl Core {
         self.stats.inflight_jobs.fetch_sub(1, Ordering::Relaxed);
     }
 
-    fn worker_loop(self: Arc<Core>) {
-        loop {
-            let job = {
-                let mut queue = self.queue.lock().unwrap();
-                loop {
-                    if let Some(job) = queue.pop_front() {
-                        break job;
-                    }
-                    if self.shutdown.load(Ordering::Acquire) {
-                        return;
-                    }
-                    queue = self.queue_cv.wait(queue).unwrap();
-                }
-            };
-            if self.worker_delay_ms > 0 {
-                thread::sleep(Duration::from_millis(self.worker_delay_ms));
+    /// The deadline watchdog sweep: claims every in-flight job past its
+    /// deadline and answers its waiters `deadline-exceeded`. The job stays
+    /// wherever it physically is — queued (a worker will skip it) or
+    /// executing (the worker's completion becomes a no-op) — so an overdue
+    /// job never blocks the queue, and a later submit of the same digest
+    /// starts fresh.
+    pub(crate) fn expire_overdue(&self) {
+        let now = Instant::now();
+        let overdue: Vec<Arc<Job>> = self
+            .inflight
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|job| {
+                job.deadline
+                    .is_some_and(|d| now.duration_since(job.created) >= d)
+            })
+            .map(Arc::clone)
+            .collect();
+        for job in overdue {
+            if job.resolved.swap(true, Ordering::AcqRel) {
+                continue;
             }
-            let outcome = self.engine.run_cell_outcome(&job.spec);
-            self.complete(&job, outcome);
+            self.inflight.lock().unwrap().remove(&job.digest);
+            self.stats.deadline_kills.fetch_add(1, Ordering::Relaxed);
+            let deadline_ms = job.deadline.map_or(0, |d| d.as_millis() as u64);
+            let waiters = std::mem::take(&mut *job.waiters.lock().unwrap());
+            for w in waiters {
+                let _ = w.tx.send(error_response(
+                    Some(&w.id),
+                    ErrorCode::DeadlineExceeded,
+                    &format!("job exceeded its {deadline_ms}ms deadline"),
+                ));
+                w.conn_inflight.fetch_sub(1, Ordering::Release);
+            }
+            self.stats.inflight_jobs.fetch_sub(1, Ordering::Relaxed);
         }
+    }
+
+    /// Blocks for the next queued job; `None` once shutdown is requested
+    /// and the queue is empty.
+    pub(crate) fn next_job(&self) -> Option<Arc<Job>> {
+        let mut queue = self.queue.lock().unwrap();
+        loop {
+            if let Some(job) = queue.pop_front() {
+                return Some(job);
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            queue = self.queue_cv.wait(queue).unwrap();
+        }
+    }
+
+    /// Executes one claimed job: the stress-test delay, then the job's
+    /// chaos fault (if it drew one), then the engine. Runs inside the
+    /// caller's `catch_unwind` — the injected panic escapes through here.
+    pub(crate) fn execute(&self, job: &Job) -> Result<CellOutcome, String> {
+        if self.worker_delay_ms > 0 {
+            thread::sleep(Duration::from_millis(self.worker_delay_ms));
+        }
+        match job.chaos {
+            None => self.engine.run_cell_outcome(&job.spec),
+            Some(ChaosKind::Panic) => panic!("chaos: injected worker panic"),
+            Some(ChaosKind::Stall) => {
+                let stall_ms = self.chaos.as_ref().map_or(0, |c| c.spec().stall_ms);
+                thread::sleep(Duration::from_millis(stall_ms));
+                self.engine.run_cell_outcome(&job.spec)
+            }
+            Some(ChaosKind::IoError) => {
+                // Arm one synthetic store failure. Under concurrency
+                // another job's store may consume it instead; chaos suites
+                // that assert exact counts run single-worker.
+                if let Some(cache) = self.engine.cache() {
+                    cache.fail_next_stores(1);
+                }
+                self.engine.run_cell_outcome(&job.spec)
+            }
+            Some(ChaosKind::TornWrite) => {
+                let outcome = self.engine.run_cell_outcome(&job.spec);
+                if outcome.is_ok() {
+                    if let Some(cache) = self.engine.cache() {
+                        // Overwrite the just-published entry with its own
+                        // first half, bypassing the crash-consistent write
+                        // path on purpose: this is the on-disk state a
+                        // kill -9 mid-write would leave, and the startup
+                        // recovery scan must quarantine it.
+                        let key = job.spec.digest_hex();
+                        if let Some(text) = cache.load_text(&key) {
+                            let torn = &text.as_bytes()[..text.len() / 2];
+                            let _ = std::fs::write(cache.dir().join(&key), torn);
+                        }
+                    }
+                }
+                outcome
+            }
+        }
+    }
+}
+
+/// Binds the server socket, recovering from a stale socket file left
+/// behind by a crashed or killed daemon: when the path is already bound,
+/// it is probed with a connect — a refusal proves no daemon is listening,
+/// so the stale file is removed and the bind retried, while an answer
+/// means a live daemon owns the path and the bind fails with `AddrInUse`.
+fn bind_socket(path: &Path) -> std::io::Result<UnixListener> {
+    match UnixListener::bind(path) {
+        Ok(listener) => Ok(listener),
+        Err(e) if e.kind() == ErrorKind::AddrInUse => match UnixStream::connect(path) {
+            Ok(_) => Err(std::io::Error::new(
+                ErrorKind::AddrInUse,
+                format!("{} is owned by a live daemon", path.display()),
+            )),
+            Err(probe) if probe.kind() == ErrorKind::ConnectionRefused => {
+                std::fs::remove_file(path)?;
+                UnixListener::bind(path)
+            }
+            Err(_) => Err(e),
+        },
+        Err(e) => Err(e),
     }
 }
 
@@ -264,20 +483,26 @@ impl Core {
 pub struct Server;
 
 impl Server {
-    /// Binds `config.socket`, spawns the worker pool and the accept loop,
-    /// and returns the handle controlling the running server.
+    /// Binds `config.socket` (recovering a stale socket file), runs the
+    /// memo cache's startup recovery scan, spawns the supervised worker
+    /// pool and the accept loop, and returns the handle controlling the
+    /// running server.
     ///
     /// # Errors
     ///
-    /// Returns the I/O error if the socket cannot be bound or the cache
-    /// directory cannot be created.
+    /// Returns the I/O error if the socket cannot be bound (including
+    /// when a live daemon already owns it), the cache directory cannot be
+    /// created, or the recovery scan fails.
     pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
-        let _ = std::fs::remove_file(&config.socket);
-        let listener = UnixListener::bind(&config.socket)?;
+        let listener = bind_socket(&config.socket)?;
         listener.set_nonblocking(true)?;
         let mut engine = SweepEngine::new().with_threads(1);
+        let mut quarantined = 0;
         if let Some(dir) = &config.cache_dir {
-            engine = engine.with_cache(DiskCache::open(dir)?);
+            let cache = DiskCache::open(dir)?;
+            // Quarantine crash debris before the first lookup can see it.
+            quarantined = cache.recover()?.quarantined;
+            engine = engine.with_cache(cache);
         }
         let core = Arc::new(Core {
             engine,
@@ -289,14 +514,22 @@ impl Server {
             shutdown: AtomicBool::new(false),
             threads: config.threads.max(1),
             max_inflight: config.max_inflight.max(1),
+            queue_limit: config.queue_limit.max(1),
+            default_deadline: config.deadline_ms.map(Duration::from_millis),
             worker_delay_ms: config.worker_delay_ms,
+            chaos: config.chaos.map(ChaosState::new),
         });
-        let workers = (0..core.threads)
-            .map(|_| {
-                let core = Arc::clone(&core);
-                thread::spawn(move || core.worker_loop())
-            })
-            .collect();
+        core.stats
+            .cache_quarantined
+            .store(quarantined, Ordering::Relaxed);
+        let workers = (0..core.threads).map(|_| spawn_worker(&core)).collect();
+        core.stats
+            .workers_alive
+            .store(core.threads as u64, Ordering::Relaxed);
+        let supervisor = {
+            let core = Arc::clone(&core);
+            thread::spawn(move || supervisor_loop(&core, workers))
+        };
         let accept = {
             let core = Arc::clone(&core);
             thread::spawn(move || accept_loop(listener, core))
@@ -304,7 +537,7 @@ impl Server {
         Ok(ServerHandle {
             core,
             accept: Some(accept),
-            workers,
+            supervisor: Some(supervisor),
             socket: config.socket,
         })
     }
@@ -315,7 +548,7 @@ impl Server {
 pub struct ServerHandle {
     core: Arc<Core>,
     accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
     socket: PathBuf,
 }
 
@@ -328,6 +561,11 @@ impl ServerHandle {
     /// A point-in-time snapshot of the server counters.
     pub fn status(&self) -> StatusSnapshot {
         self.core.snapshot()
+    }
+
+    /// A point-in-time supervision snapshot (what the `health` op serves).
+    pub fn health(&self) -> HealthSnapshot {
+        self.core.health()
     }
 
     /// Begins a graceful shutdown: stop accepting connections, reject new
@@ -344,23 +582,23 @@ impl ServerHandle {
         self.core.shutdown.load(Ordering::Acquire)
     }
 
-    /// Waits for the accept loop, workers, and connections to finish, then
-    /// removes the socket file and returns the final counter snapshot.
-    /// Implies [`ServerHandle::shutdown`].
+    /// Waits for the supervisor (and with it every worker), stragglers,
+    /// and connections to finish, then removes the socket file and returns
+    /// the final counter snapshot. Implies [`ServerHandle::shutdown`].
     pub fn join(mut self) -> StatusSnapshot {
         self.shutdown();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
         }
         // A submit can race the shutdown flag and land in the queue after
         // the workers drained it; resolve stragglers inline so the drain
         // guarantee — every accepted request gets answered — is absolute.
+        // (Already-expired jobs are skipped by the guard.)
         loop {
             let job = self.core.queue.lock().unwrap().pop_front();
             match job {
                 Some(job) => {
-                    let outcome = self.core.engine.run_cell_outcome(&job.spec);
-                    self.core.complete(&job, outcome);
+                    execute_guarded(&self.core, &job);
                 }
                 None if self.core.stats.inflight_jobs.load(Ordering::Acquire) == 0 => break,
                 None => thread::sleep(Duration::from_millis(1)),
@@ -519,6 +757,9 @@ fn handle_line(
             let doc = metrics.then(|| core.metrics_doc().to_json());
             let _ = tx.send(status_response(&id, &core.snapshot(), doc.as_deref()));
         }
+        Request::Health => {
+            let _ = tx.send(health_response(&id, &core.health()));
+        }
         Request::Submit(req) => {
             if core.shutdown.load(Ordering::Acquire) {
                 respond_error(
@@ -552,7 +793,70 @@ fn handle_line(
                 return;
             }
             conn_inflight.fetch_add(1, Ordering::AcqRel);
-            core.submit(spec, tx.clone(), id, Arc::clone(conn_inflight));
+            match core.submit(
+                spec,
+                req.deadline_ms,
+                tx.clone(),
+                id.clone(),
+                Arc::clone(conn_inflight),
+            ) {
+                Admission::Accepted => {}
+                Admission::Shed => {
+                    conn_inflight.fetch_sub(1, Ordering::AcqRel);
+                    respond_error(
+                        core,
+                        tx,
+                        Some(&id),
+                        ErrorCode::Overloaded,
+                        &format!(
+                            "queue is at its {}-job limit; retry with backoff",
+                            core.queue_limit
+                        ),
+                    );
+                }
+            }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_socket(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ctbia-bind-test-{}-{tag}.sock", std::process::id()))
+    }
+
+    #[test]
+    fn bind_recovers_a_stale_socket_file() {
+        let path = tmp_socket("stale");
+        let _ = std::fs::remove_file(&path);
+        // A bound-then-dropped listener leaves exactly the stale file a
+        // killed daemon leaves: present on disk, nobody listening.
+        drop(UnixListener::bind(&path).unwrap());
+        assert!(path.exists(), "stale socket file is on disk");
+        let listener = bind_socket(&path).expect("stale file is reclaimed");
+        drop(listener);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bind_refuses_a_live_daemons_socket() {
+        let path = tmp_socket("live");
+        let _ = std::fs::remove_file(&path);
+        let live = UnixListener::bind(&path).unwrap();
+        let err = bind_socket(&path).expect_err("a live listener owns the path");
+        assert_eq!(err.kind(), ErrorKind::AddrInUse);
+        drop(live);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bind_creates_a_fresh_socket() {
+        let path = tmp_socket("fresh");
+        let _ = std::fs::remove_file(&path);
+        let listener = bind_socket(&path).unwrap();
+        drop(listener);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,111 @@
+//! Worker supervision: panic isolation and respawn.
+//!
+//! Every job executes inside [`std::panic::catch_unwind`], so a panicking
+//! cell — a simulator bug, a poisoned workload, an injected chaos fault —
+//! is converted into a typed `cell_failed` response for exactly the
+//! clients waiting on that digest, never a dead daemon. The worker thread
+//! that caught the panic is treated as poisoned and exits; a dedicated
+//! supervisor thread reaps it, respawns a replacement (counted in
+//! `worker_restarts`), and doubles as the deadline watchdog by sweeping
+//! the in-flight map for overdue jobs every poll tick.
+//!
+//! `AssertUnwindSafe` is sound here because the unwind scope holds no
+//! server lock — queue, coalescing map, and aggregate locks are only taken
+//! outside [`Core::execute`] — and the engine state it touches is atomics
+//! plus an append-only crash-consistent cache, so a mid-job panic can
+//! strand no inconsistent state behind it.
+
+use crate::server::{Core, POLL_INTERVAL};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+/// Why a worker's main loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WorkerExit {
+    /// Clean exit: shutdown was requested and the queue is drained.
+    Shutdown,
+    /// The worker caught a job panic; its job was answered `cell_failed`
+    /// and the thread retired itself for the supervisor to replace.
+    Poisoned,
+}
+
+/// Spawns one worker thread over the shared core.
+pub(crate) fn spawn_worker(core: &Arc<Core>) -> JoinHandle<WorkerExit> {
+    let core = Arc::clone(core);
+    thread::spawn(move || worker_main(&core))
+}
+
+fn worker_main(core: &Arc<Core>) -> WorkerExit {
+    loop {
+        let Some(job) = core.next_job() else {
+            return WorkerExit::Shutdown;
+        };
+        if execute_guarded(core, &job) {
+            return WorkerExit::Poisoned;
+        }
+    }
+}
+
+/// Runs one job with panic isolation and publishes its outcome. A panic
+/// becomes a `cell_failed` completion carrying the panic message; returns
+/// whether the job panicked (the caller's thread is then poisoned).
+pub(crate) fn execute_guarded(core: &Core, job: &crate::server::Job) -> bool {
+    if job.is_resolved() {
+        // A deadline expiry answered this job while it sat in the queue;
+        // executing it now would only burn cycles nobody is waiting on.
+        return false;
+    }
+    match catch_unwind(AssertUnwindSafe(|| core.execute(job))) {
+        Ok(outcome) => {
+            core.complete(job, outcome);
+            false
+        }
+        Err(payload) => {
+            let msg = panic_message(payload.as_ref());
+            core.complete(job, Err(format!("worker panicked: {msg}")));
+            true
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// The supervisor: owns the worker pool, reaps finished workers, respawns
+/// poisoned ones (until shutdown), and expires overdue jobs. Returns once
+/// shutdown has begun and every worker has been joined.
+pub(crate) fn supervisor_loop(core: &Arc<Core>, mut workers: Vec<JoinHandle<WorkerExit>>) {
+    loop {
+        core.expire_overdue();
+        let mut i = 0;
+        while i < workers.len() {
+            if !workers[i].is_finished() {
+                i += 1;
+                continue;
+            }
+            // A worker whose thread itself died without returning (its
+            // join fails) is indistinguishable from a poisoned one.
+            let exit = workers
+                .swap_remove(i)
+                .join()
+                .unwrap_or(WorkerExit::Poisoned);
+            core.note_worker_exit();
+            if exit == WorkerExit::Poisoned && !core.is_shutting_down() {
+                core.note_worker_restart();
+                workers.push(spawn_worker(core));
+            }
+        }
+        if core.is_shutting_down() && workers.is_empty() {
+            return;
+        }
+        thread::sleep(POLL_INTERVAL);
+    }
+}

@@ -1,0 +1,344 @@
+//! The chaos harness: seeded fault drills against a live daemon.
+//!
+//! Every scenario arms a deterministic [`ChaosSpec`] budget (or hand-
+//! crafts the on-disk debris a `kill -9` leaves), drives real clients
+//! over the socket, and asserts three things the fault model promises:
+//!
+//! 1. **Survival** — the daemon answers every request and exits cleanly
+//!    (`handle.join()` returns) no matter which faults fired.
+//! 2. **Typed failure** — a fault surfaces as exactly its typed error
+//!    (`cell_failed`, `deadline-exceeded`) to exactly the affected
+//!    clients; unaffected digests execute exactly once.
+//! 3. **Byte-identity** — every surviving result equals a from-scratch
+//!    serial execution of the same cell, byte for byte.
+//!
+//! Determinism comes from seeded injection (assignment by submit order),
+//! sequential clients, and single-worker pools where exact counter values
+//! are asserted.
+
+use ctbia_harness::{execute_cell, CellSpec, DiskCache, StrategySpec, WorkloadSpec};
+use ctbia_machine::BiaPlacement;
+use ctbia_serve::{ChaosSpec, Client, ErrorCode, Response, Server, ServerConfig, SubmitRequest};
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ctbia-serve-chaos-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn request(size: u64) -> SubmitRequest {
+    SubmitRequest {
+        workload: "histogram".to_string(),
+        size: Some(size),
+        strategy: Some("bia".to_string()),
+        placement: Some("l1d".to_string()),
+        eval: false,
+        deadline_ms: None,
+    }
+}
+
+fn spec(size: u64) -> CellSpec {
+    CellSpec::new(
+        WorkloadSpec::named("histogram", size as usize).unwrap(),
+        StrategySpec::Bia,
+        BiaPlacement::L1d,
+    )
+}
+
+/// The ground truth: a from-scratch serial execution's cache text.
+fn local_text(size: u64) -> String {
+    execute_cell(&spec(size)).unwrap().to_cache_text()
+}
+
+fn expect_report(response: Response) -> String {
+    match response {
+        Response::Report { report, .. } => report.to_cache_text(),
+        other => panic!("expected a report, got {other:?}"),
+    }
+}
+
+/// Scenario 1: injected worker panics. The two poisoned cells fail with
+/// typed `cell_failed` naming the panic, the supervisor respawns both
+/// workers, untouched cells execute exactly once, and the failed cells
+/// re-run byte-identically once the budget is spent.
+#[test]
+fn injected_panics_fail_typed_respawn_workers_and_rerun_clean() {
+    let dir = tmp_dir("panics");
+    let socket = dir.join("ctbia.sock");
+    let mut config = ServerConfig::new(&socket);
+    config.threads = 2;
+    config.cache_dir = Some(dir.join("cache"));
+    config.chaos = Some(ChaosSpec::parse("panic:2,seed:1").unwrap());
+    let handle = Server::start(config).unwrap();
+
+    let mut client = Client::connect(&socket).unwrap();
+    let sizes = [301u64, 302, 303, 304, 305, 306];
+    let mut failed: Vec<u64> = Vec::new();
+    for &size in &sizes {
+        match client.submit(&request(size)).unwrap() {
+            Response::Report { report, .. } => {
+                assert_eq!(report.to_cache_text(), local_text(size));
+            }
+            Response::Error { code, message, .. } => {
+                assert_eq!(code, ErrorCode::CellFailed);
+                assert!(
+                    message.contains("panic"),
+                    "error names the panic: {message}"
+                );
+                failed.push(size);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(
+        failed,
+        vec![301, 302],
+        "a pure panic budget fires on the first fresh jobs, in submit order"
+    );
+    // The budget is spent: the failed cells re-run cleanly and match the
+    // serial ground truth byte for byte.
+    for &size in &failed {
+        assert_eq!(
+            expect_report(client.submit(&request(size)).unwrap()),
+            local_text(size)
+        );
+    }
+
+    // Both respawns are guaranteed, but the second reap can lag a poll
+    // tick behind the last response; wait for it before shutting down.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.health().worker_restarts < 2 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let snapshot = handle.join();
+    assert_eq!(snapshot.jobs_failed, 2);
+    assert_eq!(
+        snapshot.worker_restarts, 2,
+        "both poisoned workers respawned"
+    );
+    assert_eq!(snapshot.chaos_injections, 2);
+    assert_eq!(
+        snapshot.executed, 6,
+        "non-failed digests execute exactly once; panicked jobs never reach the engine"
+    );
+    assert_eq!(snapshot.inflight_jobs, 0, "no inflight entry leaks");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Scenario 2: an injected stall against a per-submit deadline. The
+/// stalled job is answered `deadline-exceeded` by the watchdog long
+/// before the stall ends, the single-worker queue is not wedged (the
+/// next cell completes), and the expired cell re-runs byte-identically.
+#[test]
+fn stalled_job_is_deadline_killed_without_blocking_the_queue() {
+    let dir = tmp_dir("deadline");
+    let socket = dir.join("ctbia.sock");
+    let mut config = ServerConfig::new(&socket);
+    config.threads = 1;
+    config.cache_dir = Some(dir.join("cache"));
+    config.chaos = Some(ChaosSpec::parse("stall:1,stall-ms:600,seed:3").unwrap());
+    let handle = Server::start(config).unwrap();
+
+    let mut client = Client::connect(&socket).unwrap();
+    let mut stalled = request(310);
+    stalled.deadline_ms = Some(100);
+    let start = Instant::now();
+    match client.submit(&stalled).unwrap() {
+        Response::Error { code, message, .. } => {
+            assert_eq!(code, ErrorCode::DeadlineExceeded);
+            assert!(
+                message.contains("100ms"),
+                "error names the deadline: {message}"
+            );
+        }
+        other => panic!("expected deadline-exceeded, got {other:?}"),
+    }
+    assert!(
+        start.elapsed() < Duration::from_millis(500),
+        "the watchdog answered mid-stall, not after it ({:?})",
+        start.elapsed()
+    );
+    // The worker is still sleeping off the stall, but the queue drains
+    // behind it: the next cell completes normally.
+    assert_eq!(
+        expect_report(client.submit(&request(311)).unwrap()),
+        local_text(311)
+    );
+    // Budget spent: the expired cell re-runs and matches ground truth.
+    assert_eq!(
+        expect_report(client.submit(&request(310)).unwrap()),
+        local_text(310)
+    );
+
+    let snapshot = handle.join();
+    assert_eq!(snapshot.deadline_kills, 1);
+    assert_eq!(
+        snapshot.jobs_failed, 0,
+        "a deadline kill is not a cell failure"
+    );
+    assert_eq!(snapshot.inflight_jobs, 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Scenario 3: a torn cache write. The client still gets the correct
+/// report (the tear is post-response), and a daemon restart on the same
+/// cache quarantines the torn entry and re-simulates byte-identically.
+#[test]
+fn torn_cache_write_is_quarantined_on_restart_and_resimulated() {
+    let dir = tmp_dir("torn");
+    let socket = dir.join("ctbia.sock");
+    let cache_dir = dir.join("cache");
+    let mut config = ServerConfig::new(&socket);
+    config.threads = 1;
+    config.cache_dir = Some(cache_dir.clone());
+    config.chaos = Some(ChaosSpec::parse("torn:1,seed:5").unwrap());
+    let handle = Server::start(config.clone()).unwrap();
+
+    let mut client = Client::connect(&socket).unwrap();
+    let first = expect_report(client.submit(&request(320)).unwrap());
+    assert_eq!(first, local_text(320), "the tear is after the response");
+    drop(client);
+    let snapshot = handle.join();
+    assert_eq!(snapshot.chaos_injections, 1);
+
+    let entry = cache_dir.join(spec(320).digest_hex());
+    let torn = fs::read_to_string(&entry).unwrap();
+    assert!(
+        !torn.ends_with("end\n"),
+        "the on-disk entry is torn mid-file"
+    );
+
+    // Restart (no chaos) on the same cache: startup recovery quarantines
+    // the torn entry before the first lookup can see it.
+    config.chaos = None;
+    let handle = Server::start(config).unwrap();
+    assert_eq!(handle.health().cache_quarantined, 1);
+    assert!(
+        cache_dir
+            .join("quarantine")
+            .join(spec(320).digest_hex())
+            .is_file(),
+        "the torn entry is preserved for inspection, not deleted"
+    );
+    let mut client = Client::connect(&socket).unwrap();
+    assert_eq!(
+        expect_report(client.submit(&request(320)).unwrap()),
+        first,
+        "the quarantined cell re-simulates to the same bytes"
+    );
+
+    let snapshot = handle.join();
+    assert_eq!(snapshot.executed, 1, "re-simulated, not served torn");
+    assert_eq!(snapshot.cache_hits, 0);
+    assert_eq!(snapshot.cache_quarantined, 1);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Scenario 4: a transient cache I/O error. The store fails silently —
+/// memoization lost, correctness kept: the response is still the correct
+/// report, the counter surfaces the sick disk, and the unmemoized cell
+/// simply re-executes byte-identically next time.
+#[test]
+fn transient_cache_io_error_costs_memoization_not_correctness() {
+    let dir = tmp_dir("ioerr");
+    let socket = dir.join("ctbia.sock");
+    let cache_dir = dir.join("cache");
+    let mut config = ServerConfig::new(&socket);
+    config.threads = 1;
+    config.cache_dir = Some(cache_dir.clone());
+    config.chaos = Some(ChaosSpec::parse("io:1,seed:7").unwrap());
+    let handle = Server::start(config).unwrap();
+
+    let mut client = Client::connect(&socket).unwrap();
+    let first = expect_report(client.submit(&request(330)).unwrap());
+    assert_eq!(
+        first,
+        local_text(330),
+        "the failed store never taints the response"
+    );
+    assert_eq!(
+        expect_report(client.submit(&request(331)).unwrap()),
+        local_text(331)
+    );
+    assert!(
+        !cache_dir.join(spec(330).digest_hex()).exists(),
+        "the faulted store left no entry"
+    );
+    assert!(
+        cache_dir.join(spec(331).digest_hex()).is_file(),
+        "the next store (budget spent) is durable"
+    );
+    // Memo lost, correctness kept: the unmemoized cell re-executes.
+    assert_eq!(expect_report(client.submit(&request(330)).unwrap()), first);
+
+    let snapshot = handle.join();
+    assert_eq!(snapshot.cache_store_failures, 1);
+    assert_eq!(snapshot.jobs_failed, 0);
+    assert_eq!(snapshot.executed, 3);
+    assert_eq!(snapshot.cache_hits, 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Scenario 5: the exact on-disk state a `kill -9` mid-write leaves —
+/// one complete entry, one truncated entry, one orphaned write-ahead
+/// temp file. Startup recovery deletes the orphan, quarantines the
+/// truncation, serves the survivor from cache, and re-simulates the
+/// torn cell byte-identically to a cold serial run.
+#[test]
+fn kill_nine_debris_recovers_to_byte_identical_results() {
+    let dir = tmp_dir("kill9");
+    let socket = dir.join("ctbia.sock");
+    let cache_dir = dir.join("cache");
+    let cache = DiskCache::open(&cache_dir).unwrap();
+    let good = execute_cell(&spec(340)).unwrap();
+    cache.store(&spec(340).digest_hex(), &good).unwrap();
+    let full = local_text(341);
+    fs::write(
+        cache_dir.join(spec(341).digest_hex()),
+        &full[..full.len() / 2],
+    )
+    .unwrap();
+    let orphan = cache_dir.join(".cafef00d.tmp.4242");
+    fs::write(&orphan, "half a report, writer killed").unwrap();
+
+    let mut config = ServerConfig::new(&socket);
+    config.threads = 1;
+    config.cache_dir = Some(cache_dir.clone());
+    let handle = Server::start(config).unwrap();
+    let health = handle.health();
+    assert_eq!(health.cache_quarantined, 1);
+    assert_eq!(health.workers_alive, 1);
+    assert!(!orphan.exists(), "the orphaned temp file was swept");
+    assert!(
+        cache_dir
+            .join("quarantine")
+            .join(spec(341).digest_hex())
+            .is_file(),
+        "the truncated entry was quarantined"
+    );
+
+    let mut client = Client::connect(&socket).unwrap();
+    match client.submit(&request(340)).unwrap() {
+        Response::Report { cached, report, .. } => {
+            assert!(cached, "the complete entry survived recovery");
+            assert_eq!(report.to_cache_text(), good.to_cache_text());
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+    assert_eq!(
+        expect_report(client.submit(&request(341)).unwrap()),
+        full,
+        "the torn cell re-simulates byte-identically to the cold run"
+    );
+
+    let snapshot = handle.join();
+    assert_eq!(snapshot.executed, 1);
+    assert_eq!(snapshot.cache_hits, 1);
+    assert_eq!(snapshot.cache_quarantined, 1);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -52,6 +52,7 @@ fn quick_grid() -> Vec<(SubmitRequest, CellSpec)> {
                 strategy: Some(strategy.to_string()),
                 placement: Some("l1d".to_string()),
                 eval: false,
+                deadline_ms: None,
             };
             let spec = CellSpec::new(
                 WorkloadSpec::named(name, size).unwrap(),
@@ -170,6 +171,7 @@ fn shutdown_drains_inflight_jobs_without_losing_responses() {
                 strategy: Some("insecure".to_string()),
                 placement: None,
                 eval: false,
+                deadline_ms: None,
             })
             .unwrap();
         pending.push(id);
@@ -185,6 +187,7 @@ fn shutdown_drains_inflight_jobs_without_losing_responses() {
             strategy: None,
             placement: None,
             eval: false,
+            deadline_ms: None,
         })
         .unwrap();
 
@@ -226,6 +229,7 @@ fn cache_survives_a_server_restart() {
         strategy: Some("bia".to_string()),
         placement: Some("l2".to_string()),
         eval: false,
+        deadline_ms: None,
     };
 
     let first_socket = dir.join("first.sock");

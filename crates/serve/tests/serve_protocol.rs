@@ -46,6 +46,7 @@ fn donor_line() -> String {
             strategy: Some("bia".to_string()),
             placement: Some("l1d".to_string()),
             eval: false,
+            deadline_ms: None,
         },
     )
 }
@@ -124,6 +125,7 @@ fn valid_request_still_works_on_the_shared_server() {
             strategy: Some("bia".to_string()),
             placement: None,
             eval: false,
+            deadline_ms: None,
         })
         .unwrap();
     match response {

@@ -7,14 +7,18 @@
 //!   clients asking for the poisoned digest get correct, byte-identical
 //!   reports and the entry is repaired on disk;
 //! * the per-connection in-flight cap turns excess pipelined submits into
-//!   typed `backpressure` rejections instead of unbounded queueing.
+//!   typed `backpressure` rejections instead of unbounded queueing;
+//! * the global `queue_limit` high-water mark sheds fresh digests with a
+//!   typed `overloaded` while still admitting coalescers;
+//! * a worker panic under coalescing fails **every** waiter with a typed
+//!   `cell-failed` and the supervisor respawns the worker.
 //!
 //! Timing knobs (`worker_delay_ms`, single-thread pools) make the races
 //! deterministic rather than probabilistic.
 
 use ctbia_harness::{CellSpec, StrategySpec, WorkloadSpec};
 use ctbia_machine::BiaPlacement;
-use ctbia_serve::{Client, ErrorCode, Response, Server, ServerConfig, SubmitRequest};
+use ctbia_serve::{ChaosSpec, Client, ErrorCode, Response, Server, ServerConfig, SubmitRequest};
 use std::fs;
 use std::path::PathBuf;
 use std::sync::{Arc, Barrier};
@@ -35,6 +39,7 @@ fn contended_request() -> SubmitRequest {
         strategy: Some("bia".to_string()),
         placement: Some("l1d".to_string()),
         eval: false,
+        deadline_ms: None,
     }
 }
 
@@ -166,6 +171,7 @@ fn excess_pipelined_submits_get_backpressure_rejections() {
                 strategy: Some("insecure".to_string()),
                 placement: None,
                 eval: false,
+                deadline_ms: None,
             })
             .unwrap();
     }
@@ -186,5 +192,114 @@ fn excess_pipelined_submits_get_backpressure_rejections() {
     let snapshot = handle.join();
     assert_eq!(snapshot.backpressure_rejections, 2);
     assert_eq!(snapshot.jobs_completed, 1);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn full_queue_sheds_fresh_digests_but_still_admits_coalescers() {
+    let dir = tmp_dir("shed");
+    let socket = dir.join("ctbia.sock");
+    let mut config = ServerConfig::new(&socket);
+    config.threads = 1;
+    config.cache_dir = None;
+    // One job fills the whole queue; hold it long enough to judge the
+    // other submits while it is in flight.
+    config.queue_limit = 1;
+    config.worker_delay_ms = 300;
+    let handle = Server::start(config).unwrap();
+
+    let mut client = Client::connect(&socket).unwrap();
+    // Occupies the queue's single slot.
+    client.send_submit(&contended_request()).unwrap();
+    thread::sleep(std::time::Duration::from_millis(100));
+    // A fresh digest must be shed with the global `overloaded`, not the
+    // per-connection `backpressure` (this connection is nowhere near its
+    // in-flight cap).
+    let mut fresh = contended_request();
+    fresh.size = Some(351);
+    client.send_submit(&fresh).unwrap();
+    // A duplicate of the in-flight digest costs no new execution and is
+    // always admitted, even with the queue at its high-water mark.
+    let mut coalescer = Client::connect(&socket).unwrap();
+    coalescer.send_submit(&contended_request()).unwrap();
+
+    match client.recv_response().unwrap() {
+        Response::Error { code, message, .. } => {
+            assert_eq!(code, ErrorCode::Overloaded);
+            assert!(message.contains("limit"), "sheds name the limit: {message}");
+        }
+        other => panic!("expected overloaded for the fresh digest, got {other:?}"),
+    }
+    let first = expect_report(client.recv_response().unwrap());
+    let shared = expect_report(coalescer.recv_response().unwrap());
+    assert_eq!(first, shared, "the admitted coalescer shares the result");
+
+    let snapshot = handle.join();
+    assert_eq!(snapshot.shed_submits, 1);
+    assert_eq!(snapshot.coalesced, 1);
+    assert_eq!(snapshot.executed, 1);
+    assert_eq!(
+        snapshot.jobs_submitted, 2,
+        "a shed submit never counts as submitted"
+    );
+    assert_eq!(snapshot.backpressure_rejections, 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn coalesced_panic_fails_both_clients_and_respawns_the_worker() {
+    let dir = tmp_dir("panic");
+    let socket = dir.join("ctbia.sock");
+    let mut config = ServerConfig::new(&socket);
+    config.threads = 1;
+    config.cache_dir = Some(dir.join("cache"));
+    // Hold the job long enough that the second submit coalesces onto it
+    // before the injected panic fires.
+    config.worker_delay_ms = 300;
+    config.chaos = Some(ChaosSpec::parse("panic:1,seed:9").unwrap());
+    let handle = Server::start(config).unwrap();
+
+    let barrier = Arc::new(Barrier::new(2));
+    let clients: Vec<_> = (0..2)
+        .map(|_| {
+            let socket = socket.clone();
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let mut client = Client::connect(&socket).unwrap();
+                barrier.wait();
+                client.submit(&contended_request()).unwrap()
+            })
+        })
+        .collect();
+    for client in clients {
+        match client.join().unwrap() {
+            Response::Error { code, message, .. } => {
+                assert_eq!(code, ErrorCode::CellFailed);
+                assert!(
+                    message.contains("panic"),
+                    "both coalesced waiters hear the panic: {message}"
+                );
+            }
+            other => panic!("expected cell_failed for both waiters, got {other:?}"),
+        }
+    }
+
+    // The failed digest left the coalescing map: a follow-up submit of
+    // the same cell starts fresh on the respawned worker and succeeds.
+    let mut retry = Client::connect(&socket).unwrap();
+    let text = expect_report(retry.submit(&contended_request()).unwrap());
+    assert_eq!(
+        text,
+        ctbia_harness::execute_cell(&contended_spec())
+            .unwrap()
+            .to_cache_text(),
+        "the rerun matches a from-scratch execution byte for byte"
+    );
+
+    let snapshot = handle.join();
+    assert_eq!(snapshot.jobs_failed, 1, "one job failed, two waiters told");
+    assert_eq!(snapshot.coalesced, 1);
+    assert_eq!(snapshot.worker_restarts, 1);
+    assert_eq!(snapshot.inflight_jobs, 0, "no inflight entry leaks");
     let _ = fs::remove_dir_all(&dir);
 }

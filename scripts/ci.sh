@@ -22,14 +22,22 @@
 #   9. ctbia verify --quick   -- leakage-verifier smoke run: the CT grid
 #                                verifies clean and the intentionally
 #                                leaky control is caught (non-zero exit)
-#  10. serve suites + smoke    -- the e2e/protocol/stress suites for the
-#                                batch-simulation daemon, then a live
+#  10. serve suites + smoke    -- the e2e/protocol/stress/chaos suites for
+#                                the batch-simulation daemon, then a live
 #                                cycle: start `ctbia serve` on a temp
 #                                socket, submit a cell that must come
 #                                back from the shared memo cache with the
 #                                digest the direct run reported, query
 #                                status --metrics, and exit cleanly on
-#                                SIGTERM
+#                                SIGTERM; every live-daemon client step
+#                                runs under a hard `timeout` so a wedged
+#                                daemon fails the gate instead of hanging
+#                                it
+#  11. chaos smoke             -- a daemon with one injected worker panic
+#                                answers the poisoned submit cell-failed,
+#                                respawns the worker, serves the retry,
+#                                reports the restart via `ctbia health`,
+#                                and drains cleanly on SIGTERM
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -72,7 +80,24 @@ if ./target/release/ctbia verify leaky-bin 300 >/dev/null 2>&1; then
 fi
 echo "==> verifier catches the leaky control"
 
-run cargo test -q -p ctbia-serve --test serve_e2e --test serve_protocol --test serve_stress
+run cargo test -q -p ctbia-serve --test serve_e2e --test serve_protocol --test serve_stress \
+    --test serve_chaos
+
+# Waits (bounded) for a daemon PID to exit after SIGTERM; kills and fails
+# the gate if the drain wedges.
+drain_or_die() {
+    local pid="$1"
+    for _ in $(seq 1 100); do
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    if kill -0 "$pid" 2>/dev/null; then
+        echo "serve daemon (pid $pid) did not drain within 10s" >&2
+        kill -KILL "$pid"
+        exit 1
+    fi
+    wait "$pid"
+}
 
 # Live serve cycle. Prime the memo cache with a direct run and record the
 # cell's digest; a served submit for the same cell must then come back
@@ -91,17 +116,50 @@ for _ in $(seq 1 100); do
 done
 test -S "$SOCK"
 echo "==> ctbia submit --socket $SOCK hist:200:bia:l1d"
-SUBMIT_OUT=$(./target/release/ctbia submit --socket "$SOCK" hist:200:bia:l1d)
+SUBMIT_OUT=$(timeout 60 ./target/release/ctbia submit --socket "$SOCK" hist:200:bia:l1d)
 echo "$SUBMIT_OUT"
 echo "$SUBMIT_OUT" | grep -q "digest=$RUN_DIGEST "
 echo "$SUBMIT_OUT" | grep -q "cached=yes"
-run ./target/release/ctbia status --socket "$SOCK" --metrics
+run timeout 60 ./target/release/ctbia status --socket "$SOCK" --metrics
 grep -q '"schema": "ctbia-metrics-v1"' SERVE_metrics.json
 grep -q '"serve.cache_hits": 1' SERVE_metrics.json
 kill -TERM "$SERVE_PID"
-wait "$SERVE_PID"
+drain_or_die "$SERVE_PID"
 test ! -e "$SOCK"
 rm -rf "$SERVE_DIR"
 echo "==> serve cycle: cache-backed response, clean SIGTERM drain"
+
+# Chaos smoke: one injected worker panic. The poisoned submit must fail
+# with the typed cell-failed error (and a non-zero exit), the supervisor
+# must respawn the worker so a retried submit succeeds, `ctbia health`
+# must report the restart, and SIGTERM must still drain cleanly.
+CHAOS_DIR=$(mktemp -d)
+CSOCK="$CHAOS_DIR/ctbia.sock"
+echo "==> ctbia serve --socket $CSOCK --chaos panic:1"
+./target/release/ctbia serve --socket "$CSOCK" --threads 1 --no-cache --chaos panic:1 &
+CHAOS_PID=$!
+for _ in $(seq 1 100); do
+    [ -S "$CSOCK" ] && break
+    sleep 0.1
+done
+test -S "$CSOCK"
+echo "==> poisoned submit fails typed"
+if timeout 60 ./target/release/ctbia submit --socket "$CSOCK" hist:200:bia:l1d \
+    >"$CHAOS_DIR/poisoned.out" 2>&1; then
+    echo "poisoned submit unexpectedly succeeded" >&2
+    exit 1
+fi
+grep -q "cell-failed" "$CHAOS_DIR/poisoned.out"
+echo "==> retried submit succeeds on the respawned worker"
+timeout 60 ./target/release/ctbia submit --socket "$CSOCK" --retries 3 --backoff-ms 20 \
+    hist:200:bia:l1d | grep -q "digest="
+HEALTH_OUT=$(timeout 60 ./target/release/ctbia health --socket "$CSOCK")
+echo "$HEALTH_OUT"
+echo "$HEALTH_OUT" | grep -Eq "worker_restarts +1"
+kill -TERM "$CHAOS_PID"
+drain_or_die "$CHAOS_PID"
+test ! -e "$CSOCK"
+rm -rf "$CHAOS_DIR"
+echo "==> chaos smoke: typed failure, worker respawn, clean SIGTERM drain"
 
 echo "==> tier-1 gate passed"

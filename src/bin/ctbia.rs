@@ -24,7 +24,9 @@ use ctbia::harness::{
     StrategySpec, SweepEngine, WorkloadSpec,
 };
 use ctbia::machine::{BiaPlacement, Machine};
-use ctbia::serve::{self, Client, Response, ServerConfig, SubmitRequest};
+use ctbia::serve::{
+    self, submit_with_retry, ChaosSpec, Client, Response, RetryPolicy, ServerConfig, SubmitRequest,
+};
 use ctbia::sim::fault::{parse_fault_kinds, FaultKind};
 use ctbia::sim::hierarchy::Level;
 use ctbia::trace::{JsonlSink, MetricsDoc, MetricsSink, Phase, TeeSink};
@@ -33,7 +35,7 @@ use ctbia::workloads::{
     BinarySearch, Dijkstra, HeapPop, Histogram, Permutation, Strategy, Workload,
 };
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -53,9 +55,10 @@ USAGE:
     ctbia bench [--quick] [--threads N] [--metrics]
     ctbia verify [--quick] [--threads N]
     ctbia verify <WORKLOAD> [SIZE] [--strategy insecure|ct|bia|bia-loads] [--placement l1d|l2|llc]
-    ctbia serve [--socket PATH] [--threads N] [--max-inflight M] [--no-cache]
-    ctbia submit [--socket PATH] [--eval] <SPEC>...
+    ctbia serve [--socket PATH] [--threads N] [--max-inflight M] [--queue-limit Q] [--deadline-ms D] [--chaos SPEC] [--no-cache]
+    ctbia submit [--socket PATH] [--eval] [--retries N] [--backoff-ms B] [--deadline-ms D] <SPEC>...
     ctbia status [--socket PATH] [--metrics]
+    ctbia health [--socket PATH]
 
 WORKLOADS: dijkstra | histogram | permutation | binary-search | heappop
            (plus leaky-bin, an intentionally leaky control, for `verify`)
@@ -76,10 +79,19 @@ ctbia-metrics-v1 document (RUN_metrics.json / BENCH_metrics.json).
 `ctbia serve` runs a long-lived batch-simulation daemon on a Unix domain
 socket (newline-delimited ctbia-serve-v1 JSON envelopes) sharing one job
 queue and the results/cache memo table across all clients, with
-duplicate-cell coalescing and graceful drain on SIGTERM. `ctbia submit`
-sends cells — SPEC is WORKLOAD[:SIZE[:STRATEGY[:PLACEMENT]]], e.g.
-hist:2000:bia:l1d or aes:-:insecure — and `ctbia status [--metrics]`
-queries counters (writing SERVE_metrics.json with --metrics).
+duplicate-cell coalescing and graceful drain on SIGTERM. Jobs execute
+under panic isolation with poisoned workers respawned; --deadline-ms
+bounds each job (per-submit --deadline-ms overrides it); --queue-limit
+sheds load past the high-water mark with a typed `overloaded` error;
+the memo cache self-heals from torn writes at startup; and --chaos
+injects seeded faults (e.g. panic:2,stall:1,torn:1,io:1,stall-ms:500,
+seed:42) for crash drills. `ctbia submit` sends cells — SPEC is
+WORKLOAD[:SIZE[:STRATEGY[:PLACEMENT]]], e.g. hist:2000:bia:l1d or
+aes:-:insecure — retrying transient rejections when --retries is set
+(exponential backoff from --backoff-ms). `ctbia status [--metrics]`
+queries counters (writing SERVE_metrics.json with --metrics) and
+`ctbia health` the supervision snapshot (queue depth, workers alive,
+restarts, deadline kills, shed submits, quarantined cache entries).
 ";
 
 /// Where `ctbia serve` listens unless `--socket` overrides it.
@@ -978,8 +990,9 @@ fn make_seeded(name: &str, size: usize, seed: u64) -> Box<dyn Workload> {
 }
 
 /// `ctbia serve [--socket PATH] [--threads N] [--max-inflight M]
-/// [--no-cache]` — run the batch-simulation daemon until SIGTERM/SIGINT,
-/// then drain in-flight jobs and print the final counter snapshot.
+/// [--queue-limit Q] [--deadline-ms D] [--chaos SPEC] [--no-cache]` —
+/// run the batch-simulation daemon until SIGTERM/SIGINT, then drain
+/// in-flight jobs and print the final counter snapshot.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut config = ServerConfig::new(DEFAULT_SOCKET);
     let mut i = 0;
@@ -1007,6 +1020,29 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "--max-inflight expects a positive integer")?
                     .max(1);
             }
+            "--queue-limit" => {
+                i += 1;
+                config.queue_limit = args
+                    .get(i)
+                    .ok_or("--queue-limit needs a value")?
+                    .parse::<usize>()
+                    .map_err(|_| "--queue-limit expects a positive integer")?
+                    .max(1);
+            }
+            "--deadline-ms" => {
+                i += 1;
+                config.deadline_ms = Some(
+                    args.get(i)
+                        .ok_or("--deadline-ms needs a value")?
+                        .parse::<u64>()
+                        .map_err(|_| "--deadline-ms expects an integer (milliseconds)")?,
+                );
+            }
+            "--chaos" => {
+                i += 1;
+                let spec = args.get(i).ok_or("--chaos needs a spec")?;
+                config.chaos = Some(ChaosSpec::parse(spec)?);
+            }
             "--no-cache" => config.cache_dir = None,
             other => return Err(format!("unexpected argument '{other}'")),
         }
@@ -1031,6 +1067,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .as_ref()
             .map_or("off".to_string(), |d| d.display().to_string()),
     );
+    if let Some(chaos) = &config.chaos {
+        println!("chaos armed: {chaos}");
+    }
     println!(
         "submit cells with `ctbia submit --socket {} <SPEC>...`; stop with SIGTERM.",
         config.socket.display()
@@ -1072,14 +1111,21 @@ fn parse_submit_spec(spec: &str, eval: bool) -> Result<SubmitRequest, String> {
         strategy,
         placement,
         eval,
+        deadline_ms: None,
     })
 }
 
-/// `ctbia submit [--socket PATH] [--eval] <SPEC>...` — pipeline every
-/// spec to a running server, then print one line per response.
+/// `ctbia submit [--socket PATH] [--eval] [--retries N] [--backoff-ms B]
+/// [--deadline-ms D] <SPEC>...` — send every spec to a running server,
+/// then print one line per response. Without `--retries` the specs are
+/// pipelined on one connection; with it each spec is submitted on its
+/// own connection so transient rejections (backpressure, overloaded,
+/// shutting-down, a daemon mid-restart) retry with exponential backoff.
 fn cmd_submit(args: &[String]) -> Result<(), String> {
     let mut socket = PathBuf::from(DEFAULT_SOCKET);
     let mut eval = false;
+    let mut policy = RetryPolicy::default();
+    let mut deadline_ms: Option<u64> = None;
     let mut specs: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -1089,6 +1135,32 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
                 socket = args.get(i).ok_or("--socket needs a value")?.into();
             }
             "--eval" => eval = true,
+            "--retries" => {
+                i += 1;
+                policy.retries = args
+                    .get(i)
+                    .ok_or("--retries needs a value")?
+                    .parse::<u32>()
+                    .map_err(|_| "--retries expects an integer")?;
+            }
+            "--backoff-ms" => {
+                i += 1;
+                policy.backoff_ms = args
+                    .get(i)
+                    .ok_or("--backoff-ms needs a value")?
+                    .parse::<u64>()
+                    .map_err(|_| "--backoff-ms expects an integer (milliseconds)")?
+                    .max(1);
+            }
+            "--deadline-ms" => {
+                i += 1;
+                deadline_ms = Some(
+                    args.get(i)
+                        .ok_or("--deadline-ms needs a value")?
+                        .parse::<u64>()
+                        .map_err(|_| "--deadline-ms expects an integer (milliseconds)")?,
+                );
+            }
             flag if flag.starts_with('-') => return Err(format!("unexpected argument '{flag}'")),
             spec => specs.push(spec.to_string()),
         }
@@ -1101,8 +1173,16 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     // as a typo, not as a connection problem.
     let requests: Vec<SubmitRequest> = specs
         .iter()
-        .map(|spec| parse_submit_spec(spec, eval))
+        .map(|spec| {
+            parse_submit_spec(spec, eval).map(|mut req| {
+                req.deadline_ms = deadline_ms;
+                req
+            })
+        })
         .collect::<Result<_, _>>()?;
+    if policy.retries > 0 {
+        return submit_sequential_with_retry(&socket, &specs, &requests, &policy);
+    }
     let mut client = Client::connect(&socket).map_err(|e| {
         format!(
             "cannot connect to {}: {e} (is `ctbia serve` running?)",
@@ -1122,29 +1202,65 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         let spec = pending
             .remove(response.id())
             .unwrap_or_else(|| "?".to_string());
-        match response {
-            Response::Report {
-                cached,
-                coalesced,
-                report,
-                ..
-            } => {
-                let yn = |b: bool| if b { "yes" } else { "no" };
-                println!(
-                    "{:<28} digest={} cycles={} cached={} coalesced={}",
-                    report.label,
-                    report.digest,
-                    report.counters.cycles,
-                    yn(cached),
-                    yn(coalesced),
-                );
+        if !print_submit_response(&spec, response) {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} of {} submits failed", specs.len()));
+    }
+    Ok(())
+}
+
+/// Prints one submit response line; returns whether it was a success.
+fn print_submit_response(spec: &str, response: Response) -> bool {
+    match response {
+        Response::Report {
+            cached,
+            coalesced,
+            report,
+            ..
+        } => {
+            let yn = |b: bool| if b { "yes" } else { "no" };
+            println!(
+                "{:<28} digest={} cycles={} cached={} coalesced={}",
+                report.label,
+                report.digest,
+                report.counters.cycles,
+                yn(cached),
+                yn(coalesced),
+            );
+            true
+        }
+        Response::Error { code, message, .. } => {
+            eprintln!("{spec}: [{}] {message}", code.as_str());
+            false
+        }
+        other => {
+            eprintln!("{spec}: unexpected {other:?}");
+            false
+        }
+    }
+}
+
+/// The `--retries` submit path: one spec at a time, each on its own
+/// connection, retrying transient failures under the backoff policy.
+fn submit_sequential_with_retry(
+    socket: &Path,
+    specs: &[String],
+    requests: &[SubmitRequest],
+    policy: &RetryPolicy,
+) -> Result<(), String> {
+    let mut failures = 0usize;
+    for (spec, req) in specs.iter().zip(requests) {
+        match submit_with_retry(socket, req, policy) {
+            Ok(response) => {
+                if !print_submit_response(spec, response) {
+                    failures += 1;
+                }
             }
-            Response::Error { code, message, .. } => {
-                eprintln!("{spec}: [{}] {message}", code.as_str());
-                failures += 1;
-            }
-            other => {
-                eprintln!("{spec}: unexpected {other:?}");
+            Err(e) => {
+                eprintln!("{spec}: {e}");
                 failures += 1;
             }
         }
@@ -1197,6 +1313,47 @@ fn cmd_status(args: &[String]) -> Result<(), String> {
         }
         Response::Error { code, message, .. } => {
             return Err(format!("status rejected: [{}] {message}", code.as_str()));
+        }
+        other => return Err(format!("unexpected response {other:?}")),
+    }
+    Ok(())
+}
+
+/// `ctbia health [--socket PATH]` — query a running server's supervision
+/// snapshot: queue depth vs limit, workers alive, restarts, deadline
+/// kills, shed submits, quarantined cache entries, drain state.
+fn cmd_health(args: &[String]) -> Result<(), String> {
+    let mut socket = PathBuf::from(DEFAULT_SOCKET);
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => {
+                i += 1;
+                socket = args.get(i).ok_or("--socket needs a value")?.into();
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+        i += 1;
+    }
+    let mut client = Client::connect(&socket).map_err(|e| {
+        format!(
+            "cannot connect to {}: {e} (is `ctbia serve` running?)",
+            socket.display()
+        )
+    })?;
+    match client.health()? {
+        Response::Health { health, .. } => {
+            for (key, value) in health.fields() {
+                println!("{key:<24} {value}");
+            }
+            println!(
+                "{:<24} {}",
+                "shutting_down",
+                if health.shutting_down { "yes" } else { "no" }
+            );
+        }
+        Response::Error { code, message, .. } => {
+            return Err(format!("health rejected: [{}] {message}", code.as_str()));
         }
         other => return Err(format!("unexpected response {other:?}")),
     }
@@ -1261,6 +1418,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("status") => cmd_status(&args[1..]),
+        Some("health") => cmd_health(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(())
@@ -1311,6 +1469,7 @@ mod tests {
                 strategy: Some("bia".to_string()),
                 placement: Some("l1d".to_string()),
                 eval: false,
+                deadline_ms: None,
             }
         );
         // `-` keeps the per-workload default size; trailing fields are
