@@ -114,5 +114,55 @@ fn bench_stores(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_loads, bench_stores);
+/// The word-at-a-time sweep in isolation: a fully warm BIA-assisted load
+/// issues one `CTLoad` per page and zero fetchset accesses, so what is
+/// left is exactly the occupancy-word arithmetic (`tofetch` mask,
+/// `trailing_zeros` walk, branchless selects) plus the machine's demand
+/// path. Cold sweeps re-fetch every line each iteration by flushing the
+/// DS first, bounding the per-line cost of the packed fill path.
+fn bench_sweep_words(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linearize/sweep");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    const N: u64 = 4096;
+
+    group.bench_function("warm_word_sweep", |b| {
+        let (mut m, base, ds) = setup(true, N);
+        ct_load_bia(&mut m, &ds, base, Width::U32, BiaOptions::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 97) % N;
+            black_box(ct_load_bia(
+                &mut m,
+                &ds,
+                base.offset(i * 4),
+                Width::U32,
+                BiaOptions::default(),
+            ))
+        });
+    });
+
+    group.bench_function("cold_word_sweep", |b| {
+        let (mut m, base, ds) = setup(true, N);
+        let mut i = 0u64;
+        b.iter(|| {
+            for &line in ds.lines() {
+                m.flush_line(line.with_offset(0));
+            }
+            i = (i + 97) % N;
+            black_box(ct_load_bia(
+                &mut m,
+                &ds,
+                base.offset(i * 4),
+                Width::U32,
+                BiaOptions::default(),
+            ))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_loads, bench_stores, bench_sweep_words);
 criterion_main!(benches);

@@ -232,6 +232,12 @@ pub struct Bia {
     repl: ReplacementState,
     stats: BiaStats,
     num_sets: u32,
+    /// Index of the most recently found entry. Monitored-cache events
+    /// arrive in group-clustered bursts (a linearization pass sweeps one
+    /// group's lines back to back), so rechecking this slot first skips
+    /// the set scan for the common case. Purely a lookup shortcut: a stale
+    /// slot fails the valid/tag check and falls back to the scan.
+    last_found: u32,
 }
 
 impl Bia {
@@ -255,6 +261,7 @@ impl Bia {
             stats: BiaStats::default(),
             num_sets,
             cfg,
+            last_found: 0,
         })
     }
 
@@ -302,6 +309,24 @@ impl Bia {
         (base..base + assoc).find(|&i| self.entries[i].valid && self.entries[i].tag == group)
     }
 
+    /// [`Bia::find`] with the last-found shortcut. Entries store the full
+    /// group index as their tag, so a valid/tag match on the cached slot
+    /// identifies the entry unambiguously — no set check needed.
+    #[inline]
+    fn find_cached(&mut self, group: u64) -> Option<usize> {
+        let i = self.last_found as usize;
+        if let Some(e) = self.entries.get(i) {
+            if e.valid && e.tag == group {
+                return Some(i);
+            }
+        }
+        let found = self.find(group);
+        if let Some(i) = found {
+            self.last_found = i as u32;
+        }
+        found
+    }
+
     /// The `CTLoad`/`CTStore` lookup for the page containing `page` —
     /// convenience for the default `M = 12` granularity.
     pub fn access(&mut self, page: PageIdx) -> BiaView {
@@ -317,7 +342,7 @@ impl Bia {
         let set = self.set_of(group);
         let assoc = self.cfg.associativity as usize;
         let base = set * assoc;
-        if let Some(i) = self.find(group) {
+        if let Some(i) = self.find_cached(group) {
             self.stats.hits += 1;
             self.repl.on_hit(set, i - base);
             let e = &self.entries[i];
@@ -365,9 +390,10 @@ impl Bia {
     /// Applies one monitored-cache event (§4.2's "BIA monitors the cache
     /// for any update"). Events for pages without an entry are ignored —
     /// the source of the benign subset inconsistency the paper discusses.
+    #[inline]
     pub fn on_event(&mut self, ev: &CacheEvent) {
         let (group, bit_idx) = self.group_and_bit(ev.line);
-        let Some(i) = self.find(group) else {
+        let Some(i) = self.find_cached(group) else {
             self.stats.events_ignored += 1;
             return;
         };
@@ -426,6 +452,15 @@ impl Bia {
     /// Zeroes statistics (entries are kept).
     pub fn reset_stats(&mut self) {
         self.stats = BiaStats::default();
+    }
+
+    /// Restores the exactly-as-built state — all entries invalid, stats
+    /// zeroed, replacement rewound — while keeping the entry allocation.
+    pub fn reset(&mut self) {
+        self.entries.fill(Entry::default());
+        self.repl.reset();
+        self.stats = BiaStats::default();
+        self.last_found = 0;
     }
 
     /// Pages currently tracked (tests and debugging; meaningful for
@@ -567,6 +602,21 @@ impl Bia {
         // In-place copy: `ReplacementState::clone_from` reuses the stamp
         // buffer, so a resync allocates nothing.
         self.repl.clone_from(&other.repl);
+    }
+}
+
+/// Inline monitoring: a `Bia` can be handed directly to
+/// [`Hierarchy::access_with`](ctbia_sim::hierarchy::Hierarchy::access_with)
+/// as the monitor, so the monitored level's events update the bitmaps at
+/// the emit site with no intermediate event buffer. This is equivalent to
+/// buffering the events and replaying them through [`Bia::apply_events`]
+/// afterwards — same final bitmaps, same statistics, same order — because
+/// `on_event` is applied per event in emission order either way (the
+/// contract DESIGN.md §14 spells out).
+impl ctbia_sim::hierarchy::CacheMonitor for Bia {
+    #[inline]
+    fn cache_event(&mut self, line: ctbia_sim::addr::LineAddr, kind: CacheEventKind) {
+        self.on_event(&CacheEvent { line, kind });
     }
 }
 

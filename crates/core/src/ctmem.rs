@@ -28,7 +28,8 @@
 //! [`extract_word`]/[`merge_word`] helpers move narrower values in and out
 //! of windows branchlessly.
 
-use ctbia_sim::addr::PhysAddr;
+use crate::predicate::{ct_eq, select};
+use ctbia_sim::addr::{LineAddr, PhysAddr};
 
 /// The width of a memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -187,6 +188,57 @@ pub trait CtMemory {
     /// Records a [`crate::taint::LeakViolation`] raised by a taint
     /// checker driving this memory. A no-op by default.
     fn report_leak(&mut self, _violation: crate::taint::LeakViolation) {}
+
+    /// Sweeps a software dataflow-linearized **load** over `lines`: one
+    /// replacement-neutral [`CtMemory::ds_load`] per line at `offset`
+    /// within the line, a branchless select against `target`, and
+    /// `extra_insts` of bookkeeping per line. Returns the selected value
+    /// (zero when `target` is not among the swept addresses).
+    ///
+    /// The default implementation is the per-line loop the Constantine
+    /// baseline executes. Machines may override it with a batched
+    /// equivalent, but every observable effect — counters, cycle charges,
+    /// cache state, memory contents — must be identical to the loop.
+    fn ds_sweep_load(
+        &mut self,
+        lines: &[LineAddr],
+        offset: u64,
+        width: Width,
+        target: PhysAddr,
+        extra_insts: u64,
+    ) -> u64 {
+        let mut ret = 0u64;
+        for &line in lines {
+            let addr = line.with_offset(offset);
+            let v = self.ds_load(addr, width);
+            ret = select(ct_eq(addr.raw(), target.raw()), v, ret);
+            self.exec(extra_insts);
+        }
+        ret
+    }
+
+    /// Sweeps a software dataflow-linearized **store** over `lines`: a
+    /// read-modify-write of every line at `offset`, merging `value` in
+    /// branchlessly only where the address matches `target`, with
+    /// `extra_insts` of bookkeeping per line. Same override contract as
+    /// [`CtMemory::ds_sweep_load`].
+    fn ds_sweep_store(
+        &mut self,
+        lines: &[LineAddr],
+        offset: u64,
+        width: Width,
+        target: PhysAddr,
+        value: u64,
+        extra_insts: u64,
+    ) {
+        for &line in lines {
+            let addr = line.with_offset(offset);
+            let old = self.ds_load(addr, width);
+            let new = select(ct_eq(addr.raw(), target.raw()), value & width.mask(), old);
+            self.ds_store(addr, width, new);
+            self.exec(extra_insts);
+        }
+    }
 
     /// Reports one linearization pass (see [`LinearizeInfo`]). The
     /// algorithms call this once per swept group, right after the bitmap

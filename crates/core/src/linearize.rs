@@ -153,14 +153,7 @@ pub fn ct_load_sw<M: CtMemory + ?Sized>(
         skipped: 0,
         fetched: ds.lines().len() as u32,
     });
-    let mut ret = 0u64;
-    for &line in ds.lines() {
-        let addr = line.with_offset(offset);
-        let v = m.ds_load(addr, width);
-        ret = select(ct_eq(addr.raw(), ld_addr.raw()), v, ret);
-        m.exec(profile.extra_insts_load);
-    }
-    ret
+    m.ds_sweep_load(ds.lines(), offset, width, ld_addr, profile.extra_insts_load)
 }
 
 /// Software dataflow-linearized store: read-modify-writes every DS line
@@ -188,13 +181,14 @@ pub fn ct_store_sw<M: CtMemory + ?Sized>(
         skipped: 0,
         fetched: ds.lines().len() as u32,
     });
-    for &line in ds.lines() {
-        let addr = line.with_offset(offset);
-        let old = m.ds_load(addr, width);
-        let new = select(ct_eq(addr.raw(), st_addr.raw()), value & width.mask(), old);
-        m.ds_store(addr, width, new);
-        m.exec(profile.extra_insts_store);
-    }
+    m.ds_sweep_store(
+        ds.lines(),
+        offset,
+        width,
+        st_addr,
+        value,
+        profile.extra_insts_store,
+    );
 }
 
 /// BIA-assisted load — the paper's **Algorithm 2**.
@@ -240,9 +234,7 @@ pub fn ct_load_bia<M: CtMemory + ?Sized>(
             skipped: ds_lines - fetched,
             fetched,
         });
-        let dram = opts
-            .dram_threshold
-            .is_some_and(|t| tofetch.count_ones() > t);
+        let dram = opts.dram_threshold.is_some_and(|t| fetched > t);
         let mut window = got.data;
         let mut bits = tofetch;
         while bits != 0 {
@@ -312,9 +304,7 @@ pub fn ct_store_bia<M: CtMemory + ?Sized>(
             skipped: ds_lines - fetched,
             fetched,
         });
-        let dram = opts
-            .dram_threshold
-            .is_some_and(|t| tofetch.count_ones() > t);
+        let dram = opts.dram_threshold.is_some_and(|t| fetched > t);
         let mut bits = tofetch;
         while bits != 0 {
             let i = bits.trailing_zeros();

@@ -77,13 +77,6 @@ impl TestMachine {
         }
     }
 
-    fn sync_bia(&mut self) {
-        if self.hier.has_events() {
-            let evs = self.hier.drain_events();
-            self.bia.apply_events(evs);
-        }
-    }
-
     fn read_raw(&self, addr: PhysAddr, width: Width) -> u64 {
         let mut v = 0u64;
         for i in 0..width.bytes() {
@@ -143,8 +136,9 @@ impl TestMachine {
     ) -> u64 {
         self.insts += 1;
         self.trace.push((op, addr.line().raw()));
-        self.hier.access(addr.line(), flags);
-        self.sync_bia();
+        // Inline monitoring: the BIA consumes the monitored level's events
+        // at the emit site; no event buffer is involved.
+        self.hier.access_with(addr.line(), flags, &mut self.bia);
         match value {
             Some(v) => {
                 self.write_raw(addr, width, v);
@@ -240,10 +234,11 @@ impl CtMemory for TestMachine {
         self.insts += 1;
         let aligned = addr.align_down_u64();
         let view = self.bia.access(addr.page());
+        // `ct_write_if_dirty` is architecturally invisible and emits no
+        // monitored events, so there is nothing to sync here.
         let (wrote, _lat) = self
             .hier
             .ct_write_if_dirty(aligned.line(), MonitorLevel::L1d);
-        self.sync_bia();
         if wrote {
             self.write_raw(aligned, Width::U64, data);
         }

@@ -13,11 +13,33 @@ use crate::report::CellReport;
 use crate::spec::CellSpec;
 use ctbia_machine::Machine;
 use ctbia_trace::TraceSink;
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
+/// Most machine configurations a pool thread will keep warm at once.
+///
+/// Machines beyond this are simply dropped after their cell instead of
+/// pooled, bounding per-thread memory for long-lived callers (the serve
+/// daemon) that see arbitrarily many distinct configurations. A sweep grid
+/// uses only a handful of configurations, so the cap is never hit there.
+const MACHINE_POOL_CAP: usize = 8;
+
+thread_local! {
+    /// Per-worker machines kept warm between cells, keyed by their debug-
+    /// formatted configuration. `Machine::reset` restores as-built state,
+    /// so a pooled machine is observationally identical to a fresh one
+    /// while keeping its large allocations (cache arrays, RAM backing).
+    static MACHINE_POOL: RefCell<HashMap<String, Machine>> = RefCell::new(HashMap::new());
+}
+
 /// Executes one cell from scratch — a pure function of the spec.
+///
+/// Plain cells (no audit, no fault injection) run on a pooled per-thread
+/// machine when one exists for the same configuration; the pooled-reuse
+/// engine test pins down that this is invisible in the report.
 ///
 /// # Errors
 ///
@@ -26,7 +48,19 @@ use std::thread;
 /// serve).
 pub fn execute_cell(spec: &CellSpec) -> Result<CellReport, String> {
     let label = spec.label();
-    let mut m = Machine::new(spec.machine_config()).map_err(|e| format!("{label}: {e}"))?;
+    let config = spec.machine_config();
+    let poolable = !spec.audit && spec.faults.is_none();
+    let key = poolable.then(|| format!("{config:?}"));
+    let pooled = key
+        .as_ref()
+        .and_then(|k| MACHINE_POOL.with(|p| p.borrow_mut().remove(k)));
+    let mut m = match pooled {
+        Some(mut m) => {
+            m.reset();
+            m
+        }
+        None => Machine::new(config).map_err(|e| format!("{label}: {e}"))?,
+    };
     if spec.audit {
         m.enable_audit().map_err(|e| format!("{label}: {e}"))?;
     }
@@ -36,6 +70,14 @@ pub fn execute_cell(spec: &CellSpec) -> Result<CellReport, String> {
     }
     let wl = spec.workload.build();
     let run = wl.run(&mut m, spec.strategy.to_strategy());
+    if let Some(k) = key {
+        MACHINE_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < MACHINE_POOL_CAP || pool.contains_key(&k) {
+                pool.insert(k, m);
+            }
+        });
+    }
     Ok(CellReport {
         label,
         digest: run.digest,
@@ -329,6 +371,25 @@ mod tests {
         assert!(sink.events > 0, "the sink saw the cell's events");
         // Phase attribution partitions the cycle count exactly.
         assert_eq!(traced.counters.phases.total(), traced.counters.cycles);
+    }
+
+    #[test]
+    fn pooled_machine_reuse_is_byte_identical() {
+        let engine = SweepEngine::serial();
+        let grid = [
+            cell(StrategySpec::Insecure),
+            cell(StrategySpec::CtAvx2),
+            cell(StrategySpec::Bia),
+        ];
+        // Two consecutive serial runs: the second is served entirely by
+        // pooled machines (same thread, same configurations) and must match
+        // the first in every report field, including the cache text.
+        let first = engine.run(&grid).unwrap();
+        let second = engine.run(&grid).unwrap();
+        assert_eq!(first, second);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.to_cache_text(), b.to_cache_text());
+        }
     }
 
     #[test]

@@ -13,11 +13,14 @@ use crate::counters::{Counters, RobustnessStats, TaintStats};
 use crate::memory::{OutOfSimRam, SimRam};
 use ctbia_core::bia::{Bia, BiaConfig, BiaConfigError};
 use ctbia_core::ctmem::{CtLoad, CtMemory, CtStore, LinearizeInfo, Width};
+use ctbia_core::predicate::{ct_eq, select};
 use ctbia_core::taint::{LeakViolation, TaintLabel};
 use ctbia_sim::addr::{LineAddr, PhysAddr};
 use ctbia_sim::config::{ConfigError, HierarchyConfig};
 use ctbia_sim::fault::{FaultConfig, FaultInjector, StructuralFault};
-use ctbia_sim::hierarchy::{AccessFlags, CacheEvent, Hierarchy, Level, MonitorLevel};
+use ctbia_sim::hierarchy::{
+    AccessFlags, AccessResult, CacheEvent, Hierarchy, Level, MonitorLevel, NullMonitor,
+};
 use ctbia_trace::{EventKind, LinearizeStats, MemOp, Phase, PhaseCycles, TraceRecord, TraceSink};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -501,6 +504,42 @@ impl Machine {
         Self::new(MachineConfig::with_bia(placement)).expect("default configuration is valid")
     }
 
+    /// Restores the machine to the state `Machine::new` would produce for
+    /// the same configuration, while keeping the large allocations (cache
+    /// arrays, BIA table, RAM backing) warm. Harnesses that simulate many
+    /// short workloads reuse one machine per configuration instead of
+    /// paying construction and teardown per cell.
+    ///
+    /// Everything attachable after construction — trace sinks, taint,
+    /// interference, auditor, fault injector — is dropped, exactly as a
+    /// fresh machine would lack them.
+    pub fn reset(&mut self) {
+        self.hier.reset();
+        if let Some(bia) = &mut self.bia {
+            bia.reset();
+        }
+        self.ram.reset();
+        self.cycles = 0;
+        self.insts = 0;
+        self.ct_loads = 0;
+        self.ct_stores = 0;
+        self.phases = PhaseCycles::default();
+        self.linearize = LinearizeStats::default();
+        self.sink = None;
+        self.trace = None;
+        self.probe_slices = None;
+        self.ct_obs = None;
+        self.taint = None;
+        self.interference = None;
+        self.interference_clock = 0;
+        self.interference_next = 0;
+        self.auditor = None;
+        self.injector = None;
+        self.degraded.clear();
+        self.robust = RobustnessStats::default();
+        self.event_buf.clear();
+    }
+
     /// The configured BIA placement, if any.
     pub fn bia_placement(&self) -> Option<BiaPlacement> {
         self.placement
@@ -867,23 +906,22 @@ impl Machine {
             .injector
             .as_ref()
             .map_or(0, FaultInjector::faults_injected);
-        let pristine = self.hier.drain_events();
+        self.hier.drain_events_into(&mut self.event_buf);
         // The auditor sees the stream as emitted; the real BIA sees it
         // after the injector had its way.
         if let Some(aud) = &mut self.auditor {
-            aud.observe_batch(&pristine);
+            aud.observe_batch(&self.event_buf);
         }
         if self.bia.is_none() {
             return;
         }
-        let mut delivered = pristine;
         let mut structural = Vec::new();
         if let Some(inj) = &mut self.injector {
-            inj.perturb(&mut delivered);
+            inj.perturb(&mut self.event_buf);
             structural = inj.structural_faults();
         }
         if let Some(bia) = &mut self.bia {
-            bia.apply_events(delivered);
+            bia.apply_events(self.event_buf.iter().copied());
         }
         for fault in structural {
             match fault {
@@ -930,12 +968,14 @@ impl Machine {
         let g = groups[((pick as u128 * groups.len() as u128) >> 64) as usize];
         let line = LineAddr::new(g << (bia.granularity_log2() - 6));
         self.hier.invalidate_everywhere(line);
-        let evs = self.hier.drain_events();
+        // Reuses the spare buffer: the batch that triggered this structural
+        // fault has already been applied by the time we get here.
+        self.hier.drain_events_into(&mut self.event_buf);
         if let Some(aud) = &mut self.auditor {
-            aud.observe_batch(&evs);
+            aud.observe_batch(&self.event_buf);
         }
         if let Some(bia) = &mut self.bia {
-            bia.apply_events(evs);
+            bia.apply_events(self.event_buf.iter().copied());
         }
     }
 
@@ -1039,7 +1079,42 @@ impl Machine {
         } else {
             None
         };
-        let result = self.hier.access(addr.line(), flags);
+        // Steady state (no auditor, no injector): the BIA is the monitor
+        // and consumes events at the emit site — no buffer, no drain. The
+        // robustness paths need the buffered stream (the auditor must see
+        // it pristine, the injector must perturb it), so they keep the
+        // buffered access + `sync_bia` round-trip.
+        let inline = self.auditor.is_none() && self.injector.is_none();
+        // Unmonitored machines take an L1d-hit fast path: the hit performs
+        // the cache's exact demand bookkeeping and nothing else in the walk
+        // — deeper probes, fills, prefetch, events — can run, so the full
+        // `access_with` is only needed when the hit-only attempt misses.
+        let plain = !flags.dram_direct && !flags.bypass_l1 && !flags.bypass_l2;
+        let unmonitored = self.bia.is_none() && self.hier.monitor().is_none();
+        let result = if plain
+            && unmonitored
+            && inline
+            && self
+                .hier
+                .l1d_access_if_hit(addr.line(), flags.kind, flags.update_replacement)
+        {
+            AccessResult {
+                latency: self.hier.cache(Level::L1d).hit_latency(),
+                hit_level: Level::L1d,
+                dram_latency: 0,
+            }
+        } else {
+            match (&mut self.bia, inline) {
+                (Some(bia), true) => self.hier.access_with(addr.line(), flags, bia),
+                // No monitored level means no events can be emitted at all,
+                // so the buffered form would only shuffle an empty vector
+                // around.
+                (None, _) if self.hier.monitor().is_none() => {
+                    self.hier.access_with(addr.line(), flags, &mut NullMonitor)
+                }
+                _ => self.hier.access(addr.line(), flags),
+            }
+        };
         let nearest = if flags.dram_direct {
             false
         } else if flags.bypass_l2 {
@@ -1053,8 +1128,11 @@ impl Machine {
         // Split the charge into the DRAM-stall portion and the
         // cache-service remainder, which belongs to the linearization
         // sweep for dataflow-set traffic and to plain demand otherwise.
+        // Cache hits have no stall portion; skip the zero-cycle charge.
         let dram_part = mem_cycles.min(result.dram_latency);
-        self.charge(Phase::DramStall, dram_part);
+        if dram_part > 0 {
+            self.charge(Phase::DramStall, dram_part);
+        }
         let service_phase = if ds_stream {
             Phase::LinearizeSweep
         } else {
@@ -1072,7 +1150,9 @@ impl Machine {
                 delta,
             });
         }
-        self.sync_bia();
+        if !inline {
+            self.sync_bia();
+        }
         match store {
             Some(v) => {
                 self.ram.write(addr, width.bytes(), v);
@@ -1100,6 +1180,35 @@ impl Machine {
         }
         flags
     }
+
+    /// Whether a software DS sweep may take the batched fast path: nothing
+    /// may observe the per-access interleaving (no trace, sink, co-runner,
+    /// auditor or injector), the hierarchy must be unmonitored with no BIA
+    /// or placement routing, and silent-store squashing must be off. Under
+    /// these conditions every per-line charge is a plain accumulation and
+    /// an L1d hit has no side effects beyond the cache's own bookkeeping,
+    /// so the batched sweep is state-for-state identical to the loop.
+    #[inline]
+    fn sweep_fast_path(&self) -> bool {
+        self.trace.is_none()
+            && self.sink.is_none()
+            && self.interference.is_none()
+            && self.auditor.is_none()
+            && self.injector.is_none()
+            && self.bia.is_none()
+            && self.hier.monitor().is_none()
+            && self.placement.is_none()
+            && !self.silent_stores
+    }
+
+    /// The flat cycle charge of one L1d-hit DS access (the sweep's
+    /// steady-state cost): what [`Machine::demand`] computes for a
+    /// nearest-level hit on the dataflow stream.
+    #[inline]
+    fn ds_hit_sweep_cycles(&self) -> u64 {
+        self.cost
+            .memory_cycles(self.hier.cache(Level::L1d).hit_latency(), true, true)
+    }
 }
 
 impl CtMemory for Machine {
@@ -1125,6 +1234,113 @@ impl CtMemory for Machine {
     fn ds_store(&mut self, addr: PhysAddr, width: Width, value: u64) {
         let flags = self.ds_flags(ctbia_sim::cache::AccessKind::Write);
         self.demand(addr, width, flags, TraceOp::DsStore, Some(value));
+    }
+
+    fn ds_sweep_load(
+        &mut self,
+        lines: &[LineAddr],
+        offset: u64,
+        width: Width,
+        target: PhysAddr,
+        extra_insts: u64,
+    ) -> u64 {
+        if !self.sweep_fast_path() {
+            let mut ret = 0u64;
+            for &line in lines {
+                let addr = line.with_offset(offset);
+                let v = self.ds_load(addr, width);
+                ret = select(ct_eq(addr.raw(), target.raw()), v, ret);
+                self.exec(extra_insts);
+            }
+            return ret;
+        }
+        // Batched sweep: an L1d hit is handled inline (the cache performs
+        // its exact demand-hit bookkeeping, RAM supplies the data) and its
+        // charges — one instruction plus the flat DS-hit service — are
+        // accumulated and applied once at the end. Misses fall back to the
+        // full `ds_load`, which charges itself. With nothing observing the
+        // interleaving (see `sweep_fast_path`), the accumulated totals are
+        // identical to the per-line loop's.
+        let flat = self.ds_hit_sweep_cycles();
+        let mut ret = 0u64;
+        let mut hits = 0u64;
+        for &line in lines {
+            let addr = line.with_offset(offset);
+            let v = if self
+                .hier
+                .l1d_access_if_hit(line, ctbia_sim::cache::AccessKind::Read, false)
+            {
+                hits += 1;
+                self.ram.read(addr, width.bytes())
+            } else {
+                self.ds_load(addr, width)
+            };
+            ret = select(ct_eq(addr.raw(), target.raw()), v, ret);
+        }
+        let insts = hits + lines.len() as u64 * extra_insts;
+        self.insts += insts;
+        let compute = insts * self.cost.cycles_per_inst;
+        let sweep = hits * flat;
+        self.cycles += compute + sweep;
+        self.phases.add(Phase::Compute, compute);
+        self.phases.add(Phase::LinearizeSweep, sweep);
+        ret
+    }
+
+    fn ds_sweep_store(
+        &mut self,
+        lines: &[LineAddr],
+        offset: u64,
+        width: Width,
+        target: PhysAddr,
+        value: u64,
+        extra_insts: u64,
+    ) {
+        if !self.sweep_fast_path() {
+            for &line in lines {
+                let addr = line.with_offset(offset);
+                let old = self.ds_load(addr, width);
+                let new = select(ct_eq(addr.raw(), target.raw()), value & width.mask(), old);
+                self.ds_store(addr, width, new);
+                self.exec(extra_insts);
+            }
+            return;
+        }
+        // Read-modify-write sweep, batched the same way as the load sweep:
+        // each line's load and store hit the L1d inline, misses fall back
+        // to the charging `ds_load`/`ds_store`.
+        let flat = self.ds_hit_sweep_cycles();
+        let mut hits = 0u64;
+        for &line in lines {
+            let addr = line.with_offset(offset);
+            let old =
+                if self
+                    .hier
+                    .l1d_access_if_hit(line, ctbia_sim::cache::AccessKind::Read, false)
+                {
+                    hits += 1;
+                    self.ram.read(addr, width.bytes())
+                } else {
+                    self.ds_load(addr, width)
+                };
+            let new = select(ct_eq(addr.raw(), target.raw()), value & width.mask(), old);
+            if self
+                .hier
+                .l1d_access_if_hit(line, ctbia_sim::cache::AccessKind::Write, false)
+            {
+                hits += 1;
+                self.ram.write(addr, width.bytes(), new);
+            } else {
+                self.ds_store(addr, width, new);
+            }
+        }
+        let insts = hits + lines.len() as u64 * extra_insts;
+        self.insts += insts;
+        let compute = insts * self.cost.cycles_per_inst;
+        let sweep = hits * flat;
+        self.cycles += compute + sweep;
+        self.phases.add(Phase::Compute, compute);
+        self.phases.add(Phase::LinearizeSweep, sweep);
     }
 
     fn dram_load(&mut self, addr: PhysAddr, width: Width) -> u64 {
@@ -1553,6 +1769,79 @@ mod tests {
             );
             assert_eq!(m.peek_u32(base.offset(700 * 4)), 123456);
             assert_eq!(m.peek_u32(base.offset(701 * 4)), 701);
+        }
+    }
+
+    #[test]
+    fn reset_machine_is_indistinguishable_from_fresh() {
+        // A mixed workload whose every observable — loaded values, final
+        // memory, counters — is returned for comparison.
+        fn drive(m: &mut Machine) -> (crate::counters::Counters, Vec<u32>) {
+            let base = m.alloc_u32_array(2000).unwrap();
+            for i in 0..2000u64 {
+                m.poke_u32(base.offset(i * 4), i as u32);
+            }
+            let mut out = Vec::new();
+            if m.bia().is_some() {
+                let ds = DataflowSet::contiguous(base, 2000 * 4);
+                for secret in [3u64, 700, 1999, 41] {
+                    out.push(ct_load_bia(
+                        m,
+                        &ds,
+                        base.offset(secret * 4),
+                        Width::U32,
+                        BiaOptions::default(),
+                    ) as u32);
+                }
+                ct_store_bia(
+                    m,
+                    &ds,
+                    base.offset(700 * 4),
+                    Width::U32,
+                    424242,
+                    BiaOptions::default(),
+                );
+            }
+            for i in 0..256u64 {
+                let a = base.offset((i * 97 % 2000) * 4);
+                if i % 3 == 0 {
+                    m.store_u32(a, i as u32);
+                } else {
+                    out.push(m.load_u32(a));
+                }
+                if i % 11 == 0 {
+                    m.flush_line(a);
+                }
+            }
+            out.push(m.peek_u32(base.offset(700 * 4)));
+            (m.counters(), out)
+        }
+
+        for config in [
+            MachineConfig::insecure(),
+            MachineConfig::with_bia(BiaPlacement::L1d),
+        ] {
+            let mut fresh = Machine::new(config.clone()).unwrap();
+            let want = drive(&mut fresh);
+
+            // Dirty a second machine with unrelated traffic and observers,
+            // then reset; the same drive must be byte-identical.
+            let mut reused = Machine::new(config).unwrap();
+            let junk = reused.alloc(8192, 64).unwrap();
+            reused.enable_trace();
+            for i in 0..512u64 {
+                let a = junk.offset(i * 13 % 2048 * 4);
+                if i % 2 == 0 {
+                    reused.store_u32(a, !i as u32);
+                } else {
+                    let _ = reused.load_u32(a);
+                }
+            }
+            if reused.bia().is_some() {
+                let _ = reused.ct_load(junk);
+            }
+            reused.reset();
+            assert_eq!(drive(&mut reused), want);
         }
     }
 

@@ -35,9 +35,19 @@ impl fmt::Display for OutOfSimRam {
 impl std::error::Error for OutOfSimRam {}
 
 /// Flat simulated RAM with a bump allocator.
+///
+/// The byte array is backed lazily: `new` reserves only the logical size,
+/// and the backing vector grows (zero-filled) the first time a write
+/// touches an address beyond it. Reads past the backed prefix see zeros,
+/// exactly as they would from an eagerly zeroed array, so the laziness is
+/// invisible to simulated programs — it only spares every short-lived
+/// machine the cost of faulting in and tearing down tens of megabytes it
+/// never touches.
 #[derive(Debug, Clone)]
 pub struct SimRam {
     bytes: Vec<u8>,
+    /// Logical capacity in bytes; the bounds the access checks enforce.
+    size: u64,
     /// First address handed out by the allocator; kept off zero so that a
     /// "null" address is never a valid allocation.
     base: u64,
@@ -66,7 +76,8 @@ impl SimRam {
             "RAM must exceed the allocation base"
         );
         SimRam {
-            bytes: vec![0; size as usize],
+            bytes: Vec::new(),
+            size,
             base: Self::DEFAULT_BASE,
             next: Self::DEFAULT_BASE,
         }
@@ -74,7 +85,7 @@ impl SimRam {
 
     /// Total capacity in bytes.
     pub fn size(&self) -> u64 {
-        self.bytes.len() as u64
+        self.size
     }
 
     /// Bytes still available to the allocator.
@@ -113,6 +124,15 @@ impl SimRam {
         self.next = self.base;
     }
 
+    /// Restores the exactly-as-built state while keeping the backing
+    /// capacity. Truncating the backed prefix to zero *is* the fresh-RAM
+    /// semantics: every address reads as zero again, and rewrites re-extend
+    /// the (already reserved) backing without faulting new pages in.
+    pub fn reset(&mut self) {
+        self.bytes.clear();
+        self.next = self.base;
+    }
+
     #[inline]
     fn check(&self, addr: PhysAddr, len: u64) {
         assert!(
@@ -120,6 +140,20 @@ impl SimRam {
             "simulated access at {addr}+{len} beyond RAM of {} B",
             self.size()
         );
+    }
+
+    /// Extends the backing vector to cover `end`, zero-filled. Growth is
+    /// geometric (and at least one 64 KiB chunk) so a sequential fill does
+    /// amortized-constant work per byte. `end` has already been checked
+    /// against the logical size.
+    #[cold]
+    fn grow_to(&mut self, end: usize) {
+        let target = end
+            .next_power_of_two()
+            .max(64 * 1024)
+            .min(self.size as usize)
+            .max(end);
+        self.bytes.resize(target, 0);
     }
 
     /// Reads `width` little-endian bytes, zero-extended.
@@ -131,11 +165,30 @@ impl SimRam {
     pub fn read(&self, addr: PhysAddr, width_bytes: u64) -> u64 {
         self.check(addr, width_bytes);
         let i = addr.raw() as usize;
-        let mut v = 0u64;
-        for k in 0..width_bytes as usize {
-            v |= (self.bytes[i + k] as u64) << (8 * k);
+        let n = width_bytes as usize;
+        // One bounds-checked copy into a fixed 8-byte buffer instead of a
+        // byte-at-a-time shift loop; `from_le_bytes` matches the simulated
+        // little-endian layout and the zero padding gives the
+        // zero-extension for free. Bytes past the lazily backed prefix are
+        // zero by definition, so only the backed overlap is copied.
+        let backed = self.bytes.len();
+        // Common case: a whole aligned-window read fits in the backed
+        // prefix. One fixed 8-byte load plus a mask beats the
+        // variable-length copy below (which lowers to a memcpy call).
+        if i + 8 <= backed {
+            let word = u64::from_le_bytes(self.bytes[i..i + 8].try_into().unwrap());
+            return if n == 8 {
+                word
+            } else {
+                word & ((1u64 << (8 * n)) - 1)
+            };
         }
-        v
+        let mut buf = [0u8; 8];
+        if i < backed {
+            let avail = n.min(backed - i);
+            buf[..avail].copy_from_slice(&self.bytes[i..i + avail]);
+        }
+        u64::from_le_bytes(buf)
     }
 
     /// Writes the low `width` bytes of `value`, little-endian.
@@ -147,9 +200,25 @@ impl SimRam {
     pub fn write(&mut self, addr: PhysAddr, width_bytes: u64, value: u64) {
         self.check(addr, width_bytes);
         let i = addr.raw() as usize;
-        for k in 0..width_bytes as usize {
-            self.bytes[i + k] = (value >> (8 * k)) as u8;
+        let n = width_bytes as usize;
+        // Mirror of the read fast path: a fixed 8-byte read-modify-write of
+        // the containing word stores exactly the low `n` bytes of `value`
+        // without a variable-length copy.
+        if i + 8 <= self.bytes.len() {
+            let old = u64::from_le_bytes(self.bytes[i..i + 8].try_into().unwrap());
+            let mask = if n == 8 {
+                u64::MAX
+            } else {
+                (1u64 << (8 * n)) - 1
+            };
+            let new = (old & !mask) | (value & mask);
+            self.bytes[i..i + 8].copy_from_slice(&new.to_le_bytes());
+            return;
         }
+        if i + n > self.bytes.len() {
+            self.grow_to(i + n);
+        }
+        self.bytes[i..i + n].copy_from_slice(&value.to_le_bytes()[..n]);
     }
 
     /// Copies a byte slice into RAM.
@@ -160,6 +229,9 @@ impl SimRam {
     pub fn write_bytes(&mut self, addr: PhysAddr, data: &[u8]) {
         self.check(addr, data.len() as u64);
         let i = addr.raw() as usize;
+        if i + data.len() > self.bytes.len() {
+            self.grow_to(i + data.len());
+        }
         self.bytes[i..i + data.len()].copy_from_slice(data);
     }
 
@@ -168,9 +240,13 @@ impl SimRam {
     /// # Panics
     ///
     /// Panics on an out-of-range address.
-    pub fn read_bytes(&self, addr: PhysAddr, len: u64) -> &[u8] {
+    pub fn read_bytes(&mut self, addr: PhysAddr, len: u64) -> &[u8] {
         self.check(addr, len);
-        &self.bytes[addr.raw() as usize..(addr.raw() + len) as usize]
+        let i = addr.raw() as usize;
+        if i + len as usize > self.bytes.len() {
+            self.grow_to(i + len as usize);
+        }
+        &self.bytes[i..(i + len as usize)]
     }
 }
 
@@ -218,6 +294,21 @@ mod tests {
         let a = PhysAddr::new(0x3_0000);
         ram.write_bytes(a, &[1, 2, 3, 4]);
         assert_eq!(ram.read_bytes(a, 4), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn lazy_backing_is_invisible() {
+        let mut ram = SimRam::new(64 << 20);
+        // Nothing backed yet: reads anywhere in range see zeros.
+        assert_eq!(ram.read(PhysAddr::new(32 << 20), 8), 0);
+        // A write far into RAM backs only a bounded prefix, and a read
+        // straddling the backed boundary still zero-extends correctly.
+        ram.write(PhysAddr::new(0x2_0000), 8, u64::MAX);
+        assert!(ram.bytes.len() >= 0x2_0008);
+        assert!((ram.bytes.len() as u64) < ram.size());
+        let edge = PhysAddr::new(ram.bytes.len() as u64 - 4);
+        assert_eq!(ram.read(edge, 8), 0);
+        assert_eq!(ram.size(), 64 << 20);
     }
 
     #[test]

@@ -5,6 +5,17 @@
 //! state the paper's BIA mirrors. The [`Hierarchy`](crate::hierarchy)
 //! composes several `Cache` levels into the full memory system.
 //!
+//! # Storage layout
+//!
+//! The per-line state is stored structure-of-arrays (DESIGN.md §14): a flat
+//! `Vec<u64>` of tags (set-major), plus one 64-bit *valid* word and one
+//! 64-bit *dirty* word per set (bit *w* = way *w*; associativity is capped
+//! at 64). A lookup compares the whole contiguous tag row, masks the
+//! resulting hit bits with the valid word, and takes `trailing_zeros` —
+//! no per-way branch. Whole-cache sweeps ([`Cache::for_each_resident`],
+//! [`Cache::resident_count`]) walk the valid words with `count_ones`/
+//! `trailing_zeros` instead of visiting every way.
+//!
 //! Two access paths matter for the paper:
 //!
 //! * [`Cache::access`] — a demand access. Counts against the per-set access
@@ -63,22 +74,27 @@ pub struct Evicted {
     pub dirty: bool,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Way {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-}
-
-/// One set-associative cache level.
+/// One set-associative cache level, stored structure-of-arrays: a set-major
+/// tag array plus per-set valid/dirty occupancy words.
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    ways: Vec<Way>,
+    /// `num_sets * assoc` tags, set-major. A slot's tag is meaningful only
+    /// while its valid bit is set; invalidation leaves the stale tag in
+    /// place and clears the bit.
+    tags: Vec<u64>,
+    /// One occupancy word per set (bit *w* = way *w* holds a line).
+    valid: Vec<u64>,
+    /// One dirty word per set (bit *w* = way *w* is dirty). Always a subset
+    /// of `valid`.
+    dirty: Vec<u64>,
     repl: ReplacementState,
     stats: CacheStats,
     set_accesses: Vec<u64>,
     num_sets: usize,
+    assoc: usize,
+    /// The low `assoc` bits set — the frame of one set's occupancy word.
+    way_mask: u64,
     set_mask: u64,
     set_bits: u32,
 }
@@ -111,10 +127,14 @@ impl Cache {
         });
         Ok(Cache {
             repl: ReplacementState::new(cfg.replacement, num_sets, assoc, seed),
-            ways: vec![Way::default(); num_sets * assoc],
+            tags: vec![0; num_sets * assoc],
+            valid: vec![0; num_sets],
+            dirty: vec![0; num_sets],
             stats: CacheStats::default(),
             set_accesses: vec![0; num_sets],
             num_sets,
+            assoc,
+            way_mask: u64::MAX >> (64 - assoc as u32),
             set_mask: num_sets as u64 - 1,
             set_bits: (num_sets as u64).trailing_zeros(),
             cfg,
@@ -147,20 +167,36 @@ impl Cache {
         line.raw() >> self.set_bits
     }
 
+    /// Branchless lookup of `tag` in `set`: compares the whole contiguous
+    /// tag row into a hit-bit word, masks it with the valid word, and takes
+    /// the lowest set bit. Tags are unique among the valid ways of a set,
+    /// so at most one masked bit is set.
     #[inline]
-    fn find(&self, line: LineAddr) -> Option<usize> {
-        let set = self.set_index(line);
-        let tag = self.tag_of(line);
-        let base = set * self.cfg.associativity as usize;
-        (0..self.cfg.associativity as usize)
-            .map(|w| base + w)
-            .find(|&i| self.ways[i].valid && self.ways[i].tag == tag)
+    fn find_way(&self, set: usize, tag: u64) -> Option<u32> {
+        let base = set * self.assoc;
+        let row = &self.tags[base..base + self.assoc];
+        let mut hits = 0u64;
+        for (w, &t) in row.iter().enumerate() {
+            hits |= ((t == tag) as u64) << w;
+        }
+        hits &= self.valid[set];
+        if hits != 0 {
+            Some(hits.trailing_zeros())
+        } else {
+            None
+        }
     }
 
-    /// Reconstructs the line stored in `ways[i]` of `set`.
-    fn line_of(&self, set: usize, way_idx: usize) -> LineAddr {
-        let w = &self.ways[set * self.cfg.associativity as usize + way_idx];
-        LineAddr::new((w.tag << self.set_bits) | set as u64)
+    #[inline]
+    fn find(&self, line: LineAddr) -> Option<(usize, u32)> {
+        let set = self.set_index(line);
+        self.find_way(set, self.tag_of(line)).map(|w| (set, w))
+    }
+
+    /// Reconstructs the line stored in way `way` of `set`.
+    #[inline]
+    fn line_of(&self, set: usize, way: usize) -> LineAddr {
+        LineAddr::new((self.tags[set * self.assoc + way] << self.set_bits) | set as u64)
     }
 
     /// A demand access: hit or miss, with statistics and (optionally)
@@ -171,6 +207,7 @@ impl Cache {
     /// neutral access (§3.2): the access behaves normally but leaves the
     /// LRU state untouched so that a later attacker probe cannot tell which
     /// resident line was touched.
+    #[inline]
     pub fn access(
         &mut self,
         line: LineAddr,
@@ -183,20 +220,20 @@ impl Cache {
             AccessKind::Read => self.stats.reads += 1,
             AccessKind::Write => self.stats.writes += 1,
         }
-        match self.find(line) {
-            Some(i) => {
+        match self.find_way(set, self.tag_of(line)) {
+            Some(w) => {
                 self.stats.hits += 1;
-                let way_in_set = i - set * self.cfg.associativity as usize;
                 if update_replacement {
-                    self.repl.on_hit(set, way_in_set);
+                    self.repl.on_hit(set, w as usize);
                 }
-                let dirtied = kind == AccessKind::Write && !self.ways[i].dirty;
-                if kind == AccessKind::Write {
-                    self.ways[i].dirty = true;
-                }
+                let bit = 1u64 << w;
+                let was_dirty = self.dirty[set] & bit != 0;
+                let write = kind == AccessKind::Write;
+                // Conditional-or instead of a dirty-bit branch.
+                self.dirty[set] |= bit * write as u64;
                 AccessOutcome::Hit {
-                    dirty: self.ways[i].dirty,
-                    dirtied,
+                    dirty: was_dirty | write,
+                    dirtied: write && !was_dirty,
                 }
             }
             None => {
@@ -206,17 +243,49 @@ impl Cache {
         }
     }
 
+    /// Hit-only variant of [`Cache::access`]: on a hit it performs exactly
+    /// the same bookkeeping (per-set counter, read/write statistic, hit
+    /// statistic, optional replacement update, dirty bit) and returns
+    /// `true`. On a miss it touches **nothing** — no counters at all — and
+    /// returns `false`, so the caller can retry with the full
+    /// [`Cache::access`] without double counting.
+    #[inline]
+    pub fn access_if_hit(
+        &mut self,
+        line: LineAddr,
+        kind: AccessKind,
+        update_replacement: bool,
+    ) -> bool {
+        let set = self.set_index(line);
+        let Some(w) = self.find_way(set, self.tag_of(line)) else {
+            return false;
+        };
+        self.set_accesses[set] += 1;
+        match kind {
+            AccessKind::Read => self.stats.reads += 1,
+            AccessKind::Write => self.stats.writes += 1,
+        }
+        self.stats.hits += 1;
+        if update_replacement {
+            self.repl.on_hit(set, w as usize);
+        }
+        self.dirty[set] |= (1u64 << w) * (kind == AccessKind::Write) as u64;
+        true
+    }
+
     /// A state-free lookup: the cache access half of `CTLoad`/`CTStore`.
     ///
     /// Does not touch replacement state, dirty bits, or per-set access
     /// counters; increments only the dedicated probe statistic. See the
     /// module docs for why probes are excluded from per-set counts.
+    #[inline]
     pub fn probe(&mut self, line: LineAddr) -> ProbeOutcome {
         self.stats.probes += 1;
-        match self.find(line) {
-            Some(i) => ProbeOutcome {
+        let set = self.set_index(line);
+        match self.find_way(set, self.tag_of(line)) {
+            Some(w) => ProbeOutcome {
                 resident: true,
-                dirty: self.ways[i].dirty,
+                dirty: self.dirty[set] & (1 << w) != 0,
             },
             None => ProbeOutcome {
                 resident: false,
@@ -233,30 +302,31 @@ impl Cache {
     pub fn fill(&mut self, line: LineAddr, dirty: bool) -> Option<Evicted> {
         debug_assert!(self.find(line).is_none(), "fill of already-resident {line}");
         let set = self.set_index(line);
-        let assoc = self.cfg.associativity as usize;
-        let base = set * assoc;
-        let slot = (0..assoc).find(|&w| !self.ways[base + w].valid);
-        let (way, evicted) = match slot {
-            Some(w) => (w, None),
-            None => {
-                let victim = self.repl.victim(set);
-                let old = self.ways[base + victim];
-                let ev = Evicted {
-                    line: self.line_of(set, victim),
-                    dirty: old.dirty,
-                };
-                self.stats.evictions += 1;
-                if old.dirty {
-                    self.stats.writebacks += 1;
-                }
-                (victim, Some(ev))
+        // Lowest invalid way first, then the replacement victim.
+        let free = !self.valid[set] & self.way_mask;
+        let (way, evicted) = if free != 0 {
+            (free.trailing_zeros() as usize, None)
+        } else {
+            let victim = self.repl.victim(set);
+            let vdirty = self.dirty[set] & (1 << victim) != 0;
+            let ev = Evicted {
+                line: self.line_of(set, victim),
+                dirty: vdirty,
+            };
+            self.stats.evictions += 1;
+            if vdirty {
+                self.stats.writebacks += 1;
             }
+            (victim, Some(ev))
         };
-        self.ways[base + way] = Way {
-            tag: self.tag_of(line),
-            valid: true,
-            dirty,
-        };
+        let bit = 1u64 << way;
+        self.tags[set * self.assoc + way] = self.tag_of(line);
+        self.valid[set] |= bit;
+        if dirty {
+            self.dirty[set] |= bit;
+        } else {
+            self.dirty[set] &= !bit;
+        }
         self.repl.on_fill(set, way);
         self.stats.fills += 1;
         evicted
@@ -270,11 +340,13 @@ impl Cache {
     /// line was absent or already dirty.
     pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
         match self.find(line) {
-            Some(i) if !self.ways[i].dirty => {
-                self.ways[i].dirty = true;
-                true
+            Some((set, w)) => {
+                let bit = 1u64 << w;
+                let changed = self.dirty[set] & bit == 0;
+                self.dirty[set] |= bit;
+                changed
             }
-            _ => false,
+            None => false,
         }
     }
 
@@ -282,21 +354,30 @@ impl Cache {
     ///
     /// Returns `None` if the line was not resident.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
-        let i = self.find(line)?;
-        let dirty = self.ways[i].dirty;
-        self.ways[i] = Way::default();
+        let (set, w) = self.find(line)?;
+        let bit = 1u64 << w;
+        let dirty = self.dirty[set] & bit != 0;
+        // The stale tag stays in the array; the cleared valid bit masks it
+        // out of every future lookup.
+        self.valid[set] &= !bit;
+        self.dirty[set] &= !bit;
         self.stats.invalidations += 1;
         Some(dirty)
     }
 
     /// Ground truth: is `line` resident?
+    #[inline]
     pub fn is_resident(&self, line: LineAddr) -> bool {
         self.find(line).is_some()
     }
 
     /// Ground truth: is `line` resident and dirty?
+    #[inline]
     pub fn is_dirty(&self, line: LineAddr) -> bool {
-        self.find(line).map(|i| self.ways[i].dirty).unwrap_or(false)
+        match self.find(line) {
+            Some((set, w)) => self.dirty[set] & (1 << w) != 0,
+            None => false,
+        }
     }
 
     /// Ground-truth existence/dirtiness bitmaps for the 64 lines of `page`,
@@ -306,9 +387,10 @@ impl Cache {
         let mut exist = 0u64;
         let mut dirty = 0u64;
         for i in 0..LINES_PER_PAGE as u32 {
-            if let Some(w) = self.find(page.line(i)) {
+            let line = page.line(i);
+            if let Some((set, w)) = self.find(line) {
                 exist |= 1 << i;
-                if self.ways[w].dirty {
+                if self.dirty[set] & (1 << w) != 0 {
                     dirty |= 1 << i;
                 }
             }
@@ -317,23 +399,27 @@ impl Cache {
     }
 
     /// Visits every currently resident line (unordered: set-major, then
-    /// way order) without allocating. Linear in the cache size; the
-    /// allocation-free form of [`Cache::resident_lines`], for audit and
-    /// property-check loops that run per batch.
+    /// way order) without allocating. The sweep walks the per-set valid
+    /// words with `trailing_zeros`, so its cost is proportional to the
+    /// number of *sets* plus the number of resident lines, not to
+    /// `sets * assoc`. The allocation-free form of
+    /// [`Cache::resident_lines`], for audit and property-check loops that
+    /// run per batch.
     pub fn for_each_resident(&self, mut f: impl FnMut(LineAddr)) {
-        let assoc = self.cfg.associativity as usize;
         for set in 0..self.num_sets {
-            for w in 0..assoc {
-                if self.ways[set * assoc + w].valid {
-                    f(self.line_of(set, w));
-                }
+            let mut v = self.valid[set];
+            while v != 0 {
+                let w = v.trailing_zeros() as usize;
+                v &= v - 1;
+                f(self.line_of(set, w));
             }
         }
     }
 
-    /// Number of currently resident lines, without allocating.
+    /// Number of currently resident lines, without allocating: a popcount
+    /// over the occupancy words.
     pub fn resident_count(&self) -> usize {
-        self.ways.iter().filter(|w| w.valid).count()
+        self.valid.iter().map(|v| v.count_ones() as usize).sum()
     }
 
     /// All currently resident lines (unordered). Intended for tests and
@@ -361,6 +447,21 @@ impl Cache {
         for c in &mut self.set_accesses {
             *c = 0;
         }
+    }
+
+    /// Restores the exactly-as-built state while keeping every allocation,
+    /// so one cache can serve many back-to-back simulations.
+    ///
+    /// The tag array is deliberately left stale: a slot's tag is meaningful
+    /// only while its valid bit is set (see the field docs), every tag read
+    /// is masked through `valid`, and a fill writes the tag before setting
+    /// the bit — so clearing `valid` alone makes old contents unreachable.
+    pub fn reset(&mut self) {
+        self.valid.fill(0);
+        self.dirty.fill(0);
+        self.set_accesses.fill(0);
+        self.stats = CacheStats::default();
+        self.repl.reset();
     }
 }
 
@@ -540,5 +641,39 @@ mod tests {
         // Set has an invalid way; filling must not evict the other way.
         c.fill(line(1, 2), false);
         assert!(c.fill(line(1, 3), false).is_none());
+    }
+
+    #[test]
+    fn stale_tag_is_masked_after_invalidate() {
+        // Invalidation leaves the tag word in place; a lookup for that tag
+        // must still miss, and a refill of a *different* tag into the freed
+        // way must not resurrect the old line.
+        let mut c = tiny();
+        let a = line(2, 5);
+        let b = line(2, 6);
+        c.fill(a, true);
+        c.invalidate(a);
+        assert!(!c.is_resident(a));
+        assert!(!c.is_dirty(a), "dirty bit cleared with the valid bit");
+        c.fill(b, false);
+        assert!(c.is_resident(b));
+        assert!(!c.is_resident(a), "stale tag stays invisible");
+        assert!(!c.is_dirty(b), "freed way's dirty bit must not leak");
+    }
+
+    #[test]
+    fn full_associativity_word_arithmetic() {
+        // 64-way single set: the occupancy word is exactly full at
+        // capacity, exercising the way_mask = u64::MAX edge.
+        let mut c = Cache::new(CacheConfig::new("W", 64 * 64, 64, 1)).unwrap();
+        assert_eq!(c.num_sets(), 1);
+        for t in 0..64u64 {
+            assert!(c.fill(LineAddr::new(t), t % 2 == 0).is_none());
+        }
+        assert_eq!(c.resident_count(), 64);
+        // The 65th fill must evict (LRU: the first line).
+        let ev = c.fill(LineAddr::new(64), false).expect("set full");
+        assert_eq!(ev.line, LineAddr::new(0));
+        assert!(ev.dirty);
     }
 }

@@ -80,6 +80,16 @@ pub enum ConfigError {
         /// The offending quantity.
         what: &'static str,
     },
+    /// The associativity exceeds 64 ways. The packed set layout keeps one
+    /// 64-bit valid word and one 64-bit dirty word per set (bit *w* = way
+    /// *w*), so a set cannot have more ways than an occupancy word has
+    /// bits.
+    TooManyWays {
+        /// Human-readable cache name.
+        name: String,
+        /// The configured associativity.
+        associativity: u32,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -95,6 +105,14 @@ impl fmt::Display for ConfigError {
             ConfigError::Zero { name, what } => {
                 write!(f, "cache {name}: {what} must be non-zero")
             }
+            ConfigError::TooManyWays {
+                name,
+                associativity,
+            } => write!(
+                f,
+                "cache {name}: associativity {associativity} exceeds the 64 ways a packed \
+                 occupancy word can track"
+            ),
         }
     }
 }
@@ -178,6 +196,12 @@ impl CacheConfig {
             return Err(ConfigError::Zero {
                 name: self.name.clone(),
                 what: "associativity",
+            });
+        }
+        if self.associativity > 64 {
+            return Err(ConfigError::TooManyWays {
+                name: self.name.clone(),
+                associativity: self.associativity,
             });
         }
         let way_bytes = self.associativity as u64 * LINE_BYTES;
@@ -415,6 +439,22 @@ mod tests {
     fn zero_rejected() {
         assert!(CacheConfig::new("X", 0, 4, 1).validate().is_err());
         assert!(CacheConfig::new("X", 1024, 0, 1).validate().is_err());
+    }
+
+    #[test]
+    fn over_64_ways_rejected() {
+        let bad = CacheConfig::new("X", 128 * 64 * 2, 128, 1);
+        let err = bad.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::TooManyWays {
+                associativity: 128,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("64"), "{err}");
+        // The boundary itself is fine.
+        CacheConfig::new("X", 64 * 64, 64, 1).validate().unwrap();
     }
 
     #[test]

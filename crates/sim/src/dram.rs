@@ -91,6 +91,12 @@ impl Dram {
     pub fn reset_stats(&mut self) {
         self.stats = DramStats::default();
     }
+
+    /// Restores the exactly-as-built state: all banks closed, stats zeroed.
+    pub fn reset(&mut self) {
+        self.open_rows.fill(None);
+        self.stats = DramStats::default();
+    }
 }
 
 #[cfg(test)]

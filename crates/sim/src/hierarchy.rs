@@ -6,15 +6,30 @@
 //! from every level. The paper's threat model is explicitly insensitive to
 //! inclusivity (§2.4), so this common arrangement is used throughout.
 //!
-//! # Event stream
+//! # Monitoring
 //!
 //! The BIA "monitors the cache for any update" (§4.2). The hierarchy
-//! realizes that monitoring as an event buffer: when a monitor level is
-//! selected via [`Hierarchy::set_monitor`], every hit, fill, eviction,
-//! invalidation, and dirty-bit change *at that level* appends a
-//! [`CacheEvent`]. The machine drains the buffer after each operation and
-//! feeds it to the BIA. No events are recorded when no monitor is set, so
-//! the unprotected fast path stays allocation-free.
+//! realizes that monitoring through the [`CacheMonitor`] trait: when a
+//! monitor level is selected via [`Hierarchy::set_monitor`], every hit,
+//! fill, eviction, invalidation, and dirty-bit change *at that level* is
+//! delivered to the monitor at the point the state change happens. Two
+//! consumers exist (DESIGN.md §14):
+//!
+//! * **Inline** — the machine passes the BIA itself into
+//!   [`Hierarchy::access_with`], so the monitored level updates the BIA's
+//!   existence/dirtiness words at the emit site, with no intermediate
+//!   buffer. This is the steady-state path.
+//! * **Buffered** — the plain [`Hierarchy::access`] records events into an
+//!   internal `Vec<CacheEvent>` (`Vec<CacheEvent>` implements
+//!   `CacheMonitor` by pushing) that the machine drains afterwards via
+//!   [`Hierarchy::drain_events_into`]. Auditing and fault injection need
+//!   this path: they must observe — and possibly perturb — the pristine
+//!   stream *between* the cache and the BIA.
+//!
+//! Both paths deliver the identical event sequence, so the BIA ends in the
+//! same state either way. No events are recorded when no monitor is set,
+//! and the buffered path allocates nothing in steady state once its buffer
+//! has grown to the high-water batch size.
 //!
 //! # CT operations
 //!
@@ -109,6 +124,38 @@ pub struct CacheEvent {
     pub line: LineAddr,
     /// What happened.
     pub kind: CacheEventKind,
+}
+
+/// A consumer of monitored-level state changes.
+///
+/// The hierarchy calls [`CacheMonitor::cache_event`] at every emit site
+/// *for the monitored level only*, in the exact order the state changes
+/// happen. Implemented by `Vec<CacheEvent>` (buffer for later draining —
+/// the audit/fault-injection path) and by the BIA itself in `ctbia-core`
+/// (inline application — the steady-state path).
+pub trait CacheMonitor {
+    /// Observes one state change at the monitored level.
+    fn cache_event(&mut self, line: LineAddr, kind: CacheEventKind);
+}
+
+impl CacheMonitor for Vec<CacheEvent> {
+    #[inline]
+    fn cache_event(&mut self, line: LineAddr, kind: CacheEventKind) {
+        self.push(CacheEvent { line, kind });
+    }
+}
+
+/// A monitor that discards every event. The fast path for machines with no
+/// monitored level: behaviourally identical to buffering into an event
+/// vector that nothing ever drains (with no monitor set, nothing is
+/// emitted in the first place), but lets [`Hierarchy::access_with`] skip
+/// the event-buffer borrow juggling entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullMonitor;
+
+impl CacheMonitor for NullMonitor {
+    #[inline]
+    fn cache_event(&mut self, _line: LineAddr, _kind: CacheEventKind) {}
 }
 
 /// Options for a data access.
@@ -268,14 +315,6 @@ impl Hierarchy {
         self.monitor
     }
 
-    /// Removes and returns all pending events.
-    ///
-    /// Allocates a fresh vector per drain; steady-state consumers should
-    /// prefer [`Hierarchy::drain_events_into`], which recycles one buffer.
-    pub fn drain_events(&mut self) -> Vec<CacheEvent> {
-        std::mem::take(&mut self.events)
-    }
-
     /// Drains all pending events into `out` (cleared first) by swapping the
     /// two buffers. Passing the same `out` on every drain makes the event
     /// path allocation-free once both buffers have grown to the high-water
@@ -296,10 +335,19 @@ impl Hierarchy {
         self.monitor.map(MonitorLevel::level) == Some(level)
     }
 
+    /// Delivers `kind` to the monitor when `level` is the monitored level.
+    /// The level filter lives here, so monitors only ever see the stream
+    /// for the level they watch.
     #[inline]
-    fn emit(&mut self, level: Level, line: LineAddr, kind: CacheEventKind) {
+    fn emit<M: CacheMonitor>(
+        &self,
+        mon: &mut M,
+        level: Level,
+        line: LineAddr,
+        kind: CacheEventKind,
+    ) {
         if self.monitoring(level) {
-            self.events.push(CacheEvent { line, kind });
+            mon.cache_event(line, kind);
         }
     }
 
@@ -380,39 +428,39 @@ impl Hierarchy {
     /// level. Under [`InclusionPolicy::Exclusive`] clean victims also spill
     /// down; under [`InclusionPolicy::Inclusive`] an eviction from L2/LLC
     /// back-invalidates the levels above.
-    fn fill_at(&mut self, level: Level, line: LineAddr, dirty: bool) {
+    fn fill_at<M: CacheMonitor>(&mut self, mon: &mut M, level: Level, line: LineAddr, dirty: bool) {
         let evicted = self.cache_mut(level).fill(line, dirty);
-        self.emit(level, line, CacheEventKind::Fill { dirty });
+        self.emit(mon, level, line, CacheEventKind::Fill { dirty });
         if let Some(ev) = evicted {
-            self.emit(level, ev.line, CacheEventKind::Evict);
+            self.emit(mon, level, ev.line, CacheEventKind::Evict);
             if ev.dirty {
-                self.writeback(level, ev.line);
+                self.writeback(mon, level, ev.line);
             } else if self.inclusion == InclusionPolicy::Exclusive {
-                self.spill_clean(level, ev.line);
+                self.spill_clean(mon, level, ev.line);
             }
             if self.inclusion == InclusionPolicy::Inclusive {
-                self.back_invalidate(level, ev.line);
+                self.back_invalidate(mon, level, ev.line);
             }
         }
     }
 
     /// Exclusive hierarchies spill clean victims one level down so the
     /// line is not lost from the hierarchy (victim-cache behaviour).
-    fn spill_clean(&mut self, from: Level, line: LineAddr) {
+    fn spill_clean<M: CacheMonitor>(&mut self, mon: &mut M, from: Level, line: LineAddr) {
         let below = match from {
             Level::L1i | Level::L1d => Level::L2,
             Level::L2 => Level::Llc,
             Level::Llc | Level::Dram => return, // dropped; still in DRAM
         };
         if !self.cache(below).is_resident(line) {
-            self.fill_at(below, line, false);
+            self.fill_at(mon, below, line, false);
         }
     }
 
     /// Inclusive hierarchies remove upper-level copies when a lower level
     /// evicts. A dirty upper copy is flushed to DRAM (simplification: the
     /// victim has already left the lower levels).
-    fn back_invalidate(&mut self, from: Level, line: LineAddr) {
+    fn back_invalidate<M: CacheMonitor>(&mut self, mon: &mut M, from: Level, line: LineAddr) {
         let uppers: &[Level] = match from {
             Level::L2 => &[Level::L1d, Level::L1i],
             Level::Llc => &[Level::L1d, Level::L1i, Level::L2],
@@ -420,7 +468,7 @@ impl Hierarchy {
         };
         for &u in uppers {
             if let Some(dirty) = self.cache_mut(u).invalidate(line) {
-                self.emit(u, line, CacheEventKind::Evict);
+                self.emit(mon, u, line, CacheEventKind::Evict);
                 if dirty {
                     self.dram.write(line);
                 }
@@ -429,7 +477,7 @@ impl Hierarchy {
     }
 
     /// Writes a dirty victim evicted from `from` into the next level down.
-    fn writeback(&mut self, from: Level, line: LineAddr) {
+    fn writeback<M: CacheMonitor>(&mut self, mon: &mut M, from: Level, line: LineAddr) {
         let below = match from {
             Level::L1i | Level::L1d => Level::L2,
             Level::L2 => Level::Llc,
@@ -441,15 +489,63 @@ impl Hierarchy {
         };
         if self.cache(below).is_resident(line) {
             if self.cache_mut(below).mark_dirty(line) {
-                self.emit(below, line, CacheEventKind::DirtyChange { dirty: true });
+                self.emit(
+                    mon,
+                    below,
+                    line,
+                    CacheEventKind::DirtyChange { dirty: true },
+                );
             }
         } else {
-            self.fill_at(below, line, true);
+            self.fill_at(mon, below, line, true);
         }
     }
 
-    /// A demand data access. See [`AccessFlags`] for routing options.
+    /// Fast path for non-bypassing demand accesses when no level is
+    /// monitored: exactly the state change [`Hierarchy::access_with`] makes
+    /// for an L1d hit. Returns `true` on the hit; on a miss nothing is
+    /// touched — no statistics, no counters — so the caller can fall back
+    /// to the full access path without double counting.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that no level is monitored; with a monitor installed
+    /// the hit would have to emit events and the caller must use
+    /// [`Hierarchy::access_with`].
+    #[inline]
+    pub fn l1d_access_if_hit(
+        &mut self,
+        line: LineAddr,
+        kind: AccessKind,
+        update_replacement: bool,
+    ) -> bool {
+        debug_assert!(
+            self.monitor.is_none(),
+            "L1d fast path requires an unmonitored hierarchy"
+        );
+        self.l1d.access_if_hit(line, kind, update_replacement)
+    }
+
+    /// A demand data access, buffering monitored events for a later
+    /// [`Hierarchy::drain_events_into`]. See [`AccessFlags`] for routing
+    /// options and [`Hierarchy::access_with`] for the inline-monitor form.
     pub fn access(&mut self, line: LineAddr, flags: AccessFlags) -> AccessResult {
+        let mut events = std::mem::take(&mut self.events);
+        let result = self.access_with(line, flags, &mut events);
+        self.events = events;
+        result
+    }
+
+    /// A demand data access delivering monitored events directly to `mon`
+    /// at each emit site — the inline-monitor path, which skips the event
+    /// buffer entirely. The event sequence `mon` sees is identical to what
+    /// [`Hierarchy::access`] would have buffered.
+    pub fn access_with<M: CacheMonitor>(
+        &mut self,
+        line: LineAddr,
+        flags: AccessFlags,
+        mon: &mut M,
+    ) -> AccessResult {
         if flags.dram_direct {
             let latency = match flags.kind {
                 AccessKind::Read => self.dram.read(line),
@@ -487,9 +583,14 @@ impl Hierarchy {
             }
             match self.cache_mut(level).access(line, kind, update) {
                 AccessOutcome::Hit { dirty, dirtied } => {
-                    self.emit(level, line, CacheEventKind::Hit { dirty });
+                    self.emit(mon, level, line, CacheEventKind::Hit { dirty });
                     if dirtied {
-                        self.emit(level, line, CacheEventKind::DirtyChange { dirty: true });
+                        self.emit(
+                            mon,
+                            level,
+                            line,
+                            CacheEventKind::DirtyChange { dirty: true },
+                        );
                     }
                     hit_at = Some((i, level));
                     break;
@@ -517,18 +618,18 @@ impl Hierarchy {
             if let Some((i, level)) = hit_at {
                 if i > 0 {
                     if let Some(d) = self.cache_mut(level).invalidate(line) {
-                        self.emit(level, line, CacheEventKind::Evict);
+                        self.emit(mon, level, line, CacheEventKind::Evict);
                         dirty |= d;
                     }
                 }
             }
             if filled_up_to > 0 {
-                self.fill_at(path[0], line, dirty);
+                self.fill_at(mon, path[0], line, dirty);
             }
         } else {
             for (i, &level) in path.iter().enumerate().take(filled_up_to).rev() {
                 let dirty = i == 0 && flags.kind == AccessKind::Write;
-                self.fill_at(level, line, dirty);
+                self.fill_at(mon, level, line, dirty);
             }
         }
 
@@ -539,7 +640,7 @@ impl Hierarchy {
             && !self.l1d.is_resident(line.offset(1))
         {
             self.prefetch_fills += 1;
-            self.fill_at(Level::L1d, line.offset(1), false);
+            self.fill_at(mon, Level::L1d, line.offset(1), false);
         }
 
         AccessResult {
@@ -550,8 +651,23 @@ impl Hierarchy {
     }
 
     /// An instruction fetch: walks L1i → L2 → LLC → DRAM with demand-read
-    /// semantics, filling every missed level.
+    /// semantics, filling every missed level. Buffers monitored events;
+    /// see [`Hierarchy::fetch_inst_with`] for the inline-monitor form.
     pub fn fetch_inst(&mut self, line: LineAddr) -> AccessResult {
+        let mut events = std::mem::take(&mut self.events);
+        let result = self.fetch_inst_with(line, &mut events);
+        self.events = events;
+        result
+    }
+
+    /// An instruction fetch delivering monitored events directly to `mon`
+    /// (an L1i miss fills L2/LLC, which an L2- or LLC-resident BIA
+    /// observes).
+    pub fn fetch_inst_with<M: CacheMonitor>(
+        &mut self,
+        line: LineAddr,
+        mon: &mut M,
+    ) -> AccessResult {
         let path = [Level::L1i, Level::L2, Level::Llc];
         let mut latency = 0;
         let mut hit_at = None;
@@ -562,7 +678,7 @@ impl Hierarchy {
             }
             match self.cache_mut(level).access(line, AccessKind::Read, true) {
                 AccessOutcome::Hit { dirty, .. } => {
-                    self.emit(level, line, CacheEventKind::Hit { dirty });
+                    self.emit(mon, level, line, CacheEventKind::Hit { dirty });
                     hit_at = Some((i, level));
                     break;
                 }
@@ -579,7 +695,7 @@ impl Hierarchy {
             }
         };
         for &level in path.iter().take(filled_up_to).rev() {
-            self.fill_at(level, line, false);
+            self.fill_at(mon, level, line, false);
         }
         AccessResult {
             latency,
@@ -618,11 +734,21 @@ impl Hierarchy {
 
     /// Removes `line` from every level (a `clflush`-like operation, used by
     /// tests and the attacker model). Dirty copies are written back to DRAM.
+    /// Buffers monitored events; see
+    /// [`Hierarchy::invalidate_everywhere_with`] for the inline form.
     pub fn invalidate_everywhere(&mut self, line: LineAddr) {
+        let mut events = std::mem::take(&mut self.events);
+        self.invalidate_everywhere_with(line, &mut events);
+        self.events = events;
+    }
+
+    /// Removes `line` from every level, delivering monitored evictions
+    /// directly to `mon`.
+    pub fn invalidate_everywhere_with<M: CacheMonitor>(&mut self, line: LineAddr, mon: &mut M) {
         let mut was_dirty = false;
         for level in [Level::L1i, Level::L1d, Level::L2, Level::Llc] {
             if let Some(dirty) = self.cache_mut(level).invalidate(line) {
-                self.emit(level, line, CacheEventKind::Evict);
+                self.emit(mon, level, line, CacheEventKind::Evict);
                 was_dirty |= dirty;
             }
         }
@@ -655,6 +781,21 @@ impl Hierarchy {
             *c = 0;
         }
     }
+
+    /// Restores the exactly-as-built state — contents, stats, and pending
+    /// events all cleared — while keeping every allocation and the attached
+    /// monitor configuration. A reset hierarchy is indistinguishable from a
+    /// freshly constructed one to everything that can observe it.
+    pub fn reset(&mut self) {
+        self.l1i.reset();
+        self.l1d.reset();
+        self.l2.reset();
+        self.llc.reset();
+        self.dram.reset();
+        self.prefetch_fills = 0;
+        self.events.clear();
+        self.slice_counts.fill(0);
+    }
 }
 
 #[cfg(test)]
@@ -664,6 +805,12 @@ mod tests {
 
     fn h() -> Hierarchy {
         Hierarchy::new(HierarchyConfig::tiny()).unwrap()
+    }
+
+    fn drain(h: &mut Hierarchy) -> Vec<CacheEvent> {
+        let mut out = Vec::new();
+        h.drain_events_into(&mut out);
+        out
     }
 
     #[test]
@@ -798,7 +945,7 @@ mod tests {
         h.set_monitor(Some(MonitorLevel::L1d));
         let l = LineAddr::new(6);
         h.access(l, AccessFlags::read());
-        let evs = h.drain_events();
+        let evs = drain(&mut h);
         assert_eq!(
             evs,
             vec![CacheEvent {
@@ -807,7 +954,7 @@ mod tests {
             }]
         );
         h.access(l, AccessFlags::write());
-        let evs = h.drain_events();
+        let evs = drain(&mut h);
         assert!(evs.contains(&CacheEvent {
             line: l,
             kind: CacheEventKind::Hit { dirty: true }
@@ -855,9 +1002,9 @@ mod tests {
         let a = LineAddr::new(0);
         h.access(a, AccessFlags::read());
         h.access(LineAddr::new(sets), AccessFlags::read());
-        h.drain_events();
+        drain(&mut h);
         h.access(LineAddr::new(2 * sets), AccessFlags::read());
-        let evs = h.drain_events();
+        let evs = drain(&mut h);
         assert!(
             evs.contains(&CacheEvent {
                 line: a,
@@ -917,7 +1064,7 @@ mod tests {
         h.set_monitor(Some(MonitorLevel::Llc));
         let l = LineAddr::new(9);
         h.access(l, AccessFlags::read().bypassing_l2());
-        let evs = h.drain_events();
+        let evs = drain(&mut h);
         assert!(evs.contains(&CacheEvent {
             line: l,
             kind: CacheEventKind::Fill { dirty: false }

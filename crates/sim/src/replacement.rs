@@ -67,6 +67,9 @@ pub struct ReplacementState {
     stamps: Vec<u64>,
     clock: u64,
     rng: SplitMix64,
+    /// The construction seed, kept so [`ReplacementState::reset`] can
+    /// rewind the generator to its initial state.
+    seed: u64,
 }
 
 // Hand-written (a derive would fall back to `*self = source.clone()` in
@@ -81,6 +84,7 @@ impl Clone for ReplacementState {
             stamps: self.stamps.clone(),
             clock: self.clock,
             rng: self.rng.clone(),
+            seed: self.seed,
         }
     }
 
@@ -90,6 +94,7 @@ impl Clone for ReplacementState {
         self.stamps.clone_from(&source.stamps);
         self.clock = source.clock;
         self.rng = source.rng.clone();
+        self.seed = source.seed;
     }
 }
 
@@ -105,7 +110,18 @@ impl ReplacementState {
             stamps: vec![0; num_sets * assoc],
             clock: 0,
             rng: SplitMix64(seed),
+            seed,
         }
+    }
+
+    /// Rewinds to the exactly-as-built state while keeping the stamp
+    /// buffer. Stale stamps are deliberately left behind: a way's stamp is
+    /// only ever read by [`ReplacementState::victim`], which the cache
+    /// consults when every way of the set is valid — and validity is only
+    /// granted by a post-reset fill, which writes the way's stamp first.
+    pub fn reset(&mut self) {
+        self.clock = 0;
+        self.rng = SplitMix64(self.seed);
     }
 
     #[inline]
@@ -114,6 +130,7 @@ impl ReplacementState {
     }
 
     /// Records a fill of `way` in `set` (a new line installed).
+    #[inline]
     pub fn on_fill(&mut self, set: usize, way: usize) {
         self.clock += 1;
         let i = self.idx(set, way);
@@ -127,6 +144,7 @@ impl ReplacementState {
     /// replacement-neutral accesses — the paper's "not updating
     /// \[the\] replacement bit (LRU bit) if the access is secret-relevant"
     /// (§3.2).
+    #[inline]
     pub fn on_hit(&mut self, set: usize, way: usize) {
         if self.kind == ReplacementKind::Lru {
             self.clock += 1;
@@ -137,18 +155,23 @@ impl ReplacementState {
 
     /// Chooses a victim way in `set`. All ways are assumed valid (the cache
     /// fills invalid ways before consulting the policy).
+    ///
+    /// LRU/FIFO pick the way with the *first strict minimum* stamp. The
+    /// min-scan is written with select expressions rather than an `if`
+    /// chain so it compiles to conditional moves over the contiguous stamp
+    /// row instead of a data-dependent branch per way.
+    #[inline]
     pub fn victim(&mut self, set: usize) -> usize {
         match self.kind {
             ReplacementKind::Lru | ReplacementKind::Fifo => {
                 let base = set * self.assoc;
-                let mut best = 0;
-                let mut best_stamp = u64::MAX;
-                for way in 0..self.assoc {
-                    let s = self.stamps[base + way];
-                    if s < best_stamp {
-                        best_stamp = s;
-                        best = way;
-                    }
+                let row = &self.stamps[base..base + self.assoc];
+                let mut best = 0usize;
+                let mut best_stamp = row[0];
+                for (way, &s) in row.iter().enumerate().skip(1) {
+                    let better = s < best_stamp;
+                    best = if better { way } else { best };
+                    best_stamp = if better { s } else { best_stamp };
                 }
                 best
             }

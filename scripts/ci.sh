@@ -16,7 +16,10 @@
 #                             -- sweep-engine smoke run; BENCH_sweep.json
 #                                must exist, be byte-deterministic, and
 #                                show a fully-memoized warm phase;
-#                                BENCH_metrics.json must round-trip
+#                                BENCH_metrics.json must round-trip;
+#                                serial sim-accesses/s must clear a
+#                                conservative perf floor and the run must
+#                                land in BENCH_history.jsonl
 #   8. ctbia trace smoke      -- cycle attribution reconciles (the command
 #                                exits non-zero if phases don't sum)
 #   9. ctbia verify --quick   -- leakage-verifier smoke run: the CT grid
@@ -68,6 +71,20 @@ echo "==> BENCH_sweep.json is well-formed and deterministic (warm phase: $CELLS/
 grep -q '"schema": "ctbia-metrics-v1"' BENCH_metrics.json
 grep -q '"phase.compute":' BENCH_metrics.json
 echo "==> BENCH_metrics.json is versioned and round-trip verified"
+# Perf smoke: the serial phase must report a throughput figure, and it
+# must clear a conservative floor — a tenth of the data-oriented core's
+# steady-state rate, far above noise but low enough that only an
+# order-of-magnitude regression (e.g. an accidental debug-path or
+# allocation reintroduction) trips it.
+PERF_FLOOR=25000000
+RATE=$(sed -n 's/.*"sim_accesses_per_sec": \([0-9]*\).*/\1/p' BENCH_sweep.json | head -n 1)
+test -n "$RATE"
+if [ "$RATE" -lt "$PERF_FLOOR" ]; then
+    echo "perf smoke failed: sim_accesses_per_sec $RATE < floor $PERF_FLOOR" >&2
+    exit 1
+fi
+grep -q '"schema": "ctbia-bench-history-v1"' BENCH_history.jsonl
+echo "==> perf smoke: $RATE sim accesses/s (floor $PERF_FLOOR), history appended"
 
 run ./target/release/ctbia trace histogram 400 --top 5
 echo "==> trace cycle attribution reconciles"
