@@ -1,0 +1,337 @@
+//! Count-driven mirrors of the eight crypto kernels.
+//!
+//! The crypto kernels have no Tv mirrors in `ctbia-verify` (their
+//! dynamic verification is oracle-only), so the static analyzer carries
+//! its own: for each kernel, a [`TaintSink`] program that performs the
+//! *same memory events in the same order* as the real kernel — the same
+//! tables, the same number of secret-indexed lookups per round, the same
+//! public demand walks — with every secret-derived index left symbolic.
+//! Register arithmetic is elided; only its `exec` cost and the table
+//! access *counts* survive, which is exactly the quantity the cache
+//! side channel (and the abstract interpreter) observes.
+//!
+//! Fidelity is pinned by a test in `cell.rs`: under software CT, the
+//! concrete kernel performs one linearize pass per table access, so the
+//! mirror's dataflow-set op count must equal the concrete run's
+//! `counters.linearize.passes` — drift in either direction fails.
+
+use ctbia_core::ctmem::Width;
+use ctbia_core::ds::DataflowSet;
+use ctbia_core::taint::Tv;
+use ctbia_harness::CryptoKernel;
+use ctbia_sim::addr::PhysAddr;
+use ctbia_verify::{tv_addr, TaintSink};
+
+/// A table in recorded memory, mirroring the workloads' `SimTable`.
+struct Tab {
+    base: PhysAddr,
+    ds: DataflowSet,
+    width: Width,
+}
+
+impl Tab {
+    /// A table of `n` 32-bit entries (contents are irrelevant to the
+    /// access program; they are left zero).
+    fn new_u32<S: TaintSink>(s: &mut S, n: u64) -> Tab {
+        let base = s.alloc_u32_array(n);
+        Tab {
+            base,
+            ds: DataflowSet::contiguous(base, n * 4),
+            width: Width::U32,
+        }
+    }
+
+    /// A table of `n` bytes (`n` divisible by 4).
+    fn new_u8<S: TaintSink>(s: &mut S, n: u64) -> Tab {
+        let base = s.alloc_u32_array(n / 4);
+        Tab {
+            base,
+            ds: DataflowSet::contiguous(base, n),
+            width: Width::U8,
+        }
+    }
+
+    /// A secret-indexed lookup through the strategy.
+    fn lookup<S: TaintSink>(&self, s: &mut S, idx: &Tv, what: &str) -> Tv {
+        s.ds_load(
+            &self.ds,
+            &tv_addr(self.base, idx, self.width.bytes()),
+            self.width,
+            what,
+        )
+    }
+
+    /// A secret-indexed store through the strategy.
+    fn store<S: TaintSink>(&self, s: &mut S, idx: &Tv, value: &Tv, what: &str) {
+        s.ds_store(
+            &self.ds,
+            &tv_addr(self.base, idx, self.width.bytes()),
+            self.width,
+            value,
+            what,
+        );
+    }
+
+    /// A public-index demand load (sequential walks).
+    fn lookup_public<S: TaintSink>(&self, s: &mut S, idx: u64, what: &str) -> Tv {
+        s.load(
+            &tv_addr(self.base, &Tv::public(idx), self.width.bytes()),
+            self.width,
+            what,
+        )
+    }
+
+    /// A public-index demand store.
+    fn store_public<S: TaintSink>(&self, s: &mut S, idx: u64, value: &Tv, what: &str) {
+        s.store(
+            &tv_addr(self.base, &Tv::public(idx), self.width.bytes()),
+            self.width,
+            value,
+            what,
+        );
+    }
+}
+
+/// Runs the count-driven mirror of `kernel` against `s`, with the same
+/// default dimensions as `CryptoKernel::build`.
+pub fn crypto_mirror<S: TaintSink>(s: &mut S, kernel: CryptoKernel) {
+    match kernel {
+        CryptoKernel::Aes => aes(s),
+        CryptoKernel::Rc2 => rc2(s),
+        CryptoKernel::Rc4 => rc4(s),
+        CryptoKernel::Blowfish => blowfish(s),
+        CryptoKernel::Cast => cast(s),
+        CryptoKernel::Des => des(s, 8, 1),
+        CryptoKernel::Des3 => des(s, 4, 3),
+        CryptoKernel::Xor => xor(s),
+    }
+}
+
+/// AES-128: 4 T-tables (256 x u32) + the S-box (256 bytes); per block,
+/// 9 rounds of 16 T-table lookups then 16 final-round S-box lookups.
+fn aes<S: TaintSink>(s: &mut S) {
+    let te: Vec<Tab> = (0..4).map(|_| Tab::new_u32(s, 256)).collect();
+    let sbox = Tab::new_u8(s, 256);
+    let key = s.secret(0, "AES-128 round keys".into());
+    for _blk in 0..4u64 {
+        for _ in 0..4 {
+            s.exec(2);
+        }
+        let b = Tv::derived(0, &key);
+        for _round in 1..10 {
+            for _i in 0..4 {
+                for t in &te {
+                    let _ = t.lookup(s, &b, "Te lookup");
+                }
+                s.exec(16);
+            }
+        }
+        for _i in 0..4 {
+            for _ in 0..4 {
+                let _ = sbox.lookup(s, &b, "final S-box lookup");
+            }
+            s.exec(16);
+        }
+    }
+}
+
+/// ARC2: 224 secret-indexed PITABLE walks in key expansion, then the
+/// 64-entry expanded-key table (secret contents) indexed by a secret
+/// word in the two MASH rounds of each of 8 blocks.
+fn rc2<S: TaintSink>(s: &mut S) {
+    let pi = Tab::new_u8(s, 256);
+    let key = s.secret(0, "ARC2 key bytes".into());
+    let idx = Tv::derived(0, &key);
+    for _ in 0..112 {
+        let _ = pi.lookup(s, &idx, "PITABLE walk");
+        s.exec(4);
+    }
+    let _ = pi.lookup(s, &idx, "PITABLE walk");
+    for _ in 0..111 {
+        let _ = pi.lookup(s, &idx, "PITABLE walk");
+        s.exec(4);
+    }
+    // The expanded key lives in memory and is itself secret.
+    let kt = Tab::new_u32(s, 64);
+    s.mark_secret(kt.base, 64 * 4);
+    for _b in 0..8u64 {
+        for round in 0..16 {
+            for _i in 0..4 {
+                s.exec(6);
+            }
+            if round == 4 || round == 10 {
+                for _i in 0..4 {
+                    let _ = kt.lookup(s, &idx, "MASH key lookup");
+                    s.exec(3);
+                }
+            }
+        }
+    }
+}
+
+/// ARC4: the 256-byte state; KSA (256 steps) then 64 keystream steps,
+/// each mixing public-index demand accesses with secret-indexed swaps.
+fn rc4<S: TaintSink>(s: &mut S) {
+    let st = Tab::new_u8(s, 256);
+    let key = s.secret(0, "ARC4 key".into());
+    let j = Tv::derived(0, &key);
+    for i in 0..256u64 {
+        let si = st.lookup_public(s, i, "S[i]");
+        s.exec(6);
+        let sj = st.lookup(s, &j, "S[j]");
+        st.store_public(s, i, &sj, "S[i] = S[j]");
+        st.store(s, &j, &si, "S[j] = S[i]");
+    }
+    for step in 0..64u64 {
+        let i = (step + 1) & 255;
+        let si = st.lookup_public(s, i, "S[i]");
+        s.exec(6);
+        let sj = st.lookup(s, &j, "S[j]");
+        st.store_public(s, i, &sj, "S[i] = S[j]");
+        st.store(s, &j, &si, "S[j] = S[i]");
+        let t = si.add(&sj).and(&Tv::public(255));
+        let _ = st.lookup(s, &t, "S[t] keystream");
+    }
+}
+
+/// One Blowfish encryption: 16 rounds of 4 S-box lookups.
+fn blowfish_encrypt<S: TaintSink>(s: &mut S, tabs: &[Tab; 4], idx: &Tv) {
+    for _round in 0..16 {
+        for t in tabs.iter() {
+            let _ = t.lookup(s, idx, "S-box F lookup");
+        }
+        s.exec(10);
+    }
+}
+
+/// Blowfish: 4 S-boxes (256 x u32); the measured region runs the whole
+/// key schedule (9 P-array encryptions + 512 S-box-rewrite encryptions,
+/// each followed by two public stores) then 4 data blocks.
+fn blowfish<S: TaintSink>(s: &mut S) {
+    let tabs: [Tab; 4] = [
+        Tab::new_u32(s, 256),
+        Tab::new_u32(s, 256),
+        Tab::new_u32(s, 256),
+        Tab::new_u32(s, 256),
+    ];
+    let key = s.secret(0, "Blowfish key".into());
+    let idx = Tv::derived(0, &key);
+    for _ in 0..18 {
+        s.exec(6);
+    }
+    for _ in 0..9 {
+        blowfish_encrypt(s, &tabs, &idx);
+    }
+    for sb in 0..4usize {
+        for k in (0..256u64).step_by(2) {
+            blowfish_encrypt(s, &tabs, &idx);
+            let v = Tv::derived(0, &key);
+            tabs[sb].store_public(s, k, &v, "S-box rewrite");
+            tabs[sb].store_public(s, k + 1, &v, "S-box rewrite");
+        }
+    }
+    for _b in 0..4u64 {
+        blowfish_encrypt(s, &tabs, &idx);
+    }
+}
+
+/// CAST: 4 S-boxes (256 x u32); 8 blocks of 16 rounds, 4 lookups each.
+fn cast<S: TaintSink>(s: &mut S) {
+    let tabs: Vec<Tab> = (0..4).map(|_| Tab::new_u32(s, 256)).collect();
+    let key = s.secret(0, "CAST key".into());
+    let idx = Tv::derived(0, &key);
+    for _b in 0..8u64 {
+        for _round in 0..16 {
+            for t in &tabs {
+                let _ = t.lookup(s, &idx, "CAST S-box lookup");
+            }
+            s.exec(12);
+        }
+    }
+}
+
+/// DES (`passes = 1`) / 3DES (`passes = 3`): 8 single-line S-boxes
+/// (64 bytes each); per block-pass, 16 rounds of 8 lookups.
+fn des<S: TaintSink>(s: &mut S, blocks: u64, passes: u64) {
+    let tabs: Vec<Tab> = (0..8).map(|_| Tab::new_u8(s, 64)).collect();
+    let key = s.secret(0, "DES key".into());
+    let idx = Tv::derived(0, &key);
+    for _b in 0..blocks {
+        for _pass in 0..passes {
+            for _round in 0..16 {
+                for t in &tabs {
+                    let _ = t.lookup(s, &idx, "DES S-box lookup");
+                }
+                s.exec(18);
+            }
+        }
+    }
+}
+
+/// XOR: the "nothing to linearize" control — 256 elements of public
+/// demand traffic over secret *contents*, zero dataflow-set ops.
+fn xor<S: TaintSink>(s: &mut S) {
+    let (n, kn) = (256u64, 8u64);
+    let input = s.alloc_u32_array(n);
+    let karr = s.alloc_u32_array(kn);
+    let output = s.alloc_u32_array(n);
+    s.mark_secret(input, n * 4);
+    s.mark_secret(karr, kn * 4);
+    for i in 0..n {
+        let v = s.load(&tv_addr(input, &Tv::public(i), 4), Width::U32, "in[i]");
+        let k = s.load(
+            &tv_addr(karr, &Tv::public(i % kn), 4),
+            Width::U32,
+            "key[i % klen]",
+        );
+        s.exec(5);
+        s.store(
+            &tv_addr(output, &Tv::public(i), 4),
+            Width::U32,
+            &v.xor(&k),
+            "out[i]",
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recmem::extract;
+    use ctbia_harness::WorkloadSpec;
+
+    /// The hand-counted dataflow-set op totals per kernel; these equal
+    /// the concrete kernels' linearize-pass counts under software CT
+    /// (cross-checked against real runs in `cell.rs`).
+    #[test]
+    fn mirror_ds_op_counts() {
+        for (kernel, ds_ops) in [
+            (CryptoKernel::Aes, 640),
+            (CryptoKernel::Rc2, 288),
+            (CryptoKernel::Rc4, 704),
+            (CryptoKernel::Blowfish, 33_600),
+            (CryptoKernel::Cast, 512),
+            (CryptoKernel::Des, 1024),
+            (CryptoKernel::Des3, 1536),
+            (CryptoKernel::Xor, 0),
+        ] {
+            let program = extract(&WorkloadSpec::Crypto(kernel));
+            assert_eq!(program.ds_ops(), ds_ops, "{kernel:?}");
+            assert!(!program.aborted);
+            assert!(program.extraction_violations.is_empty());
+        }
+    }
+
+    #[test]
+    fn every_crypto_ds_access_is_symbolic_and_xor_has_none() {
+        let aes = extract(&WorkloadSpec::Crypto(CryptoKernel::Aes));
+        assert!(aes
+            .ops
+            .iter()
+            .filter(|op| matches!(op, crate::ir::Op::Ds { .. }))
+            .all(crate::ir::Op::is_symbolic_access));
+        let xor = extract(&WorkloadSpec::Crypto(CryptoKernel::Xor));
+        assert_eq!(xor.ds_ops(), 0);
+        assert!(!xor.ops.iter().any(|op| op.is_symbolic_access()));
+    }
+}

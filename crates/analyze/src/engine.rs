@@ -1,0 +1,311 @@
+//! The analysis engine: the sweep-engine pattern over [`AnalyzeCell`]s,
+//! plus the canonical certification grids.
+//!
+//! [`AnalyzeEngine`] mirrors `ctbia_harness::SweepEngine` and
+//! `ctbia_verify::VerifyEngine` exactly — workers claim cells from a
+//! shared atomic index, results land in grid-order slots so parallel
+//! output is byte-identical to serial, and an optional [`DiskCache`]
+//! memoizes completed verdicts under the cell's content digest (using
+//! the cache's raw text API with the analyzer's own
+//! [`ANALYZE_SCHEMA_VERSION`](crate::cell::ANALYZE_SCHEMA_VERSION)
+//! encoding, so analyze, verify, and simulation cells share one store
+//! without colliding).
+
+use crate::cell::{execute_analyze_cell, AnalyzeCell, AnalyzeReport};
+use ctbia_harness::{CellSpec, CryptoKernel, DiskCache, StrategySpec, WorkloadSpec};
+use ctbia_machine::BiaPlacement;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// A worker pool plus optional memo cache for running certification
+/// grids.
+#[derive(Debug)]
+pub struct AnalyzeEngine {
+    threads: usize,
+    cache: Option<DiskCache>,
+    executed: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl AnalyzeEngine {
+    /// An engine sized from [`std::thread::available_parallelism`], with
+    /// no cache.
+    pub fn new() -> Self {
+        let threads = thread::available_parallelism().map_or(1, |n| n.get());
+        AnalyzeEngine {
+            threads,
+            cache: None,
+            executed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// A single-threaded engine with no cache — the reference ordering
+    /// the parallel pool must reproduce byte-for-byte.
+    pub fn serial() -> Self {
+        AnalyzeEngine::new().with_threads(1)
+    }
+
+    /// Overrides the worker count (clamped to at least 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Attaches a memo cache for completed verdicts.
+    #[must_use]
+    pub fn with_cache(mut self, cache: DiskCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&DiskCache> {
+        self.cache.as_ref()
+    }
+
+    /// Cells this engine actually analyzed (cache hits excluded).
+    pub fn cells_executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Cells this engine served from the cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Runs one cell: cache lookup, then analysis on a miss, then a
+    /// best-effort store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`execute_analyze_cell`] errors.
+    pub fn run_cell(&self, cell: &AnalyzeCell) -> Result<AnalyzeReport, String> {
+        let key = cell.digest_hex();
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache
+                .load_text(&key)
+                .as_deref()
+                .and_then(AnalyzeReport::from_cache_text)
+            {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit);
+            }
+        }
+        let report = execute_analyze_cell(cell)?;
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        if let Some(cache) = &self.cache {
+            let _ = cache.store_text(&key, &report.to_cache_text());
+        }
+        Ok(report)
+    }
+
+    /// Runs every cell of `cells`, returning reports **ordered by grid
+    /// index** regardless of worker scheduling.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the lowest-indexed failing cell; the sweep
+    /// does not short-circuit cells already claimed by other workers.
+    pub fn run(&self, cells: &[AnalyzeCell]) -> Result<Vec<AnalyzeReport>, String> {
+        let n = cells.len();
+        let workers = self.threads.min(n.max(1));
+        if workers <= 1 {
+            return cells.iter().map(|cell| self.run_cell(cell)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<Result<AnalyzeReport, String>>>> =
+            Mutex::new((0..n).map(|_| None).collect());
+        thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = self.run_cell(&cells[i]);
+                    slots.lock().unwrap()[i] = Some(result);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|slot| slot.expect("worker pool covered every cell"))
+            .collect()
+    }
+}
+
+impl Default for AnalyzeEngine {
+    fn default() -> Self {
+        AnalyzeEngine::new()
+    }
+}
+
+/// The crypto kernels whose *insecure* versions still certify clean —
+/// DES/3DES tables fit a single cache line and XOR never indexes by a
+/// secret — so the grid's Insecure arm excludes them (a 0-bit bound
+/// there is correct, not a miss).
+const INSECURE_CLEAN_KERNELS: [CryptoKernel; 3] =
+    [CryptoKernel::Des, CryptoKernel::Des3, CryptoKernel::Xor];
+
+/// The canonical certification grid.
+///
+/// Full mode certifies all five Ghostrider workloads under software CT
+/// and under BIA at every placement, plus every crypto kernel under CT
+/// and BIA, and demands a strictly positive verdict from every
+/// *insecure* cell (line-granularity-clean kernels excluded) and from
+/// the leaky negative control. Quick mode trims to L1d and the
+/// Ghostrider set — the CI smoke grid.
+pub fn analyze_grid(quick: bool) -> Vec<AnalyzeCell> {
+    let mut cells = Vec::new();
+    let mut push = |workload: WorkloadSpec, strategy: StrategySpec, placement: BiaPlacement| {
+        cells.push(AnalyzeCell::new(CellSpec::new(
+            workload, strategy, placement,
+        )));
+    };
+
+    let sizes: &[(&str, usize)] = if quick {
+        &[
+            ("dij", 24),
+            ("hist", 300),
+            ("perm", 300),
+            ("bin", 400),
+            ("heap", 400),
+        ]
+    } else {
+        &[
+            ("dij", 32),
+            ("hist", 500),
+            ("perm", 500),
+            ("bin", 600),
+            ("heap", 600),
+        ]
+    };
+    let bia_placements: &[BiaPlacement] = if quick {
+        &[BiaPlacement::L1d]
+    } else {
+        &[BiaPlacement::L1d, BiaPlacement::L2, BiaPlacement::Llc]
+    };
+
+    for &(name, size) in sizes {
+        let wl = WorkloadSpec::named(name, size).expect("known workload");
+        push(wl, StrategySpec::Ct, BiaPlacement::L1d);
+        for &placement in bia_placements {
+            push(wl, StrategySpec::Bia, placement);
+        }
+        push(wl, StrategySpec::Insecure, BiaPlacement::L1d);
+    }
+    if !quick {
+        for kernel in CryptoKernel::ALL {
+            for strategy in [StrategySpec::Ct, StrategySpec::Bia] {
+                push(WorkloadSpec::Crypto(kernel), strategy, BiaPlacement::L1d);
+            }
+        }
+        for kernel in CryptoKernel::ALL {
+            if !INSECURE_CLEAN_KERNELS.contains(&kernel) {
+                push(
+                    WorkloadSpec::Crypto(kernel),
+                    StrategySpec::Insecure,
+                    BiaPlacement::L1d,
+                );
+            }
+        }
+    }
+    // The negative control: must fail both passes.
+    push(
+        WorkloadSpec::named("leaky-bin", if quick { 300 } else { 500 }).expect("known workload"),
+        StrategySpec::Insecure,
+        BiaPlacement::L1d,
+    );
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_grid() -> Vec<AnalyzeCell> {
+        let mut cells: Vec<AnalyzeCell> = [("hist", 150), ("perm", 120), ("bin", 200)]
+            .iter()
+            .map(|&(name, size)| {
+                AnalyzeCell::new(CellSpec::new(
+                    WorkloadSpec::named(name, size).unwrap(),
+                    StrategySpec::Ct,
+                    BiaPlacement::L1d,
+                ))
+            })
+            .collect();
+        cells.push(AnalyzeCell::new(CellSpec::new(
+            WorkloadSpec::named("leaky-bin", 150).unwrap(),
+            StrategySpec::Insecure,
+            BiaPlacement::L1d,
+        )));
+        cells
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let grid = tiny_grid();
+        let serial = AnalyzeEngine::serial().run(&grid).unwrap();
+        let parallel = AnalyzeEngine::new().with_threads(4).run(&grid).unwrap();
+        assert_eq!(serial, parallel);
+        for (cell, report) in grid.iter().zip(&serial) {
+            assert!(report.passed(cell.expects_leak()), "{report}");
+        }
+    }
+
+    #[test]
+    fn verdicts_memoize() {
+        let dir = std::env::temp_dir().join(format!("ctbia-analyze-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DiskCache::open(&dir).unwrap();
+        let grid = tiny_grid();
+        let first = AnalyzeEngine::serial()
+            .with_cache(cache)
+            .run(&grid)
+            .unwrap();
+
+        let engine = AnalyzeEngine::serial().with_cache(DiskCache::open(&dir).unwrap());
+        let second = engine.run(&grid).unwrap();
+        assert_eq!(first, second, "cached verdicts replay byte-identically");
+        assert_eq!(engine.cells_executed(), 0);
+        assert_eq!(engine.cache_hits(), grid.len() as u64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn grids_have_the_advertised_shape() {
+        let quick = analyze_grid(true);
+        let full = analyze_grid(false);
+        // quick: 5 workloads x (CT + BIA@L1d + insecure) + leaky control.
+        assert_eq!(quick.len(), 5 * 3 + 1);
+        // full: 5 x (CT + BIA@3 + insecure) + crypto x (CT + BIA)
+        //       + 5 insecure-positive crypto + leaky control.
+        assert_eq!(full.len(), 5 * 5 + 8 * 2 + 5 + 1);
+        assert_eq!(quick.iter().filter(|c| c.expects_leak()).count(), 6);
+        assert_eq!(full.iter().filter(|c| c.expects_leak()).count(), 11);
+        // Every cell key is distinct — no cache collisions inside a grid.
+        let mut keys: Vec<String> = full.iter().map(AnalyzeCell::digest_hex).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), full.len());
+    }
+
+    #[test]
+    fn the_quick_grid_passes_end_to_end() {
+        let grid = analyze_grid(true);
+        let reports = AnalyzeEngine::new().run(&grid).unwrap();
+        for (cell, report) in grid.iter().zip(&reports) {
+            assert!(report.passed(cell.expects_leak()), "{report}");
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! The access-program IR: what one symbolic execution of a workload
+//! records.
+//!
+//! An [`AccessProgram`] is a straight-line trace of the memory-system
+//! events a kernel performs — demand accesses, linearized (dataflow-set)
+//! accesses, and the control-flow facts the lint pass judges — with
+//! every *secret-dependent* quantity left symbolic. A public address is
+//! recorded concretely ([`AddrExpr::Pub`]); a secret-derived address is
+//! recorded as the taint that produced it ([`AddrExpr::Sym`]), carrying
+//! the full provenance chain so a violation report can name the secret.
+//!
+//! Public control flow is resolved during extraction and **not**
+//! recorded (it is the same for all secrets by construction — the
+//! recorder panics the moment a secret reaches a branch or trip count,
+//! so a completed program has public control flow). The [`Op::Branch`],
+//! [`Op::TripCount`] and [`Op::CondMask`] variants exist for the abort
+//! path and for synthetic programs exercising the lint rules.
+
+use ctbia_core::ctmem::Width;
+use ctbia_core::ds::DataflowSet;
+use ctbia_core::taint::{LeakViolation, Taint};
+use ctbia_sim::addr::{LineAddr, PhysAddr, LINE_BYTES};
+use std::rc::Rc;
+
+/// An address as the extractor saw it: concrete when public, a taint
+/// (with provenance) when secret-derived.
+#[derive(Debug, Clone)]
+pub enum AddrExpr {
+    /// A public, concrete address.
+    Pub(u64),
+    /// A secret-dependent address; the payload is the provenance of the
+    /// secret that reached the address computation.
+    Sym(Taint),
+}
+
+impl AddrExpr {
+    /// Whether the address depends on a secret.
+    #[must_use]
+    pub fn is_symbolic(&self) -> bool {
+        matches!(self, AddrExpr::Sym(_))
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// A linearized access through the strategy, with the dataflow set
+    /// the kernel declared for it.
+    Ds {
+        /// Store (true) or load (false).
+        store: bool,
+        /// The declared dataflow set (interned — many ops share one).
+        ds: Rc<DataflowSet>,
+        /// The accessed address.
+        addr: AddrExpr,
+        /// Access width.
+        width: Width,
+        /// The kernel's description of the access.
+        ctx: String,
+    },
+    /// A raw demand access (no linearization).
+    Demand {
+        /// Store (true) or load (false).
+        store: bool,
+        /// The accessed address.
+        addr: AddrExpr,
+        /// Access width.
+        width: Width,
+        /// The kernel's description of the access.
+        ctx: String,
+    },
+    /// A native branch judgment (recorded only on the abort path or in
+    /// synthetic lint programs). `bitmap` marks a condition built from a
+    /// `CTLoad`/`CTStore` existence bitmap.
+    Branch {
+        /// Taint of the condition.
+        taint: Taint,
+        /// Whether the condition came from an existence bitmap.
+        bitmap: bool,
+        /// Description of the branch.
+        ctx: String,
+    },
+    /// A loop-bound judgment (abort path / synthetic programs only).
+    TripCount {
+        /// Taint of the bound.
+        taint: Taint,
+        /// Description of the loop.
+        ctx: String,
+    },
+    /// A `CtCond` predicate-mask construction; `full` is whether the
+    /// mask is provably all-ones-or-all-zeros (synthetic programs only).
+    CondMask {
+        /// Whether the mask is a full (canonical) mask.
+        full: bool,
+        /// Description of the predicate.
+        ctx: String,
+    },
+}
+
+/// One allocated region of simulated memory (line-aligned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First byte of the region.
+    pub base: PhysAddr,
+    /// Region length in bytes.
+    pub bytes: u64,
+}
+
+impl Region {
+    /// The cache lines the region spans.
+    pub fn lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        let first = self.base.line().raw();
+        let last = self.base.offset(self.bytes.max(1) - 1).line().raw();
+        (first..=last).map(LineAddr::new)
+    }
+}
+
+/// The extracted access program of one workload cell.
+#[derive(Debug, Clone, Default)]
+pub struct AccessProgram {
+    /// The recorded events, in execution order.
+    pub ops: Vec<Op>,
+    /// Every region the kernel allocated, in allocation order.
+    pub regions: Vec<Region>,
+    /// Total bookkeeping instructions the kernel charged via `exec`.
+    pub exec_insts: u64,
+    /// Whether extraction aborted (a secret reached native control
+    /// flow); the recorded prefix is still valid.
+    pub aborted: bool,
+    /// Violations the extractor itself established (abort causes). The
+    /// lint pass prepends these to its own findings.
+    pub extraction_violations: Vec<LeakViolation>,
+}
+
+impl AccessProgram {
+    /// Number of linearized (dataflow-set) ops.
+    #[must_use]
+    pub fn ds_ops(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, Op::Ds { .. }))
+            .count() as u64
+    }
+
+    /// Every line of every allocated region — the candidate set for a
+    /// symbolic *demand* address, whose poisoned payload cannot resolve
+    /// a region (a sound over-approximation; see DESIGN.md §15).
+    #[must_use]
+    pub fn region_lines(&self) -> Vec<LineAddr> {
+        let mut out = Vec::new();
+        for r in &self.regions {
+            out.extend(r.lines());
+        }
+        out.sort_unstable_by_key(|l| l.raw());
+        out.dedup();
+        out
+    }
+
+    /// Total footprint of all regions, in bytes.
+    #[must_use]
+    pub fn footprint_bytes(&self) -> u64 {
+        self.regions
+            .iter()
+            .map(|r| r.bytes.div_ceil(LINE_BYTES) * LINE_BYTES)
+            .sum()
+    }
+}
+
+impl Op {
+    /// Whether this op is a memory access at a symbolic (secret-derived)
+    /// address.
+    #[must_use]
+    pub fn is_symbolic_access(&self) -> bool {
+        match self {
+            Op::Ds { addr, .. } | Op::Demand { addr, .. } => addr.is_symbolic(),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_lines_cover_the_span_once() {
+        let p = AccessProgram {
+            regions: vec![
+                Region {
+                    base: PhysAddr::new(0x1_0000),
+                    bytes: 130,
+                },
+                Region {
+                    base: PhysAddr::new(0x1_0000),
+                    bytes: 64,
+                },
+            ],
+            ..Default::default()
+        };
+        // 130 bytes from a line-aligned base = 3 lines; the second
+        // region's single line is a duplicate.
+        assert_eq!(p.region_lines().len(), 3);
+        assert_eq!(p.footprint_bytes(), 192 + 64);
+    }
+
+    #[test]
+    fn ds_ops_counts_only_linearized_events() {
+        let ds = Rc::new(DataflowSet::contiguous(PhysAddr::new(0x1_0000), 256));
+        let p = AccessProgram {
+            ops: vec![
+                Op::Ds {
+                    store: false,
+                    ds: ds.clone(),
+                    addr: AddrExpr::Pub(0x1_0000),
+                    width: Width::U32,
+                    ctx: "t[0]".into(),
+                },
+                Op::Demand {
+                    store: true,
+                    addr: AddrExpr::Pub(0x1_0040),
+                    width: Width::U32,
+                    ctx: "out".into(),
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(p.ds_ops(), 1);
+        assert!(!p.ops[0].is_symbolic_access());
+    }
+}

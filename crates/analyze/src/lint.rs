@@ -1,0 +1,292 @@
+//! The flow-sensitive static lint pass.
+//!
+//! Walks an [`AccessProgram`] once, in order, and judges every op
+//! against the cell's protection strategy — re-deriving the dynamic
+//! sanitizer's verdicts without execution, plus BIA-specific rules the
+//! sanitizer cannot see:
+//!
+//! * **Raw address** — a symbolic address reaching a demand access (any
+//!   strategy), or a dataflow-set access under [`Strategy::Insecure`]
+//!   (which lowers to a demand access). Under software CT or BIA the
+//!   same op is *covered*: the lowering touches the whole set
+//!   regardless of the index.
+//! * **Partial sweep** — under a BIA strategy with the §6.5 DRAM
+//!   threshold, a dataflow set whose largest per-page group exceeds the
+//!   threshold takes the bypass path, and whether it does is decided by
+//!   the *fetchset* size — a function of prior secret-dependent
+//!   residency. The lint flags the configuration as degradable.
+//! * **Bitmap into branch** — a `CTLoad` existence bitmap is public as
+//!   a value but secret-correlated as an *observation*; branching on it
+//!   reintroduces the leak the linearization removed.
+//! * **Partial mask** — a `CtCond` predicate mask that is not provably
+//!   canonical (all-ones/all-zeros) leaks through the blend.
+//! * **Branch / trip count** — secret control flow, mirrored from the
+//!   extraction abort causes.
+//!
+//! The output *prepends* the extraction's own violations (the abort
+//! causes), so a single list answers "why is this cell not certified".
+
+use crate::ir::{AccessProgram, AddrExpr, Op};
+use ctbia_core::strategy::Strategy;
+use ctbia_core::taint::{LeakKind, LeakViolation, Taint};
+
+fn raw_addr(taint: &Taint, ctx: &str) -> LeakViolation {
+    LeakViolation {
+        kind: LeakKind::RawAddress,
+        context: ctx.to_string(),
+        addr: None,
+        provenance: taint.chain(),
+    }
+}
+
+/// Whether a symbolic address on this op's path escapes to a raw demand
+/// access under `strategy`, and if a BIA sweep covers it, whether the
+/// §6.5 DRAM threshold can degrade that sweep.
+fn judge_ds(
+    store: bool,
+    ds: &ctbia_core::ds::DataflowSet,
+    taint: &Taint,
+    ctx: &str,
+    strategy: &Strategy,
+    m_log2: u32,
+    out: &mut Vec<LeakViolation>,
+) {
+    let bia_opts = match strategy {
+        // Lowered to a demand access: the secret index becomes the
+        // address the cache sees.
+        Strategy::Insecure => {
+            out.push(raw_addr(taint, ctx));
+            return;
+        }
+        // Full software sweep on both paths — covered unconditionally.
+        Strategy::SoftwareCt(_) => return,
+        Strategy::Bia(opts) => opts,
+        Strategy::BiaLoads(opts) => {
+            if store {
+                // Stores take the software sweep — covered.
+                return;
+            }
+            opts
+        }
+    };
+    let Some(threshold) = bia_opts.dram_threshold else {
+        return;
+    };
+    let widest = ds
+        .groups(m_log2)
+        .iter()
+        .map(|g| g.bitmask.count())
+        .max()
+        .unwrap_or(0);
+    if widest > threshold {
+        out.push(LeakViolation {
+            kind: LeakKind::PartialSweep,
+            context: format!(
+                "{ctx}: widest page group spans {widest} lines > DRAM threshold \
+                 {threshold}; the bypass decision depends on secret residency"
+            ),
+            addr: None,
+            provenance: taint.chain(),
+        });
+    }
+}
+
+/// Judges every op of `program` under `strategy` with BIA granularity
+/// `m_log2`, returning the extraction's abort causes followed by the
+/// lint's own findings, in program order.
+#[must_use]
+pub fn lint(program: &AccessProgram, strategy: &Strategy, m_log2: u32) -> Vec<LeakViolation> {
+    let mut out = program.extraction_violations.clone();
+    for op in &program.ops {
+        match op {
+            Op::Ds {
+                store,
+                ds,
+                addr: AddrExpr::Sym(taint),
+                ctx,
+                ..
+            } => judge_ds(*store, ds, taint, ctx, strategy, m_log2, &mut out),
+            Op::Demand {
+                addr: AddrExpr::Sym(taint),
+                ctx,
+                ..
+            } => out.push(raw_addr(taint, ctx)),
+            Op::Branch { taint, bitmap, ctx } => {
+                if taint.is_secret() {
+                    // Already recorded as an extraction violation when
+                    // the recorder aborted; only flag synthetic programs
+                    // that carry no abort record.
+                    if program.extraction_violations.is_empty() {
+                        out.push(LeakViolation {
+                            kind: LeakKind::Branch,
+                            context: ctx.clone(),
+                            addr: None,
+                            provenance: taint.chain(),
+                        });
+                    }
+                } else if *bitmap {
+                    out.push(LeakViolation {
+                        kind: LeakKind::BitmapBranch,
+                        context: ctx.clone(),
+                        addr: None,
+                        provenance: vec!["CTLoad existence bitmap".to_string()],
+                    });
+                }
+            }
+            Op::TripCount { taint, ctx }
+                if taint.is_secret() && program.extraction_violations.is_empty() =>
+            {
+                out.push(LeakViolation {
+                    kind: LeakKind::TripCount,
+                    context: ctx.clone(),
+                    addr: None,
+                    provenance: taint.chain(),
+                });
+            }
+            Op::CondMask { full: false, ctx } => out.push(LeakViolation {
+                kind: LeakKind::PartialMask,
+                context: ctx.clone(),
+                addr: None,
+                provenance: vec!["non-canonical predicate mask".to_string()],
+            }),
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctbia_core::ctmem::Width;
+    use ctbia_core::ds::DataflowSet;
+    use ctbia_sim::addr::PhysAddr;
+    use std::rc::Rc;
+
+    fn sym_ds_op(store: bool, lines: u64) -> Op {
+        Op::Ds {
+            store,
+            ds: Rc::new(DataflowSet::contiguous(PhysAddr::new(0x1_0000), lines * 64)),
+            addr: AddrExpr::Sym(Taint::secret("the key")),
+            width: Width::U32,
+            ctx: "t[k]".into(),
+        }
+    }
+
+    fn kinds(violations: &[LeakViolation]) -> Vec<LeakKind> {
+        violations.iter().map(|v| v.kind).collect()
+    }
+
+    #[test]
+    fn insecure_ds_access_is_a_raw_address() {
+        let p = AccessProgram {
+            ops: vec![sym_ds_op(false, 4)],
+            ..Default::default()
+        };
+        assert_eq!(
+            kinds(&lint(&p, &Strategy::Insecure, 12)),
+            [LeakKind::RawAddress]
+        );
+        assert!(lint(&p, &Strategy::software_ct(), 12).is_empty());
+        assert!(lint(&p, &Strategy::bia(), 12).is_empty());
+        assert_eq!(
+            lint(&p, &Strategy::Insecure, 12)[0].provenance,
+            vec!["secret-input: the key".to_string()]
+        );
+    }
+
+    #[test]
+    fn dram_threshold_turns_wide_sets_into_partial_sweeps() {
+        use ctbia_core::linearize::BiaOptions;
+        let wide = AccessProgram {
+            ops: vec![sym_ds_op(false, 12)],
+            ..Default::default()
+        };
+        let narrow = AccessProgram {
+            ops: vec![sym_ds_op(false, 4)],
+            ..Default::default()
+        };
+        let degraded = Strategy::Bia(BiaOptions::with_dram_threshold(8));
+        assert_eq!(kinds(&lint(&wide, &degraded, 12)), [LeakKind::PartialSweep]);
+        assert!(lint(&narrow, &degraded, 12).is_empty());
+        assert!(lint(&wide, &Strategy::bia(), 12).is_empty());
+        // BIA-loads: the threshold only ever applies to the load path.
+        let degraded_loads = Strategy::BiaLoads(BiaOptions::with_dram_threshold(8));
+        let wide_store = AccessProgram {
+            ops: vec![sym_ds_op(true, 12)],
+            ..Default::default()
+        };
+        assert!(lint(&wide_store, &degraded_loads, 12).is_empty());
+        assert_eq!(
+            kinds(&lint(&wide, &degraded_loads, 12)),
+            [LeakKind::PartialSweep]
+        );
+    }
+
+    #[test]
+    fn synthetic_control_flow_rules() {
+        let p = AccessProgram {
+            ops: vec![
+                Op::Branch {
+                    taint: Taint::secret("flag"),
+                    bitmap: false,
+                    ctx: "if secret".into(),
+                },
+                Op::Branch {
+                    taint: Taint::public(),
+                    bitmap: true,
+                    ctx: "if bitmap bit".into(),
+                },
+                Op::Branch {
+                    taint: Taint::public(),
+                    bitmap: false,
+                    ctx: "if public".into(),
+                },
+                Op::TripCount {
+                    taint: Taint::secret("len"),
+                    ctx: "for 0..secret".into(),
+                },
+                Op::CondMask {
+                    full: false,
+                    ctx: "mask = cond as u64".into(),
+                },
+                Op::CondMask {
+                    full: true,
+                    ctx: "mask = 0u64.wrapping_sub(cond)".into(),
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(
+            kinds(&lint(&p, &Strategy::software_ct(), 12)),
+            [
+                LeakKind::Branch,
+                LeakKind::BitmapBranch,
+                LeakKind::TripCount,
+                LeakKind::PartialMask,
+            ]
+        );
+    }
+
+    #[test]
+    fn abort_causes_are_not_double_reported() {
+        let p = AccessProgram {
+            ops: vec![Op::Branch {
+                taint: Taint::secret("flag"),
+                bitmap: false,
+                ctx: "if secret".into(),
+            }],
+            extraction_violations: vec![LeakViolation {
+                kind: LeakKind::Branch,
+                context: "if secret".into(),
+                addr: None,
+                provenance: vec!["secret: flag".into()],
+            }],
+            ..Default::default()
+        };
+        assert_eq!(
+            kinds(&lint(&p, &Strategy::software_ct(), 12)),
+            [LeakKind::Branch]
+        );
+    }
+}

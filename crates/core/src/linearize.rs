@@ -101,16 +101,16 @@ impl BiaOptions {
 /// and CT operations: splice `addr_to_read` (1), fetch the page's Bitmask
 /// (2), compute `tofetch = Bitmask & !existence` (2), final result select
 /// (1).
-const BIA_PAGE_INSTS: u64 = 6;
+pub const BIA_PAGE_INSTS: u64 = 6;
 /// Extra per-page instructions on the store path: the branchless merge of
 /// `st_data` into the loaded window (2).
-const BIA_STORE_PAGE_INSTS: u64 = 2;
+pub const BIA_STORE_PAGE_INSTS: u64 = 2;
 /// Per-fetchset-line bookkeeping on the load path: `generateAddrs`'s
 /// shift/or address formula (3) plus the data select (1).
-const BIA_FETCH_INSTS: u64 = 4;
+pub const BIA_FETCH_INSTS: u64 = 4;
 /// Per-fetchset-line bookkeeping on the store path: address formula (3),
 /// merge (2), select (1).
-const BIA_STORE_FETCH_INSTS: u64 = 6;
+pub const BIA_STORE_FETCH_INSTS: u64 = 6;
 
 fn check_target(ds: &DataflowSet, addr: PhysAddr, width: Width) {
     assert!(

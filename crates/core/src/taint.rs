@@ -327,6 +327,16 @@ pub enum LeakKind {
     Branch,
     /// Secret used as a loop trip count.
     TripCount,
+    /// Secret-dependent access whose linearize sweep did not cover the
+    /// full dataflow set (degraded-mode sweep that skips lines, or a
+    /// sweep over a DS smaller than the addressed region).
+    PartialSweep,
+    /// A `CtLoad`/`CtStore` existence bitmap flowing into a public
+    /// branch — the bitmap encodes secret-dependent residency.
+    BitmapBranch,
+    /// A `CtCond` predicate mask built from a value that is not all-ones
+    /// or all-zeros, degrading branchless selects to data-dependent ones.
+    PartialMask,
 }
 
 impl fmt::Display for LeakKind {
@@ -335,6 +345,9 @@ impl fmt::Display for LeakKind {
             LeakKind::RawAddress => "raw address computation",
             LeakKind::Branch => "native branch condition",
             LeakKind::TripCount => "loop trip count",
+            LeakKind::PartialSweep => "partially-swept dataflow set",
+            LeakKind::BitmapBranch => "existence bitmap branch",
+            LeakKind::PartialMask => "partial predicate mask",
         })
     }
 }

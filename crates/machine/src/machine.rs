@@ -16,7 +16,7 @@ use ctbia_core::ctmem::{CtLoad, CtMemory, CtStore, LinearizeInfo, Width};
 use ctbia_core::predicate::{ct_eq, select};
 use ctbia_core::taint::{LeakViolation, TaintLabel};
 use ctbia_sim::addr::{LineAddr, PhysAddr};
-use ctbia_sim::config::{ConfigError, HierarchyConfig};
+use ctbia_sim::config::{CacheConfig, ConfigError, HierarchyConfig};
 use ctbia_sim::fault::{FaultConfig, FaultInjector, StructuralFault};
 use ctbia_sim::hierarchy::{
     AccessFlags, AccessResult, CacheEvent, Hierarchy, Level, MonitorLevel, NullMonitor,
@@ -148,6 +148,27 @@ impl MachineConfig {
             bia: Some((placement, BiaConfig::paper_table1())),
             ..Self::insecure()
         }
+    }
+
+    /// The cache level whose residency the configured BIA monitors — the
+    /// geometry a cache-state analysis of this machine must mirror. With
+    /// no BIA the demand path's first observable level (L1d) is returned.
+    pub fn monitored_cache(&self) -> &CacheConfig {
+        match self.bia.as_ref().map(|(p, _)| *p) {
+            None | Some(BiaPlacement::L1d) => &self.hierarchy.l1d,
+            Some(BiaPlacement::L2) => &self.hierarchy.l2,
+            Some(BiaPlacement::Llc) => &self.hierarchy.llc,
+        }
+    }
+
+    /// The configured BIA's management granularity (`M`, as `log2` bytes),
+    /// or the default page granularity (12) without a BIA — the grouping a
+    /// static model of the CT-op sweeps must reproduce.
+    pub fn bia_granularity_log2(&self) -> u32 {
+        self.bia
+            .as_ref()
+            .map(|(_, c)| c.granularity_log2)
+            .unwrap_or(12)
     }
 }
 

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod abstract_cache;
 pub mod addr;
 pub mod cache;
 pub mod config;
@@ -56,6 +57,7 @@ pub mod hierarchy;
 pub mod replacement;
 pub mod stats;
 
+pub use abstract_cache::{AbstractCache, LineState, Residency};
 pub use addr::{LineAddr, PageIdx, PhysAddr, LINES_PER_PAGE, LINE_BYTES, PAGE_BYTES};
 pub use cache::{AccessKind, Cache, ProbeOutcome};
 pub use config::{CacheConfig, ConfigError, DramConfig, HierarchyConfig};

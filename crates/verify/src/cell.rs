@@ -130,11 +130,7 @@ impl VerifyReport {
             out.push_str(&format!("divergence {d}\n"));
         }
         for v in &self.violations {
-            let kind = match v.kind {
-                LeakKind::RawAddress => "raw-addr",
-                LeakKind::Branch => "branch",
-                LeakKind::TripCount => "trip-count",
-            };
+            let kind = leak_kind_tag(v.kind);
             let addr = v
                 .addr
                 .map_or_else(|| "-".to_string(), |a| format!("{a:#x}"));
@@ -188,12 +184,7 @@ impl VerifyReport {
                 "viol" => {
                     let (kind, rest) = value.split_once(' ')?;
                     let (addr, context) = rest.split_once(' ')?;
-                    let kind = match kind {
-                        "raw-addr" => LeakKind::RawAddress,
-                        "branch" => LeakKind::Branch,
-                        "trip-count" => LeakKind::TripCount,
-                        _ => return None,
-                    };
+                    let kind = parse_leak_kind(kind)?;
                     let addr = match addr {
                         "-" => None,
                         hex => Some(u64::from_str_radix(hex.strip_prefix("0x")?, 16).ok()?),
@@ -215,6 +206,33 @@ impl VerifyReport {
         }
         (closed && saw_label).then_some(report)
     }
+}
+
+/// Stable one-token cache-text tag for a [`LeakKind`], shared by the
+/// `ctbia-verify-v1` and `ctbia-analyze-v1` report encodings.
+pub fn leak_kind_tag(kind: LeakKind) -> &'static str {
+    match kind {
+        LeakKind::RawAddress => "raw-addr",
+        LeakKind::Branch => "branch",
+        LeakKind::TripCount => "trip-count",
+        LeakKind::PartialSweep => "partial-sweep",
+        LeakKind::BitmapBranch => "bitmap-branch",
+        LeakKind::PartialMask => "partial-mask",
+    }
+}
+
+/// Inverse of [`leak_kind_tag`]; `None` on an unknown tag (treated as a
+/// cache miss by the decoders).
+pub fn parse_leak_kind(tag: &str) -> Option<LeakKind> {
+    Some(match tag {
+        "raw-addr" => LeakKind::RawAddress,
+        "branch" => LeakKind::Branch,
+        "trip-count" => LeakKind::TripCount,
+        "partial-sweep" => LeakKind::PartialSweep,
+        "bitmap-branch" => LeakKind::BitmapBranch,
+        "partial-mask" => LeakKind::PartialMask,
+        _ => return None,
+    })
 }
 
 fn parse_flag(value: &str) -> Option<bool> {

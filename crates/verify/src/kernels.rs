@@ -2,7 +2,7 @@
 //! plus the leaky negative control.
 //!
 //! Each mirror re-implements its workload's kernel **operation for
-//! operation** on top of [`TaintMem`], with every value wrapped in a
+//! operation** on top of a [`TaintSink`], with every value wrapped in a
 //! [`Tv`] so the sanitizer can watch secrets flow: the same loads and
 //! stores in the same order, the same branchless index updates, the same
 //! clamps — only expressed through the taint algebra instead of bare
@@ -16,12 +16,20 @@
 //!    branch, or trip count ([`TaintOutcome::violations`] stays empty
 //!    for the constant-time kernels; the leaky mirror must trip).
 //!
-//! The crypto kernels have no mirrors yet — [`taint_check`] returns
+//! The kernels are generic over the sink: run against [`TaintMem`] they
+//! execute concretely on a real machine (the dynamic sanitizer, entry
+//! point [`taint_check`]); run against `ctbia-analyze`'s recorder they
+//! execute symbolically with poisoned secrets and produce the access
+//! program the static passes certify (entry point [`run_mirror`]). On a
+//! symbolic sink the outputs are garbage by construction, so
+//! `outputs_ok` is only meaningful under a concrete sink.
+//!
+//! The crypto kernels have no Tv mirrors here — [`taint_check`] returns
 //! `None` for them and the harness falls back to the black-box
-//! trace-equivalence oracle alone (see DESIGN.md §10 for the coverage
-//! argument).
+//! trace-equivalence oracle (dynamically) or `ctbia-analyze`'s
+//! count-driven crypto mirrors (statically); see DESIGN.md §10/§15.
 
-use crate::mem::{tv_addr, TaintMem};
+use crate::mem::{tv_addr, TaintMem, TaintSink};
 use ctbia_core::ctmem::Width;
 use ctbia_core::ds::DataflowSet;
 use ctbia_core::predicate::ct_abs;
@@ -51,81 +59,84 @@ pub fn taint_check(
     workload: &WorkloadSpec,
     strategy: Strategy,
 ) -> Option<TaintOutcome> {
+    let mut tm = TaintMem::new(m, strategy);
+    run_mirror(&mut tm, workload)
+}
+
+/// Dispatches `workload`'s Tv mirror on an arbitrary [`TaintSink`] —
+/// the sink-generic core of [`taint_check`], also used by the static
+/// analyzer's recording sink. `None` for the crypto kernels.
+pub fn run_mirror<S: TaintSink>(s: &mut S, workload: &WorkloadSpec) -> Option<TaintOutcome> {
     Some(match *workload {
         WorkloadSpec::BinarySearch {
             size,
             searches,
             seed,
-        } => binary_search_tv(
-            m,
+        } => binary_search_sink(
+            s,
             &BinarySearch {
                 size,
                 searches,
                 seed,
             },
-            strategy,
+            false,
         ),
         WorkloadSpec::LeakyBinarySearch {
             size,
             searches,
             seed,
-        } => leaky_binary_search_tv(
-            m,
+        } => binary_search_sink(
+            s,
             &BinarySearch {
                 size,
                 searches,
                 seed,
             },
+            true,
         ),
-        WorkloadSpec::Histogram { size, seed } => {
-            histogram_tv(m, &Histogram { size, seed }, strategy)
-        }
+        WorkloadSpec::Histogram { size, seed } => histogram_sink(s, &Histogram { size, seed }),
         WorkloadSpec::Permutation { size, seed } => {
-            permutation_tv(m, &Permutation { size, seed }, strategy)
+            permutation_sink(s, &Permutation { size, seed })
         }
         WorkloadSpec::HeapPop { size, pops, seed } => {
-            heappop_tv(m, &HeapPop { size, pops, seed }, strategy)
+            heappop_sink(s, &HeapPop { size, pops, seed })
         }
-        WorkloadSpec::Dijkstra { vertices, seed } => {
-            dijkstra_tv(m, &Dijkstra { vertices, seed }, strategy)
-        }
+        WorkloadSpec::Dijkstra { vertices, seed } => dijkstra_sink(s, &Dijkstra { vertices, seed }),
         WorkloadSpec::Crypto(_) => return None,
     })
 }
 
 /// The search loop shared by the CT and leaky binary-search mirrors;
 /// `raw_probe` selects the probe flavour (the single line that differs).
-fn binary_search_loop(
-    m: &mut Machine,
+pub fn binary_search_sink<S: TaintSink>(
+    s: &mut S,
     wl: &BinarySearch,
-    strategy: Strategy,
     raw_probe: bool,
 ) -> TaintOutcome {
     let n = wl.size as u64;
     let data = wl.array();
     let keys = wl.keys();
-    let arr = m.alloc_u32_array(n).expect("alloc array");
+    let arr = s.alloc_u32_array(n);
     for (i, &v) in data.iter().enumerate() {
-        m.poke_u32(arr.offset(i as u64 * 4), v);
+        s.poke_u32(arr.offset(i as u64 * 4), v);
     }
     let ds = DataflowSet::contiguous(arr, n * 4);
     let probes = (64 - (n - 1).leading_zeros() as u64) + 1;
 
-    let mut tm = TaintMem::new(m, strategy);
     let mut results = Vec::with_capacity(keys.len());
     for (k, &key) in keys.iter().enumerate() {
-        let key = Tv::secret(key as u64, format!("search key #{k}"));
+        let key = s.secret(key as u64, format!("search key #{k}"));
         let mut lo = Tv::public(0);
         let mut hi = Tv::public(n);
-        for _ in 0..tm.trip_count(&Tv::public(probes), "probe loop") {
-            tm.exec(8);
+        for _ in 0..s.trip_count(&Tv::public(probes), "probe loop") {
+            s.exec(8);
             let mid = lo.add(&hi).shr(1);
             let idx = mid.ct_min(&Tv::public(n - 1));
             let addr = tv_addr(arr, &idx, 4);
             let v = if raw_probe {
-                tm.load(&addr, Width::U32, "probe a[mid] (raw)")
+                s.load(&addr, Width::U32, "probe a[mid] (raw)")
             } else {
-                tm.ds_load(&ds, &addr, Width::U32, "probe a[mid]")
+                s.ds_load(&ds, &addr, Width::U32, "probe a[mid]")
             };
             let active = lo.ct_lt(&hi);
             let go_right = v.ct_lt(&key).and(&active);
@@ -136,49 +147,50 @@ fn binary_search_loop(
     }
     TaintOutcome {
         outputs_ok: results == binary_search::reference(&data, &keys),
-        violations: m.take_taint_violations(),
+        violations: s.take_violations(),
     }
 }
 
 /// Constant-time binary search: probes go through the strategy, so the
 /// secret-derived midpoint never reaches a raw address.
 pub fn binary_search_tv(m: &mut Machine, wl: &BinarySearch, strategy: Strategy) -> TaintOutcome {
-    binary_search_loop(m, wl, strategy, false)
+    let mut tm = TaintMem::new(m, strategy);
+    binary_search_sink(&mut tm, wl, false)
 }
 
 /// The leaky variant: the probe is a raw load at the secret-derived
 /// midpoint — every probe past the first is a [`LeakViolation`].
 pub fn leaky_binary_search_tv(m: &mut Machine, wl: &BinarySearch) -> TaintOutcome {
-    binary_search_loop(m, wl, Strategy::Insecure, true)
+    let mut tm = TaintMem::new(m, Strategy::Insecure);
+    binary_search_sink(&mut tm, wl, true)
 }
 
 /// Histogram: the input values are secret; the bin index derived from
 /// them addresses `out[]` only through linearized accesses.
-pub fn histogram_tv(m: &mut Machine, wl: &Histogram, strategy: Strategy) -> TaintOutcome {
+pub fn histogram_sink<S: TaintSink>(s: &mut S, wl: &Histogram) -> TaintOutcome {
     let n = wl.size as u64;
     let input = wl.input();
-    let in_arr = m.alloc_u32_array(n).expect("alloc in[]");
-    let out = m.alloc_u32_array(n).expect("alloc out[]");
+    let in_arr = s.alloc_u32_array(n);
+    let out = s.alloc_u32_array(n);
     for (i, &v) in input.iter().enumerate() {
-        m.poke_i32(in_arr.offset(i as u64 * 4), v);
+        s.poke_i32(in_arr.offset(i as u64 * 4), v);
     }
     for i in 0..n {
-        m.poke_u32(out.offset(i * 4), 0);
+        s.poke_u32(out.offset(i * 4), 0);
     }
     let ds_out = DataflowSet::contiguous(out, n * 4);
 
-    let mut tm = TaintMem::new(m, strategy);
-    tm.mark_secret(in_arr, n * 4);
-    for i in 0..tm.trip_count(&Tv::public(n), "element loop") {
-        let v = tm.load(&tv_addr(in_arr, &Tv::public(i), 4), Width::U32, "in[i]");
-        tm.exec(12);
+    s.mark_secret(in_arr, n * 4);
+    for i in 0..s.trip_count(&Tv::public(n), "element loop") {
+        let v = s.load(&tv_addr(in_arr, &Tv::public(i), 4), Width::U32, "in[i]");
+        s.exec(12);
         // |v| via the sign trick the Tv algebra does not model: derived
         // from `v`, so the bin index stays as secret as the input.
         let abs = ct_abs(v.v as u32 as i32 as i64) as u64;
         let t = Tv::derived(abs, &v).rem(&Tv::public(n));
         let addr = tv_addr(out, &t, 4);
-        let p = tm.ds_load(&ds_out, &addr, Width::U32, "out[t] read");
-        tm.ds_store(
+        let p = s.ds_load(&ds_out, &addr, Width::U32, "out[t] read");
+        s.ds_store(
             &ds_out,
             &addr,
             Width::U32,
@@ -186,31 +198,36 @@ pub fn histogram_tv(m: &mut Machine, wl: &Histogram, strategy: Strategy) -> Tain
             "out[t] write",
         );
     }
-    let bins: Vec<u32> = (0..n).map(|i| m.peek_u32(out.offset(i * 4))).collect();
+    let bins: Vec<u32> = (0..n).map(|i| s.peek_u32(out.offset(i * 4))).collect();
     TaintOutcome {
         outputs_ok: bins == histogram::reference(&input, wl.size),
-        violations: m.take_taint_violations(),
+        violations: s.take_violations(),
     }
+}
+
+/// Histogram on a concrete machine (see [`histogram_sink`]).
+pub fn histogram_tv(m: &mut Machine, wl: &Histogram, strategy: Strategy) -> TaintOutcome {
+    let mut tm = TaintMem::new(m, strategy);
+    histogram_sink(&mut tm, wl)
 }
 
 /// Permutation: `b` is the secret; `a[b[i]] = i` stores through the
 /// strategy at a secret destination (pure implicit flow).
-pub fn permutation_tv(m: &mut Machine, wl: &Permutation, strategy: Strategy) -> TaintOutcome {
+pub fn permutation_sink<S: TaintSink>(s: &mut S, wl: &Permutation) -> TaintOutcome {
     let n = wl.size as u64;
     let b_data = wl.permutation();
-    let b = m.alloc_u32_array(n).expect("alloc b[]");
-    let a = m.alloc_u32_array(n).expect("alloc a[]");
+    let b = s.alloc_u32_array(n);
+    let a = s.alloc_u32_array(n);
     for (i, &v) in b_data.iter().enumerate() {
-        m.poke_u32(b.offset(i as u64 * 4), v);
+        s.poke_u32(b.offset(i as u64 * 4), v);
     }
     let ds_a = DataflowSet::contiguous(a, n * 4);
 
-    let mut tm = TaintMem::new(m, strategy);
-    tm.mark_secret(b, n * 4);
-    for i in 0..tm.trip_count(&Tv::public(n), "element loop") {
-        let t = tm.load(&tv_addr(b, &Tv::public(i), 4), Width::U32, "b[i]");
-        tm.exec(4);
-        tm.ds_store(
+    s.mark_secret(b, n * 4);
+    for i in 0..s.trip_count(&Tv::public(n), "element loop") {
+        let t = s.load(&tv_addr(b, &Tv::public(i), 4), Width::U32, "b[i]");
+        s.exec(4);
+        s.ds_store(
             &ds_a,
             &tv_addr(a, &t, 4),
             Width::U32,
@@ -218,45 +235,50 @@ pub fn permutation_tv(m: &mut Machine, wl: &Permutation, strategy: Strategy) -> 
             "a[b[i]] = i",
         );
     }
-    let out: Vec<u32> = (0..n).map(|i| m.peek_u32(a.offset(i * 4))).collect();
+    let out: Vec<u32> = (0..n).map(|i| s.peek_u32(a.offset(i * 4))).collect();
     TaintOutcome {
         outputs_ok: out == permutation::reference(&b_data),
-        violations: m.take_taint_violations(),
+        violations: s.take_violations(),
     }
+}
+
+/// Permutation on a concrete machine (see [`permutation_sink`]).
+pub fn permutation_tv(m: &mut Machine, wl: &Permutation, strategy: Strategy) -> TaintOutcome {
+    let mut tm = TaintMem::new(m, strategy);
+    permutation_sink(&mut tm, wl)
 }
 
 /// Heap pop: the heap contents are secret; the root and last element sit
 /// at public addresses, but the sift path index is secret from the first
 /// comparison on and only ever addresses memory through the strategy.
-pub fn heappop_tv(m: &mut Machine, wl: &HeapPop, strategy: Strategy) -> TaintOutcome {
+pub fn heappop_sink<S: TaintSink>(s: &mut S, wl: &HeapPop) -> TaintOutcome {
     assert!(wl.pops <= wl.size, "cannot pop more than the heap holds");
     let n = wl.size as u64;
     let heap_data = wl.heap();
-    let heap = m.alloc_u32_array(n).expect("alloc heap");
+    let heap = s.alloc_u32_array(n);
     for (i, &v) in heap_data.iter().enumerate() {
-        m.poke_u32(heap.offset(i as u64 * 4), v);
+        s.poke_u32(heap.offset(i as u64 * 4), v);
     }
     let ds = DataflowSet::contiguous(heap, n * 4);
     let depth = 64 - (n.max(2) - 1).leading_zeros() as u64;
 
-    let mut tm = TaintMem::new(m, strategy);
-    tm.mark_secret(heap, n * 4);
+    s.mark_secret(heap, n * 4);
     let mut popped = Vec::with_capacity(wl.pops);
     let mut size = n; // public: the pop count is public
-    for _ in 0..tm.trip_count(&Tv::public(wl.pops as u64), "pop loop") {
-        let root = tm.load(&tv_addr(heap, &Tv::public(0), 4), Width::U32, "heap[0]");
+    for _ in 0..s.trip_count(&Tv::public(wl.pops as u64), "pop loop") {
+        let root = s.load(&tv_addr(heap, &Tv::public(0), 4), Width::U32, "heap[0]");
         size -= 1;
-        let last = tm.load(
+        let last = s.load(
             &tv_addr(heap, &Tv::public(size), 4),
             Width::U32,
             "heap[size-1]",
         );
-        tm.exec(4);
+        s.exec(4);
         popped.push(root.v as u32);
         let mut i = Tv::public(0);
         let hold = last;
-        for _ in 0..tm.trip_count(&Tv::public(depth), "sift loop") {
-            tm.exec(14);
+        for _ in 0..s.trip_count(&Tv::public(depth), "sift loop") {
+            s.exec(14);
             let c1 = i.mul(&Tv::public(2)).add(&Tv::public(1));
             let c2 = i.mul(&Tv::public(2)).add(&Tv::public(2));
             let size_tv = Tv::public(size);
@@ -265,17 +287,17 @@ pub fn heappop_tv(m: &mut Machine, wl: &HeapPop, strategy: Strategy) -> TaintOut
             let clamp = Tv::public(size.saturating_sub(1));
             let a1 = tv_addr(heap, &c1.ct_min(&clamp), 4);
             let a2 = tv_addr(heap, &c2.ct_min(&clamp), 4);
-            let v1 = tm.ds_load(&ds, &a1, Width::U32, "heap child 1").and(&c1_ok);
-            let v2 = tm.ds_load(&ds, &a2, Width::U32, "heap child 2").and(&c2_ok);
+            let v1 = s.ds_load(&ds, &a1, Width::U32, "heap child 1").and(&c1_ok);
+            let v2 = s.ds_load(&ds, &a2, Width::U32, "heap child 2").and(&c2_ok);
             let right = v1.ct_lt(&v2);
             let c = Tv::select(&right, &c2, &c1);
             let vc = Tv::select(&right, &v2, &v1);
             let go = hold.ct_lt(&vc);
             let write = Tv::select(&go, &vc, &hold);
-            tm.ds_store(&ds, &tv_addr(heap, &i, 4), Width::U32, &write, "heap[i]");
+            s.ds_store(&ds, &tv_addr(heap, &i, 4), Width::U32, &write, "heap[i]");
             i = Tv::select(&go, &c, &i);
         }
-        tm.ds_store(
+        s.ds_store(
             &ds,
             &tv_addr(heap, &i, 4),
             Width::U32,
@@ -285,8 +307,14 @@ pub fn heappop_tv(m: &mut Machine, wl: &HeapPop, strategy: Strategy) -> TaintOut
     }
     TaintOutcome {
         outputs_ok: popped == heappop::reference(&heap_data, wl.pops),
-        violations: m.take_taint_violations(),
+        violations: s.take_violations(),
     }
+}
+
+/// Heap pop on a concrete machine (see [`heappop_sink`]).
+pub fn heappop_tv(m: &mut Machine, wl: &HeapPop, strategy: Strategy) -> TaintOutcome {
+    let mut tm = TaintMem::new(m, strategy);
+    heappop_sink(&mut tm, wl)
 }
 
 /// "Unreached" sentinel, mirroring the Dijkstra workload's constant.
@@ -297,68 +325,67 @@ const INF: u64 = (u32::MAX / 4) as u64;
 /// secret-indexed marking store; both are then only ever read at public
 /// (sequential-scan) addresses, while `adj[u][j]` and `selected[u]` go
 /// through the strategy.
-pub fn dijkstra_tv(m: &mut Machine, wl: &Dijkstra, strategy: Strategy) -> TaintOutcome {
+pub fn dijkstra_sink<S: TaintSink>(s: &mut S, wl: &Dijkstra) -> TaintOutcome {
     let n = wl.vertices as u64;
     let adj_data = wl.adjacency();
-    let adj = m.alloc_u32_array(n * n).expect("alloc adj");
-    let dist = m.alloc_u32_array(n).expect("alloc dist");
-    let selected = m.alloc_u32_array(n).expect("alloc selected");
+    let adj = s.alloc_u32_array(n * n);
+    let dist = s.alloc_u32_array(n);
+    let selected = s.alloc_u32_array(n);
     for (i, &w) in adj_data.iter().enumerate() {
-        m.poke_u32(adj.offset(i as u64 * 4), w);
+        s.poke_u32(adj.offset(i as u64 * 4), w);
     }
     let col_ds: Vec<DataflowSet> = (0..n)
         .map(|j| DataflowSet::strided(adj.offset(j * 4), n, n * 4, 4))
         .collect();
     let ds_selected = DataflowSet::contiguous(selected, n * 4);
 
-    let mut tm = TaintMem::new(m, strategy);
-    tm.mark_secret(adj, n * n * 4);
-    for i in 0..tm.trip_count(&Tv::public(n), "init loop") {
+    s.mark_secret(adj, n * n * 4);
+    for i in 0..s.trip_count(&Tv::public(n), "init loop") {
         let d0 = Tv::public(if i == 0 { 0 } else { INF });
-        tm.store(
+        s.store(
             &tv_addr(dist, &Tv::public(i), 4),
             Width::U32,
             &d0,
             "dist init",
         );
-        tm.store(
+        s.store(
             &tv_addr(selected, &Tv::public(i), 4),
             Width::U32,
             &Tv::public(0),
             "selected init",
         );
-        tm.exec(2);
+        s.exec(2);
     }
-    for _ in 0..tm.trip_count(&Tv::public(n), "vertex loop") {
+    for _ in 0..s.trip_count(&Tv::public(n), "vertex loop") {
         let mut best = Tv::public(INF + 1);
         let mut u = Tv::public(0);
-        for i in 0..tm.trip_count(&Tv::public(n), "arg-min scan") {
-            let d = tm.load(&tv_addr(dist, &Tv::public(i), 4), Width::U32, "dist[i]");
-            let s = tm.load(
+        for i in 0..s.trip_count(&Tv::public(n), "arg-min scan") {
+            let d = s.load(&tv_addr(dist, &Tv::public(i), 4), Width::U32, "dist[i]");
+            let sel = s.load(
                 &tv_addr(selected, &Tv::public(i), 4),
                 Width::U32,
                 "selected[i]",
             );
-            tm.exec(6);
-            let better = s.ct_eq(&Tv::public(0)).and(&d.ct_lt(&best));
+            s.exec(6);
+            let better = sel.ct_eq(&Tv::public(0)).and(&d.ct_lt(&best));
             best = Tv::select(&better, &d, &best);
             u = Tv::select(&better, &Tv::public(i), &u);
         }
-        tm.ds_store(
+        s.ds_store(
             &ds_selected,
             &tv_addr(selected, &u, 4),
             Width::U32,
             &Tv::public(1),
             "selected[u] = 1",
         );
-        for j in 0..tm.trip_count(&Tv::public(n), "relax loop") {
+        for j in 0..s.trip_count(&Tv::public(n), "relax loop") {
             let addr = tv_addr(adj, &u.mul(&Tv::public(n)).add(&Tv::public(j)), 4);
-            let w = tm.ds_load(&col_ds[j as usize], &addr, Width::U32, "adj[u][j]");
-            tm.exec(6);
+            let w = s.ds_load(&col_ds[j as usize], &addr, Width::U32, "adj[u][j]");
+            s.exec(6);
             let nd = best.add(&w).ct_min(&Tv::public(INF));
-            let dj = tm.load(&tv_addr(dist, &Tv::public(j), 4), Width::U32, "dist[j]");
+            let dj = s.load(&tv_addr(dist, &Tv::public(j), 4), Width::U32, "dist[j]");
             let better = nd.ct_lt(&dj);
-            tm.store(
+            s.store(
                 &tv_addr(dist, &Tv::public(j), 4),
                 Width::U32,
                 &Tv::select(&better, &nd, &dj),
@@ -366,11 +393,17 @@ pub fn dijkstra_tv(m: &mut Machine, wl: &Dijkstra, strategy: Strategy) -> TaintO
             );
         }
     }
-    let out: Vec<u32> = (0..n).map(|i| m.peek_u32(dist.offset(i * 4))).collect();
+    let out: Vec<u32> = (0..n).map(|i| s.peek_u32(dist.offset(i * 4))).collect();
     TaintOutcome {
         outputs_ok: out == dijkstra::reference(&adj_data, wl.vertices),
-        violations: m.take_taint_violations(),
+        violations: s.take_violations(),
     }
+}
+
+/// Dijkstra on a concrete machine (see [`dijkstra_sink`]).
+pub fn dijkstra_tv(m: &mut Machine, wl: &Dijkstra, strategy: Strategy) -> TaintOutcome {
+    let mut tm = TaintMem::new(m, strategy);
+    dijkstra_sink(&mut tm, wl)
 }
 
 #[cfg(test)]

@@ -44,9 +44,13 @@ pub mod engine;
 pub mod kernels;
 pub mod mem;
 pub mod oracle;
+pub mod table;
 
-pub use cell::{execute_verify_cell, VerifyCell, VerifyReport, VERIFY_SCHEMA_VERSION};
+pub use cell::{
+    execute_verify_cell, leak_kind_tag, parse_leak_kind, VerifyCell, VerifyReport,
+    VERIFY_SCHEMA_VERSION,
+};
 pub use engine::{verify_grid, verify_seeds, VerifyEngine};
-pub use kernels::{taint_check, TaintOutcome};
-pub use mem::{tv_addr, TaintMem};
+pub use kernels::{run_mirror, taint_check, TaintOutcome};
+pub use mem::{tv_addr, TaintMem, TaintSink};
 pub use oracle::{trace_equivalence, OracleOutcome};

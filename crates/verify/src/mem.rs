@@ -36,6 +36,54 @@ pub fn tv_addr(base: PhysAddr, index: &Tv, scale: u64) -> Tv {
     Tv::public(base.raw()).add(&index.mul(&Tv::public(scale)))
 }
 
+/// The execution surface the Tv mirror kernels are written against.
+///
+/// Two implementations exist: [`TaintMem`], which runs the kernel
+/// concretely on a real [`Machine`] while checking the taint sinks
+/// dynamically (PR 3's sanitizer), and `ctbia-analyze`'s recorder, which
+/// runs the same kernel **symbolically** — secrets carry poisoned
+/// payloads, every access is lifted into the access-program IR, and the
+/// sinks are judged statically afterwards. Because both run the *same*
+/// kernel code, the static pass cannot drift from the dynamic one.
+///
+/// Setup methods (`alloc_u32_array`, `poke_*`, `peek_u32`) exist so the
+/// kernels' array initialization and readout also go through the sink;
+/// on a recorder they build the region map instead of touching RAM.
+pub trait TaintSink {
+    /// Allocates `n` u32s of fresh, line-aligned simulated memory.
+    fn alloc_u32_array(&mut self, n: u64) -> PhysAddr;
+    /// Writes initial (cost-free) data.
+    fn poke_u32(&mut self, addr: PhysAddr, v: u32);
+    /// Writes initial (cost-free) signed data.
+    fn poke_i32(&mut self, addr: PhysAddr, v: i32);
+    /// Cost-free readout for output checking.
+    fn peek_u32(&mut self, addr: PhysAddr) -> u32;
+    /// Marks `bytes` bytes at `base` secret — the memory taint source.
+    fn mark_secret(&mut self, base: PhysAddr, bytes: u64);
+    /// Introduces a secret value. Concrete backends carry `v`; recording
+    /// backends replace it with a poisoned payload so no concrete secret
+    /// can influence the extracted program.
+    fn secret(&mut self, v: u64, detail: String) -> Tv;
+    /// A raw demand load (public-address sink).
+    fn load(&mut self, addr: &Tv, width: Width, what: &str) -> Tv;
+    /// A raw demand store (public-address sink).
+    fn store(&mut self, addr: &Tv, width: Width, value: &Tv, what: &str);
+    /// A linearized load through the strategy.
+    fn ds_load(&mut self, ds: &DataflowSet, addr: &Tv, width: Width, what: &str) -> Tv;
+    /// A linearized store through the strategy.
+    fn ds_store(&mut self, ds: &DataflowSet, addr: &Tv, width: Width, value: &Tv, what: &str);
+    /// Resolves a native branch condition (secret-condition sink).
+    fn branch(&mut self, cond: &Tv, what: &str) -> bool;
+    /// Resolves a loop bound (secret-trip-count sink).
+    fn trip_count(&mut self, bound: &Tv, what: &str) -> u64;
+    /// Charges bookkeeping instructions.
+    fn exec(&mut self, insts: u64);
+    /// Drains the violations the sink observed so far. Recording backends
+    /// return an empty list — their violations are derived later by the
+    /// static lint pass over the recorded program.
+    fn take_violations(&mut self) -> Vec<LeakViolation>;
+}
+
 /// A taint-checking view of a [`Machine`] plus the [`Strategy`] used for
 /// linearized accesses.
 #[derive(Debug)]
@@ -162,6 +210,64 @@ impl<'m> TaintMem<'m> {
     /// Charges bookkeeping instructions, like [`CtMemory::exec`].
     pub fn exec(&mut self, insts: u64) {
         self.m.exec(insts);
+    }
+}
+
+impl TaintSink for TaintMem<'_> {
+    fn alloc_u32_array(&mut self, n: u64) -> PhysAddr {
+        self.m.alloc_u32_array(n).expect("alloc array")
+    }
+
+    fn poke_u32(&mut self, addr: PhysAddr, v: u32) {
+        self.m.poke_u32(addr, v);
+    }
+
+    fn poke_i32(&mut self, addr: PhysAddr, v: i32) {
+        self.m.poke_i32(addr, v);
+    }
+
+    fn peek_u32(&mut self, addr: PhysAddr) -> u32 {
+        self.m.peek_u32(addr)
+    }
+
+    fn mark_secret(&mut self, base: PhysAddr, bytes: u64) {
+        TaintMem::mark_secret(self, base, bytes);
+    }
+
+    fn secret(&mut self, v: u64, detail: String) -> Tv {
+        Tv::secret(v, detail)
+    }
+
+    fn load(&mut self, addr: &Tv, width: Width, what: &str) -> Tv {
+        TaintMem::load(self, addr, width, what)
+    }
+
+    fn store(&mut self, addr: &Tv, width: Width, value: &Tv, what: &str) {
+        TaintMem::store(self, addr, width, value, what);
+    }
+
+    fn ds_load(&mut self, ds: &DataflowSet, addr: &Tv, width: Width, what: &str) -> Tv {
+        TaintMem::ds_load(self, ds, addr, width, what)
+    }
+
+    fn ds_store(&mut self, ds: &DataflowSet, addr: &Tv, width: Width, value: &Tv, what: &str) {
+        TaintMem::ds_store(self, ds, addr, width, value, what);
+    }
+
+    fn branch(&mut self, cond: &Tv, what: &str) -> bool {
+        TaintMem::branch(self, cond, what)
+    }
+
+    fn trip_count(&mut self, bound: &Tv, what: &str) -> u64 {
+        TaintMem::trip_count(self, bound, what)
+    }
+
+    fn exec(&mut self, insts: u64) {
+        TaintMem::exec(self, insts);
+    }
+
+    fn take_violations(&mut self) -> Vec<LeakViolation> {
+        self.m.take_taint_violations()
     }
 }
 

@@ -1,0 +1,50 @@
+//! Shared grid-report table formatting for the `ctbia verify` and
+//! `ctbia analyze` CLI sweeps, so the two commands render identical
+//! columns from one place instead of duplicating format strings.
+
+/// One grid row: two-space indent, 40-column label, then the verdict.
+#[must_use]
+pub fn grid_row(label: &str, verdict: &str) -> String {
+    format!("  {label:<40} {verdict}")
+}
+
+/// The sweep summary line: cell count, how many were executed (with the
+/// command's verb — "verified", "analyzed"), memo-cache hits, failures.
+#[must_use]
+pub fn grid_summary(
+    cells: usize,
+    verb: &str,
+    executed: u64,
+    cache_hits: u64,
+    failures: u64,
+) -> String {
+    format!("{cells} cell(s): {executed} {verb}, {cache_hits} from results/cache, {failures} failure(s)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_pads_the_label_column() {
+        let r = grid_row("bin/CT@L1d", "ok");
+        assert!(r.starts_with("  bin/CT@L1d"));
+        assert_eq!(r.find("ok").unwrap(), 2 + 40 + 1);
+    }
+
+    #[test]
+    fn long_labels_do_not_truncate() {
+        let r = grid_row(&"x".repeat(60), "FAIL");
+        assert!(r.contains(&"x".repeat(60)));
+        assert!(r.ends_with("FAIL"));
+    }
+
+    #[test]
+    fn summary_carries_the_verb() {
+        let s = grid_summary(21, "analyzed", 20, 1, 0);
+        assert_eq!(
+            s,
+            "21 cell(s): 20 analyzed, 1 from results/cache, 0 failure(s)"
+        );
+    }
+}

@@ -25,7 +25,12 @@
 #   9. ctbia verify --quick   -- leakage-verifier smoke run: the CT grid
 #                                verifies clean and the intentionally
 #                                leaky control is caught (non-zero exit)
-#  10. serve suites + smoke    -- the e2e/protocol/stress/chaos suites for
+#  10. ctbia analyze --quick  -- static-certification smoke run (hard
+#                                60s timeout): the quick grid certifies
+#                                0 bits for every protected cell, flags
+#                                every insecure cell, and the leaky
+#                                control fails `ctbia analyze` non-zero
+#  11. serve suites + smoke    -- the e2e/protocol/stress/chaos suites for
 #                                the batch-simulation daemon, then a live
 #                                cycle: start `ctbia serve` on a temp
 #                                socket, submit a cell that must come
@@ -36,7 +41,7 @@
 #                                runs under a hard `timeout` so a wedged
 #                                daemon fails the gate instead of hanging
 #                                it
-#  11. chaos smoke             -- a daemon with one injected worker panic
+#  12. chaos smoke             -- a daemon with one injected worker panic
 #                                answers the poisoned submit cell-failed,
 #                                respawns the worker, serves the retry,
 #                                reports the restart via `ctbia health`,
@@ -96,6 +101,18 @@ if ./target/release/ctbia verify leaky-bin 300 >/dev/null 2>&1; then
     exit 1
 fi
 echo "==> verifier catches the leaky control"
+
+# Static certification smoke: the quick grid must certify (protected
+# cells at 0 bits, insecure cells caught) within a hard timeout, and the
+# leaky control must fail `ctbia analyze` with a non-zero exit.
+run timeout 60 ./target/release/ctbia analyze --quick
+echo "==> ctbia analyze leaky-bin 300 --strategy insecure (must fail)"
+if timeout 60 ./target/release/ctbia analyze leaky-bin 300 --strategy insecure \
+    >/dev/null 2>&1; then
+    echo "leaky control certified constant-time — the analyzer is blind" >&2
+    exit 1
+fi
+echo "==> analyzer refuses to certify the leaky control"
 
 run cargo test -q -p ctbia-serve --test serve_e2e --test serve_protocol --test serve_stress \
     --test serve_chaos

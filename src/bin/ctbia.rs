@@ -16,6 +16,7 @@
 //! grid of [`CellSpec`]s, so results are memoized under `results/cache/`
 //! and independent cells simulate in parallel.
 
+use ctbia::analyze::{analyze_grid, AnalyzeCell, AnalyzeEngine, AnalyzeReport};
 use ctbia::attacks::{empirical_leakage_bits, set_access_profiles, PrimeProbe};
 use ctbia::core::ctmem::Width;
 use ctbia::core::ds::DataflowSet;
@@ -30,6 +31,7 @@ use ctbia::serve::{
 use ctbia::sim::fault::{parse_fault_kinds, FaultKind};
 use ctbia::sim::hierarchy::Level;
 use ctbia::trace::{JsonlSink, MetricsDoc, MetricsSink, Phase, TeeSink};
+use ctbia::verify::table::{grid_row, grid_summary};
 use ctbia::verify::{verify_grid, verify_seeds, VerifyCell, VerifyEngine, VerifyReport};
 use ctbia::workloads::{
     BinarySearch, Dijkstra, HeapPop, Histogram, Permutation, Strategy, Workload,
@@ -55,6 +57,8 @@ USAGE:
     ctbia bench [--quick] [--threads N] [--metrics]
     ctbia verify [--quick] [--threads N]
     ctbia verify <WORKLOAD> [SIZE] [--strategy insecure|ct|bia|bia-loads] [--placement l1d|l2|llc]
+    ctbia analyze [--quick] [--threads N]
+    ctbia analyze <WORKLOAD> [SIZE] [--strategy insecure|ct|bia|bia-loads] [--placement l1d|l2|llc]
     ctbia serve [--socket PATH] [--threads N] [--max-inflight M] [--queue-limit Q] [--deadline-ms D] [--chaos SPEC] [--no-cache]
     ctbia submit [--socket PATH] [--eval] [--retries N] [--backoff-ms B] [--deadline-ms D] <SPEC>...
     ctbia status [--socket PATH] [--metrics]
@@ -66,8 +70,13 @@ FAULTS:    drop | dup | delay | corrupt | flip | storm | interfere (comma-separa
 
 `ctbia verify` runs the taint sanitizer and the trace-equivalence oracle
 over the canonical grid; with a workload argument it verifies one cell
-and exits non-zero if the cell leaks. Completed experiment and verify
-cells are memoized under results/cache/ (safe to delete at any time);
+and exits non-zero if the cell leaks. `ctbia analyze` statically
+certifies cells without executing any secret: it extracts each
+workload's access program symbolically, lints it against the strategy,
+and bounds the leakage through an abstract cache — 0 bits certifies,
+anything else exits non-zero with the violation's provenance. Completed
+experiment, verify, and analyze cells are memoized under results/cache/
+(safe to delete at any time);
 `ctbia bench` writes BENCH_sweep.json.
 
 `ctbia trace` re-runs one cell with the observability layer attached and
@@ -1007,7 +1016,7 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
             (true, true) => "ok (leak caught, as intended)",
             (false, _) => "FAIL",
         };
-        println!("  {:<40} {verdict}", report.label);
+        println!("{}", grid_row(&report.label, verdict));
         if expect_leak && ok {
             // Show the negative control's evidence: this is what a
             // caught leak looks like.
@@ -1019,13 +1028,147 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
         }
     }
     println!(
-        "{} cell(s): {} verified, {} from results/cache, {failures} failure(s)",
-        grid.len(),
-        engine.cells_executed(),
-        engine.cache_hits()
+        "{}",
+        grid_summary(
+            grid.len(),
+            "verified",
+            engine.cells_executed(),
+            engine.cache_hits(),
+            failures,
+        )
     );
     if failures > 0 {
         return Err(format!("{failures} cell(s) failed verification"));
+    }
+    Ok(())
+}
+
+/// Attaches the default memo cache to an analyze engine, mirroring
+/// [`attach_verify_cache`].
+fn attach_analyze_cache(engine: AnalyzeEngine) -> AnalyzeEngine {
+    match DiskCache::open_default() {
+        Ok(cache) => engine.with_cache(cache),
+        Err(_) => engine,
+    }
+}
+
+/// Prints one certification verdict's evidence: sampled violations with
+/// their provenance chains and the abstract leakage bound.
+fn print_analyze_evidence(report: &AnalyzeReport) {
+    for v in report.violations.iter().take(3) {
+        // LeakViolation's Display already renders the provenance chain.
+        println!("    {v}");
+    }
+    if report.violation_count > report.violations.len() as u64 {
+        println!(
+            "    ... and {} more violation(s)",
+            report.violation_count - report.violations.len() as u64
+        );
+    }
+    if report.trace_millibits > 0 {
+        println!(
+            "    abstract bound: <= {}.{:03} bit(s) through the monitored cache",
+            report.trace_millibits / 1000,
+            report.trace_millibits % 1000
+        );
+    }
+}
+
+/// `ctbia analyze [--quick] [--threads N]` — statically certify the
+/// canonical grid; or `ctbia analyze <WORKLOAD> [SIZE] [--strategy ..]
+/// [--placement ..]` — certify a single cell, exiting non-zero unless
+/// the abstract bound is exactly 0 bits with no lint violations.
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let mut quick = false;
+    let mut threads = None;
+    let mut name = None;
+    let mut size = None;
+    let mut strategy = StrategySpec::Ct;
+    let mut placement = BiaPlacement::L1d;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--threads" => {
+                i += 1;
+                let s = args.get(i).ok_or("--threads needs a value")?;
+                threads = Some(
+                    s.parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("invalid thread count '{s}'"))?,
+                );
+            }
+            "--strategy" => {
+                i += 1;
+                strategy = StrategySpec::parse(args.get(i).ok_or("--strategy needs a value")?)?;
+            }
+            "--placement" => {
+                i += 1;
+                placement = parse_placement(args.get(i).ok_or("--placement needs a value")?)?;
+            }
+            v if name.is_none() && !v.starts_with('-') => name = Some(v.to_string()),
+            v if size.is_none() && !v.starts_with('-') => size = Some(parse_size(v)?),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+        i += 1;
+    }
+
+    if let Some(name) = name {
+        // Single-target mode: certify one cell and report what it does.
+        let size = size.unwrap_or_else(|| default_size(&name).min(500));
+        let spec = CellSpec::new(WorkloadSpec::named(&name, size)?, strategy, placement);
+        let cell = AnalyzeCell::new(spec);
+        let engine = attach_analyze_cache(AnalyzeEngine::serial());
+        let report = engine.run_cell(&cell)?;
+        println!("{report}");
+        if !report.certified() {
+            print_analyze_evidence(&report);
+            return Err(format!("{} is not constant-time", cell.label()));
+        }
+        return Ok(());
+    }
+
+    // Grid mode: the canonical certification grid, negative cells included.
+    let grid = analyze_grid(quick);
+    let mut engine = AnalyzeEngine::new();
+    if let Some(n) = threads {
+        engine = engine.with_threads(n);
+    }
+    let engine = attach_analyze_cache(engine);
+    println!(
+        "analyze sweep: {} cells, {} worker(s)",
+        grid.len(),
+        engine.threads()
+    );
+    let reports = engine.run(&grid)?;
+    let mut failures = 0u64;
+    for (cell, report) in grid.iter().zip(&reports) {
+        let expect_leak = cell.expects_leak();
+        let ok = report.passed(expect_leak);
+        let verdict = match (ok, expect_leak) {
+            (true, false) => "certified",
+            (true, true) => "ok (leak caught, as intended)",
+            (false, _) => "FAIL",
+        };
+        println!("{}", grid_row(&report.label, verdict));
+        if !ok {
+            print_analyze_evidence(report);
+            failures += 1;
+        }
+    }
+    println!(
+        "{}",
+        grid_summary(
+            grid.len(),
+            "analyzed",
+            engine.cells_executed(),
+            engine.cache_hits(),
+            failures,
+        )
+    );
+    if failures > 0 {
+        return Err(format!("{failures} cell(s) failed certification"));
     }
     Ok(())
 }
@@ -1503,6 +1646,7 @@ fn main() -> ExitCode {
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("status") => cmd_status(&args[1..]),

@@ -19,6 +19,7 @@
 //! | [`attacks`] | `ctbia-attacks` | Prime+Probe and distinguishability analysis |
 //! | [`harness`] | `ctbia-harness` | parallel, memoizing experiment sweep engine |
 //! | [`verify`] | `ctbia-verify` | taint sanitizer + trace-equivalence oracle |
+//! | [`analyze`] | `ctbia-analyze` | static certification: extraction, lint, abstract cache |
 //! | [`serve`] | `ctbia-serve` | concurrent batch-simulation daemon + protocol client |
 //!
 //! # Quickstart
@@ -51,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use ctbia_analyze as analyze;
 pub use ctbia_attacks as attacks;
 pub use ctbia_core as core;
 pub use ctbia_harness as harness;
