@@ -9,6 +9,7 @@
 //! across binaries.
 
 use crate::cache::DiskCache;
+use crate::memo::{MemoFill, MemoIndex, MemoProvenance};
 use crate::report::CellReport;
 use crate::spec::CellSpec;
 use ctbia_machine::Machine;
@@ -16,7 +17,7 @@ use ctbia_trace::TraceSink;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread;
 
 /// Most machine configurations a pool thread will keep warm at once.
@@ -151,8 +152,10 @@ pub struct CellOutcome {
 pub struct SweepEngine {
     threads: usize,
     cache: Option<DiskCache>,
+    memo: Option<Arc<MemoIndex>>,
     executed: AtomicU64,
     cache_hits: AtomicU64,
+    memo_hits: AtomicU64,
     store_failures: AtomicU64,
 }
 
@@ -164,8 +167,10 @@ impl SweepEngine {
         SweepEngine {
             threads,
             cache: None,
+            memo: None,
             executed: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
             store_failures: AtomicU64::new(0),
         }
     }
@@ -191,6 +196,20 @@ impl SweepEngine {
         self
     }
 
+    /// Attaches a sharded in-memory [`MemoIndex`]: warm lookups are served
+    /// from memory (sharded locks) before touching the disk cache, and the
+    /// index's per-digest claims make concurrent identical cells execute
+    /// exactly once even without a serving front end's coalescing map.
+    ///
+    /// Only durable results (disk store succeeded, or no cache attached)
+    /// are indexed, so a failed store still costs exactly one future
+    /// re-simulation.
+    #[must_use]
+    pub fn with_memo_index(mut self, memo: Arc<MemoIndex>) -> Self {
+        self.memo = Some(memo);
+        self
+    }
+
     /// The configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
@@ -209,6 +228,16 @@ impl SweepEngine {
     /// Cells this engine served from the cache.
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Cells served from the in-memory memo index without touching disk.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits.load(Ordering::Relaxed)
+    }
+
+    /// The attached memo index, if any.
+    pub fn memo_index(&self) -> Option<&Arc<MemoIndex>> {
+        self.memo.as_ref()
     }
 
     /// Memo-cache stores that failed. Each failure costs a future
@@ -237,6 +266,19 @@ impl SweepEngine {
     ///
     /// Propagates [`execute_cell`] errors.
     pub fn run_cell_outcome(&self, spec: &CellSpec) -> Result<CellOutcome, String> {
+        if let Some(memo) = &self.memo {
+            let (report, provenance) =
+                memo.get_or_execute(spec.digest(), || self.fill_from_disk_or_simulate(spec))?;
+            match provenance {
+                MemoProvenance::Memory => self.memo_hits.fetch_add(1, Ordering::Relaxed),
+                MemoProvenance::Disk => self.cache_hits.fetch_add(1, Ordering::Relaxed),
+                MemoProvenance::Simulated => self.executed.fetch_add(1, Ordering::Relaxed),
+            };
+            return Ok(CellOutcome {
+                report,
+                cached: provenance != MemoProvenance::Simulated,
+            });
+        }
         let key = spec.digest_hex();
         if let Some(cache) = &self.cache {
             if let Some(hit) = cache.load(&key) {
@@ -257,6 +299,39 @@ impl SweepEngine {
         Ok(CellOutcome {
             report,
             cached: false,
+        })
+    }
+
+    /// The executor closure behind the memo index: disk lookup, then
+    /// simulation, then a best-effort store whose outcome decides whether
+    /// the result is durable enough to index.
+    fn fill_from_disk_or_simulate(&self, spec: &CellSpec) -> Result<MemoFill, String> {
+        let key = spec.digest_hex();
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.load(&key) {
+                return Ok(MemoFill {
+                    report: hit,
+                    from_disk: true,
+                    durable: true,
+                });
+            }
+        }
+        let report = execute_cell(spec)?;
+        let durable = match &self.cache {
+            Some(cache) => {
+                let stored = cache.store(&key, &report).is_ok();
+                if !stored {
+                    self.store_failures.fetch_add(1, Ordering::Relaxed);
+                }
+                stored
+            }
+            // No disk behind the index: memory is the only memo there is.
+            None => true,
+        };
+        Ok(MemoFill {
+            report,
+            from_disk: false,
+            durable,
         })
     }
 

@@ -39,11 +39,13 @@
 pub mod cache;
 pub mod digest;
 pub mod engine;
+pub mod memo;
 pub mod report;
 pub mod spec;
 
 pub use cache::{DiskCache, RecoveryReport};
 pub use digest::Digest;
 pub use engine::{execute_cell, execute_cell_traced, CellOutcome, SweepEngine};
+pub use memo::{MemoFill, MemoIndex, MemoProvenance};
 pub use report::{counter_fields, CellReport};
 pub use spec::{CellSpec, CryptoKernel, FaultSpec, SimConfig, StrategySpec, WorkloadSpec};

@@ -1,0 +1,227 @@
+//! Property tests: the digest-prefix-sharded [`MemoIndex`] is observably
+//! equivalent to the PR 5 global-map behaviour, whatever the shard count.
+//!
+//! * **Sequential equivalence** — an arbitrary interleaving of lookups,
+//!   inserts, successful fills, and failed fills produces, on every shard
+//!   count in {1, 4, 16}, exactly the hits/misses/provenances a single
+//!   global `HashMap` reference model predicts.
+//! * **Exactly-once under digest races** — racing `get_or_execute`
+//!   callers over colliding digests execute each distinct digest once;
+//!   every other caller is answered from memory. Totals are identical
+//!   across shard counts: sharding changes which lock is taken, never
+//!   how often the simulator runs.
+
+use ctbia_harness::{CellReport, MemoFill, MemoIndex, MemoProvenance};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+const SHARD_COUNTS: [usize; 3] = [1, 4, 16];
+
+fn report(tag: u64) -> CellReport {
+    CellReport {
+        label: format!("memo-cell-{tag}"),
+        digest: tag,
+        counters: Default::default(),
+    }
+}
+
+/// A digest pool small enough that random choices collide constantly,
+/// with prefixes spread across the full top-32-bit range so every shard
+/// of a 16-way index sees traffic.
+fn digest(choice: u8) -> u128 {
+    let c = choice as u128;
+    (c << 123) | (c << 64) | c
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Lookup(u8),
+    Insert(u8),
+    FillOk(u8),
+    FillErr(u8),
+    FillVolatile(u8), // succeeds but is not durable: must not be indexed
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..4, any::<u8>().prop_map(|d| d % 24)).prop_map(|(kind, d)| match kind {
+        0 => Op::Lookup(d),
+        1 => Op::Insert(d),
+        2 => Op::FillOk(d),
+        3 => {
+            if d % 3 == 0 {
+                Op::FillErr(d)
+            } else {
+                Op::FillVolatile(d)
+            }
+        }
+        _ => unreachable!(),
+    })
+}
+
+/// What the global-map reference model predicts for one operation.
+#[derive(Debug, PartialEq, Eq)]
+enum Observed {
+    Miss,
+    Hit(u64),
+    Provenance(MemoProvenance, u64),
+    Error,
+}
+
+/// Applies one op to the PR 5-style single global map and reports what a
+/// client would observe.
+fn apply_model(model: &mut HashMap<u128, u64>, op: &Op) -> Observed {
+    match op {
+        Op::Lookup(d) => match model.get(&digest(*d)) {
+            Some(tag) => Observed::Hit(*tag),
+            None => Observed::Miss,
+        },
+        Op::Insert(d) => {
+            model.insert(digest(*d), u64::from(*d));
+            Observed::Provenance(MemoProvenance::Simulated, u64::from(*d))
+        }
+        Op::FillOk(d) | Op::FillVolatile(d) => {
+            if let Some(tag) = model.get(&digest(*d)) {
+                return Observed::Provenance(MemoProvenance::Memory, *tag);
+            }
+            if matches!(op, Op::FillOk(_)) {
+                model.insert(digest(*d), u64::from(*d));
+            }
+            Observed::Provenance(MemoProvenance::Simulated, u64::from(*d))
+        }
+        Op::FillErr(d) => {
+            if let Some(tag) = model.get(&digest(*d)) {
+                return Observed::Provenance(MemoProvenance::Memory, *tag);
+            }
+            Observed::Error
+        }
+    }
+}
+
+/// Applies one op to the sharded index under test.
+fn apply_index(index: &MemoIndex, op: &Op) -> Observed {
+    match op {
+        Op::Lookup(d) => match index.lookup(digest(*d)) {
+            Some(r) => Observed::Hit(r.digest),
+            None => Observed::Miss,
+        },
+        Op::Insert(d) => {
+            index.insert(digest(*d), report(u64::from(*d)));
+            Observed::Provenance(MemoProvenance::Simulated, u64::from(*d))
+        }
+        Op::FillOk(d) => match index.get_or_execute(digest(*d), || {
+            Ok(MemoFill {
+                report: report(u64::from(*d)),
+                from_disk: false,
+                durable: true,
+            })
+        }) {
+            Ok((r, p)) => Observed::Provenance(p, r.digest),
+            Err(_) => Observed::Error,
+        },
+        Op::FillVolatile(d) => match index.get_or_execute(digest(*d), || {
+            Ok(MemoFill {
+                report: report(u64::from(*d)),
+                from_disk: false,
+                durable: false,
+            })
+        }) {
+            Ok((r, p)) => Observed::Provenance(p, r.digest),
+            Err(_) => Observed::Error,
+        },
+        Op::FillErr(d) => match index.get_or_execute(digest(*d), || Err("injected".into())) {
+            Ok((r, p)) => Observed::Provenance(p, r.digest),
+            Err(_) => Observed::Error,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every shard count observes exactly what the global map observes,
+    /// op for op, and ends with the same indexed contents.
+    #[test]
+    fn sharded_index_matches_the_global_map_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        for shards in SHARD_COUNTS {
+            let index = MemoIndex::new(shards);
+            let mut model: HashMap<u128, u64> = HashMap::new();
+            for (i, op) in ops.iter().enumerate() {
+                let expected = apply_model(&mut model, op);
+                let got = apply_index(&index, op);
+                prop_assert_eq!(
+                    got, expected,
+                    "shards={} op[{}]={:?} diverged from the global map", shards, i, op
+                );
+            }
+            prop_assert_eq!(index.len(), model.len(),
+                "shards={} final size diverged", shards);
+            for (d, tag) in &model {
+                prop_assert_eq!(index.lookup(*d).map(|r| r.digest), Some(*tag));
+            }
+        }
+    }
+
+    /// Digest races: concurrent get_or_execute callers over colliding
+    /// digests run each distinct digest exactly once, on every shard
+    /// count, and the memory-hit total is exactly `calls - distinct`.
+    #[test]
+    fn racing_fills_execute_exactly_once_on_every_shard_count(
+        choices in proptest::collection::vec(any::<u8>().prop_map(|d| d % 6), 8..24),
+    ) {
+        for shards in SHARD_COUNTS {
+            let index = Arc::new(MemoIndex::new(shards));
+            let executions = Arc::new(AtomicU64::new(0));
+            let memory_hits = Arc::new(AtomicU64::new(0));
+            let barrier = Arc::new(Barrier::new(4));
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let index = Arc::clone(&index);
+                    let executions = Arc::clone(&executions);
+                    let memory_hits = Arc::clone(&memory_hits);
+                    let barrier = Arc::clone(&barrier);
+                    let choices = choices.clone();
+                    thread::spawn(move || {
+                        barrier.wait();
+                        for &d in &choices {
+                            let (r, p) = index
+                                .get_or_execute(digest(d), || {
+                                    executions.fetch_add(1, Ordering::SeqCst);
+                                    Ok(MemoFill {
+                                        report: report(u64::from(d)),
+                                        from_disk: false,
+                                        durable: true,
+                                    })
+                                })
+                                .unwrap();
+                            assert_eq!(r.digest, u64::from(d), "wrong report for digest");
+                            if p == MemoProvenance::Memory {
+                                memory_hits.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let mut distinct: Vec<u8> = choices.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            let calls = (choices.len() * 4) as u64;
+            prop_assert_eq!(
+                executions.load(Ordering::SeqCst), distinct.len() as u64,
+                "shards={} must execute each distinct digest exactly once", shards
+            );
+            prop_assert_eq!(
+                memory_hits.load(Ordering::SeqCst), calls - distinct.len() as u64,
+                "shards={} every non-executing call is a memory hit", shards
+            );
+            prop_assert_eq!(index.len(), distinct.len());
+        }
+    }
+}

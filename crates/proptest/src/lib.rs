@@ -158,6 +158,21 @@ mod tests {
     }
 
     #[test]
+    fn string_patterns_generate_within_class_and_length() {
+        let mut rng = TestRng::for_case("pattern", 0);
+        for _ in 0..500 {
+            let s = Strategy::sample(&"[a-z0-9]{1,16}", &mut rng);
+            assert!((1..=16).contains(&s.len()), "bad length {}", s.len());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+        let s = Strategy::sample(&"[xy]{4}", &mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s.chars().all(|c| c == 'x' || c == 'y'));
+    }
+
+    #[test]
     fn oneof_map_just_tuples_compose() {
         #[derive(Debug, Clone, PartialEq)]
         enum Op {

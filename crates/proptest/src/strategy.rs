@@ -159,6 +159,65 @@ impl<V> Strategy for Union<V> {
     }
 }
 
+/// String strategies from a regex-like pattern, as in real proptest's
+/// `impl Strategy for &str`. Only the subset the test suite needs is
+/// parsed: a single character class `[a-z0-9…]` (literal ranges and
+/// single characters, no negation or escapes) followed by a `{m,n}`
+/// repetition. Anything else panics loudly at sample time so an
+/// unsupported pattern can never silently generate the wrong corpus.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_class_pattern(self).unwrap_or_else(|| {
+            panic!("unsupported string pattern {self:?} (shim supports only `[class]{{m,n}}`)")
+        });
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parses `[class]{m,n}` into (alphabet, m, n); `None` if out of subset.
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let mut alphabet = Vec::new();
+    let mut chars = class.chars().peekable();
+    while let Some(c) = chars.next() {
+        if chars.peek() == Some(&'-') {
+            let mut look = chars.clone();
+            look.next();
+            if let Some(&end) = look.peek() {
+                chars = look;
+                chars.next();
+                if c > end {
+                    return None;
+                }
+                alphabet.extend((c..=end).filter(|ch| ch.is_ascii()));
+                continue;
+            }
+        }
+        alphabet.push(c);
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match counts.split_once(',') {
+        Some((m, n)) => (m.trim().parse().ok()?, n.trim().parse().ok()?),
+        None => {
+            let exact = counts.trim().parse().ok()?;
+            (exact, exact)
+        }
+    };
+    if min > max {
+        return None;
+    }
+    Some((alphabet, min, max))
+}
+
 macro_rules! tuple_strategy {
     ($(($($s:ident . $idx:tt),+ ))*) => {$(
         impl<$($s: Strategy),+> Strategy for ($($s,)+) {

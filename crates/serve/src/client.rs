@@ -2,39 +2,133 @@
 //! `ctbia submit` and `ctbia status` are built on, and what the e2e tests
 //! drive concurrently.
 //!
+//! The client speaks either transport the daemon binds: a Unix domain
+//! socket ([`Client::connect`]) or TCP ([`Client::connect_tcp`]); a
+//! [`ServeTarget`] names one of the two for callers that are generic
+//! over transport. The wire protocol is byte-identical on both.
+//!
 //! [`submit_with_retry`] adds the resilience layer `ctbia submit
 //! --retries` uses: transient failures — a connect refused while the
-//! daemon restarts, a typed `backpressure`/`overloaded`/`shutting-down`
-//! rejection — are retried under an exponential-backoff
+//! daemon restarts, a typed `backpressure`/`overloaded`/`shutting-down`/
+//! `quota-exceeded` rejection — are retried under an exponential-backoff
 //! [`RetryPolicy`] with deterministic seeded jitter, while permanent
-//! errors (`bad-cell`, `cell_failed`, `deadline-exceeded`, …) surface
+//! errors (`bad-cell`, `cell_failed`, `unauthorized`, …) surface
 //! immediately. The retry loop reconnects per attempt, so it spans a
 //! daemon restart.
 
 use crate::proto::{
     health_line, parse_response, ping_line, status_line, submit_line, Response, SubmitRequest,
 };
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::io::{self, BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
+
+/// Where a client connects: the daemon's socket path or TCP address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeTarget {
+    /// A Unix-domain-socket path.
+    Unix(PathBuf),
+    /// A TCP `host:port` address.
+    Tcp(String),
+}
+
+impl ServeTarget {
+    /// Opens one connection to the target.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the endpoint is absent or refuses.
+    pub fn connect(&self) -> io::Result<Client> {
+        match self {
+            ServeTarget::Unix(path) => Client::connect(path),
+            ServeTarget::Tcp(addr) => Client::connect_tcp(addr),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeTarget::Unix(path) => write!(f, "{}", path.display()),
+            ServeTarget::Tcp(addr) => write!(f, "{addr}"),
+        }
+    }
+}
+
+/// One established connection, over either transport.
+#[derive(Debug)]
+enum Transport {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Transport {
+    fn try_clone(&self) -> io::Result<Transport> {
+        match self {
+            Transport::Unix(s) => s.try_clone().map(Transport::Unix),
+            Transport::Tcp(s) => s.try_clone().map(Transport::Tcp),
+        }
+    }
+}
+
+impl Read for Transport {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Transport::Unix(s) => s.read(buf),
+            Transport::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Transport {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Transport::Unix(s) => s.write(buf),
+            Transport::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Transport::Unix(s) => s.flush(),
+            Transport::Tcp(s) => s.flush(),
+        }
+    }
+}
 
 /// One connection to a running `ctbia serve` daemon.
 #[derive(Debug)]
 pub struct Client {
-    writer: UnixStream,
-    reader: BufReader<UnixStream>,
+    writer: Transport,
+    reader: BufReader<Transport>,
     next_id: u64,
 }
 
 impl Client {
-    /// Connects to the daemon at `socket`.
+    /// Connects to the daemon at the Unix socket `socket`.
     ///
     /// # Errors
     ///
     /// Returns the I/O error if the socket is absent or refuses.
-    pub fn connect(socket: impl AsRef<Path>) -> std::io::Result<Client> {
-        let stream = UnixStream::connect(socket)?;
+    pub fn connect(socket: impl AsRef<Path>) -> io::Result<Client> {
+        Client::from_transport(Transport::Unix(UnixStream::connect(socket)?))
+    }
+
+    /// Connects to the daemon's TCP listener at `addr` (`host:port`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if nothing accepts at the address.
+    pub fn connect_tcp(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // The protocol is one-line request / one-line response; leaving
+        // Nagle on would delay every turn by an ack round trip.
+        let _ = stream.set_nodelay(true);
+        Client::from_transport(Transport::Tcp(stream))
+    }
+
+    fn from_transport(stream: Transport) -> io::Result<Client> {
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
             writer: stream,
@@ -56,7 +150,7 @@ impl Client {
     /// # Errors
     ///
     /// Returns the I/O error on a broken connection.
-    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")
     }
@@ -66,7 +160,7 @@ impl Client {
     /// # Errors
     ///
     /// Returns the I/O error on a broken connection.
-    pub fn recv_line(&mut self) -> std::io::Result<Option<String>> {
+    pub fn recv_line(&mut self) -> io::Result<Option<String>> {
         let mut line = String::new();
         let n = self.reader.read_line(&mut line)?;
         if n == 0 {
@@ -206,16 +300,12 @@ impl RetryPolicy {
 /// Whether an I/O failure is the transient face of a restarting daemon:
 /// the socket file is momentarily gone (unlinked by the old process) or
 /// present but unserved (`ECONNREFUSED` before the new bind).
-fn connect_error_is_transient(e: &std::io::Error) -> bool {
+fn connect_error_is_transient(e: &io::Error) -> bool {
     matches!(e.kind(), ErrorKind::ConnectionRefused | ErrorKind::NotFound)
 }
 
-/// Submits one cell, retrying transient failures per `policy` on a fresh
-/// connection each attempt. Retried: a refused/absent socket and typed
-/// `backpressure` / `overloaded` / `shutting-down` rejections (see
-/// [`crate::proto::ErrorCode::retryable`]). Everything else — including a
-/// successful response carrying a permanent typed error — is returned
-/// as-is from the attempt that produced it.
+/// Submits one cell over the daemon's Unix socket, retrying transient
+/// failures per `policy`; see [`submit_with_retry_to`].
 ///
 /// # Errors
 ///
@@ -225,10 +315,32 @@ pub fn submit_with_retry(
     req: &SubmitRequest,
     policy: &RetryPolicy,
 ) -> Result<Response, String> {
-    let socket = socket.as_ref();
+    submit_with_retry_to(
+        &ServeTarget::Unix(socket.as_ref().to_path_buf()),
+        req,
+        policy,
+    )
+}
+
+/// Submits one cell to `target` (either transport), retrying transient
+/// failures per `policy` on a fresh connection each attempt. Retried: a
+/// refused/absent endpoint and typed `backpressure` / `overloaded` /
+/// `shutting-down` / `quota-exceeded` rejections (see
+/// [`crate::proto::ErrorCode::retryable`]). Everything else — including a
+/// successful response carrying a permanent typed error — is returned
+/// as-is from the attempt that produced it.
+///
+/// # Errors
+///
+/// Returns the final attempt's failure message once the budget is spent.
+pub fn submit_with_retry_to(
+    target: &ServeTarget,
+    req: &SubmitRequest,
+    policy: &RetryPolicy,
+) -> Result<Response, String> {
     let mut sleeps = policy.schedule().into_iter();
     loop {
-        let (attempt, retryable) = match Client::connect(socket) {
+        let (attempt, retryable) = match target.connect() {
             Ok(mut client) => {
                 // A failure *after* the connect (broken mid-submit) is
                 // never retried: the request may already be executing, and
@@ -240,7 +352,7 @@ pub fn submit_with_retry(
             }
             Err(e) => {
                 let retryable = connect_error_is_transient(&e);
-                let msg = format!("cannot connect to {}: {e}", socket.display());
+                let msg = format!("cannot connect to {target}: {e}");
                 (Err(msg), retryable)
             }
         };
@@ -308,8 +420,36 @@ mod tests {
             placement: None,
             eval: false,
             deadline_ms: None,
+            token: None,
         };
         let err = submit_with_retry(&socket, &req, &policy).unwrap_err();
+        assert!(err.contains("cannot connect"), "final failure: {err}");
+    }
+
+    #[test]
+    fn retry_gives_up_on_a_dead_tcp_port() {
+        // Bind-then-drop guarantees a port nobody listens on right now.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let policy = RetryPolicy {
+            retries: 1,
+            backoff_ms: 1,
+            max_backoff_ms: 2,
+            seed: 7,
+        };
+        let req = SubmitRequest {
+            workload: "hist".into(),
+            size: Some(200),
+            strategy: None,
+            placement: None,
+            eval: false,
+            deadline_ms: None,
+            token: None,
+        };
+        let target = ServeTarget::Tcp(format!("127.0.0.1:{port}"));
+        let err = submit_with_retry_to(&target, &req, &policy).unwrap_err();
         assert!(err.contains("cannot connect"), "final failure: {err}");
     }
 }

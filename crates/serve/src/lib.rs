@@ -35,15 +35,20 @@
 pub mod chaos;
 pub mod client;
 pub mod json;
+pub mod loadgen;
+pub mod net;
 pub mod proto;
 pub mod server;
 pub mod signal;
 mod supervisor;
+pub mod tenant;
 
 pub use chaos::{ChaosKind, ChaosSpec, ChaosState};
-pub use client::{submit_with_retry, Client, RetryPolicy};
+pub use client::{submit_with_retry, submit_with_retry_to, Client, RetryPolicy, ServeTarget};
+pub use net::bind_tcp;
 pub use proto::{
     ErrorCode, HealthSnapshot, ProtoError, Request, Response, StatusSnapshot, SubmitRequest,
     MAX_LINE, SERVE_SCHEMA,
 };
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{Server, ServerConfig, ServerHandle, DEFAULT_MEMO_SHARDS};
+pub use tenant::TenantSpec;

@@ -74,6 +74,13 @@ pub enum ErrorCode {
     /// The job did not complete within its deadline; the submit slot was
     /// released and the cell may be resubmitted.
     DeadlineExceeded,
+    /// The server runs in tenanted mode and the submit carried no token,
+    /// or one matching no configured tenant. The connection stays open —
+    /// only the submit is refused.
+    Unauthorized,
+    /// The tenant is over its configured max-in-flight quota; resubmit
+    /// after one of its jobs completes.
+    QuotaExceeded,
 }
 
 impl ErrorCode {
@@ -91,20 +98,27 @@ impl ErrorCode {
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::CellFailed => "cell-failed",
             ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::Unauthorized => "unauthorized",
+            ErrorCode::QuotaExceeded => "quota-exceeded",
         }
     }
 
     /// Whether a client may safely retry the same submit after seeing this
     /// code. Submits are idempotent (content-addressed), so retryability is
     /// purely about whether the condition is transient: `backpressure`,
-    /// `overloaded`, and `shutting-down` (another instance may be binding)
-    /// clear on their own; the rest are caused by the request itself
-    /// (malformed, infeasible) or consumed real work (`deadline-exceeded`,
-    /// `cell-failed`), where blind retry would loop.
+    /// `overloaded`, `quota-exceeded` (the tenant's window reopens as its
+    /// jobs complete), and `shutting-down` (another instance may be
+    /// binding) clear on their own; the rest are caused by the request
+    /// itself (malformed, infeasible, `unauthorized`) or consumed real
+    /// work (`deadline-exceeded`, `cell-failed`), where blind retry would
+    /// loop.
     pub fn retryable(self) -> bool {
         matches!(
             self,
-            ErrorCode::Backpressure | ErrorCode::Overloaded | ErrorCode::ShuttingDown
+            ErrorCode::Backpressure
+                | ErrorCode::Overloaded
+                | ErrorCode::ShuttingDown
+                | ErrorCode::QuotaExceeded
         )
     }
 
@@ -122,6 +136,8 @@ impl ErrorCode {
             "shutting-down" => ErrorCode::ShuttingDown,
             "cell-failed" => ErrorCode::CellFailed,
             "deadline-exceeded" => ErrorCode::DeadlineExceeded,
+            "unauthorized" => ErrorCode::Unauthorized,
+            "quota-exceeded" => ErrorCode::QuotaExceeded,
             _ => return None,
         })
     }
@@ -171,6 +187,9 @@ pub struct SubmitRequest {
     /// Per-job deadline in milliseconds, overriding the server's
     /// `--deadline-ms` default (`None` keeps the server default).
     pub deadline_ms: Option<u64>,
+    /// Per-tenant auth token. Required (and checked) when the server runs
+    /// in tenanted mode; ignored by an open server.
+    pub token: Option<String>,
 }
 
 impl SubmitRequest {
@@ -262,10 +281,13 @@ const SUBMIT_KEYS: &[&str] = &[
     "placement",
     "eval",
     "deadline_ms",
+    "token",
 ];
-const STATUS_KEYS: &[&str] = &["schema", "id", "op", "metrics"];
-const PING_KEYS: &[&str] = &["schema", "id", "op"];
-const HEALTH_KEYS: &[&str] = &["schema", "id", "op"];
+// `token` is accepted (and ignored) on every op so a tenanted client can
+// attach it unconditionally; only submits are gated on it.
+const STATUS_KEYS: &[&str] = &["schema", "id", "op", "metrics", "token"];
+const PING_KEYS: &[&str] = &["schema", "id", "op", "token"];
+const HEALTH_KEYS: &[&str] = &["schema", "id", "op", "token"];
 
 /// Parses and validates one request line into `(id, request)`.
 ///
@@ -337,6 +359,9 @@ pub fn parse_request(line: &str) -> Result<(String, Request), ProtoError> {
             );
         }
     }
+    if obj.get("token").is_some() && obj.get_str("token").is_none() {
+        return fail(ErrorCode::BadRequest, "\"token\" must be a string".into());
+    }
     let request = match op {
         "submit" => {
             let workload = match obj.get_str("workload") {
@@ -388,6 +413,7 @@ pub fn parse_request(line: &str) -> Result<(String, Request), ProtoError> {
                 placement: obj.get_str("placement").map(str::to_string),
                 eval: obj.get_bool("eval").unwrap_or(false),
                 deadline_ms: obj.get_num("deadline_ms"),
+                token: obj.get_str("token").map(str::to_string),
             })
         }
         "status" => {
@@ -429,6 +455,9 @@ pub fn submit_line(id: &str, req: &SubmitRequest) -> String {
     }
     if let Some(deadline) = req.deadline_ms {
         obj.push_num("deadline_ms", deadline);
+    }
+    if let Some(token) = &req.token {
+        obj.push_str("token", token);
     }
     obj.to_line()
 }
@@ -534,10 +563,18 @@ pub struct StatusSnapshot {
     pub executed: u64,
     /// Jobs resolved from the memo cache.
     pub cache_hits: u64,
+    /// Jobs served from the sharded in-memory memo index without touching
+    /// disk.
+    pub memo_hits: u64,
     /// Submits that attached to an already-in-flight duplicate digest.
     pub coalesced: u64,
-    /// Submits rejected for exceeding the per-connection in-flight cap.
+    /// Submits rejected for exceeding the per-connection in-flight cap
+    /// or a tenant's queue share.
     pub backpressure_rejections: u64,
+    /// Submits rejected for exceeding the tenant's max-in-flight quota.
+    pub quota_rejections: u64,
+    /// Submits rejected for a missing or unknown tenant token.
+    pub unauthorized_rejections: u64,
     /// Request lines answered with a protocol error envelope.
     pub protocol_errors: u64,
     /// Jobs currently queued or executing.
@@ -546,6 +583,10 @@ pub struct StatusSnapshot {
     pub threads: u64,
     /// Per-connection in-flight request cap.
     pub max_inflight: u64,
+    /// Configured tenants (0 when the server runs open).
+    pub tenants: u64,
+    /// Shard count of the in-memory memo index (0 when disabled).
+    pub memo_shards: u64,
     /// Worker threads currently alive (== `threads` unless one is being
     /// respawned right now).
     pub workers_alive: u64,
@@ -571,12 +612,17 @@ pub const STATUS_FIELDS: &[&str] = &[
     "jobs_failed",
     "executed",
     "cache_hits",
+    "memo_hits",
     "coalesced",
     "backpressure_rejections",
+    "quota_rejections",
+    "unauthorized_rejections",
     "protocol_errors",
     "inflight_jobs",
     "threads",
     "max_inflight",
+    "tenants",
+    "memo_shards",
     "workers_alive",
     "worker_restarts",
     "deadline_kills",
@@ -595,12 +641,17 @@ impl StatusSnapshot {
             ("jobs_failed", self.jobs_failed),
             ("executed", self.executed),
             ("cache_hits", self.cache_hits),
+            ("memo_hits", self.memo_hits),
             ("coalesced", self.coalesced),
             ("backpressure_rejections", self.backpressure_rejections),
+            ("quota_rejections", self.quota_rejections),
+            ("unauthorized_rejections", self.unauthorized_rejections),
             ("protocol_errors", self.protocol_errors),
             ("inflight_jobs", self.inflight_jobs),
             ("threads", self.threads),
             ("max_inflight", self.max_inflight),
+            ("tenants", self.tenants),
+            ("memo_shards", self.memo_shards),
             ("workers_alive", self.workers_alive),
             ("worker_restarts", self.worker_restarts),
             ("deadline_kills", self.deadline_kills),
@@ -622,12 +673,17 @@ impl StatusSnapshot {
             jobs_failed: get("jobs_failed")?,
             executed: get("executed")?,
             cache_hits: get("cache_hits")?,
+            memo_hits: get("memo_hits")?,
             coalesced: get("coalesced")?,
             backpressure_rejections: get("backpressure_rejections")?,
+            quota_rejections: get("quota_rejections")?,
+            unauthorized_rejections: get("unauthorized_rejections")?,
             protocol_errors: get("protocol_errors")?,
             inflight_jobs: get("inflight_jobs")?,
             threads: get("threads")?,
             max_inflight: get("max_inflight")?,
+            tenants: get("tenants")?,
+            memo_shards: get("memo_shards")?,
             workers_alive: get("workers_alive")?,
             worker_restarts: get("worker_restarts")?,
             deadline_kills: get("deadline_kills")?,
@@ -840,6 +896,7 @@ mod tests {
             placement: Some("l1d".into()),
             eval: true,
             deadline_ms: Some(250),
+            token: Some("tok-alpha".into()),
         };
         let line = submit_line("42", &req);
         let (id, parsed) = parse_request(&line).unwrap();
@@ -890,6 +947,11 @@ mod tests {
                  \"extra\": 1}",
                 ErrorCode::BadRequest,
             ),
+            (
+                "{\"schema\": \"ctbia-serve-v1\", \"id\": \"1\", \"op\": \"submit\", \
+                 \"workload\": \"hist\", \"token\": 99}",
+                ErrorCode::BadRequest,
+            ),
         ];
         for (line, want) in cases {
             let err = parse_request(line).unwrap_err();
@@ -906,6 +968,7 @@ mod tests {
             placement: None,
             eval: false,
             deadline_ms: None,
+            token: None,
         };
         let spec = req.to_spec().unwrap();
         // Defaults mirror `ctbia run hist`: size 2000, BIA at L1d.
@@ -917,6 +980,7 @@ mod tests {
             placement: None,
             eval: false,
             deadline_ms: None,
+            token: None,
         };
         assert_eq!(crypto.to_spec().unwrap().label(), "AES/insecure");
         let bad = SubmitRequest {
@@ -926,6 +990,7 @@ mod tests {
             placement: None,
             eval: false,
             deadline_ms: None,
+            token: None,
         };
         assert!(bad.to_spec().is_err());
     }
@@ -1000,6 +1065,8 @@ mod tests {
             ErrorCode::CellFailed,
             ErrorCode::Overloaded,
             ErrorCode::DeadlineExceeded,
+            ErrorCode::Unauthorized,
+            ErrorCode::QuotaExceeded,
         ] {
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
         }
@@ -1012,6 +1079,7 @@ mod tests {
             ErrorCode::Backpressure,
             ErrorCode::Overloaded,
             ErrorCode::ShuttingDown,
+            ErrorCode::QuotaExceeded,
         ] {
             assert!(code.retryable(), "{code:?} should be retryable");
         }
@@ -1021,6 +1089,7 @@ mod tests {
             ErrorCode::BadCell,
             ErrorCode::CellFailed,
             ErrorCode::DeadlineExceeded,
+            ErrorCode::Unauthorized,
         ] {
             assert!(!code.retryable(), "{code:?} must not be retryable");
         }

@@ -1,11 +1,11 @@
-//! The `ctbia serve` daemon: a Unix-domain-socket front end over the
-//! sweep engine and memo cache.
+//! The `ctbia serve` daemon: a Unix-domain-socket (and optionally TCP)
+//! front end over the sweep engine and memo cache.
 //!
 //! Architecture, one connection at a time:
 //!
 //! ```text
-//!   accept thread ──spawns──> connection reader ──submit──> shared job queue
-//!                                   │                            │
+//!   accept threads ──spawn──> connection reader ──submit──> DRR scheduler
+//!    (UDS + TCP)                    │                            │
 //!                                   │ status/ping/errors         │ worker pool
 //!                                   v                            v   (supervised)
 //!                             response channel <──report── job completion
@@ -14,20 +14,28 @@
 //!                             connection writer (one line per response)
 //! ```
 //!
-//! * **One queue, many clients.** Every accepted submit becomes (or joins)
-//!   a [`Job`] keyed by the cell's content digest. Workers claim jobs FIFO
-//!   and resolve them through [`SweepEngine::run_cell_outcome`] — memo
-//!   cache first, simulation on a miss — so the daemon shares one warm
-//!   result store across all clients and with the batch CLI.
+//! * **Two transports, one protocol.** The daemon always binds a Unix
+//!   domain socket and may additionally bind a TCP listener
+//!   ([`ServerConfig::tcp`]). Both speak identical `ctbia-serve-v1`
+//!   newline-delimited envelopes through the same generic connection
+//!   handler, so every typed error is byte-identical across transports.
+//! * **Tenants and fairness.** Submits resolve to a tenant by auth token
+//!   (open mode: one implicit unlimited tenant). Jobs queue per tenant
+//!   under a deficit-round-robin scheduler ([`crate::tenant`]), so a
+//!   saturating tenant cannot starve a light one. Per-tenant quotas
+//!   answer typed `quota-exceeded` (too many unresolved submits) and
+//!   `backpressure` (queue share full) errors before the global
+//!   `overloaded` shed is even consulted.
 //! * **Coalescing.** A submit whose digest is already in flight attaches
 //!   to the existing job instead of enqueueing a duplicate; both clients
-//!   get their own response from the single execution.
-//! * **Backpressure and admission control.** Each connection may have at
-//!   most `max_inflight` unanswered submits (typed `backpressure` error),
-//!   and the global queue sheds fresh jobs past `queue_limit` (typed
-//!   `overloaded` error). Excess submits are *answered*, never dropped or
-//!   blocked; coalescing onto an in-flight digest is always admitted
-//!   because it costs no new execution.
+//!   get their own response from the single execution. Coalescers are
+//!   always admitted — they cost no new execution — and never count
+//!   against their tenant's quota.
+//! * **Sharded memo index.** When [`ServerConfig::shards`] > 0 the engine
+//!   carries a digest-prefix-sharded in-memory index over the disk cache
+//!   ([`MemoIndex`]): warm hits resolve under one shard lock without
+//!   touching disk, and concurrent identical digests execute exactly
+//!   once.
 //! * **Supervision.** Jobs execute under `catch_unwind`; a panicking cell
 //!   answers its waiters with `cell_failed` and the supervisor respawns
 //!   the poisoned worker (see [`crate::supervisor`]). The same thread is
@@ -36,22 +44,27 @@
 //! * **Crash recovery.** At startup the memo cache is scanned
 //!   ([`DiskCache::recover`]): orphaned write-ahead temps are deleted and
 //!   torn entries quarantined, so a `kill -9` mid-write costs at most a
-//!   re-simulation, never a wrong or wedged result.
+//!   re-simulation, never a wrong or wedged result. Stale UDS socket
+//!   files and `TIME_WAIT` TCP ports are probed and reclaimed the same
+//!   way ([`crate::net::bind_tcp`]).
 //! * **Graceful shutdown.** [`ServerHandle::shutdown`] (or SIGTERM in the
 //!   CLI) stops accepting work, lets the workers drain every queued and
 //!   executing job, flushes the responses, then closes connections — no
 //!   accepted request goes unanswered.
 
 use crate::chaos::{ChaosKind, ChaosSpec, ChaosState};
+use crate::net::{bind_tcp, Conn, ConnListener};
 use crate::proto::{
     error_response, health_response, parse_request, pong_response, report_response,
     status_response, ErrorCode, HealthSnapshot, Request, StatusSnapshot, MAX_LINE,
 };
 use crate::supervisor::{execute_guarded, spawn_worker, supervisor_loop};
-use ctbia_harness::{counter_fields, CellOutcome, CellSpec, DiskCache, SweepEngine};
+use crate::tenant::{DrrScheduler, TenantSpec};
+use ctbia_harness::{counter_fields, CellOutcome, CellSpec, DiskCache, MemoIndex, SweepEngine};
 use ctbia_trace::MetricsDoc;
-use std::collections::{HashMap, VecDeque};
-use std::io::{ErrorKind, Read, Write};
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::net::SocketAddr;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -64,6 +77,9 @@ use std::time::{Duration, Instant};
 /// the shutdown flag and the deadline watchdog sweeps for overdue jobs.
 pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(25);
 
+/// Default shard count of the in-memory memo index.
+pub const DEFAULT_MEMO_SHARDS: usize = 16;
+
 /// Configuration of one server instance.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -71,6 +87,16 @@ pub struct ServerConfig {
     /// dead daemon is detected (connect probe) and replaced; a path owned
     /// by a live daemon fails the bind.
     pub socket: PathBuf,
+    /// Optional TCP listen address (e.g. `127.0.0.1:7433`; port 0 picks a
+    /// free port — read it back from [`ServerHandle::tcp_addr`]). The
+    /// same probe-then-reclaim logic as the socket file applies: a
+    /// `TIME_WAIT` port is reclaimed, a live daemon's port refuses.
+    pub tcp: Option<String>,
+    /// Tenant roster. Empty: the server runs *open* — any or no token is
+    /// accepted and one implicit unlimited tenant owns all work (the
+    /// single-user PR 5 behaviour). Non-empty: every submit must carry a
+    /// configured token or is answered `unauthorized`.
+    pub tenants: Vec<TenantSpec>,
     /// Worker threads draining the job queue.
     pub threads: usize,
     /// Per-connection cap on unanswered submits.
@@ -83,6 +109,11 @@ pub struct ServerConfig {
     pub deadline_ms: Option<u64>,
     /// Memo-cache directory; `None` serves uncached.
     pub cache_dir: Option<PathBuf>,
+    /// Shard count of the in-memory memo index layered over the disk
+    /// cache; 0 disables the index (every lookup goes to disk, as in
+    /// PR 5 — used by tests that corrupt cache files behind the
+    /// daemon's back).
+    pub shards: usize,
     /// Artificial per-job delay, for stress tests and load drills (0 in
     /// production use).
     pub worker_delay_ms: u64,
@@ -91,17 +122,21 @@ pub struct ServerConfig {
 }
 
 impl ServerConfig {
-    /// A config on `socket` with defaults: all cores, a 32-deep
-    /// per-connection window, a 1024-job global queue, no deadline, the
-    /// default `results/cache/` memo directory, no chaos.
+    /// A config on `socket` with defaults: UDS only, open tenancy, all
+    /// cores, a 32-deep per-connection window, a 1024-job global queue,
+    /// no deadline, the default `results/cache/` memo directory, a
+    /// 16-shard memo index, no chaos.
     pub fn new(socket: impl Into<PathBuf>) -> ServerConfig {
         ServerConfig {
             socket: socket.into(),
+            tcp: None,
+            tenants: Vec::new(),
             threads: thread::available_parallelism().map_or(1, |n| n.get()),
             max_inflight: 32,
             queue_limit: 1024,
             deadline_ms: None,
             cache_dir: Some(PathBuf::from(ctbia_harness::cache::DEFAULT_DIR)),
+            shards: DEFAULT_MEMO_SHARDS,
             worker_delay_ms: 0,
             chaos: None,
         }
@@ -124,6 +159,9 @@ struct Waiter {
 pub(crate) struct Job {
     spec: CellSpec,
     digest: u128,
+    /// Index of the tenant whose submit created the job (coalescers may
+    /// belong to other tenants; the creator pays the quota).
+    tenant: usize,
     waiters: Mutex<Vec<Waiter>>,
     created: Instant,
     /// Effective deadline (submit override, else the server default).
@@ -143,12 +181,38 @@ impl Job {
     }
 }
 
+/// Runtime state of one tenant.
+#[derive(Debug)]
+struct TenantRt {
+    name: String,
+    max_inflight: usize,
+    queue_share: usize,
+    /// Unresolved jobs this tenant *created* (coalesced attachments are
+    /// free); the `max_inflight` quota measure.
+    inflight: AtomicUsize,
+}
+
+impl TenantRt {
+    fn open() -> TenantRt {
+        TenantRt {
+            name: "open".to_string(),
+            max_inflight: usize::MAX,
+            queue_share: usize::MAX,
+            inflight: AtomicUsize::new(0),
+        }
+    }
+}
+
 /// Whether `submit` accepted a request into the system.
 enum Admission {
     /// Enqueued fresh or coalesced onto an in-flight digest.
     Accepted,
     /// Shed by the global queue-depth limit; nothing was registered.
     Shed,
+    /// The tenant's max-in-flight quota is exhausted.
+    QuotaExceeded,
+    /// The tenant's queue share is full.
+    TenantBackpressure,
 }
 
 #[derive(Debug, Default)]
@@ -158,6 +222,8 @@ struct Stats {
     failed: AtomicU64,
     coalesced: AtomicU64,
     backpressure: AtomicU64,
+    quota: AtomicU64,
+    unauthorized: AtomicU64,
     protocol_errors: AtomicU64,
     inflight_jobs: AtomicU64,
     deadline_kills: AtomicU64,
@@ -169,14 +235,17 @@ struct Stats {
     cache_quarantined: AtomicU64,
 }
 
-/// Shared server state: the queue, the coalescing map, the engine, the
-/// counters, and the shutdown latch.
+/// Shared server state: the scheduler, the coalescing map, the tenant
+/// roster, the engine, the counters, and the shutdown latch.
 #[derive(Debug)]
 pub(crate) struct Core {
     engine: SweepEngine,
-    queue: Mutex<VecDeque<Arc<Job>>>,
+    sched: Mutex<DrrScheduler<Arc<Job>>>,
     queue_cv: Condvar,
     inflight: Mutex<HashMap<u128, Arc<Job>>>,
+    tenants: Vec<TenantRt>,
+    /// token → tenant index; empty iff the server runs open.
+    token_index: HashMap<String, usize>,
     stats: Stats,
     /// Running sums of every counter field over completed jobs, in the
     /// canonical `counter_fields` order — the `--metrics` aggregate.
@@ -185,6 +254,7 @@ pub(crate) struct Core {
     threads: usize,
     max_inflight: usize,
     queue_limit: usize,
+    memo_shards: usize,
     default_deadline: Option<Duration>,
     worker_delay_ms: u64,
     chaos: Option<ChaosState>,
@@ -198,12 +268,17 @@ impl Core {
             jobs_failed: self.stats.failed.load(Ordering::Relaxed),
             executed: self.engine.cells_executed(),
             cache_hits: self.engine.cache_hits(),
+            memo_hits: self.engine.memo_hits(),
             coalesced: self.stats.coalesced.load(Ordering::Relaxed),
             backpressure_rejections: self.stats.backpressure.load(Ordering::Relaxed),
+            quota_rejections: self.stats.quota.load(Ordering::Relaxed),
+            unauthorized_rejections: self.stats.unauthorized.load(Ordering::Relaxed),
             protocol_errors: self.stats.protocol_errors.load(Ordering::Relaxed),
             inflight_jobs: self.stats.inflight_jobs.load(Ordering::Relaxed),
             threads: self.threads as u64,
             max_inflight: self.max_inflight as u64,
+            tenants: self.token_index.len() as u64,
+            memo_shards: self.memo_shards as u64,
             workers_alive: self.stats.workers_alive.load(Ordering::Relaxed),
             worker_restarts: self.stats.worker_restarts.load(Ordering::Relaxed),
             deadline_kills: self.stats.deadline_kills.load(Ordering::Relaxed),
@@ -255,13 +330,33 @@ impl Core {
         self.stats.workers_alive.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Maps a submit's token to a tenant index.
+    ///
+    /// Open mode accepts anything (tenant 0). Tenanted mode requires a
+    /// configured token; the error message distinguishes missing from
+    /// unknown without echoing the (secret) token back.
+    fn resolve_tenant(&self, token: Option<&str>) -> Result<usize, String> {
+        if self.token_index.is_empty() {
+            return Ok(0);
+        }
+        match token {
+            None => Err("submit requires a tenant token on this server".to_string()),
+            Some(t) => self
+                .token_index
+                .get(t)
+                .copied()
+                .ok_or_else(|| "unknown tenant token".to_string()),
+        }
+    }
+
     /// Registers one submit: coalesce onto an in-flight duplicate digest,
-    /// shed when the global queue is full, or create and enqueue a fresh
-    /// job (with its effective deadline and its draw from the chaos
-    /// budget).
+    /// reject on the tenant's quotas, shed when the global queue is full,
+    /// or create and enqueue a fresh job (with its effective deadline and
+    /// its draw from the chaos budget) under the tenant's DRR queue.
     fn submit(
         &self,
         spec: CellSpec,
+        tenant: usize,
         deadline_ms: Option<u64>,
         tx: mpsc::Sender<String>,
         id: String,
@@ -273,6 +368,8 @@ impl Core {
             // Duplicate of an in-flight cell: share its execution. A job
             // leaves the map strictly before its waiters are notified, so
             // a map-resident job is guaranteed to flush this waiter.
+            // Always admitted, whatever the tenant's quotas: attaching
+            // costs no execution and no queue slot.
             self.stats.submitted.fetch_add(1, Ordering::Relaxed);
             self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
             job.waiters.lock().unwrap().push(Waiter {
@@ -282,6 +379,13 @@ impl Core {
                 conn_inflight,
             });
             return Admission::Accepted;
+        }
+        let rt = &self.tenants[tenant];
+        if rt.inflight.load(Ordering::Acquire) >= rt.max_inflight {
+            return Admission::QuotaExceeded;
+        }
+        if self.sched.lock().unwrap().queued(tenant) >= rt.queue_share {
+            return Admission::TenantBackpressure;
         }
         if self.stats.inflight_jobs.load(Ordering::Acquire) >= self.queue_limit as u64 {
             // Admission control: a fresh job would grow the queue past the
@@ -296,6 +400,7 @@ impl Core {
         let job = Arc::new(Job {
             spec,
             digest,
+            tenant,
             waiters: Mutex::new(vec![Waiter {
                 tx,
                 id,
@@ -309,10 +414,20 @@ impl Core {
         });
         map.insert(digest, Arc::clone(&job));
         drop(map);
+        rt.inflight.fetch_add(1, Ordering::AcqRel);
         self.stats.inflight_jobs.fetch_add(1, Ordering::Relaxed);
-        self.queue.lock().unwrap().push_back(job);
+        self.sched.lock().unwrap().push(tenant, job);
         self.queue_cv.notify_one();
         Admission::Accepted
+    }
+
+    /// Releases a resolved job's accounting: the creating tenant's quota
+    /// slot and the global in-flight gauge.
+    fn release(&self, job: &Job) {
+        self.tenants[job.tenant]
+            .inflight
+            .fetch_sub(1, Ordering::AcqRel);
+        self.stats.inflight_jobs.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Publishes a finished job: removes it from the coalescing map, rolls
@@ -352,7 +467,7 @@ impl Core {
             let _ = w.tx.send(line);
             w.conn_inflight.fetch_sub(1, Ordering::Release);
         }
-        self.stats.inflight_jobs.fetch_sub(1, Ordering::Relaxed);
+        self.release(job);
     }
 
     /// The deadline watchdog sweep: claims every in-flight job past its
@@ -390,22 +505,22 @@ impl Core {
                 ));
                 w.conn_inflight.fetch_sub(1, Ordering::Release);
             }
-            self.stats.inflight_jobs.fetch_sub(1, Ordering::Relaxed);
+            self.release(&job);
         }
     }
 
-    /// Blocks for the next queued job; `None` once shutdown is requested
-    /// and the queue is empty.
+    /// Blocks for the next scheduled job (DRR across tenants); `None`
+    /// once shutdown is requested and the queues are empty.
     pub(crate) fn next_job(&self) -> Option<Arc<Job>> {
-        let mut queue = self.queue.lock().unwrap();
+        let mut sched = self.sched.lock().unwrap();
         loop {
-            if let Some(job) = queue.pop_front() {
+            if let Some(job) = sched.pop() {
                 return Some(job);
             }
             if self.shutdown.load(Ordering::Acquire) {
                 return None;
             }
-            queue = self.queue_cv.wait(queue).unwrap();
+            sched = self.queue_cv.wait(sched).unwrap();
         }
     }
 
@@ -483,19 +598,32 @@ fn bind_socket(path: &Path) -> std::io::Result<UnixListener> {
 pub struct Server;
 
 impl Server {
-    /// Binds `config.socket` (recovering a stale socket file), runs the
-    /// memo cache's startup recovery scan, spawns the supervised worker
-    /// pool and the accept loop, and returns the handle controlling the
-    /// running server.
+    /// Binds `config.socket` (recovering a stale socket file) and, when
+    /// configured, the TCP listener (reclaiming a `TIME_WAIT` port), runs
+    /// the memo cache's startup recovery scan, spawns the supervised
+    /// worker pool and the accept loops, and returns the handle
+    /// controlling the running server.
     ///
     /// # Errors
     ///
-    /// Returns the I/O error if the socket cannot be bound (including
-    /// when a live daemon already owns it), the cache directory cannot be
-    /// created, or the recovery scan fails.
+    /// Returns the I/O error if either listener cannot be bound
+    /// (including when a live daemon already owns it), the cache
+    /// directory cannot be created, or the recovery scan fails.
     pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         let listener = bind_socket(&config.socket)?;
         listener.set_nonblocking(true)?;
+        let tcp_listener = match &config.tcp {
+            Some(addr) => {
+                let l = bind_tcp(addr)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let tcp_addr = match &tcp_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
         let mut engine = SweepEngine::new().with_threads(1);
         let mut quarantined = 0;
         if let Some(dir) = &config.cache_dir {
@@ -504,17 +632,42 @@ impl Server {
             quarantined = cache.recover()?.quarantined;
             engine = engine.with_cache(cache);
         }
+        if config.shards > 0 {
+            engine = engine.with_memo_index(Arc::new(MemoIndex::new(config.shards)));
+        }
+        let (tenants, token_index, weights): (Vec<TenantRt>, HashMap<String, usize>, Vec<u64>) =
+            if config.tenants.is_empty() {
+                (vec![TenantRt::open()], HashMap::new(), vec![1])
+            } else {
+                let mut rts = Vec::new();
+                let mut index = HashMap::new();
+                let mut weights = Vec::new();
+                for (i, spec) in config.tenants.iter().enumerate() {
+                    rts.push(TenantRt {
+                        name: spec.name.clone(),
+                        max_inflight: spec.max_inflight,
+                        queue_share: spec.queue_share,
+                        inflight: AtomicUsize::new(0),
+                    });
+                    index.insert(spec.token.clone(), i);
+                    weights.push(spec.weight);
+                }
+                (rts, index, weights)
+            };
         let core = Arc::new(Core {
             engine,
-            queue: Mutex::new(VecDeque::new()),
+            sched: Mutex::new(DrrScheduler::new(&weights)),
             queue_cv: Condvar::new(),
             inflight: Mutex::new(HashMap::new()),
+            tenants,
+            token_index,
             stats: Stats::default(),
             sums: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
             threads: config.threads.max(1),
             max_inflight: config.max_inflight.max(1),
             queue_limit: config.queue_limit.max(1),
+            memo_shards: config.shards,
             default_deadline: config.deadline_ms.map(Duration::from_millis),
             worker_delay_ms: config.worker_delay_ms,
             chaos: config.chaos.map(ChaosState::new),
@@ -534,11 +687,17 @@ impl Server {
             let core = Arc::clone(&core);
             thread::spawn(move || accept_loop(listener, core))
         };
+        let tcp_accept = tcp_listener.map(|l| {
+            let core = Arc::clone(&core);
+            thread::spawn(move || accept_loop(l, core))
+        });
         Ok(ServerHandle {
             core,
             accept: Some(accept),
+            tcp_accept,
             supervisor: Some(supervisor),
             socket: config.socket,
+            tcp_addr,
         })
     }
 }
@@ -548,14 +707,22 @@ impl Server {
 pub struct ServerHandle {
     core: Arc<Core>,
     accept: Option<JoinHandle<()>>,
+    tcp_accept: Option<JoinHandle<()>>,
     supervisor: Option<JoinHandle<()>>,
     socket: PathBuf,
+    tcp_addr: Option<SocketAddr>,
 }
 
 impl ServerHandle {
     /// The socket path the server listens on.
     pub fn socket(&self) -> &Path {
         &self.socket
+    }
+
+    /// The bound TCP address, when the server listens on TCP. With a
+    /// port-0 config this is the actual port the kernel picked.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
     }
 
     /// A point-in-time snapshot of the server counters.
@@ -595,7 +762,7 @@ impl ServerHandle {
         // guarantee — every accepted request gets answered — is absolute.
         // (Already-expired jobs are skipped by the guard.)
         loop {
-            let job = self.core.queue.lock().unwrap().pop_front();
+            let job = self.core.sched.lock().unwrap().pop();
             match job {
                 Some(job) => {
                     execute_guarded(&self.core, &job);
@@ -607,19 +774,22 @@ impl ServerHandle {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
+        if let Some(accept) = self.tcp_accept.take() {
+            let _ = accept.join();
+        }
         let _ = std::fs::remove_file(&self.socket);
         self.core.snapshot()
     }
 }
 
-fn accept_loop(listener: UnixListener, core: Arc<Core>) {
+fn accept_loop<L: ConnListener>(listener: L, core: Arc<Core>) {
     let mut connections: Vec<JoinHandle<()>> = Vec::new();
     loop {
         if core.shutdown.load(Ordering::Acquire) {
             break;
         }
-        match listener.accept() {
-            Ok((stream, _)) => {
+        match listener.accept_conn() {
+            Ok(stream) => {
                 let core = Arc::clone(&core);
                 connections.push(thread::spawn(move || handle_connection(stream, core)));
             }
@@ -634,15 +804,15 @@ fn accept_loop(listener: UnixListener, core: Arc<Core>) {
     }
 }
 
-/// Serves one connection: a reader loop that answers or enqueues each
-/// request line, plus a writer thread serializing responses (from this
-/// reader *and* from worker completions) onto the stream one line at a
-/// time.
-fn handle_connection(stream: UnixStream, core: Arc<Core>) {
-    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+/// Serves one connection (either transport): a reader loop that answers
+/// or enqueues each request line, plus a writer thread serializing
+/// responses (from this reader *and* from worker completions) onto the
+/// stream one line at a time.
+fn handle_connection<S: Conn>(stream: S, core: Arc<Core>) {
+    if stream.set_read_timeout_conn(Some(POLL_INTERVAL)).is_err() {
         return;
     }
-    let write_half = match stream.try_clone() {
+    let write_half = match stream.try_clone_conn() {
         Ok(s) => s,
         Err(_) => return,
     };
@@ -656,7 +826,7 @@ fn handle_connection(stream: UnixStream, core: Arc<Core>) {
     let _ = writer.join();
 }
 
-fn writer_loop(mut stream: UnixStream, rx: mpsc::Receiver<String>) {
+fn writer_loop<S: Conn>(mut stream: S, rx: mpsc::Receiver<String>) {
     for line in rx {
         if stream.write_all(line.as_bytes()).is_err() || stream.write_all(b"\n").is_err() {
             // Client hung up; keep draining the channel so senders never
@@ -666,8 +836,8 @@ fn writer_loop(mut stream: UnixStream, rx: mpsc::Receiver<String>) {
     let _ = stream.flush();
 }
 
-fn reader_loop(
-    mut stream: UnixStream,
+fn reader_loop<S: Conn>(
+    mut stream: S,
     core: &Arc<Core>,
     tx: &mpsc::Sender<String>,
     conn_inflight: &Arc<AtomicUsize>,
@@ -726,8 +896,17 @@ fn respond_error(
     message: &str,
 ) {
     core.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-    if code == ErrorCode::Backpressure {
-        core.stats.backpressure.fetch_add(1, Ordering::Relaxed);
+    match code {
+        ErrorCode::Backpressure => {
+            core.stats.backpressure.fetch_add(1, Ordering::Relaxed);
+        }
+        ErrorCode::QuotaExceeded => {
+            core.stats.quota.fetch_add(1, Ordering::Relaxed);
+        }
+        ErrorCode::Unauthorized => {
+            core.stats.unauthorized.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {}
     }
     let _ = tx.send(error_response(id, code, message));
 }
@@ -771,6 +950,15 @@ fn handle_line(
                 );
                 return;
             }
+            // Auth first: an unauthenticated submit gets no payload
+            // validation, only a typed refusal on its open connection.
+            let tenant = match core.resolve_tenant(req.token.as_deref()) {
+                Ok(t) => t,
+                Err(msg) => {
+                    respond_error(core, tx, Some(&id), ErrorCode::Unauthorized, &msg);
+                    return;
+                }
+            };
             let spec = match req.to_spec() {
                 Ok(spec) => spec,
                 Err(msg) => {
@@ -795,6 +983,7 @@ fn handle_line(
             conn_inflight.fetch_add(1, Ordering::AcqRel);
             match core.submit(
                 spec,
+                tenant,
                 req.deadline_ms,
                 tx.clone(),
                 id.clone(),
@@ -811,6 +1000,36 @@ fn handle_line(
                         &format!(
                             "queue is at its {}-job limit; retry with backoff",
                             core.queue_limit
+                        ),
+                    );
+                }
+                Admission::QuotaExceeded => {
+                    conn_inflight.fetch_sub(1, Ordering::AcqRel);
+                    let rt = &core.tenants[tenant];
+                    respond_error(
+                        core,
+                        tx,
+                        Some(&id),
+                        ErrorCode::QuotaExceeded,
+                        &format!(
+                            "tenant {} already has {} unresolved submit(s) (quota {})",
+                            rt.name,
+                            rt.inflight.load(Ordering::Acquire),
+                            rt.max_inflight
+                        ),
+                    );
+                }
+                Admission::TenantBackpressure => {
+                    conn_inflight.fetch_sub(1, Ordering::AcqRel);
+                    let rt = &core.tenants[tenant];
+                    respond_error(
+                        core,
+                        tx,
+                        Some(&id),
+                        ErrorCode::Backpressure,
+                        &format!(
+                            "tenant {} queue share ({} job(s)) is full; retry with backoff",
+                            rt.name, rt.queue_share
                         ),
                     );
                 }

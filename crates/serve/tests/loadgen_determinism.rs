@@ -1,0 +1,92 @@
+//! Loadgen determinism: the same seed must replay the identical request
+//! schedule and produce the identical `BENCH_serve.json` modulo timing
+//! fields. Two full runs against separate scratch directories are
+//! compared by [`BenchDoc::fingerprint`] — the timing-free projection —
+//! and the recorded `schedule_digest` is checked against a from-scratch
+//! [`Schedule::generate`] of the same parameters. A round-trip test
+//! pins the document encoding itself.
+
+use ctbia_serve::loadgen::{run, BenchDoc, LoadgenConfig, Schedule};
+use std::fs;
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ctbia-loadgen-det-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A run small enough for a test, but still exercising every phase.
+fn tiny(seed: u64) -> LoadgenConfig {
+    LoadgenConfig {
+        seed,
+        connections: 4,
+        requests: 40,
+        distinct_cells: 4,
+        hammer_threads: 2,
+        hammer_ops: 200,
+    }
+}
+
+#[test]
+fn same_seed_reruns_identically_modulo_timing() {
+    let dir = tmp_dir("rerun");
+    let config = tiny(42);
+    let first = run(&config, &dir.join("a")).expect("first run");
+    let second = run(&config, &dir.join("b")).expect("second run");
+
+    // The timing-free projection — schedule digest, phase names, request
+    // and error counts — must match exactly; latency and throughput are
+    // the only legitimate run-to-run variation.
+    assert_eq!(first.fingerprint(), second.fingerprint());
+
+    // And the recorded digest is exactly what the pure generator deals
+    // for these parameters (single-tenant deal, tenants = 1).
+    let expected = Schedule::generate(42, 4, 40, 4, 1).digest();
+    assert_eq!(first.schedule_digest, expected);
+
+    // A different seed deals a different schedule.
+    let other = Schedule::generate(43, 4, 40, 4, 1).digest();
+    assert_ne!(first.schedule_digest, other);
+
+    // No phase dropped a request: deterministic replay implies complete
+    // replay.
+    for doc in [&first, &second] {
+        assert_eq!(doc.phases.len(), 6, "all six phases recorded");
+        for phase in &doc.phases {
+            assert_eq!(phase.errors, 0, "phase {} saw errors", phase.name);
+            assert!(phase.requests > 0, "phase {} is empty", phase.name);
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_doc_round_trips_through_its_json() {
+    let dir = tmp_dir("roundtrip");
+    let doc = run(&tiny(7), &dir).expect("run");
+    let text = doc.to_json();
+    let parsed = BenchDoc::parse(&text).expect("parse back");
+    assert_eq!(parsed, doc, "BENCH_serve.json round trip must be lossless");
+    // The serialized form keys phases as `phase.<name>.<field>` — the
+    // shape ci greps for.
+    assert!(text.contains("\"phase.uds_single_warm.p99_us\""));
+    assert!(text.contains("\"phase.tcp_multi_warm.throughput_rps\""));
+    assert!(text.contains("\"phase.shard16_warm.throughput_rps\""));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn schedule_generation_is_a_pure_function() {
+    let a = Schedule::generate(9, 16, 300, 8, 3);
+    let b = Schedule::generate(9, 16, 300, 8, 3);
+    assert_eq!(a, b);
+    assert_eq!(a.digest(), b.digest());
+    // Tenant assignment is a pure function of the connection.
+    for r in &a.requests {
+        assert_eq!(r.tenant, r.conn % 3);
+        assert!(r.cell < 8);
+        assert!(r.conn < 16);
+    }
+}

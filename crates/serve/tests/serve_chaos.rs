@@ -38,6 +38,7 @@ fn request(size: u64) -> SubmitRequest {
         placement: Some("l1d".to_string()),
         eval: false,
         deadline_ms: None,
+        token: None,
     }
 }
 
@@ -61,10 +62,12 @@ fn expect_report(response: Response) -> String {
     }
 }
 
-/// Scenario 1: injected worker panics. The two poisoned cells fail with
-/// typed `cell_failed` naming the panic, the supervisor respawns both
-/// workers, untouched cells execute exactly once, and the failed cells
-/// re-run byte-identically once the budget is spent.
+/// Scenario 1: injected worker panics, driven **over TCP** (fault
+/// handling is transport-independent; the rest of the suite covers the
+/// Unix socket). The two poisoned cells fail with typed `cell_failed`
+/// naming the panic, the supervisor respawns both workers, untouched
+/// cells execute exactly once, and the failed cells re-run
+/// byte-identically once the budget is spent.
 #[test]
 fn injected_panics_fail_typed_respawn_workers_and_rerun_clean() {
     let dir = tmp_dir("panics");
@@ -72,10 +75,12 @@ fn injected_panics_fail_typed_respawn_workers_and_rerun_clean() {
     let mut config = ServerConfig::new(&socket);
     config.threads = 2;
     config.cache_dir = Some(dir.join("cache"));
+    config.tcp = Some("127.0.0.1:0".to_string());
     config.chaos = Some(ChaosSpec::parse("panic:2,seed:1").unwrap());
     let handle = Server::start(config).unwrap();
 
-    let mut client = Client::connect(&socket).unwrap();
+    let tcp = handle.tcp_addr().unwrap().to_string();
+    let mut client = Client::connect_tcp(&tcp).unwrap();
     let sizes = [301u64, 302, 303, 304, 305, 306];
     let mut failed: Vec<u64> = Vec::new();
     for &size in &sizes {

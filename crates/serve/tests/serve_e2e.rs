@@ -12,13 +12,17 @@
 //!   is answered twice, and submits arriving after the drain started get
 //!   a typed `shutting_down` rejection instead of a dropped connection;
 //! * a second server over the same cache directory serves the previous
-//!   run's cells from disk without re-simulating.
+//!   run's cells from disk without re-simulating;
+//! * the TCP listener carries the same protocol end to end, and its
+//!   probe-then-reclaim bind recovers a port held by a dead daemon's
+//!   lingering connections while refusing a live daemon's port.
 
 use ctbia_harness::{CellSpec, StrategySpec, SweepEngine, WorkloadSpec};
 use ctbia_machine::BiaPlacement;
-use ctbia_serve::{Client, ErrorCode, Response, Server, ServerConfig, SubmitRequest};
+use ctbia_serve::{bind_tcp, Client, ErrorCode, Response, Server, ServerConfig, SubmitRequest};
 use std::collections::HashMap;
 use std::fs;
+use std::io::ErrorKind;
 use std::path::PathBuf;
 use std::thread;
 use std::time::Duration;
@@ -53,6 +57,7 @@ fn quick_grid() -> Vec<(SubmitRequest, CellSpec)> {
                 placement: Some("l1d".to_string()),
                 eval: false,
                 deadline_ms: None,
+                token: None,
             };
             let spec = CellSpec::new(
                 WorkloadSpec::named(name, size).unwrap(),
@@ -140,9 +145,9 @@ fn four_concurrent_clients_get_byte_identical_reports() {
         "each distinct cell must simulate exactly once across all clients"
     );
     assert_eq!(
-        snapshot.cache_hits + snapshot.coalesced,
+        snapshot.cache_hits + snapshot.memo_hits + snapshot.coalesced,
         3 * cells as u64,
-        "every duplicate submit must coalesce or hit the cache"
+        "every duplicate submit must coalesce or hit the memo index or disk cache"
     );
     assert_eq!(snapshot.inflight_jobs, 0);
     let _ = fs::remove_dir_all(&dir);
@@ -172,6 +177,7 @@ fn shutdown_drains_inflight_jobs_without_losing_responses() {
                 placement: None,
                 eval: false,
                 deadline_ms: None,
+                token: None,
             })
             .unwrap();
         pending.push(id);
@@ -188,6 +194,7 @@ fn shutdown_drains_inflight_jobs_without_losing_responses() {
             placement: None,
             eval: false,
             deadline_ms: None,
+            token: None,
         })
         .unwrap();
 
@@ -230,6 +237,7 @@ fn cache_survives_a_server_restart() {
         placement: Some("l2".to_string()),
         eval: false,
         deadline_ms: None,
+        token: None,
     };
 
     let first_socket = dir.join("first.sock");
@@ -270,5 +278,88 @@ fn cache_survives_a_server_restart() {
     let snapshot = second.join();
     assert_eq!(snapshot.executed, 0);
     assert_eq!(snapshot.cache_hits, 1);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tcp_transport_serves_the_same_protocol_end_to_end() {
+    let dir = tmp_dir("tcp");
+    let socket = dir.join("ctbia.sock");
+    let mut config = ServerConfig::new(&socket);
+    config.threads = 1;
+    config.cache_dir = None;
+    config.tcp = Some("127.0.0.1:0".to_string());
+    let handle = Server::start(config).unwrap();
+    let addr = handle.tcp_addr().expect("tcp is configured");
+
+    // A second daemon cannot take the live port: the probe finds the
+    // accept loop answering, so the bind fails instead of stealing it.
+    let err = bind_tcp(&addr.to_string()).expect_err("live port must refuse");
+    assert_eq!(err.kind(), ErrorKind::AddrInUse);
+
+    let mut client = Client::connect_tcp(&addr.to_string()).unwrap();
+    match client.submit(&SubmitRequest {
+        workload: "hist".to_string(),
+        size: Some(210),
+        strategy: Some("bia".to_string()),
+        placement: None,
+        eval: false,
+        deadline_ms: None,
+        token: None,
+    }) {
+        Ok(Response::Report { report, cached, .. }) => {
+            assert!(!cached, "uncached server simulates");
+            assert!(report.label.contains("BIA"), "label: {}", report.label);
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+    let snapshot = handle.join();
+    assert_eq!(snapshot.executed, 1);
+    assert_eq!(snapshot.jobs_failed, 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tcp_bind_reclaims_a_dead_daemons_port_after_a_probe() {
+    // A daemon restart on the same fixed port. Shutting the first daemon
+    // down while a client is still connected makes the daemon the active
+    // closer, so its side of the connection lingers in TIME_WAIT and the
+    // restart's plain (no-SO_REUSEADDR) bind sees EADDRINUSE. The connect
+    // probe is refused (nobody is listening), and only then does the
+    // rebind use SO_REUSEADDR to reclaim the port. This only works
+    // because the daemon marks accepted sockets reusable: Linux refuses
+    // to step over a TIME_WAIT socket that was not itself SO_REUSEADDR.
+    let dir = tmp_dir("tcp-reclaim");
+    let socket = dir.join("ctbia.sock");
+    let mut config = ServerConfig::new(&socket);
+    config.threads = 1;
+    config.cache_dir = None;
+    config.tcp = Some("127.0.0.1:0".to_string());
+    let handle = Server::start(config.clone()).unwrap();
+    let addr = handle.tcp_addr().unwrap();
+
+    let mut client = Client::connect_tcp(&addr.to_string()).unwrap();
+    match client.ping().unwrap() {
+        Response::Pong { .. } => {}
+        other => panic!("unexpected response {other:?}"),
+    }
+    // The daemon closes the live connection first (active close), then
+    // the client side goes away too.
+    handle.join();
+    drop(client);
+    thread::sleep(Duration::from_millis(50));
+
+    // Restart on the exact same port.
+    config.tcp = Some(addr.to_string());
+    let handle =
+        Server::start(config).expect("a dead daemon's port must be reclaimed after the probe");
+    assert_eq!(handle.tcp_addr().unwrap().port(), addr.port());
+    let mut client = Client::connect_tcp(&addr.to_string()).unwrap();
+    match client.ping().unwrap() {
+        Response::Pong { .. } => {}
+        other => panic!("unexpected response {other:?}"),
+    }
+    drop(client);
+    handle.join();
     let _ = fs::remove_dir_all(&dir);
 }

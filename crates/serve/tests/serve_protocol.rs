@@ -1,39 +1,80 @@
 //! Protocol robustness: no request line, however mangled, may crash the
-//! server or drop the connection. Every malformed line must be answered
-//! with exactly one typed `ctbia-serve-v1` error envelope, after which
-//! the same connection still serves a ping.
+//! server or drop the connection — on either transport. Every malformed
+//! line must be answered with exactly one typed `ctbia-serve-v1` error
+//! envelope, **byte-identical over the Unix socket and over TCP**, after
+//! which the same connection still serves a ping.
 //!
 //! The malformed lines are property-generated: random printable garbage,
 //! truncated prefixes of a valid submit, wrong schema tags, unknown ops,
-//! wrong field types, nested JSON, and missing required fields. A
-//! non-property test covers the oversized-line path (> [`MAX_LINE`]
+//! wrong field types, nested JSON, and missing required fields. A second
+//! property suite mutates the auth header against a tenanted server:
+//! missing, unknown, and mistyped tokens each get their typed error —
+//! also byte-identical across transports — and the connection survives.
+//! A non-property test covers the oversized-line path (> [`MAX_LINE`]
 //! bytes), which is handled before parsing even starts.
 
 use ctbia_serve::proto::submit_line;
-use ctbia_serve::{Client, Response, Server, ServerConfig, ServerHandle, SubmitRequest, MAX_LINE};
+use ctbia_serve::{
+    Client, ErrorCode, Response, ServeTarget, Server, ServerConfig, ServerHandle, SubmitRequest,
+    TenantSpec, MAX_LINE,
+};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use proptest::BoxedStrategy;
-use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
-/// One server shared by every case in this file; never joined — the
-/// process exit tears it down, and no test here asserts on its counters.
-static SERVER: OnceLock<(PathBuf, ServerHandle)> = OnceLock::new();
+/// Servers shared by every case in this file; never joined — the process
+/// exit tears them down, and no test here asserts on their counters.
+/// `open` has no tenants (the malformed corpus must see the exact PR 5
+/// error codes); `tenanted` requires a token on every submit.
+struct Shared {
+    open: Vec<ServeTarget>,
+    tenanted: Vec<ServeTarget>,
+    _open_handle: ServerHandle,
+    _tenanted_handle: ServerHandle,
+}
 
-fn server_socket() -> &'static Path {
-    let (socket, _) = SERVER.get_or_init(|| {
+/// The token the tenanted server accepts. Uppercase on purpose: the
+/// generated wrong-token strategy draws from `[a-z0-9]` and therefore
+/// can never collide with it.
+const GOOD_TOKEN: &str = "secret-ALPHA";
+
+fn shared() -> &'static Shared {
+    static SHARED: OnceLock<Shared> = OnceLock::new();
+    SHARED.get_or_init(|| {
         let dir = std::env::temp_dir().join(format!("ctbia-serve-proto-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
-        let socket = dir.join("ctbia.sock");
-        let mut config = ServerConfig::new(&socket);
-        config.threads = 1;
-        config.cache_dir = None;
-        let handle = Server::start(config).unwrap();
-        (socket, handle)
-    });
-    socket
+        let start = |name: &str, tenants: Vec<TenantSpec>| {
+            let socket = dir.join(format!("{name}.sock"));
+            let mut config = ServerConfig::new(&socket);
+            config.threads = 1;
+            config.cache_dir = None;
+            config.tcp = Some("127.0.0.1:0".to_string());
+            config.tenants = tenants;
+            let handle = Server::start(config).unwrap();
+            let tcp = handle.tcp_addr().unwrap().to_string();
+            let targets = vec![ServeTarget::Unix(socket), ServeTarget::Tcp(tcp)];
+            (targets, handle)
+        };
+        let (open, _open_handle) = start("open", Vec::new());
+        let (tenanted, _tenanted_handle) = start(
+            "tenanted",
+            vec![TenantSpec {
+                name: "alpha".to_string(),
+                token: GOOD_TOKEN.to_string(),
+                max_inflight: usize::MAX,
+                queue_share: usize::MAX,
+                weight: 1,
+            }],
+        );
+        Shared {
+            open,
+            tenanted,
+            _open_handle,
+            _tenanted_handle,
+        }
+    })
 }
 
 /// A canonical valid submit line, the donor for the truncation strategy.
@@ -47,23 +88,41 @@ fn donor_line() -> String {
             placement: Some("l1d".to_string()),
             eval: false,
             deadline_ms: None,
+            token: None,
         },
     )
 }
 
-/// Sends `line` raw, asserts the server answers with one typed error
-/// envelope, then proves the connection survived by pinging over it.
-fn assert_rejected_but_alive(line: &str) {
-    let mut client = Client::connect(server_socket()).unwrap();
-    client.send_line(line).unwrap();
-    match client.recv_response().unwrap() {
-        Response::Error { .. } => {}
-        other => panic!("line {line:?}: expected a typed error, got {other:?}"),
+/// Sends `line` raw to every target, asserts each answers with one typed
+/// error envelope, that the envelopes are **byte-identical across
+/// transports**, and that each connection survived (a ping still works).
+/// Returns the common error line.
+fn assert_rejected_but_alive(targets: &[ServeTarget], line: &str) -> String {
+    let mut seen: Vec<String> = Vec::new();
+    for target in targets {
+        let mut client = target.connect().unwrap();
+        client.send_line(line).unwrap();
+        let raw = client
+            .recv_line()
+            .unwrap()
+            .expect("server answered before EOF");
+        match ctbia_serve::proto::parse_response(&raw) {
+            Ok(Response::Error { .. }) => {}
+            other => panic!("{target}: line {line:?}: expected a typed error, got {other:?}"),
+        }
+        match client.ping().unwrap() {
+            Response::Pong { .. } => {}
+            other => panic!("{target}: server unhealthy after rejecting {line:?}: {other:?}"),
+        }
+        seen.push(raw);
     }
-    match client.ping().unwrap() {
-        Response::Pong { .. } => {}
-        other => panic!("server unhealthy after rejecting {line:?}: {other:?}"),
+    for window in seen.windows(2) {
+        assert_eq!(
+            window[0], window[1],
+            "transports disagree on the error for {line:?}"
+        );
     }
+    seen.pop().expect("at least one target")
 }
 
 /// Malformed request lines. None of these arms can emit a valid request:
@@ -94,14 +153,70 @@ fn malformed_line() -> BoxedStrategy<String> {
     .boxed()
 }
 
+/// An otherwise-valid submit whose auth header is mutated, paired with
+/// the error code the tenanted server must answer.
+fn auth_mutation() -> BoxedStrategy<(String, ErrorCode)> {
+    let submit_with_token = |token: Option<String>| {
+        submit_line(
+            "auth",
+            &SubmitRequest {
+                workload: "hist".to_string(),
+                size: Some(200),
+                strategy: None,
+                placement: None,
+                eval: false,
+                deadline_ms: None,
+                token,
+            },
+        )
+    };
+    prop_oneof![
+        // Token absent entirely.
+        Just((submit_with_token(None), ErrorCode::Unauthorized)),
+        // A wrong token (the lowercase alphabet cannot produce
+        // `GOOD_TOKEN`).
+        "[a-z0-9]{1,16}".prop_map(move |t| {
+            (submit_with_token(Some(t)), ErrorCode::Unauthorized)
+        }),
+        // A mistyped token is a malformed envelope, not a failed login.
+        (0u64..1000).prop_map(|n| {
+            (
+                format!(
+                    r#"{{"schema": "ctbia-serve-v1", "id": "auth", "op": "submit", "workload": "hist", "token": {n}}}"#
+                ),
+                ErrorCode::BadRequest,
+            )
+        }),
+    ]
+    .boxed()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
     #[test]
-    fn malformed_lines_get_typed_errors_and_the_server_survives(
+    fn malformed_lines_get_identical_typed_errors_on_both_transports(
         line in malformed_line(),
     ) {
-        assert_rejected_but_alive(&line);
+        assert_rejected_but_alive(&shared().open, &line);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn auth_mutations_get_identical_typed_errors_on_both_transports(
+        case in auth_mutation(),
+    ) {
+        let (line, expected) = case;
+        let raw = assert_rejected_but_alive(&shared().tenanted, &line);
+        match ctbia_serve::proto::parse_response(&raw) {
+            Ok(Response::Error { code, .. }) => prop_assert_eq!(
+                code, expected, "wrong error code for {}", line
+            ),
+            other => panic!("expected a typed error, got {other:?}"),
+        }
     }
 }
 
@@ -110,26 +225,83 @@ fn oversized_line_is_rejected_and_skipped() {
     // An oversized line is rejected before parsing; the reader discards
     // up to the newline so the next line parses cleanly.
     let line = "a".repeat(MAX_LINE + 1);
-    assert_rejected_but_alive(&line);
+    assert_rejected_but_alive(&shared().open, &line);
 }
 
 #[test]
-fn valid_request_still_works_on_the_shared_server() {
-    // Sanity: the shared server is not rejecting everything — a
-    // well-formed submit round-trips into a report.
-    let mut client = Client::connect(server_socket()).unwrap();
-    let response = client
-        .submit(&SubmitRequest {
-            workload: "xor".to_string(),
-            size: None,
-            strategy: Some("bia".to_string()),
-            placement: None,
-            eval: false,
-            deadline_ms: None,
-        })
-        .unwrap();
-    match response {
-        Response::Report { report, .. } => assert_eq!(report.label, "XOR/BIA@L1d"),
-        other => panic!("unexpected response {other:?}"),
+fn valid_request_still_works_on_both_transports() {
+    // Sanity: the shared servers are not rejecting everything — a
+    // well-formed submit round-trips into a report on each transport,
+    // and the tenanted server admits the configured token.
+    for target in &shared().open {
+        let mut client = target.connect().unwrap();
+        let response = client
+            .submit(&SubmitRequest {
+                workload: "xor".to_string(),
+                size: None,
+                strategy: Some("bia".to_string()),
+                placement: None,
+                eval: false,
+                deadline_ms: None,
+                token: None,
+            })
+            .unwrap();
+        match response {
+            Response::Report { report, .. } => assert_eq!(report.label, "XOR/BIA@L1d"),
+            other => panic!("{target}: unexpected response {other:?}"),
+        }
+    }
+    for target in &shared().tenanted {
+        let mut client = target.connect().unwrap();
+        let response = client
+            .submit(&SubmitRequest {
+                workload: "xor".to_string(),
+                size: None,
+                strategy: Some("bia".to_string()),
+                placement: None,
+                eval: false,
+                deadline_ms: None,
+                token: Some(GOOD_TOKEN.to_string()),
+            })
+            .unwrap();
+        match response {
+            Response::Report { report, .. } => assert_eq!(report.label, "XOR/BIA@L1d"),
+            other => panic!("{target}: unexpected response {other:?}"),
+        }
+    }
+}
+
+/// A bad token is refused but the connection is not dropped: the same
+/// connection immediately afterwards submits successfully with the good
+/// token (deterministic, non-property twin of the auth suite).
+#[test]
+fn failed_auth_keeps_the_connection_usable() {
+    for target in &shared().tenanted {
+        let mut client = target.connect().unwrap();
+        let submit = |client: &mut Client, token: Option<&str>| {
+            client
+                .submit(&SubmitRequest {
+                    workload: "hist".to_string(),
+                    size: Some(230),
+                    strategy: None,
+                    placement: None,
+                    eval: false,
+                    deadline_ms: None,
+                    token: token.map(str::to_string),
+                })
+                .unwrap()
+        };
+        match submit(&mut client, Some("wrong-token")) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Unauthorized),
+            other => panic!("{target}: unexpected response {other:?}"),
+        }
+        match submit(&mut client, None) {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Unauthorized),
+            other => panic!("{target}: unexpected response {other:?}"),
+        }
+        match submit(&mut client, Some(GOOD_TOKEN)) {
+            Response::Report { .. } => {}
+            other => panic!("{target}: good token must work after refusals: {other:?}"),
+        }
     }
 }

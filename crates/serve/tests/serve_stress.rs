@@ -40,6 +40,7 @@ fn contended_request() -> SubmitRequest {
         placement: Some("l1d".to_string()),
         eval: false,
         deadline_ms: None,
+        token: None,
     }
 }
 
@@ -92,9 +93,9 @@ fn racing_identical_digests_share_one_execution() {
         "identical digests must share one execution"
     );
     assert_eq!(
-        snapshot.cache_hits + snapshot.coalesced,
+        snapshot.cache_hits + snapshot.memo_hits + snapshot.coalesced,
         1,
-        "the loser must coalesce onto the winner or hit its cached result"
+        "the loser must coalesce onto the winner or hit its memoized result"
     );
     let _ = fs::remove_dir_all(&dir);
 }
@@ -107,6 +108,10 @@ fn corrupted_cache_entry_mid_run_is_resimulated_for_both_clients() {
     let mut config = ServerConfig::new(&socket);
     config.threads = 2;
     config.cache_dir = Some(cache_dir.clone());
+    // This test corrupts the on-disk entry *behind the daemon's back*;
+    // the in-memory memo index would (correctly) keep serving the pristine
+    // result and hide the disk path this test exists to exercise.
+    config.shards = 0;
     let handle = Server::start(config).unwrap();
 
     // Prime the cache with the genuine article, then poison the entry the
@@ -172,6 +177,7 @@ fn excess_pipelined_submits_get_backpressure_rejections() {
                 placement: None,
                 eval: false,
                 deadline_ms: None,
+                token: None,
             })
             .unwrap();
     }

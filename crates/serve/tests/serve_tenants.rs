@@ -1,0 +1,257 @@
+//! Multi-tenant behavior over a live daemon: fairness, quotas, and auth.
+//!
+//! * Two tenants saturating a single worker both make progress — the
+//!   deficit-round-robin scheduler interleaves their queues, so the
+//!   late-arriving tenant finishes long before the early flood does
+//!   (a FIFO queue would starve it until the flood drained);
+//! * per-tenant `max_inflight` quotas reject the excess submit with a
+//!   typed, deterministic `quota-exceeded` naming the tenant and quota;
+//! * per-tenant queue shares reject with a typed `backpressure` naming
+//!   the tenant, while the global counters stay untouched;
+//! * a bad or missing token is a typed `unauthorized` that does **not**
+//!   drop the connection.
+//!
+//! Timing knobs (single worker, `worker_delay_ms`) make the schedules
+//! deterministic rather than probabilistic.
+
+use ctbia_serve::{Client, ErrorCode, Response, Server, ServerConfig, SubmitRequest, TenantSpec};
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("ctbia-serve-tenants-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn request(size: u64, token: &str) -> SubmitRequest {
+    SubmitRequest {
+        workload: "hist".to_string(),
+        size: Some(size),
+        strategy: Some("insecure".to_string()),
+        placement: None,
+        eval: false,
+        deadline_ms: None,
+        token: Some(token.to_string()),
+    }
+}
+
+/// Two tenants flood a single worker; DRR must interleave them. Tenant A
+/// queues a large burst first, tenant B a smaller one afterwards — under
+/// round-robin B's last job completes while most of A's burst is still
+/// queued, whereas a FIFO queue would hold all of B behind all of A.
+#[test]
+fn saturating_tenants_share_the_worker_without_starvation() {
+    let dir = tmp_dir("fairness");
+    let socket = dir.join("ctbia.sock");
+    let mut config = ServerConfig::new(&socket);
+    config.threads = 1;
+    config.cache_dir = None;
+    config.worker_delay_ms = 20;
+    config.tenants = vec![
+        TenantSpec::parse("alba:tok-a").unwrap(),
+        TenantSpec::parse("brio:tok-b").unwrap(),
+    ];
+    let handle = Server::start(config).unwrap();
+
+    // A global completion clock: each response increments it, and each
+    // tenant records the tick at which its *last* response arrived.
+    let clock = Arc::new(AtomicUsize::new(0));
+    let run_tenant = |token: &'static str, sizes: std::ops::Range<u64>, delay_ms: u64| {
+        let socket = socket.clone();
+        let clock = Arc::clone(&clock);
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(delay_ms));
+            let mut client = Client::connect(&socket).unwrap();
+            let count = (sizes.end - sizes.start) as usize;
+            for size in sizes {
+                client.send_submit(&request(size, token)).unwrap();
+            }
+            let mut last_tick = 0;
+            for _ in 0..count {
+                match client.recv_response().unwrap() {
+                    Response::Report { .. } => {
+                        last_tick = clock.fetch_add(1, Ordering::SeqCst) + 1;
+                    }
+                    other => panic!("tenant {token}: unexpected response {other:?}"),
+                }
+            }
+            last_tick
+        })
+    };
+
+    // A floods 24 jobs immediately; B arrives 150ms later (a few of A's
+    // jobs into the burst) with 8 jobs of its own.
+    let a = run_tenant("tok-a", 400..424, 0);
+    let b = run_tenant("tok-b", 500..508, 150);
+    let a_last = a.join().unwrap();
+    let b_last = b.join().unwrap();
+    assert_eq!(a_last.max(b_last), 32, "all 32 jobs completed");
+    assert!(
+        b_last < a_last,
+        "DRR must finish the small tenant ({b_last}) before the flood ({a_last})"
+    );
+    // Stronger: B's 8 jobs ride round-robin against A's remaining burst,
+    // so B is done within roughly 2x its own length of ticks after it
+    // starts — nowhere near the end of A's flood.
+    assert!(
+        b_last <= 28,
+        "the small tenant must not be pushed to the tail of the flood (finished at tick {b_last}/32)"
+    );
+
+    let snapshot = handle.join();
+    assert_eq!(snapshot.jobs_completed, 32);
+    assert_eq!(snapshot.backpressure_rejections, 0);
+    assert_eq!(snapshot.quota_rejections, 0);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The per-tenant `max_inflight` quota turns the excess submit into a
+/// deterministic typed rejection: with a quota of 2 and a slow worker,
+/// the third pipelined submit is refused, by name, with the quota in the
+/// message — and the two admitted jobs still complete.
+#[test]
+fn exceeding_a_tenants_inflight_quota_is_a_typed_deterministic_rejection() {
+    let dir = tmp_dir("quota");
+    let socket = dir.join("ctbia.sock");
+    let mut config = ServerConfig::new(&socket);
+    config.threads = 1;
+    config.cache_dir = None;
+    config.worker_delay_ms = 300;
+    config.tenants = vec![TenantSpec::parse("capped:tok-c:2").unwrap()];
+    let handle = Server::start(config).unwrap();
+
+    let mut client = Client::connect(&socket).unwrap();
+    for size in [600u64, 601, 602] {
+        client.send_submit(&request(size, "tok-c")).unwrap();
+    }
+    let mut reports = 0;
+    let mut rejections = Vec::new();
+    for _ in 0..3 {
+        match client.recv_response().unwrap() {
+            Response::Report { .. } => reports += 1,
+            Response::Error { code, message, .. } => rejections.push((code, message)),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(reports, 2, "both within-quota jobs complete");
+    let (code, message) = rejections.pop().expect("exactly one rejection");
+    assert!(rejections.is_empty());
+    assert_eq!(code, ErrorCode::QuotaExceeded);
+    assert!(
+        message.contains("capped") && message.contains("quota 2"),
+        "the rejection names the tenant and its quota: {message}"
+    );
+
+    let snapshot = handle.join();
+    assert_eq!(snapshot.quota_rejections, 1);
+    assert_eq!(snapshot.jobs_completed, 2);
+    assert_eq!(
+        snapshot.backpressure_rejections, 0,
+        "a quota rejection is not backpressure"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The per-tenant queue share: with a share of 2 and the worker pinned
+/// on a first job, the fourth submit (third queued) is refused with a
+/// typed `backpressure` naming the tenant — the global queue is nowhere
+/// near its limit.
+#[test]
+fn exceeding_a_tenants_queue_share_is_typed_backpressure() {
+    let dir = tmp_dir("share");
+    let socket = dir.join("ctbia.sock");
+    let mut config = ServerConfig::new(&socket);
+    config.threads = 1;
+    config.cache_dir = None;
+    config.worker_delay_ms = 400;
+    // max_inflight unlimited-ish, queue share 2.
+    config.tenants = vec![TenantSpec::parse("shared:tok-s:100:2").unwrap()];
+    let handle = Server::start(config).unwrap();
+
+    let mut client = Client::connect(&socket).unwrap();
+    client.send_submit(&request(700, "tok-s")).unwrap();
+    // Let the worker pick up the first job so it no longer occupies the
+    // tenant's queue; the next two fill the share exactly.
+    thread::sleep(Duration::from_millis(150));
+    for size in [701u64, 702, 703] {
+        client.send_submit(&request(size, "tok-s")).unwrap();
+    }
+    let mut reports = 0;
+    let mut rejection = None;
+    for _ in 0..4 {
+        match client.recv_response().unwrap() {
+            Response::Report { .. } => reports += 1,
+            Response::Error { code, message, .. } => rejection = Some((code, message)),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(reports, 3, "the three admitted jobs complete");
+    let (code, message) = rejection.expect("the over-share submit is refused");
+    assert_eq!(code, ErrorCode::Backpressure);
+    assert!(
+        message.contains("shared") && message.contains("queue share"),
+        "the rejection names the tenant and the share: {message}"
+    );
+
+    let snapshot = handle.join();
+    assert_eq!(snapshot.backpressure_rejections, 1);
+    assert_eq!(snapshot.shed_submits, 0, "the global queue never filled");
+    assert_eq!(snapshot.jobs_completed, 3);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Bad or missing tokens are typed `unauthorized` rejections that leave
+/// the connection fully usable: the same connection then authenticates
+/// and gets its report.
+#[test]
+fn bad_and_missing_tokens_are_unauthorized_without_dropping_the_connection() {
+    let dir = tmp_dir("auth");
+    let socket = dir.join("ctbia.sock");
+    let mut config = ServerConfig::new(&socket);
+    config.threads = 1;
+    config.cache_dir = None;
+    config.tenants = vec![TenantSpec::parse("alpha:tok-ALPHA").unwrap()];
+    let handle = Server::start(config).unwrap();
+
+    let mut client = Client::connect(&socket).unwrap();
+    // Wrong token.
+    match client.submit(&request(800, "tok-wrong")).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Unauthorized),
+        other => panic!("unexpected response {other:?}"),
+    }
+    // Missing token entirely.
+    let mut anonymous = request(801, "unused");
+    anonymous.token = None;
+    match client.submit(&anonymous).unwrap() {
+        Response::Error { code, message, .. } => {
+            assert_eq!(code, ErrorCode::Unauthorized);
+            assert!(
+                message.contains("token"),
+                "the error tells the client what is missing: {message}"
+            );
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+    // The connection survived both refusals; a ping and an authorized
+    // submit work without reconnecting.
+    match client.ping().unwrap() {
+        Response::Pong { .. } => {}
+        other => panic!("unexpected response {other:?}"),
+    }
+    match client.submit(&request(802, "tok-ALPHA")).unwrap() {
+        Response::Report { .. } => {}
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    let snapshot = handle.join();
+    assert_eq!(snapshot.unauthorized_rejections, 2);
+    assert_eq!(snapshot.jobs_completed, 1);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -30,17 +30,22 @@
 #                                0 bits for every protected cell, flags
 #                                every insecure cell, and the leaky
 #                                control fails `ctbia analyze` non-zero
-#  11. serve suites + smoke    -- the e2e/protocol/stress/chaos suites for
-#                                the batch-simulation daemon, then a live
-#                                cycle: start `ctbia serve` on a temp
-#                                socket, submit a cell that must come
-#                                back from the shared memo cache with the
-#                                digest the direct run reported, query
-#                                status --metrics, and exit cleanly on
-#                                SIGTERM; every live-daemon client step
-#                                runs under a hard `timeout` so a wedged
-#                                daemon fails the gate instead of hanging
-#                                it
+#  11. serve suites + smoke    -- the e2e/protocol/stress/chaos/tenants/
+#                                loadgen suites for the batch-simulation
+#                                daemon (chaos runs its first scenario
+#                                over TCP), a `ctbia loadgen --quick`
+#                                smoke whose BENCH_serve.json must carry
+#                                per-phase p99 + throughput keys, then a
+#                                live cycle: start `ctbia serve` on a
+#                                temp socket + TCP port, submit a cell
+#                                that must come back from the shared
+#                                memo cache with the digest the direct
+#                                run reported (over UDS and again over
+#                                TCP), query status --metrics, and exit
+#                                cleanly on SIGTERM; every live-daemon
+#                                client step runs under a hard `timeout`
+#                                so a wedged daemon fails the gate
+#                                instead of hanging it
 #  12. chaos smoke             -- a daemon with one injected worker panic
 #                                answers the poisoned submit cell-failed,
 #                                respawns the worker, serves the retry,
@@ -115,7 +120,25 @@ fi
 echo "==> analyzer refuses to certify the leaky control"
 
 run cargo test -q -p ctbia-serve --test serve_e2e --test serve_protocol --test serve_stress \
-    --test serve_chaos
+    --test serve_chaos --test serve_tenants --test loadgen_determinism
+
+# Loadgen smoke: the CI-sized run must complete under a hard timeout,
+# write a versioned BENCH_serve.json carrying per-phase tail latency and
+# throughput figures, and append a serve-history line next to it. CI
+# writes to a scratch directory so the committed full-run record at the
+# repo root stays the recorded trajectory.
+LOADGEN_DIR=$(mktemp -d)
+run timeout 120 ./target/release/ctbia loadgen --quick --seed 1 \
+    --out "$LOADGEN_DIR/BENCH_serve.json"
+grep -q '"schema": "ctbia-serve-bench-v1"' "$LOADGEN_DIR/BENCH_serve.json"
+grep -q '"phase.uds_single_warm.p99_us"' "$LOADGEN_DIR/BENCH_serve.json"
+grep -q '"phase.tcp_multi_warm.p99_us"' "$LOADGEN_DIR/BENCH_serve.json"
+grep -q '"phase.uds_single_warm.throughput_rps"' "$LOADGEN_DIR/BENCH_serve.json"
+grep -q '"phase.shard1_warm.throughput_rps"' "$LOADGEN_DIR/BENCH_serve.json"
+grep -q '"phase.shard16_warm.throughput_rps"' "$LOADGEN_DIR/BENCH_serve.json"
+grep -q '"schema": "ctbia-serve-history-v1"' "$LOADGEN_DIR/BENCH_history.jsonl"
+rm -rf "$LOADGEN_DIR"
+echo "==> loadgen smoke: per-phase p99 + throughput recorded, history appended"
 
 # Waits (bounded) for a daemon PID to exit after SIGTERM; kills and fails
 # the gate if the drain wedges.
@@ -141,14 +164,22 @@ RUN_DIGEST=$(sed -n 's/.*"digest": \([0-9]*\).*/\1/p' RUN_metrics.json | head -n
 test -n "$RUN_DIGEST"
 SERVE_DIR=$(mktemp -d)
 SOCK="$SERVE_DIR/ctbia.sock"
-echo "==> ctbia serve --socket $SOCK"
-./target/release/ctbia serve --socket "$SOCK" --threads 2 &
+echo "==> ctbia serve --socket $SOCK --tcp 127.0.0.1:0"
+./target/release/ctbia serve --socket "$SOCK" --threads 2 --tcp 127.0.0.1:0 \
+    >"$SERVE_DIR/serve.out" &
 SERVE_PID=$!
 for _ in $(seq 1 100); do
     [ -S "$SOCK" ] && break
     sleep 0.1
 done
 test -S "$SOCK"
+TCP_ADDR=""
+for _ in $(seq 1 100); do
+    TCP_ADDR=$(sed -n 's/^tcp listening on //p' "$SERVE_DIR/serve.out" | head -n 1)
+    [ -n "$TCP_ADDR" ] && break
+    sleep 0.1
+done
+test -n "$TCP_ADDR"
 echo "==> ctbia submit --socket $SOCK hist:200:bia:l1d"
 SUBMIT_OUT=$(timeout 60 ./target/release/ctbia submit --socket "$SOCK" hist:200:bia:l1d)
 echo "$SUBMIT_OUT"
@@ -157,11 +188,15 @@ echo "$SUBMIT_OUT" | grep -q "cached=yes"
 run timeout 60 ./target/release/ctbia status --socket "$SOCK" --metrics
 grep -q '"schema": "ctbia-metrics-v1"' SERVE_metrics.json
 grep -q '"serve.cache_hits": 1' SERVE_metrics.json
+# The same daemon serves the same cell over TCP with the same digest.
+echo "==> ctbia submit --tcp $TCP_ADDR hist:200:bia:l1d"
+timeout 60 ./target/release/ctbia submit --tcp "$TCP_ADDR" hist:200:bia:l1d \
+    | grep -q "digest=$RUN_DIGEST "
 kill -TERM "$SERVE_PID"
 drain_or_die "$SERVE_PID"
 test ! -e "$SOCK"
 rm -rf "$SERVE_DIR"
-echo "==> serve cycle: cache-backed response, clean SIGTERM drain"
+echo "==> serve cycle: cache-backed response over UDS and TCP, clean SIGTERM drain"
 
 # Chaos smoke: one injected worker panic. The poisoned submit must fail
 # with the typed cell-failed error (and a non-zero exit), the supervisor

@@ -26,7 +26,8 @@ use ctbia::harness::{
 };
 use ctbia::machine::{BiaPlacement, Machine};
 use ctbia::serve::{
-    self, submit_with_retry, ChaosSpec, Client, Response, RetryPolicy, ServerConfig, SubmitRequest,
+    self, submit_with_retry_to, ChaosSpec, Response, RetryPolicy, ServeTarget, ServerConfig,
+    SubmitRequest, TenantSpec,
 };
 use ctbia::sim::fault::{parse_fault_kinds, FaultKind};
 use ctbia::sim::hierarchy::Level;
@@ -37,7 +38,7 @@ use ctbia::workloads::{
     BinarySearch, Dijkstra, HeapPop, Histogram, Permutation, Strategy, Workload,
 };
 use std::collections::HashMap;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -59,10 +60,11 @@ USAGE:
     ctbia verify <WORKLOAD> [SIZE] [--strategy insecure|ct|bia|bia-loads] [--placement l1d|l2|llc]
     ctbia analyze [--quick] [--threads N]
     ctbia analyze <WORKLOAD> [SIZE] [--strategy insecure|ct|bia|bia-loads] [--placement l1d|l2|llc]
-    ctbia serve [--socket PATH] [--threads N] [--max-inflight M] [--queue-limit Q] [--deadline-ms D] [--chaos SPEC] [--no-cache]
-    ctbia submit [--socket PATH] [--eval] [--retries N] [--backoff-ms B] [--deadline-ms D] <SPEC>...
-    ctbia status [--socket PATH] [--metrics]
-    ctbia health [--socket PATH]
+    ctbia serve [--socket PATH] [--tcp ADDR] [--tenant NAME:TOKEN[:INFLIGHT[:SHARE[:WEIGHT]]]]... [--threads N] [--max-inflight M] [--queue-limit Q] [--shards S] [--deadline-ms D] [--chaos SPEC] [--no-cache]
+    ctbia submit [--socket PATH] [--tcp ADDR] [--token TOK] [--eval] [--retries N] [--backoff-ms B] [--deadline-ms D] <SPEC>...
+    ctbia status [--socket PATH] [--tcp ADDR] [--metrics]
+    ctbia health [--socket PATH] [--tcp ADDR]
+    ctbia loadgen [--quick] [--seed N] [--out PATH]
 
 WORKLOADS: dijkstra | histogram | permutation | binary-search | heappop
            (plus leaky-bin, an intentionally leaky control, for `verify`)
@@ -94,13 +96,26 @@ bounds each job (per-submit --deadline-ms overrides it); --queue-limit
 sheds load past the high-water mark with a typed `overloaded` error;
 the memo cache self-heals from torn writes at startup; and --chaos
 injects seeded faults (e.g. panic:2,stall:1,torn:1,io:1,stall-ms:500,
-seed:42) for crash drills. `ctbia submit` sends cells — SPEC is
+seed:42) for crash drills. --tcp adds a TCP listener speaking the same
+envelopes (probe-then-reclaim binding: a dead daemon's TIME_WAIT port
+is reclaimed, a live daemon's refused); --tenant (repeatable) switches
+on auth — every submit then needs a matching token — with per-tenant
+in-flight quotas, queue shares, and deficit-round-robin weights;
+--shards sizes the in-memory memo index layered over the disk cache
+(0 disables it). `ctbia submit` sends cells — SPEC is
 WORKLOAD[:SIZE[:STRATEGY[:PLACEMENT]]], e.g. hist:2000:bia:l1d or
 aes:-:insecure — retrying transient rejections when --retries is set
-(exponential backoff from --backoff-ms). `ctbia status [--metrics]`
+(exponential backoff from --backoff-ms); --tcp targets a TCP daemon and
+--token authenticates against a tenanted one. `ctbia status [--metrics]`
 queries counters (writing SERVE_metrics.json with --metrics) and
 `ctbia health` the supervision snapshot (queue depth, workers alive,
 restarts, deadline kills, shed submits, quarantined cache entries).
+`ctbia loadgen` drives a seeded zipfian workload from concurrent
+connections through cold and warm, single- and multi-tenant, UDS and
+TCP phases, writing per-phase p50/p95/p99 and throughput to
+BENCH_serve.json and appending the headline numbers to
+BENCH_history.jsonl; the same --seed replays the identical schedule
+(--quick for the CI-sized run).
 ";
 
 /// Where `ctbia serve` listens unless `--socket` overrides it.
@@ -1207,6 +1222,23 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 i += 1;
                 config.socket = args.get(i).ok_or("--socket needs a value")?.into();
             }
+            "--tcp" => {
+                i += 1;
+                config.tcp = Some(args.get(i).ok_or("--tcp needs an ADDR:PORT")?.to_string());
+            }
+            "--tenant" => {
+                i += 1;
+                let spec = args.get(i).ok_or("--tenant needs NAME:TOKEN[:...]")?;
+                config.tenants.push(TenantSpec::parse(spec)?);
+            }
+            "--shards" => {
+                i += 1;
+                config.shards = args
+                    .get(i)
+                    .ok_or("--shards needs a value")?
+                    .parse::<usize>()
+                    .map_err(|_| "--shards expects an integer (0 disables the memo index)")?;
+            }
             "--threads" => {
                 i += 1;
                 config.threads = args
@@ -1272,6 +1304,20 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .as_ref()
             .map_or("off".to_string(), |d| d.display().to_string()),
     );
+    if let Some(addr) = handle.tcp_addr() {
+        println!("tcp listening on {addr}");
+    }
+    if !config.tenants.is_empty() {
+        println!(
+            "tenants: {} (submits require a token)",
+            config
+                .tenants
+                .iter()
+                .map(|t| t.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
     if let Some(chaos) = &config.chaos {
         println!("chaos armed: {chaos}");
     }
@@ -1317,6 +1363,7 @@ fn parse_submit_spec(spec: &str, eval: bool) -> Result<SubmitRequest, String> {
         placement,
         eval,
         deadline_ms: None,
+        token: None,
     })
 }
 
@@ -1328,6 +1375,8 @@ fn parse_submit_spec(spec: &str, eval: bool) -> Result<SubmitRequest, String> {
 /// shutting-down, a daemon mid-restart) retry with exponential backoff.
 fn cmd_submit(args: &[String]) -> Result<(), String> {
     let mut socket = PathBuf::from(DEFAULT_SOCKET);
+    let mut tcp: Option<String> = None;
+    let mut token: Option<String> = None;
     let mut eval = false;
     let mut policy = RetryPolicy::default();
     let mut deadline_ms: Option<u64> = None;
@@ -1338,6 +1387,14 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
             "--socket" => {
                 i += 1;
                 socket = args.get(i).ok_or("--socket needs a value")?.into();
+            }
+            "--tcp" => {
+                i += 1;
+                tcp = Some(args.get(i).ok_or("--tcp needs an ADDR:PORT")?.to_string());
+            }
+            "--token" => {
+                i += 1;
+                token = Some(args.get(i).ok_or("--token needs a value")?.to_string());
             }
             "--eval" => eval = true,
             "--retries" => {
@@ -1381,19 +1438,21 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         .map(|spec| {
             parse_submit_spec(spec, eval).map(|mut req| {
                 req.deadline_ms = deadline_ms;
+                req.token = token.clone();
                 req
             })
         })
         .collect::<Result<_, _>>()?;
+    let target = match tcp {
+        Some(addr) => ServeTarget::Tcp(addr),
+        None => ServeTarget::Unix(socket),
+    };
     if policy.retries > 0 {
-        return submit_sequential_with_retry(&socket, &specs, &requests, &policy);
+        return submit_sequential_with_retry(&target, &specs, &requests, &policy);
     }
-    let mut client = Client::connect(&socket).map_err(|e| {
-        format!(
-            "cannot connect to {}: {e} (is `ctbia serve` running?)",
-            socket.display()
-        )
-    })?;
+    let mut client = target
+        .connect()
+        .map_err(|e| format!("cannot connect to {target}: {e} (is `ctbia serve` running?)"))?;
     // Pipeline all submits before reading anything; responses complete in
     // whatever order the server finishes jobs, so match them up by id.
     let mut pending: HashMap<String, String> = HashMap::new();
@@ -1451,14 +1510,14 @@ fn print_submit_response(spec: &str, response: Response) -> bool {
 /// The `--retries` submit path: one spec at a time, each on its own
 /// connection, retrying transient failures under the backoff policy.
 fn submit_sequential_with_retry(
-    socket: &Path,
+    target: &ServeTarget,
     specs: &[String],
     requests: &[SubmitRequest],
     policy: &RetryPolicy,
 ) -> Result<(), String> {
     let mut failures = 0usize;
     for (spec, req) in specs.iter().zip(requests) {
-        match submit_with_retry(socket, req, policy) {
+        match submit_with_retry_to(target, req, policy) {
             Ok(response) => {
                 if !print_submit_response(spec, response) {
                     failures += 1;
@@ -1481,6 +1540,7 @@ fn submit_sequential_with_retry(
 /// ctbia-metrics-v1 document to SERVE_metrics.json.
 fn cmd_status(args: &[String]) -> Result<(), String> {
     let mut socket = PathBuf::from(DEFAULT_SOCKET);
+    let mut tcp: Option<String> = None;
     let mut metrics = false;
     let mut i = 0;
     while i < args.len() {
@@ -1489,17 +1549,22 @@ fn cmd_status(args: &[String]) -> Result<(), String> {
                 i += 1;
                 socket = args.get(i).ok_or("--socket needs a value")?.into();
             }
+            "--tcp" => {
+                i += 1;
+                tcp = Some(args.get(i).ok_or("--tcp needs an ADDR:PORT")?.to_string());
+            }
             "--metrics" => metrics = true,
             other => return Err(format!("unexpected argument '{other}'")),
         }
         i += 1;
     }
-    let mut client = Client::connect(&socket).map_err(|e| {
-        format!(
-            "cannot connect to {}: {e} (is `ctbia serve` running?)",
-            socket.display()
-        )
-    })?;
+    let target = match tcp {
+        Some(addr) => ServeTarget::Tcp(addr),
+        None => ServeTarget::Unix(socket),
+    };
+    let mut client = target
+        .connect()
+        .map_err(|e| format!("cannot connect to {target}: {e} (is `ctbia serve` running?)"))?;
     match client.status(metrics)? {
         Response::Status {
             snapshot,
@@ -1529,6 +1594,7 @@ fn cmd_status(args: &[String]) -> Result<(), String> {
 /// kills, shed submits, quarantined cache entries, drain state.
 fn cmd_health(args: &[String]) -> Result<(), String> {
     let mut socket = PathBuf::from(DEFAULT_SOCKET);
+    let mut tcp: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -1536,16 +1602,21 @@ fn cmd_health(args: &[String]) -> Result<(), String> {
                 i += 1;
                 socket = args.get(i).ok_or("--socket needs a value")?.into();
             }
+            "--tcp" => {
+                i += 1;
+                tcp = Some(args.get(i).ok_or("--tcp needs an ADDR:PORT")?.to_string());
+            }
             other => return Err(format!("unexpected argument '{other}'")),
         }
         i += 1;
     }
-    let mut client = Client::connect(&socket).map_err(|e| {
-        format!(
-            "cannot connect to {}: {e} (is `ctbia serve` running?)",
-            socket.display()
-        )
-    })?;
+    let target = match tcp {
+        Some(addr) => ServeTarget::Tcp(addr),
+        None => ServeTarget::Unix(socket),
+    };
+    let mut client = target
+        .connect()
+        .map_err(|e| format!("cannot connect to {target}: {e} (is `ctbia serve` running?)"))?;
     match client.health()? {
         Response::Health { health, .. } => {
             for (key, value) in health.fields() {
@@ -1562,6 +1633,101 @@ fn cmd_health(args: &[String]) -> Result<(), String> {
         }
         other => return Err(format!("unexpected response {other:?}")),
     }
+    Ok(())
+}
+
+/// `ctbia loadgen [--quick] [--seed N] [--out PATH]` — drive the serving
+/// stack with a deterministic seeded zipfian workload from concurrent
+/// connections (cold and warm, single- and multi-tenant, UDS and TCP,
+/// plus direct memo-index hammers at shard counts 1 and 16), write the
+/// per-phase p50/p95/p99 and throughput to BENCH_serve.json, and append
+/// the headline numbers to BENCH_history.jsonl. The same seed replays
+/// the byte-identical request schedule.
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    let mut quick = false;
+    let mut seed = 1u64;
+    let mut out = PathBuf::from("BENCH_serve.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .ok_or("--seed needs a value")?
+                    .parse::<u64>()
+                    .map_err(|_| "--seed expects an integer")?;
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).ok_or("--out needs a path")?.into();
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+        i += 1;
+    }
+    let config = if quick {
+        serve::loadgen::LoadgenConfig::quick(seed)
+    } else {
+        serve::loadgen::LoadgenConfig::full(seed)
+    };
+    println!(
+        "loadgen: seed {} — {} connections x {} requests per phase over {} cells{}",
+        config.seed,
+        config.connections,
+        config.requests,
+        config.distinct_cells,
+        if quick { " (quick)" } else { "" },
+    );
+
+    let scratch = std::env::temp_dir().join(format!("ctbia-loadgen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let started = Instant::now();
+    let doc = serve::loadgen::run(&config, &scratch)?;
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    for phase in &doc.phases {
+        println!(
+            "  {:<18} {:>6} req  {:>3} err  p50 {:>7}us  p95 {:>7}us  p99 {:>7}us  {:>8} req/s",
+            phase.name,
+            phase.requests,
+            phase.errors,
+            phase.p50_us,
+            phase.p95_us,
+            phase.p99_us,
+            phase.throughput_rps,
+        );
+    }
+    println!(
+        "schedule digest: {} ({:.1?})",
+        doc.schedule_digest,
+        started.elapsed()
+    );
+
+    if let Some(parent) = out.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(&out, doc.to_json() + "\n")
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!("wrote {}", out.display());
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let line = doc.history_line(unix_time, &current_git_rev());
+    let history = out.with_file_name("BENCH_history.jsonl");
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&history)
+        .map_err(|e| format!("cannot open {}: {e}", history.display()))?;
+    use std::io::Write as _;
+    writeln!(file, "{line}").map_err(|e| format!("cannot append {}: {e}", history.display()))?;
+    println!("appended {}", history.display());
     Ok(())
 }
 
@@ -1651,6 +1817,7 @@ fn main() -> ExitCode {
         Some("submit") => cmd_submit(&args[1..]),
         Some("status") => cmd_status(&args[1..]),
         Some("health") => cmd_health(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(())
@@ -1733,6 +1900,7 @@ mod tests {
                 placement: Some("l1d".to_string()),
                 eval: false,
                 deadline_ms: None,
+                token: None,
             }
         );
         // `-` keeps the per-workload default size; trailing fields are
