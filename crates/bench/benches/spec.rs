@@ -1,0 +1,106 @@
+//! Microbenches for the bounded-speculation path (DESIGN.md §17).
+//!
+//! Three costs matter:
+//!
+//! * the *disabled* path — `spec_branch` with `spec_window = 0` must be
+//!   a single compare-and-return, since every non-speculating workload
+//!   pays it on each modeled branch;
+//! * a correctly-predicted branch — one predictor-table lookup/train;
+//! * the mispredict/squash path — opening a window, running wrong-path
+//!   accesses through the full hierarchy, and squashing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctbia_core::ctmem::{CtMemory, Width};
+use ctbia_machine::{BiaPlacement, Machine, MachineConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn machine(spec_window: u32) -> Machine {
+    let mut cfg = MachineConfig::with_bia(BiaPlacement::L1d);
+    cfg.spec_window = spec_window;
+    Machine::new(cfg).unwrap()
+}
+
+/// `spec_branch` with the mode disabled: the per-branch cost every
+/// ordinary run pays.
+fn disabled_branch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spec/disabled_branch");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("window_0", |b| {
+        let mut m = machine(0);
+        let base = m.alloc_u64_array(64).unwrap();
+        b.iter(|| {
+            for i in 0..1024u64 {
+                m.spec_branch(i & 7, i & 1 == 0, &mut |mm| {
+                    let _ = mm.load(base, Width::U64);
+                });
+            }
+            black_box(m.counters().spec.branches)
+        });
+    });
+    group.finish();
+}
+
+/// Trained, correctly-predicted branches: predictor bookkeeping only,
+/// no window ever opens.
+fn predicted_branch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spec/predicted_branch");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("window_32", |b| {
+        let mut m = machine(32);
+        // Saturate the counter so the loop below never mispredicts.
+        for _ in 0..4 {
+            m.spec_branch(1, true, &mut |_| {});
+        }
+        b.iter(|| {
+            for _ in 0..1024 {
+                m.spec_branch(1, true, &mut |_| {});
+            }
+            black_box(m.counters().spec.branches)
+        });
+    });
+    group.finish();
+}
+
+/// The full mispredict/squash path at growing window sizes: each
+/// iteration re-trains, mispredicts, runs `window` wrong-path loads
+/// through the hierarchy, and squashes.
+fn mispredict_squash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spec/mispredict_squash");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for window in [8u32, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            let mut m = machine(w);
+            let base = m.alloc_u64_array(4096).unwrap();
+            b.iter(|| {
+                for round in 0..64u64 {
+                    for _ in 0..4 {
+                        m.spec_branch(2, true, &mut |_| {});
+                    }
+                    m.spec_branch(2, false, &mut |mm| {
+                        for k in 0..u64::from(w) {
+                            let _ =
+                                mm.load(base.offset(((round * 67 + k * 8) % 4096) * 8), Width::U64);
+                        }
+                    });
+                }
+                black_box(m.counters().spec.squashes)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    disabled_branch,
+    predicted_branch,
+    mispredict_squash
+);
+criterion_main!(benches);

@@ -246,6 +246,25 @@ pub trait CtMemory {
     /// layer turns it into counters and trace events. A no-op by default,
     /// like the taint hooks.
     fn note_linearize_pass(&mut self, _info: LinearizeInfo) {}
+
+    /// Reports a conditional branch at the static site `site` whose
+    /// architectural outcome is `taken`, handing the machine the code of
+    /// the side **not** taken as `wrong_path`.
+    ///
+    /// A machine with bounded speculation predicts the branch with a
+    /// deterministic, seeded predictor; on a misprediction it runs
+    /// `wrong_path` inside a speculation window whose demand accesses
+    /// warm the real hierarchy, then squashes every architectural effect
+    /// (registers, memory, counters other than the `speculative` phase
+    /// and cache statistics). A no-op by default — machines without
+    /// speculation never execute the wrong path, like the taint hooks.
+    fn spec_branch(
+        &mut self,
+        _site: u64,
+        _taken: bool,
+        _wrong_path: &mut dyn FnMut(&mut dyn CtMemory),
+    ) {
+    }
 }
 
 /// Extracts a `width`-sized value from the aligned 8-byte window containing

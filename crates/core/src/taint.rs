@@ -337,6 +337,11 @@ pub enum LeakKind {
     /// A `CtCond` predicate mask built from a value that is not all-ones
     /// or all-zeros, degrading branchless selects to data-dependent ones.
     PartialMask,
+    /// Secret-dependent address issued on the wrong path of a mispredicted
+    /// branch: the access is squashed architecturally but its cache fill
+    /// persists, encoding the secret in microarchitectural state (the
+    /// Spectre v1 channel).
+    SpeculativeFill,
 }
 
 impl fmt::Display for LeakKind {
@@ -348,6 +353,7 @@ impl fmt::Display for LeakKind {
             LeakKind::PartialSweep => "partially-swept dataflow set",
             LeakKind::BitmapBranch => "existence bitmap branch",
             LeakKind::PartialMask => "partial predicate mask",
+            LeakKind::SpeculativeFill => "wrong-path speculative fill",
         })
     }
 }

@@ -14,7 +14,7 @@
 /// Version tag mixed into every digest. Bump on semantic changes to the
 /// simulator or the cell format so stale cache entries miss instead of
 /// resurfacing.
-pub const SCHEMA_VERSION: &str = "ctbia-cell-v2";
+pub const SCHEMA_VERSION: &str = "ctbia-cell-v3";
 
 const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
 const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;

@@ -27,6 +27,7 @@ macro_rules! with_counter_fields {
         $m!("phase.bia_maintenance", phases.bia_maintenance);
         $m!("phase.dram_stall", phases.dram_stall);
         $m!("phase.degraded", phases.degraded);
+        $m!("phase.speculative", phases.speculative);
         $m!("linearize.passes", linearize.passes);
         $m!("linearize.lines_skipped", linearize.lines_skipped);
         $m!("linearize.lines_fetched", linearize.lines_fetched);
@@ -86,6 +87,11 @@ macro_rules! with_counter_fields {
         $m!("robust.faults_injected", robust.faults_injected);
         $m!("taint.marked_bytes", taint.marked_bytes);
         $m!("taint.leak_violations", taint.leak_violations);
+        $m!("spec.branches", spec.branches);
+        $m!("spec.mispredicts", spec.mispredicts);
+        $m!("spec.squashes", spec.squashes);
+        $m!("spec.wrong_path_accesses", spec.wrong_path_accesses);
+        $m!("spec.wrong_path_fills", spec.wrong_path_fills);
     };
 }
 
@@ -199,6 +205,9 @@ mod tests {
         c.bia.events_applied = 11;
         c.robust.resyncs = 3;
         c.taint.leak_violations = 2;
+        c.phases.speculative = 640;
+        c.spec.mispredicts = 5;
+        c.spec.wrong_path_fills = 9;
         CellReport {
             label: "hist_2k/BIA@L1d".into(),
             digest: 0xdead_beef_cafe_f00d,
@@ -218,7 +227,7 @@ mod tests {
         let text = sample().to_cache_text();
         let truncated = &text[..text.len() - 10];
         assert_eq!(CellReport::from_cache_text(truncated), None);
-        let wrong_version = text.replacen("v2", "v0", 1);
+        let wrong_version = text.replacen("v3", "v0", 1);
         assert_eq!(CellReport::from_cache_text(&wrong_version), None);
         let missing_field = text.replacen("cycles", "cyclops", 1);
         assert_eq!(CellReport::from_cache_text(&missing_field), None);

@@ -15,7 +15,8 @@ use ctbia_sim::config::HierarchyConfig;
 use ctbia_sim::fault::{FaultConfig, FaultKind};
 use ctbia_workloads::crypto::{Aes, Blowfish, Cast, Des, Des3, Rc2, Rc4, XorCipher};
 use ctbia_workloads::{
-    BinarySearch, Dijkstra, HeapPop, Histogram, LeakyBinarySearch, Permutation, Workload,
+    BinarySearch, Dijkstra, HeapPop, Histogram, LeakyBinarySearch, Permutation, SpectreGadget,
+    Workload,
 };
 use std::fmt;
 
@@ -174,6 +175,16 @@ pub enum WorkloadSpec {
         /// Key seed.
         seed: u64,
     },
+    /// The Spectre-v1 bounds-check-bypass gadget — the speculation-era
+    /// negative control (leaks only when `spec_window > 0`).
+    SpectreGadget {
+        /// Architecturally accessible array length.
+        size: usize,
+        /// Out-of-bounds attack rounds.
+        attacks: usize,
+        /// Planted-secret seed.
+        seed: u64,
+    },
     /// One of the crypto kernels at its default parameters.
     Crypto(CryptoKernel),
 }
@@ -234,6 +245,14 @@ impl WorkloadSpec {
                     seed: w.inner.seed,
                 }
             }
+            "spectre" | "spec" => {
+                let w = SpectreGadget::new(size);
+                WorkloadSpec::SpectreGadget {
+                    size: w.size,
+                    attacks: w.attacks,
+                    seed: w.seed,
+                }
+            }
             other => return Err(format!("unknown workload '{other}' (try `ctbia list`)")),
         })
     }
@@ -265,6 +284,15 @@ impl WorkloadSpec {
                     seed,
                 },
             }),
+            WorkloadSpec::SpectreGadget {
+                size,
+                attacks,
+                seed,
+            } => Box::new(SpectreGadget {
+                size,
+                attacks,
+                seed,
+            }),
             WorkloadSpec::Crypto(k) => k.build(),
         }
     }
@@ -291,6 +319,11 @@ impl WorkloadSpec {
                     searches,
                     seed,
                 },
+            }),
+            WorkloadSpec::SpectreGadget { size, attacks, .. } => Box::new(SpectreGadget {
+                size,
+                attacks,
+                seed,
             }),
             WorkloadSpec::Crypto(k) => k.build_seeded(seed),
         }
@@ -342,6 +375,16 @@ impl WorkloadSpec {
                 d.field_str("workload", "leaky-bin");
                 d.field_u64("size", size as u64);
                 d.field_u64("searches", searches as u64);
+                d.field_u64("seed", seed);
+            }
+            WorkloadSpec::SpectreGadget {
+                size,
+                attacks,
+                seed,
+            } => {
+                d.field_str("workload", "spectre");
+                d.field_u64("size", size as u64);
+                d.field_u64("attacks", attacks as u64);
                 d.field_u64("seed", seed);
             }
             WorkloadSpec::Crypto(k) => {
@@ -439,6 +482,10 @@ pub struct SimConfig {
     pub ram_bytes: u64,
     /// Whether stores silently drop dirtiness-neutral writes.
     pub silent_stores: bool,
+    /// Bounded-speculation window in wrong-path accesses (0 = off).
+    pub spec_window: u32,
+    /// Branch-predictor seed; only meaningful when `spec_window > 0`.
+    pub spec_seed: u64,
 }
 
 impl SimConfig {
@@ -452,6 +499,8 @@ impl SimConfig {
             cost: m.cost,
             ram_bytes: m.ram_bytes,
             silent_stores: m.silent_stores,
+            spec_window: m.spec_window,
+            spec_seed: m.spec_seed,
         }
     }
 
@@ -502,6 +551,8 @@ impl SimConfig {
         d.field_u64("cost.ct_overlap", self.cost.ct_overlap);
         d.field_u64("ram_bytes", self.ram_bytes);
         d.field_bool("silent_stores", self.silent_stores);
+        d.field_u64("spec_window", u64::from(self.spec_window));
+        d.field_u64("spec_seed", self.spec_seed);
     }
 }
 
@@ -601,6 +652,8 @@ impl CellSpec {
         cfg.cost = self.config.cost;
         cfg.ram_bytes = self.config.ram_bytes;
         cfg.silent_stores = self.config.silent_stores;
+        cfg.spec_window = self.config.spec_window;
+        cfg.spec_seed = self.config.spec_seed;
         if self.strategy.needs_bia() {
             cfg.bia = Some((self.placement, self.config.bia));
         }
@@ -729,6 +782,30 @@ mod tests {
         let mut d2 = Digest::new();
         b.digest_into(&mut d2);
         assert_ne!(d1.finish(), d2.finish());
+    }
+
+    #[test]
+    fn spec_window_reaches_the_digest_and_the_machine() {
+        let a = base_cell();
+        let mut b = base_cell();
+        b.config.spec_window = 32;
+        assert_ne!(a.digest(), b.digest());
+        assert_eq!(b.machine_config().spec_window, 32);
+        let mut c = base_cell();
+        c.config.spec_window = 32;
+        c.config.spec_seed ^= 1;
+        assert_ne!(b.digest(), c.digest());
+    }
+
+    #[test]
+    fn spectre_workload_is_a_distinct_reseedable_spec() {
+        let w = WorkloadSpec::named("spectre", 256).unwrap();
+        assert_eq!(w.name(), "spectre_256");
+        assert_eq!(w.build_reseeded(7).name(), w.build().name());
+        match WorkloadSpec::named("spec", 256).unwrap() {
+            WorkloadSpec::SpectreGadget { attacks, .. } => assert_eq!(attacks, 8),
+            other => panic!("wrong spec {other:?}"),
+        }
     }
 
     #[test]

@@ -118,6 +118,58 @@ impl fmt::Display for TaintStats {
     }
 }
 
+/// Bounded-speculation counters. All zero when the speculation window
+/// is 0, so pre-existing reports and cache entries are unaffected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpecStats {
+    /// Conditional branches seen by the predictor.
+    pub branches: u64,
+    /// Branches the seeded predictor got wrong.
+    pub mispredicts: u64,
+    /// Wrong-path windows squashed (one per misprediction).
+    pub squashes: u64,
+    /// Wrong-path demand accesses that reached the hierarchy.
+    pub wrong_path_accesses: u64,
+    /// Wrong-path accesses that filled a line (missed the nearest level)
+    /// — the transient state that persists past the squash.
+    pub wrong_path_fills: u64,
+}
+
+impl Sub for SpecStats {
+    type Output = SpecStats;
+
+    fn sub(self, rhs: SpecStats) -> SpecStats {
+        SpecStats {
+            branches: self.branches - rhs.branches,
+            mispredicts: self.mispredicts - rhs.mispredicts,
+            squashes: self.squashes - rhs.squashes,
+            wrong_path_accesses: self.wrong_path_accesses - rhs.wrong_path_accesses,
+            wrong_path_fills: self.wrong_path_fills - rhs.wrong_path_fills,
+        }
+    }
+}
+
+impl SpecStats {
+    /// True when speculation never ran (window 0 or no branches hooked).
+    pub fn is_zero(&self) -> bool {
+        *self == SpecStats::default()
+    }
+}
+
+impl fmt::Display for SpecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "branches {}, mispredicts {}, squashes {}, wrong-path accesses {}, wrong-path fills {}",
+            self.branches,
+            self.mispredicts,
+            self.squashes,
+            self.wrong_path_accesses,
+            self.wrong_path_fills
+        )
+    }
+}
+
 /// A snapshot of every machine counter.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counters {
@@ -146,6 +198,9 @@ pub struct Counters {
     /// Shadow-taint statistics (all zero when the taint layer is
     /// disabled).
     pub taint: TaintStats,
+    /// Bounded-speculation statistics (all zero when the speculation
+    /// window is 0).
+    pub spec: SpecStats,
 }
 
 impl Counters {
@@ -193,6 +248,7 @@ impl Sub for Counters {
             },
             robust: self.robust - rhs.robust,
             taint: self.taint - rhs.taint,
+            spec: self.spec - rhs.spec,
         }
     }
 }
@@ -217,6 +273,9 @@ impl fmt::Display for Counters {
         }
         if !self.taint.is_zero() {
             write!(f, "\nTaint: {}", self.taint)?;
+        }
+        if !self.spec.is_zero() {
+            write!(f, "\nSpec: {}", self.spec)?;
         }
         Ok(())
     }
@@ -315,6 +374,31 @@ mod tests {
         c.robust = a;
         let s = c.to_string();
         assert!(s.contains("Audit") && s.contains("violations 4"));
+    }
+
+    #[test]
+    fn spec_stats_subtract_and_gate_display() {
+        let mut a = SpecStats::default();
+        a.branches = 12;
+        a.mispredicts = 3;
+        a.squashes = 3;
+        a.wrong_path_accesses = 9;
+        a.wrong_path_fills = 4;
+        let mut b = SpecStats::default();
+        b.branches = 5;
+        b.mispredicts = 1;
+        b.squashes = 1;
+        let d = a - b;
+        assert_eq!(d.branches, 7);
+        assert_eq!(d.mispredicts, 2);
+        assert_eq!(d.wrong_path_fills, 4);
+        assert!(SpecStats::default().is_zero());
+        // The counters display stays byte-identical when speculation is off.
+        assert!(!Counters::default().to_string().contains("Spec"));
+        let mut c = Counters::default();
+        c.spec = a;
+        let s = c.to_string();
+        assert!(s.contains("Spec") && s.contains("mispredicts 3"));
     }
 
     #[test]

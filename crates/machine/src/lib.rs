@@ -52,7 +52,7 @@ pub mod secure;
 
 pub use audit::{AuditViolation, BitPlane, ShadowAuditor, ViolationKind};
 pub use cost::CostModel;
-pub use counters::{Counters, RobustnessStats, TaintStats};
+pub use counters::{Counters, RobustnessStats, SpecStats, TaintStats};
 pub use machine::{
     BiaPlacement, CoRunnerOp, CtResponse, Interference, Machine, MachineConfig, MachineError,
     ObsTrace, TraceEvent, TraceOp,

@@ -9,7 +9,7 @@
 
 use crate::audit::ShadowAuditor;
 use crate::cost::CostModel;
-use crate::counters::{Counters, RobustnessStats, TaintStats};
+use crate::counters::{Counters, RobustnessStats, SpecStats, TaintStats};
 use crate::memory::{OutOfSimRam, SimRam};
 use ctbia_core::bia::{Bia, BiaConfig, BiaConfigError};
 use ctbia_core::ctmem::{CtLoad, CtMemory, CtStore, LinearizeInfo, Width};
@@ -128,7 +128,20 @@ pub struct MachineConfig {
     /// switch lets the test suite demonstrate the leak they cause (see
     /// `tests/silent_stores.rs`). Off by default.
     pub silent_stores: bool,
+    /// Bounded-speculation window: the maximum number of wrong-path
+    /// demand accesses executed after a branch misprediction before the
+    /// squash. 0 (the default) disables speculation entirely — the
+    /// predictor never runs and the machine is byte-identical to the
+    /// pre-speculation model.
+    pub spec_window: u32,
+    /// Seed for the deterministic branch predictor's initial per-site
+    /// counters. Only meaningful when `spec_window > 0`.
+    pub spec_seed: u64,
 }
+
+/// Default predictor seed: arbitrary but fixed, so every sweep cell with
+/// the same window agrees on the misprediction schedule.
+pub const DEFAULT_SPEC_SEED: u64 = 0x5bec_0000_c0de_0001;
 
 impl MachineConfig {
     /// The insecure baseline machine: Table 1 hierarchy, no BIA.
@@ -139,6 +152,8 @@ impl MachineConfig {
             cost: CostModel::default(),
             ram_bytes: 64 << 20,
             silent_stores: false,
+            spec_window: 0,
+            spec_seed: DEFAULT_SPEC_SEED,
         }
     }
 
@@ -242,6 +257,15 @@ pub enum TraceOp {
 }
 
 /// The structured-trace opcode corresponding to a demand-trace opcode.
+/// SplitMix64 finalizer: seeds the per-site branch predictor counters
+/// deterministically from `spec_seed ^ site`.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 fn memop_of(op: TraceOp) -> MemOp {
     match op {
         TraceOp::Load => MemOp::Load,
@@ -295,12 +319,17 @@ pub struct ObsTrace {
     pub ct: Vec<CtResponse>,
     /// CT-op probe slices (LLC-resident BIA on a sliced LLC only).
     pub slices: Vec<u32>,
+    /// Wrong-path demand accesses, at line granularity, in issue order.
+    /// An access-driven attacker cannot tell a transient fill from an
+    /// architectural one — the cache state change is identical — so
+    /// these are first-class observations. Empty when `spec_window = 0`.
+    pub spec: Vec<TraceEvent>,
 }
 
 impl ObsTrace {
     /// Total recorded events.
     pub fn len(&self) -> usize {
-        self.demand.len() + self.ct.len() + self.slices.len()
+        self.demand.len() + self.ct.len() + self.slices.len() + self.spec.len()
     }
 
     /// Whether nothing was recorded.
@@ -330,6 +359,15 @@ impl ObsTrace {
         mix(self.slices.len() as u64);
         for s in &self.slices {
             mix(*s as u64);
+        }
+        // Mixed only when present so speculation-free digests are stable
+        // across the channel's introduction.
+        if !self.spec.is_empty() {
+            mix(self.spec.len() as u64);
+            for e in &self.spec {
+                mix(e.op.code());
+                mix(e.line.raw());
+            }
         }
         h
     }
@@ -382,6 +420,24 @@ impl ObsTrace {
                 other.slices.len()
             ));
         }
+        for (i, (a, b)) in self.spec.iter().zip(&other.spec).enumerate() {
+            if a != b {
+                return Some(format!(
+                    "wrong-path fill spec[{i}]: {:?}@{:#x} vs {:?}@{:#x}",
+                    a.op,
+                    a.line.raw(),
+                    b.op,
+                    b.line.raw()
+                ));
+            }
+        }
+        if self.spec.len() != other.spec.len() {
+            return Some(format!(
+                "wrong-path fill count {} vs {}",
+                self.spec.len(),
+                other.spec.len()
+            ));
+        }
         None
     }
 }
@@ -430,6 +486,23 @@ pub struct Machine {
     /// Spare event buffer, swapped with the hierarchy's on every drain so
     /// the steady-state event path performs no allocation.
     event_buf: Vec<CacheEvent>,
+    /// Bounded-speculation window (0 = speculation off; see
+    /// [`MachineConfig::spec_window`]).
+    spec_window: u32,
+    spec_seed: u64,
+    /// Per-site 2-bit saturating predictor counters, deterministically
+    /// initialized from `spec_seed ^ site`. Empty when speculation is off.
+    spec_predictor: HashMap<u64, u8>,
+    /// True while the machine is executing a wrong-path window: demand
+    /// accesses warm the hierarchy and charge the speculative phase but
+    /// touch no architectural state.
+    spec_active: bool,
+    /// Wrong-path accesses issued in the current window.
+    spec_used: u32,
+    spec: SpecStats,
+    /// Wrong-path access channel of the observation trace (recorded only
+    /// under [`Machine::enable_observation`]).
+    spec_trace: Option<Vec<TraceEvent>>,
 }
 
 impl Machine {
@@ -508,6 +581,13 @@ impl Machine {
             degraded: BTreeSet::new(),
             robust: RobustnessStats::default(),
             event_buf: Vec::new(),
+            spec_window: config.spec_window,
+            spec_seed: config.spec_seed,
+            spec_predictor: HashMap::new(),
+            spec_active: false,
+            spec_used: 0,
+            spec: SpecStats::default(),
+            spec_trace: None,
         })
     }
 
@@ -559,6 +639,13 @@ impl Machine {
         self.degraded.clear();
         self.robust = RobustnessStats::default();
         self.event_buf.clear();
+        // `spec_window`/`spec_seed` are configuration and survive the
+        // reset; the predictor state and window bookkeeping do not.
+        self.spec_predictor.clear();
+        self.spec_active = false;
+        self.spec_used = 0;
+        self.spec = SpecStats::default();
+        self.spec_trace = None;
     }
 
     /// The configured BIA placement, if any.
@@ -773,6 +860,7 @@ impl Machine {
     pub fn enable_observation(&mut self) {
         self.enable_trace();
         self.ct_obs = Some(Vec::new());
+        self.spec_trace = Some(Vec::new());
     }
 
     /// Stops observation recording and returns the trace (empty for any
@@ -782,6 +870,7 @@ impl Machine {
             demand: self.take_trace(),
             ct: self.ct_obs.take().unwrap_or_default(),
             slices: self.take_probe_slices(),
+            spec: self.spec_trace.take().unwrap_or_default(),
         }
     }
 
@@ -832,7 +921,13 @@ impl Machine {
                     marked_bytes: t.shadow.len() as u64,
                     leak_violations: t.reported,
                 }),
+            spec: self.spec,
         }
+    }
+
+    /// The configured bounded-speculation window (0 = speculation off).
+    pub fn spec_window(&self) -> u32 {
+        self.spec_window
     }
 
     /// Simulated cycles so far.
@@ -1060,8 +1155,108 @@ impl Machine {
 
     #[inline]
     fn charge_inst(&mut self, n: u64) {
+        // Wrong-path instructions never retire: they contribute nothing
+        // to the architectural instruction count or the compute phase.
+        if self.spec_active {
+            return;
+        }
         self.insts += n;
         self.charge(Phase::Compute, n * self.cost.cycles_per_inst);
+    }
+
+    /// A demand access issued inside a wrong-path speculation window.
+    ///
+    /// Microarchitectural effects are real — the access walks the
+    /// monitored hierarchy, fills lines, updates replacement state and
+    /// the BIA, and its cache-service time is charged to
+    /// [`Phase::Speculative`] — but every architectural effect is
+    /// suppressed: no instruction retires, RAM writes are buffered and
+    /// discarded at squash (store-buffer semantics, modeled by demoting
+    /// the access to a read), and nothing lands in the attacker-visible
+    /// demand trace. This is exactly the Spectre v1 leakage surface: the
+    /// squash undoes the registers, not the cache.
+    fn spec_demand(
+        &mut self,
+        addr: PhysAddr,
+        width: Width,
+        flags: AccessFlags,
+        op: TraceOp,
+        store: Option<u64>,
+    ) -> u64 {
+        debug_assert!(
+            addr.is_aligned(width.bytes()),
+            "misaligned access at {addr}"
+        );
+        if self.spec_used >= self.spec_window {
+            // The window is exhausted: the frontend has stalled, so the
+            // access never issues. Loads still forward a value so the
+            // wrong-path closure can keep computing dependent addresses.
+            return match store {
+                Some(_) => 0,
+                None => self.ram.read(addr, width.bytes()),
+            };
+        }
+        self.spec_used += 1;
+        self.spec.wrong_path_accesses += 1;
+        // Store-buffer semantics: a transient store allocates and warms
+        // its line like a read but never reaches RAM or dirties the line
+        // (the squash drains the store buffer before writeback).
+        let mut flags = flags;
+        flags.kind = ctbia_sim::cache::AccessKind::Read;
+        let snap = if self.sink.is_some() {
+            Some(self.hier.stats())
+        } else {
+            None
+        };
+        let inline = self.auditor.is_none() && self.injector.is_none();
+        let result = match (&mut self.bia, inline) {
+            (Some(bia), true) => self.hier.access_with(addr.line(), flags, bia),
+            (None, _) if self.hier.monitor().is_none() => {
+                self.hier.access_with(addr.line(), flags, &mut NullMonitor)
+            }
+            _ => self.hier.access(addr.line(), flags),
+        };
+        let nearest = if flags.dram_direct {
+            false
+        } else if flags.bypass_l2 {
+            result.hit_level == Level::Llc
+        } else if flags.bypass_l1 {
+            result.hit_level == Level::L2
+        } else {
+            result.hit_level == Level::L1d
+        };
+        if !nearest {
+            self.spec.wrong_path_fills += 1;
+        }
+        let ds_stream = matches!(op, TraceOp::DsLoad | TraceOp::DsStore);
+        let mem_cycles = self.cost.memory_cycles(result.latency, nearest, ds_stream);
+        // The whole charge (DRAM stall included) lands on the speculative
+        // phase: transient time is transient time.
+        self.charge(Phase::Speculative, mem_cycles);
+        if let Some(snap) = snap {
+            let delta = self.hier.stats() - snap;
+            self.emit(EventKind::SpecAccess {
+                op: memop_of(op),
+                line: addr.line().raw(),
+                hit_level: result.hit_level,
+                latency: result.latency,
+                cycles: mem_cycles,
+                delta,
+            });
+        }
+        if !inline {
+            self.sync_bia();
+        }
+        if let Some(t) = &mut self.spec_trace {
+            t.push(TraceEvent {
+                op,
+                line: addr.line(),
+            });
+        }
+        match store {
+            Some(_) => 0,
+            None => self.ram.read(addr, width.bytes()),
+        }
     }
 
     fn demand(
@@ -1072,6 +1267,9 @@ impl Machine {
         op: TraceOp,
         store: Option<u64>,
     ) -> u64 {
+        if self.spec_active {
+            return self.spec_demand(addr, width, flags, op, store);
+        }
         self.tick_interference();
         let ds_stream = matches!(op, TraceOp::DsLoad | TraceOp::DsStore);
         // Silent-store squashing: a store of the value already in memory
@@ -1211,7 +1409,8 @@ impl Machine {
     /// so the batched sweep is state-for-state identical to the loop.
     #[inline]
     fn sweep_fast_path(&self) -> bool {
-        self.trace.is_none()
+        !self.spec_active
+            && self.trace.is_none()
             && self.sink.is_none()
             && self.interference.is_none()
             && self.auditor.is_none()
@@ -1384,7 +1583,56 @@ impl CtMemory for Machine {
         );
     }
 
+    fn spec_branch(
+        &mut self,
+        site: u64,
+        taken: bool,
+        wrong_path: &mut dyn FnMut(&mut dyn CtMemory),
+    ) {
+        if self.spec_window == 0 {
+            return;
+        }
+        self.spec.branches += 1;
+        // Per-site 2-bit saturating counter, deterministically seeded so
+        // the same (spec_seed, site) pair always mispredicts at the same
+        // points of the branch history — goldens and the oracle depend on
+        // reproducibility, not on modeling any particular frontend.
+        let seed = self.spec_seed;
+        let ctr = self
+            .spec_predictor
+            .entry(site)
+            .or_insert_with(|| (splitmix64(seed ^ site) & 3) as u8);
+        let predict_taken = *ctr >= 2;
+        if taken {
+            if *ctr < 3 {
+                *ctr += 1;
+            }
+        } else if *ctr > 0 {
+            *ctr -= 1;
+        }
+        if predict_taken == taken {
+            return;
+        }
+        self.spec.mispredicts += 1;
+        debug_assert!(
+            !self.spec_active,
+            "nested speculation windows are not modeled"
+        );
+        self.spec_active = true;
+        self.spec_used = 0;
+        wrong_path(self);
+        self.spec_active = false;
+        let accesses = u64::from(self.spec_used);
+        self.spec.squashes += 1;
+        self.emit(EventKind::Squash { site, accesses });
+        self.spec_used = 0;
+    }
+
     fn ct_load(&mut self, addr: PhysAddr) -> CtLoad {
+        debug_assert!(
+            !self.spec_active,
+            "CT micro-ops are not issued speculatively"
+        );
         let placement = self
             .placement
             .expect("CTLoad requires a machine with a BIA");
@@ -1471,6 +1719,10 @@ impl CtMemory for Machine {
     }
 
     fn ct_store(&mut self, addr: PhysAddr, data: u64) -> CtStore {
+        debug_assert!(
+            !self.spec_active,
+            "CT micro-ops are not issued speculatively"
+        );
         let placement = self
             .placement
             .expect("CTStore requires a machine with a BIA");

@@ -73,6 +73,19 @@ pub fn format_report(counters: &Counters) -> String {
         stat("taint.marked_bytes", counters.taint.marked_bytes);
         stat("taint.leak_violations", counters.taint.leak_violations);
     }
+    // Speculation stats only when the bounded-speculation window was
+    // open at least once (spec_window = 0 runs stay byte-identical).
+    if !counters.spec.is_zero() {
+        stat("spec.branches", counters.spec.branches);
+        stat("spec.mispredicts", counters.spec.mispredicts);
+        stat("spec.squashes", counters.spec.squashes);
+        stat(
+            "spec.wrong_path_accesses",
+            counters.spec.wrong_path_accesses,
+        );
+        stat("spec.wrong_path_fills", counters.spec.wrong_path_fills);
+        stat("phase.speculative_cycles", counters.phases.speculative);
+    }
     out
 }
 

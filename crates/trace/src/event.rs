@@ -140,6 +140,31 @@ pub enum EventKind {
         /// Number of faults injected since the previous `Faults` event.
         injected: u64,
     },
+    /// One wrong-path demand access issued inside a speculation window.
+    /// Architecturally squashed, but its hierarchy effects (fills, LRU
+    /// updates, BIA monitoring) persist — the transient leak channel.
+    SpecAccess {
+        /// Which demand opcode the wrong path issued.
+        op: MemOp,
+        /// Line address touched.
+        line: u64,
+        /// Nearest level that had the line (DRAM on a full miss).
+        hit_level: Level,
+        /// Raw hierarchy latency of the access.
+        latency: u64,
+        /// Cycles charged to [`Phase::Speculative`](crate::Phase).
+        cycles: u64,
+        /// Exact hierarchy-statistics delta caused by this access.
+        delta: HierarchyStats,
+    },
+    /// A mispredicted branch's wrong-path window was squashed: registers
+    /// and memory roll back, cache state stays.
+    Squash {
+        /// The branch site identifier that mispredicted.
+        site: u64,
+        /// Wrong-path demand accesses executed before the squash.
+        accesses: u64,
+    },
 }
 
 /// One trace event, stamped with the deterministic cycle clock.
@@ -226,6 +251,32 @@ impl TraceRecord {
                 write!(
                     out,
                     "{{\"c\":{c},\"k\":\"faults\",\"injected\":{injected}}}"
+                )
+                .unwrap();
+            }
+            EventKind::SpecAccess {
+                op,
+                line,
+                hit_level,
+                latency,
+                cycles,
+                delta,
+            } => {
+                write!(
+                    out,
+                    "{{\"c\":{c},\"k\":\"spec_access\",\"op\":\"{}\",\"line\":{line},\
+                     \"hit\":\"{}\",\"lat\":{latency},\"cyc\":{cycles}",
+                    op.tag(),
+                    level_tag(*hit_level),
+                )
+                .unwrap();
+                write_delta(out, delta);
+                out.push('}');
+            }
+            EventKind::Squash { site, accesses } => {
+                write!(
+                    out,
+                    "{{\"c\":{c},\"k\":\"squash\",\"site\":{site},\"accesses\":{accesses}}}"
                 )
                 .unwrap();
             }
@@ -414,6 +465,13 @@ mod tests {
                 EventKind::Faults { injected: 6 },
                 "{\"c\":5,\"k\":\"faults\",\"injected\":6}",
             ),
+            (
+                EventKind::Squash {
+                    site: 9,
+                    accesses: 4,
+                },
+                "{\"c\":5,\"k\":\"squash\",\"site\":9,\"accesses\":4}",
+            ),
         ];
         for (kind, expect) in cases {
             assert_eq!(TraceRecord { cycle: 5, kind }.to_jsonl(), expect);
@@ -435,6 +493,28 @@ mod tests {
         }
         // 4 caches x 9 fields + 4 DRAM fields + prefetch_fills.
         assert_eq!(single.len(), 4 * 9 + 4 + 1);
+    }
+
+    #[test]
+    fn spec_access_serializes_like_access_with_its_own_tag() {
+        let rec = TraceRecord {
+            cycle: 42,
+            kind: EventKind::SpecAccess {
+                op: MemOp::Load,
+                line: 7,
+                hit_level: Level::Dram,
+                latency: 258,
+                cycles: 258,
+                delta: sample_delta(),
+            },
+        };
+        assert_eq!(
+            rec.to_jsonl(),
+            "{\"c\":42,\"k\":\"spec_access\",\"op\":\"load\",\"line\":7,\
+             \"hit\":\"dram\",\"lat\":258,\"cyc\":258,\
+             \"d\":{\"l1d.reads\":1,\"l1d.misses\":1,\"l1d.fills\":1,\
+             \"dram.reads\":1,\"dram.row_misses\":1}}"
+        );
     }
 
     #[test]

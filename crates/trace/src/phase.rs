@@ -31,17 +31,23 @@ pub enum Phase {
     /// `CTLoad`/`CTStore` time served in degraded mode, after a group was
     /// demoted to full linearization by the robustness layer.
     Degraded,
+    /// Wrong-path execution after a branch misprediction: cache-service
+    /// time (DRAM stall included) of transient demand accesses that are
+    /// architecturally squashed but leave the hierarchy warmed. Always
+    /// zero when the speculation window is 0.
+    Speculative,
 }
 
 impl Phase {
     /// All phases, in canonical (serialization) order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 7] = [
         Phase::Compute,
         Phase::DemandAccess,
         Phase::LinearizeSweep,
         Phase::BiaMaintenance,
         Phase::DramStall,
         Phase::Degraded,
+        Phase::Speculative,
     ];
 
     /// Stable snake_case name used in JSON documents and reports.
@@ -53,6 +59,7 @@ impl Phase {
             Phase::BiaMaintenance => "bia_maintenance",
             Phase::DramStall => "dram_stall",
             Phase::Degraded => "degraded",
+            Phase::Speculative => "speculative",
         }
     }
 }
@@ -80,6 +87,8 @@ pub struct PhaseCycles {
     pub dram_stall: u64,
     /// Cycles attributed to [`Phase::Degraded`].
     pub degraded: u64,
+    /// Cycles attributed to [`Phase::Speculative`].
+    pub speculative: u64,
 }
 
 impl PhaseCycles {
@@ -98,6 +107,7 @@ impl PhaseCycles {
             Phase::BiaMaintenance => self.bia_maintenance,
             Phase::DramStall => self.dram_stall,
             Phase::Degraded => self.degraded,
+            Phase::Speculative => self.speculative,
         }
     }
 
@@ -109,6 +119,7 @@ impl PhaseCycles {
             Phase::BiaMaintenance => &mut self.bia_maintenance,
             Phase::DramStall => &mut self.dram_stall,
             Phase::Degraded => &mut self.degraded,
+            Phase::Speculative => &mut self.speculative,
         }
     }
 
@@ -134,6 +145,7 @@ impl Sub for PhaseCycles {
             bia_maintenance: self.bia_maintenance - rhs.bia_maintenance,
             dram_stall: self.dram_stall - rhs.dram_stall,
             degraded: self.degraded - rhs.degraded,
+            speculative: self.speculative - rhs.speculative,
         }
     }
 }
@@ -142,13 +154,14 @@ impl std::fmt::Display for PhaseCycles {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "compute={} demand={} linearize={} bia={} dram_stall={} degraded={}",
+            "compute={} demand={} linearize={} bia={} dram_stall={} degraded={} speculative={}",
             self.compute,
             self.demand_access,
             self.linearize_sweep,
             self.bia_maintenance,
             self.dram_stall,
-            self.degraded
+            self.degraded,
+            self.speculative
         )
     }
 }
@@ -209,7 +222,7 @@ mod tests {
         for (i, &ph) in Phase::ALL.iter().enumerate() {
             p.add(ph, (i + 1) as u64);
         }
-        assert_eq!(p.total(), 21);
+        assert_eq!(p.total(), 28);
         let mut q = p;
         q.add(Phase::DramStall, 10);
         let d = q - p;

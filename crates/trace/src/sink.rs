@@ -153,6 +153,13 @@ pub struct MetricsSink {
     pub repromotes: u64,
     /// Faults injected into the BIA event stream.
     pub faults_injected: u64,
+    /// Wrong-path demand accesses observed inside speculation windows.
+    pub spec_accesses: u64,
+    /// Sum of the cycles charged to the speculative phase by those
+    /// accesses (reconciles exactly with `phases.speculative`).
+    pub spec_cycles: u64,
+    /// Squash events (one per misprediction whose window was drained).
+    pub squashes: u64,
     hot_lines: HashMap<u64, u64>,
 }
 
@@ -223,6 +230,18 @@ impl TraceSink for MetricsSink {
             EventKind::Resync { violations } => self.resync_violations += violations,
             EventKind::Repromote { .. } => self.repromotes += 1,
             EventKind::Faults { injected } => self.faults_injected += injected,
+            EventKind::SpecAccess {
+                line,
+                cycles,
+                delta,
+                ..
+            } => {
+                self.spec_accesses += 1;
+                self.spec_cycles += cycles;
+                add_assign_stats(&mut self.hier, delta);
+                *self.hot_lines.entry(*line).or_insert(0) += 1;
+            }
+            EventKind::Squash { .. } => self.squashes += 1,
         }
     }
 

@@ -21,7 +21,7 @@ use std::fmt;
 
 /// Version tag of the verification-report cache encoding. Bump whenever
 /// the verifier's semantics change so stale verdicts miss.
-pub const VERIFY_SCHEMA_VERSION: &str = "ctbia-verify-v1";
+pub const VERIFY_SCHEMA_VERSION: &str = "ctbia-verify-v2";
 
 /// How many violations a report stores verbatim (the count is always
 /// exact; the samples are for display).
@@ -46,9 +46,16 @@ impl VerifyCell {
     }
 
     /// Whether this cell is a negative control that *must* fail both
-    /// analyses (the intentionally leaky workload).
+    /// analyses: the intentionally leaky workload always, and the
+    /// Spectre gadget exactly when the cell's machine speculates (with
+    /// `spec_window = 0` the gadget is genuinely constant-time and must
+    /// verify clean).
     pub fn expects_leak(&self) -> bool {
-        matches!(self.spec.workload, WorkloadSpec::LeakyBinarySearch { .. })
+        match self.spec.workload {
+            WorkloadSpec::LeakyBinarySearch { .. } => true,
+            WorkloadSpec::SpectreGadget { .. } => self.spec.config.spec_window > 0,
+            _ => false,
+        }
     }
 
     /// Human-readable label, e.g. `verify:bin_600/BIA@L1d`.
@@ -218,6 +225,7 @@ pub fn leak_kind_tag(kind: LeakKind) -> &'static str {
         LeakKind::PartialSweep => "partial-sweep",
         LeakKind::BitmapBranch => "bitmap-branch",
         LeakKind::PartialMask => "partial-mask",
+        LeakKind::SpeculativeFill => "spec-fill",
     }
 }
 
@@ -231,6 +239,7 @@ pub fn parse_leak_kind(tag: &str) -> Option<LeakKind> {
         "partial-sweep" => LeakKind::PartialSweep,
         "bitmap-branch" => LeakKind::BitmapBranch,
         "partial-mask" => LeakKind::PartialMask,
+        "spec-fill" => LeakKind::SpeculativeFill,
         _ => return None,
     })
 }
@@ -371,7 +380,7 @@ mod tests {
         let text = sample_report().to_cache_text();
         assert_eq!(VerifyReport::from_cache_text(&text[..text.len() - 5]), None);
         assert_eq!(
-            VerifyReport::from_cache_text(&text.replacen("v1", "v0", 1)),
+            VerifyReport::from_cache_text(&text.replacen("v2", "v0", 1)),
             None
         );
         assert_eq!(
@@ -414,6 +423,31 @@ mod tests {
             .provenance
             .iter()
             .any(|s| s.contains("search key")));
+    }
+
+    #[test]
+    fn spectre_cell_leaks_exactly_when_the_machine_speculates() {
+        let c0 = cell("spectre", 128, StrategySpec::Insecure, &[1, 2]);
+        assert!(!c0.expects_leak(), "no window, no threat model");
+        let report = execute_verify_cell(&c0).unwrap();
+        assert!(report.clean(), "{report}");
+
+        let mut c32 = cell("spectre", 128, StrategySpec::Insecure, &[1, 2]);
+        c32.spec.config.spec_window = 32;
+        assert!(c32.expects_leak());
+        assert_ne!(c0.digest_hex(), c32.digest_hex());
+        let report = execute_verify_cell(&c32).unwrap();
+        assert!(report.passed(true), "{report}");
+        assert!(report.leak_violations > 0);
+        assert!(!report.traces_equal);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.kind == LeakKind::SpeculativeFill));
+        assert!(report
+            .first_divergence
+            .as_ref()
+            .is_some_and(|d| d.contains("wrong-path")));
     }
 
     #[test]

@@ -233,6 +233,18 @@ pub fn verify_grid(quick: bool) -> Vec<VerifyCell> {
         StrategySpec::Insecure,
         BiaPlacement::L1d,
     );
+    // The speculation controls: the Spectre gadget must verify clean on
+    // the default (non-speculating) machine, and must be caught by both
+    // analyses once the machine executes bounded wrong-path windows.
+    let spectre =
+        WorkloadSpec::named("spectre", if quick { 192 } else { 256 }).expect("known workload");
+    push(spectre, StrategySpec::Insecure, BiaPlacement::L1d);
+    let mut speculating = VerifyCell::new(
+        CellSpec::new(spectre, StrategySpec::Insecure, BiaPlacement::L1d),
+        seeds.clone(),
+    );
+    speculating.spec.config.spec_window = 32;
+    cells.push(speculating);
     cells
 }
 
@@ -323,12 +335,15 @@ mod tests {
     fn grids_have_the_advertised_shape() {
         let quick = verify_grid(true);
         let full = verify_grid(false);
-        // quick: 5 workloads x 2 strategies + leaky control.
-        assert_eq!(quick.len(), 5 * 2 + 1);
-        // full: 5 x (1 + 3 + 3) + crypto x 3 + leaky control.
-        assert_eq!(full.len(), 5 * 7 + CryptoKernel::ALL.len() * 3 + 1);
-        assert_eq!(quick.iter().filter(|c| c.expects_leak()).count(), 1);
-        assert_eq!(full.iter().filter(|c| c.expects_leak()).count(), 1);
+        // quick: 5 workloads x 2 strategies + leaky control + 2 spectre
+        // controls (non-speculating and speculating).
+        assert_eq!(quick.len(), 5 * 2 + 3);
+        // full: 5 x (1 + 3 + 3) + crypto x 3 + leaky + 2 spectre controls.
+        assert_eq!(full.len(), 5 * 7 + CryptoKernel::ALL.len() * 3 + 3);
+        // Exactly two cells per grid must be caught: the leaky control
+        // and the speculating Spectre cell.
+        assert_eq!(quick.iter().filter(|c| c.expects_leak()).count(), 2);
+        assert_eq!(full.iter().filter(|c| c.expects_leak()).count(), 2);
         for cell in &full {
             assert!(cell.seeds.len() >= 9, "full grid replays >= 8 pairs");
         }

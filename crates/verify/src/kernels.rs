@@ -37,8 +37,8 @@ use ctbia_core::taint::{LeakViolation, Tv};
 use ctbia_harness::WorkloadSpec;
 use ctbia_machine::Machine;
 use ctbia_workloads::{
-    binary_search, dijkstra, heappop, histogram, permutation, BinarySearch, Dijkstra, HeapPop,
-    Histogram, Permutation, Strategy,
+    binary_search, dijkstra, heappop, histogram, permutation, spectre, BinarySearch, Dijkstra,
+    HeapPop, Histogram, Permutation, SpectreGadget, Strategy,
 };
 
 /// What the taint pass observed for one kernel.
@@ -102,6 +102,18 @@ pub fn run_mirror<S: TaintSink>(s: &mut S, workload: &WorkloadSpec) -> Option<Ta
             heappop_sink(s, &HeapPop { size, pops, seed })
         }
         WorkloadSpec::Dijkstra { vertices, seed } => dijkstra_sink(s, &Dijkstra { vertices, seed }),
+        WorkloadSpec::SpectreGadget {
+            size,
+            attacks,
+            seed,
+        } => spectre_sink(
+            s,
+            &SpectreGadget {
+                size,
+                attacks,
+                seed,
+            },
+        ),
         WorkloadSpec::Crypto(_) => return None,
     })
 }
@@ -406,6 +418,77 @@ pub fn dijkstra_tv(m: &mut Machine, wl: &Dijkstra, strategy: Strategy) -> TaintO
     dijkstra_sink(&mut tm, wl)
 }
 
+/// The Spectre-gadget mirror. Every *architectural* access has a public
+/// address — the training loads pass the raw-address sink untouched —
+/// but when the backend models speculation (`spec_window > 0`) each
+/// attack round replays the wrong path through the speculative-fill
+/// sink: the transient out-of-bounds read has a public address (the
+/// attacker picks the index), while the dependent probe's address is
+/// derived from the planted secret and must be reported as a
+/// [`ctbia_core::taint::LeakKind::SpeculativeFill`].
+pub fn spectre_sink<S: TaintSink>(s: &mut S, wl: &SpectreGadget) -> TaintOutcome {
+    let n = wl.size as u64;
+    let data = wl.array();
+    let secrets = wl.secrets();
+    let arr = s.alloc_u32_array(n + wl.attacks as u64);
+    for (i, &v) in data.iter().enumerate() {
+        s.poke_u32(arr.offset(i as u64 * 4), v);
+    }
+    for (k, &v) in secrets.iter().enumerate() {
+        s.poke_u32(arr.offset((n + k as u64) * 4), v);
+    }
+    s.mark_secret(arr.offset(n * 4), wl.attacks as u64 * 4);
+    let probe = s.alloc_u32_array(64 * 16);
+    let train = spectre::TRAIN_CALLS as u64;
+
+    let mut acc = 0u64;
+    for k in 0..wl.attacks as u64 {
+        for t in 0..train {
+            let idx = Tv::public((k * train + t) % n);
+            s.exec(4);
+            let v = s.load(
+                &tv_addr(arr, &idx, 4),
+                Width::U32,
+                "in-bounds training load",
+            );
+            acc = acc.wrapping_add(v.v);
+        }
+        // The wrong path of the mispredicted bounds check, as far as the
+        // speculation window lets it run.
+        let w = s.spec_window();
+        if w >= 1 {
+            let idx = Tv::public(n + k);
+            s.spec_fill(&tv_addr(arr, &idx, 4), "transient out-of-bounds read");
+        }
+        if w >= 2 {
+            let planted = s.secret(
+                u64::from(secrets[k as usize]),
+                format!("planted secret #{k}"),
+            );
+            let line = planted.and(&Tv::public(63)).mul(&Tv::public(64));
+            s.spec_fill(
+                &Tv::public(probe.raw()).add(&line),
+                "transient secret-indexed probe",
+            );
+        }
+        s.exec(4);
+    }
+    let expect: u64 = (0..wl.attacks as u64)
+        .flat_map(|k| (0..train).map(move |t| (k * train + t) % n))
+        .map(|i| u64::from(data[i as usize]))
+        .fold(0u64, u64::wrapping_add);
+    TaintOutcome {
+        outputs_ok: acc == expect,
+        violations: s.take_violations(),
+    }
+}
+
+/// The Spectre gadget on a concrete machine (see [`spectre_sink`]).
+pub fn spectre_tv(m: &mut Machine, wl: &SpectreGadget, strategy: Strategy) -> TaintOutcome {
+    let mut tm = TaintMem::new(m, strategy);
+    spectre_sink(&mut tm, wl)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -489,6 +572,38 @@ mod tests {
     }
 
     #[test]
+    fn spectre_mirror_is_clean_without_speculation_and_leaks_with_it() {
+        let wl = SpectreGadget::new(256);
+        let mut m = Machine::insecure();
+        let outcome = spectre_tv(&mut m, &wl, Strategy::Insecure);
+        assert!(outcome.outputs_ok);
+        assert!(
+            outcome.violations.is_empty(),
+            "no window, no transient fills: {}",
+            outcome.violations[0]
+        );
+
+        let mut cfg = ctbia_machine::MachineConfig::insecure();
+        cfg.spec_window = 32;
+        let mut m = ctbia_machine::Machine::new(cfg).unwrap();
+        let outcome = spectre_tv(&mut m, &wl, Strategy::Insecure);
+        assert!(
+            outcome.outputs_ok,
+            "the leak is transient, not a wrong answer"
+        );
+        assert_eq!(outcome.violations.len(), wl.attacks);
+        for v in &outcome.violations {
+            assert_eq!(v.kind, LeakKind::SpeculativeFill);
+            assert!(v.addr.is_some());
+            assert!(
+                v.provenance.iter().any(|s| s.contains("planted secret")),
+                "provenance must reach the planted secret: {:?}",
+                v.provenance
+            );
+        }
+    }
+
+    #[test]
     fn dispatcher_covers_every_mirrored_spec() {
         let specs = [
             WorkloadSpec::named("bin", 200).unwrap(),
@@ -497,6 +612,7 @@ mod tests {
             WorkloadSpec::named("heap", 150).unwrap(),
             WorkloadSpec::named("dij", 12).unwrap(),
             WorkloadSpec::named("leaky-bin", 200).unwrap(),
+            WorkloadSpec::named("spectre", 200).unwrap(),
         ];
         for spec in specs {
             let mut m = Machine::insecure();

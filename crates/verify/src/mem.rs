@@ -78,6 +78,17 @@ pub trait TaintSink {
     fn trip_count(&mut self, bound: &Tv, what: &str) -> u64;
     /// Charges bookkeeping instructions.
     fn exec(&mut self, insts: u64);
+    /// The backend's bounded-speculation window in wrong-path accesses.
+    /// Zero by default: backends without a machine (recorders) model no
+    /// transient execution, so speculative mirrors are skipped entirely.
+    fn spec_window(&self) -> u64 {
+        0
+    }
+    /// Judges one wrong-path demand access at `addr`: the access is
+    /// squashed architecturally but its cache fill persists, so a secret
+    /// address is a [`LeakKind::SpeculativeFill`] leak. A no-op by
+    /// default (no speculation, no transient fills).
+    fn spec_fill(&mut self, _addr: &Tv, _what: &str) {}
     /// Drains the violations the sink observed so far. Recording backends
     /// return an empty list — their violations are derived later by the
     /// static lint pass over the recorded program.
@@ -264,6 +275,21 @@ impl TaintSink for TaintMem<'_> {
 
     fn exec(&mut self, insts: u64) {
         TaintMem::exec(self, insts);
+    }
+
+    fn spec_window(&self) -> u64 {
+        u64::from(self.m.spec_window())
+    }
+
+    fn spec_fill(&mut self, addr: &Tv, what: &str) {
+        if addr.is_secret() {
+            self.m.report_leak(LeakViolation {
+                kind: LeakKind::SpeculativeFill,
+                context: what.to_string(),
+                addr: Some(addr.v),
+                provenance: addr.taint.chain(),
+            });
+        }
     }
 
     fn take_violations(&mut self) -> Vec<LeakViolation> {

@@ -21,6 +21,12 @@ use ctbia_machine::{Counters, Machine};
 /// Per-probe bookkeeping: midpoint, clamp, compare, two bound selects.
 const PER_PROBE_INSTS: u64 = 8;
 
+/// Predictor site of the per-search loop branch. The branch is public
+/// (the key count is not secret), so its wrong path — a phantom
+/// search's first probe — is secret-independent: under bounded
+/// speculation the kernel fills extra cache lines but still verifies.
+const LOOP_SITE: u64 = 0x00b5_ea10;
+
 /// The BinarySearch workload (the paper sweeps 2k–10k elements).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BinarySearch {
@@ -75,6 +81,9 @@ impl BinarySearch {
         let mut results = Vec::with_capacity(keys.len());
         let (_, counters) = m.measure(|m| {
             for &key in &keys {
+                // Loop-continuation branch: the not-taken path (falling
+                // out of the loop) touches no memory.
+                m.spec_branch(LOOP_SITE, true, &mut |_| {});
                 let mut lo = 0u64;
                 let mut hi = n;
                 for _ in 0..probes {
@@ -91,6 +100,13 @@ impl BinarySearch {
                 }
                 results.push(lo as u32);
             }
+            // Loop exit: the trained predictor expects another search,
+            // so the wrong path transiently issues a phantom search's
+            // first probe (the clamped midpoint of the full range).
+            let phantom = arr.offset((n / 2).min(n - 1) * 4);
+            m.spec_branch(LOOP_SITE, false, &mut |mm| {
+                let _ = mm.load(phantom, Width::U32);
+            });
         });
         (results, counters)
     }

@@ -40,6 +40,7 @@ pub mod histogram;
 pub mod leaky;
 pub mod permutation;
 pub mod run;
+pub mod spectre;
 pub mod strategy;
 
 pub use binary_search::BinarySearch;
@@ -50,4 +51,5 @@ pub use histogram::Histogram;
 pub use leaky::LeakyBinarySearch;
 pub use permutation::Permutation;
 pub use run::{digest_u64, size_label, InputRng, Run, Workload};
+pub use spectre::SpectreGadget;
 pub use strategy::Strategy;

@@ -23,8 +23,12 @@
 #   8. ctbia trace smoke      -- cycle attribution reconciles (the command
 #                                exits non-zero if phases don't sum)
 #   9. ctbia verify --quick   -- leakage-verifier smoke run: the CT grid
-#                                verifies clean and the intentionally
-#                                leaky control is caught (non-zero exit)
+#                                verifies clean, the intentionally leaky
+#                                control is caught (non-zero exit), and
+#                                the spectre gadget verifies clean at
+#                                spec-window 0 but is caught — with a
+#                                wrong-path-fill provenance report — at
+#                                spec-window 32
 #  10. ctbia analyze --quick  -- static-certification smoke run (hard
 #                                60s timeout): the quick grid certifies
 #                                0 bits for every protected cell, flags
@@ -106,6 +110,24 @@ if ./target/release/ctbia verify leaky-bin 300 >/dev/null 2>&1; then
     exit 1
 fi
 echo "==> verifier catches the leaky control"
+
+# Spectre negative control: the gadget's architectural trace is
+# secret-independent, so it verifies clean without speculation — but
+# with a wrong-path window the verifier must fail it non-zero AND the
+# provenance report must name the wrong-path fill that carried the
+# secret.
+run ./target/release/ctbia verify spectre 192 --spec-window 0
+echo "==> ctbia verify spectre 192 --spec-window 32 (must fail)"
+if ./target/release/ctbia verify spectre 192 --spec-window 32 \
+    >SPECTRE_verify.out 2>&1; then
+    cat SPECTRE_verify.out
+    rm -f SPECTRE_verify.out
+    echo "spectre gadget verified clean under speculation — the verifier is blind" >&2
+    exit 1
+fi
+grep -q "wrong-path" SPECTRE_verify.out
+rm -f SPECTRE_verify.out
+echo "==> verifier catches the spectre gadget's wrong-path fills"
 
 # Static certification smoke: the quick grid must certify (protected
 # cells at 0 bits, insecure cells caught) within a hard timeout, and the

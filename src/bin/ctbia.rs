@@ -48,16 +48,16 @@ ctbia — Hardware Support for Constant-Time Programming (MICRO '23), simulated
 USAGE:
     ctbia config
     ctbia list
-    ctbia run <WORKLOAD> [SIZE] [--strategy insecure|ct|ct-avx2|bia|bia-loads] [--placement l1d|l2|llc] [--stats] [--metrics]
-    ctbia trace <WORKLOAD> [SIZE] [--strategy insecure|ct|ct-avx2|bia|bia-loads] [--placement l1d|l2|llc] [--jsonl PATH] [--top N]
+    ctbia run <WORKLOAD> [SIZE] [--strategy insecure|ct|ct-avx2|bia|bia-loads] [--placement l1d|l2|llc] [--spec-window N] [--stats] [--metrics]
+    ctbia trace <WORKLOAD> [SIZE] [--strategy insecure|ct|ct-avx2|bia|bia-loads] [--placement l1d|l2|llc] [--spec-window N] [--jsonl PATH] [--top N]
     ctbia compare <WORKLOAD> [SIZE]
     ctbia attack [SECRET]
     ctbia leakage <WORKLOAD> [SIZE]
     ctbia audit <WORKLOAD> [SIZE] [--placement l1d|l2|llc]
     ctbia fuzz [--faults LIST] [--seed N] [--iters K] <WORKLOAD> [SIZE] [--placement l1d|l2|llc]
-    ctbia bench [--quick] [--threads N] [--metrics]
+    ctbia bench [--quick] [--threads N] [--spec-window N] [--metrics]
     ctbia verify [--quick] [--threads N]
-    ctbia verify <WORKLOAD> [SIZE] [--strategy insecure|ct|bia|bia-loads] [--placement l1d|l2|llc]
+    ctbia verify <WORKLOAD> [SIZE] [--strategy insecure|ct|bia|bia-loads] [--placement l1d|l2|llc] [--spec-window N]
     ctbia analyze [--quick] [--threads N]
     ctbia analyze <WORKLOAD> [SIZE] [--strategy insecure|ct|bia|bia-loads] [--placement l1d|l2|llc]
     ctbia serve [--socket PATH] [--tcp ADDR] [--tenant NAME:TOKEN[:INFLIGHT[:SHARE[:WEIGHT]]]]... [--threads N] [--max-inflight M] [--queue-limit Q] [--shards S] [--deadline-ms D] [--chaos SPEC] [--no-cache]
@@ -67,7 +67,7 @@ USAGE:
     ctbia loadgen [--quick] [--seed N] [--out PATH]
 
 WORKLOADS: dijkstra | histogram | permutation | binary-search | heappop
-           (plus leaky-bin, an intentionally leaky control, for `verify`)
+           (plus leaky-bin and spectre, intentionally leaky controls, for `verify`)
 FAULTS:    drop | dup | delay | corrupt | flip | storm | interfere (comma-separated)
 
 `ctbia verify` runs the taint sanitizer and the trace-equivalence oracle
@@ -86,6 +86,13 @@ prints a cycle-attribution profile (per-phase cycles reconciled exactly
 against the counters) plus the hottest cache lines; `--jsonl` captures
 the full event stream. `--metrics` on run/bench writes a versioned
 ctbia-metrics-v1 document (RUN_metrics.json / BENCH_metrics.json).
+`--spec-window N` enables bounded speculation: every branch runs a
+seeded 2-bit predictor, and a misprediction executes up to N wrong-path
+accesses that fill the simulated caches before being squashed
+architecturally (a Spectre-v1 transient channel; N=0, the default,
+disables it). The `spectre` workload is an in-bounds/out-of-bounds
+gadget whose architectural trace is secret-independent, so it passes
+`verify` at window 0 and leaks through wrong-path fills at window > 0.
 
 `ctbia serve` runs a long-lived batch-simulation daemon on a Unix domain
 socket (newline-delimited ctbia-serve-v1 JSON envelopes) sharing one job
@@ -148,6 +155,11 @@ fn parse_placement(s: &str) -> Result<BiaPlacement, String> {
     })
 }
 
+fn parse_spec_window(s: &str) -> Result<u32, String> {
+    s.parse()
+        .map_err(|_| format!("invalid --spec-window '{s}' (expected a non-negative integer)"))
+}
+
 fn parse_size(s: &str) -> Result<usize, String> {
     let n: usize = s
         .parse()
@@ -205,6 +217,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut placement = BiaPlacement::L1d;
     let mut stats = false;
     let mut metrics = false;
+    let mut spec_window = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -218,13 +231,22 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 i += 1;
                 placement = parse_placement(args.get(i).ok_or("--placement needs a value")?)?;
             }
+            "--spec-window" => {
+                i += 1;
+                spec_window = Some(parse_spec_window(
+                    args.get(i).ok_or("--spec-window needs a value")?,
+                )?);
+            }
             v if size.is_none() && !v.starts_with('-') => size = Some(parse_size(v)?),
             other => return Err(format!("unexpected argument '{other}'")),
         }
         i += 1;
     }
     let size = size.unwrap_or_else(|| default_size(name));
-    let spec = CellSpec::new(WorkloadSpec::named(name, size)?, strategy, placement);
+    let mut spec = CellSpec::new(WorkloadSpec::named(name, size)?, strategy, placement);
+    if let Some(w) = spec_window {
+        spec.config.spec_window = w;
+    }
     let engine = attach_default_cache(SweepEngine::serial());
     let report = engine.run_cell(&spec)?;
     println!(
@@ -259,6 +281,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     let mut placement = BiaPlacement::L1d;
     let mut jsonl_path: Option<String> = None;
     let mut top = 5usize;
+    let mut spec_window = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -269,6 +292,12 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             "--placement" => {
                 i += 1;
                 placement = parse_placement(args.get(i).ok_or("--placement needs a value")?)?;
+            }
+            "--spec-window" => {
+                i += 1;
+                spec_window = Some(parse_spec_window(
+                    args.get(i).ok_or("--spec-window needs a value")?,
+                )?);
             }
             "--jsonl" => {
                 i += 1;
@@ -288,7 +317,10 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         i += 1;
     }
     let size = size.unwrap_or_else(|| default_size(name));
-    let spec = CellSpec::new(WorkloadSpec::named(name, size)?, strategy, placement);
+    let mut spec = CellSpec::new(WorkloadSpec::named(name, size)?, strategy, placement);
+    if let Some(w) = spec_window {
+        spec.config.spec_window = w;
+    }
     let sink = TeeSink::new(JsonlSink::new(), MetricsSink::new());
     let (report, sink) = execute_cell_traced(&spec, sink)?;
     let (jsonl, agg) = (sink.a, sink.b);
@@ -750,6 +782,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let mut metrics = false;
     let mut threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let cores = threads;
+    let mut spec_window = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -764,11 +797,26 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                     .filter(|&n| n > 0)
                     .ok_or_else(|| format!("invalid thread count '{s}'"))?;
             }
+            "--spec-window" => {
+                i += 1;
+                spec_window = Some(parse_spec_window(
+                    args.get(i).ok_or("--spec-window needs a value")?,
+                )?);
+            }
             other => return Err(format!("unexpected argument '{other}'")),
         }
         i += 1;
     }
-    let grid = bench_grid(quick);
+    let mut grid = bench_grid(quick);
+    if let Some(w) = spec_window {
+        // Sweep the whole grid under bounded speculation. The digests
+        // change with the window, so memoized window-0 results are not
+        // disturbed.
+        for cell in &mut grid {
+            cell.config.spec_window = w;
+        }
+    }
+    let grid = grid;
     let n = grid.len();
     println!(
         "bench sweep: {n} cells (5 Ghostrider x 4 strategies + 8 crypto x 3), \
@@ -962,6 +1010,7 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
     let mut size = None;
     let mut strategy = StrategySpec::Ct;
     let mut placement = BiaPlacement::L1d;
+    let mut spec_window = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -984,17 +1033,29 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
                 i += 1;
                 placement = parse_placement(args.get(i).ok_or("--placement needs a value")?)?;
             }
+            "--spec-window" => {
+                i += 1;
+                spec_window = Some(parse_spec_window(
+                    args.get(i).ok_or("--spec-window needs a value")?,
+                )?);
+            }
             v if name.is_none() && !v.starts_with('-') => name = Some(v.to_string()),
             v if size.is_none() && !v.starts_with('-') => size = Some(parse_size(v)?),
             other => return Err(format!("unexpected argument '{other}'")),
         }
         i += 1;
     }
+    if spec_window.is_some() && name.is_none() {
+        return Err("--spec-window needs a workload (the grid fixes its own windows)".into());
+    }
 
     if let Some(name) = name {
         // Single-target mode: verify one cell and report what it does.
         let size = size.unwrap_or_else(|| default_size(&name).min(500));
-        let spec = CellSpec::new(WorkloadSpec::named(&name, size)?, strategy, placement);
+        let mut spec = CellSpec::new(WorkloadSpec::named(&name, size)?, strategy, placement);
+        if let Some(w) = spec_window {
+            spec.config.spec_window = w;
+        }
         let cell = VerifyCell::new(spec, verify_seeds(quick));
         let engine = attach_verify_cache(VerifyEngine::serial());
         let report = engine.run_cell(&cell)?;
@@ -1759,6 +1820,7 @@ fn cmd_config() {
 fn cmd_list() {
     println!("workloads:  dijkstra histogram permutation binary-search heappop");
     println!("            leaky-bin (intentionally leaky control, for `ctbia verify`)");
+    println!("            spectre (Spectre-v1 gadget; leaks only with --spec-window > 0)");
     println!("strategies: insecure ct ct-avx2 bia bia-loads");
     println!("placements: l1d l2 llc");
     println!("faults:     drop dup delay corrupt flip storm interfere (for `ctbia fuzz`)");

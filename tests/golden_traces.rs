@@ -56,6 +56,41 @@ fn golden_cells() -> Vec<(String, CellSpec)> {
     cells
 }
 
+/// The speculative golden grid: three workloads under bounded
+/// speculation, each at `spec-window` 0 and 32. The window-0 cells of
+/// workloads that already have a golden fixture reuse that fixture's
+/// stem, pinning the invariant that a zero window is byte-invisible:
+/// regenerating them must reproduce the pre-speculation bytes exactly.
+///
+/// The three workloads cover the three speculation behaviours:
+/// histogram never branches (window 32 is inert), binary-search
+/// mispredicts its public loop-exit branch (speculates without
+/// leaking), and spectre leaks its planted secrets through wrong-path
+/// fills.
+fn speculative_cells() -> Vec<(String, CellSpec)> {
+    let cell = |name: &str, size: usize, window: u32| {
+        let mut spec = CellSpec::new(
+            WorkloadSpec::named(name, size).expect("built-in workload"),
+            StrategySpec::Ct,
+            BiaPlacement::L1d,
+        );
+        spec.config.spec_window = window;
+        spec
+    };
+    vec![
+        // Window-0 stems match the existing fixtures on purpose.
+        ("histogram_24_ct".into(), cell("histogram", 24, 0)),
+        ("histogram_24_ct_w32".into(), cell("histogram", 24, 32)),
+        ("binary-search_32_ct".into(), cell("binary-search", 32, 0)),
+        (
+            "binary-search_32_ct_w32".into(),
+            cell("binary-search", 32, 32),
+        ),
+        ("spectre_48_ct_w0".into(), cell("spectre", 48, 0)),
+        ("spectre_48_ct_w32".into(), cell("spectre", 48, 32)),
+    ]
+}
+
 fn golden_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
 }
@@ -88,7 +123,7 @@ fn golden_traces_match_fixtures() {
     let update = std::env::var_os("UPDATE_GOLDEN").is_some();
     let dir = golden_dir();
     let mut missing = Vec::new();
-    for (stem, spec) in golden_cells() {
+    for (stem, spec) in golden_cells().into_iter().chain(speculative_cells()) {
         let actual = generate_trace(&spec);
         assert!(
             actual.ends_with('\n') && !actual.is_empty(),
@@ -117,6 +152,47 @@ fn golden_traces_match_fixtures() {
     assert!(
         missing.is_empty(),
         "missing golden fixtures {missing:?} — run `UPDATE_GOLDEN=1 cargo test --test golden_traces`"
+    );
+}
+
+/// The speculative suite's three behaviours, asserted on the traces
+/// themselves (independent of the committed fixtures).
+#[test]
+fn speculative_traces_cover_inert_public_and_leaky_speculation() {
+    let cells: std::collections::HashMap<String, CellSpec> =
+        speculative_cells().into_iter().collect();
+    let trace = |stem: &str| generate_trace(&cells[stem]);
+
+    // No branches -> window 32 is byte-invisible.
+    assert_eq!(
+        trace("histogram_24_ct"),
+        trace("histogram_24_ct_w32"),
+        "histogram never branches, so a 32-entry window must not change its trace"
+    );
+
+    // Public loop-exit misprediction -> squash + wrong-path events
+    // appear, on top of an unchanged demand stream.
+    let bin0 = trace("binary-search_32_ct");
+    let bin32 = trace("binary-search_32_ct_w32");
+    assert_ne!(bin0, bin32, "binary-search mispredicts its loop exit");
+    assert!(
+        bin32.contains("\"k\":\"squash\"") && bin32.contains("\"k\":\"spec_access\""),
+        "window-32 binary-search trace carries speculative events"
+    );
+    assert!(
+        !bin0.contains("squash") && !bin0.contains("spec_access"),
+        "window-0 traces never mention speculation"
+    );
+
+    // The spectre gadget speculates in every attack round.
+    let spectre32 = trace("spectre_48_ct_w32");
+    assert!(
+        spectre32.matches("\"k\":\"squash\"").count() >= 8,
+        "spectre squashes at least once per attack round"
+    );
+    assert!(
+        !trace("spectre_48_ct_w0").contains("spec_access"),
+        "window-0 spectre issues no wrong-path accesses"
     );
 }
 

@@ -50,6 +50,18 @@ fn check_cell(spec: &CellSpec) {
     );
     // Linearization-pass aggregates.
     assert_eq!(m.linearize, c.linearize, "{label}: linearize stats");
+    // Speculation: every wrong-path access and squash is one event, and
+    // the summed wrong-path cycles equal the `speculative` phase — the
+    // seventh phase reconciles exactly, like the other six.
+    assert_eq!(
+        m.spec_accesses, c.spec.wrong_path_accesses,
+        "{label}: wrong-path accesses"
+    );
+    assert_eq!(m.squashes, c.spec.squashes, "{label}: squashes");
+    assert_eq!(
+        m.spec_cycles, c.phases.speculative,
+        "{label}: speculative-phase cycles do not reconcile"
+    );
     // Robustness events.
     assert_eq!(m.degrades, c.robust.downgrades, "{label}: downgrades");
     assert_eq!(
@@ -104,6 +116,61 @@ fn ghostrider_grid_reconciles_exactly() {
     }
 }
 
+/// The seventh phase under load: the whole Ghostrider grid again with a
+/// 32-entry wrong-path window. Aggregates still reconcile exactly, and
+/// the suite is non-vacuous — binary-search's loop branch speculates
+/// under every strategy, so the grid must attribute speculative cycles
+/// somewhere.
+#[test]
+fn ghostrider_grid_reconciles_under_speculation() {
+    let mut speculative_cycles = 0u64;
+    for &(name, size) in GHOSTRIDER {
+        for &strategy in STRATEGIES {
+            let mut spec = CellSpec::new(
+                WorkloadSpec::named(name, size).unwrap(),
+                strategy,
+                BiaPlacement::L1d,
+            );
+            spec.config.spec_window = 32;
+            check_cell(&spec);
+            let report = execute_cell(&spec).unwrap();
+            speculative_cycles += report.counters.phases.speculative;
+        }
+    }
+    assert!(
+        speculative_cycles > 0,
+        "no grid cell opened a speculation window — the sweep is vacuous"
+    );
+}
+
+/// With `spec-window = 0` the seventh phase does not exist: zero
+/// speculative cycles and zero speculation counters across the whole
+/// grid, for every strategy.
+#[test]
+fn speculative_phase_is_zero_across_the_grid_without_a_window() {
+    for &(name, size) in GHOSTRIDER {
+        for &strategy in STRATEGIES {
+            let spec = CellSpec::new(
+                WorkloadSpec::named(name, size).unwrap(),
+                strategy,
+                BiaPlacement::L1d,
+            );
+            let report = execute_cell(&spec).unwrap();
+            assert_eq!(
+                report.counters.phases.speculative,
+                0,
+                "{}: speculative cycles without a window",
+                spec.label()
+            );
+            assert!(
+                report.counters.spec.is_zero(),
+                "{}: speculation counters without a window",
+                spec.label()
+            );
+        }
+    }
+}
+
 /// Audited and fault-injected cells reconcile too: degrade, resync,
 /// re-promotion and fault events mirror the robustness counters one for
 /// one. (`Interfere` is excluded — co-runner traffic bypasses the demand
@@ -141,6 +208,9 @@ fn arb_spec() -> impl Strategy<Value = CellSpec> {
         any::<u64>(),
     )
         .prop_map(|(w, s, p, audit, faults, seed)| {
+            // Roughly half the random cells speculate (derived from the
+            // seed to keep the tuple within the supported arity).
+            let spec_window = if seed % 2 == 0 { 32 } else { 0 };
             let (name, base) = GHOSTRIDER[w];
             // Sizes stay small (the base grid already covers bigger runs)
             // but vary with the seed so cells differ meaningfully.
@@ -154,6 +224,7 @@ fn arb_spec() -> impl Strategy<Value = CellSpec> {
             // Auditing and fault injection both require a BIA-backed
             // machine; the other strategies run without one.
             let has_bia = matches!(STRATEGIES[s], StrategySpec::Bia | StrategySpec::BiaLoads);
+            spec.config.spec_window = spec_window;
             spec.audit = audit && has_bia;
             if faults && has_bia {
                 spec.faults = Some(FaultSpec {
